@@ -1,0 +1,30 @@
+//! Allocators and object pools for the Record Manager.
+//!
+//! The paper's Record Manager (Section 6) separates three concerns: the **Reclaimer**
+//! decides *when* a retired record is safe to hand back, the **Pool** decides whether a
+//! safe record is cached for reuse or released, and the **Allocator** actually obtains and
+//! releases memory.  This crate provides the Pool and Allocator implementations used in the
+//! paper's experiments:
+//!
+//! | Component | Paper usage | Type |
+//! |-----------|-------------|------|
+//! | Bump allocator | Experiments 1 and 2: each thread carves records out of a preallocated region; the distance the bump pointers moved gives the *memory allocated for records* metric of Figure 9 (right) | [`BumpAllocator`] |
+//! | malloc/free | Experiment 3 | [`SystemAllocator`] |
+//! | no pool | Experiment 1 (reclaimers do all their work but records are not actually reused) | [`NoPool`] |
+//! | per-thread pool bags + shared bag | Experiments 2 and 3 (records are recycled) | [`ThreadPool`] |
+//!
+//! All four types implement the corresponding traits from the `debra` crate and can be
+//! freely combined with any reclaimer.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bump;
+mod no_pool;
+mod system;
+mod thread_pool;
+
+pub use bump::{BumpAllocator, BumpAllocatorThread};
+pub use no_pool::{NoPool, NoPoolThread};
+pub use system::{SystemAllocator, SystemAllocatorThread};
+pub use thread_pool::{ThreadPool, ThreadPoolThread};

@@ -1,0 +1,127 @@
+//! The "no pool" pool: records are never recycled.
+
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use debra::{AllocatorThread, Pool, PoolThread, ReclaimSink};
+
+/// A [`Pool`] that never recycles records.
+///
+/// This reproduces the setup of the paper's **Experiment 1**: every reclaimer performs all
+/// the work needed to determine that records are safe to reuse, but the records are not
+/// actually reused (so the data structure pays the overhead of reclamation without enjoying
+/// its cache-locality benefits).  Records accepted from the reclaimer are counted and then
+/// abandoned in place; their memory is released when the backing
+/// [`BumpAllocator`](crate::BumpAllocator) arena is dropped.
+///
+/// `NoPool` is intended to be combined with the bump allocator exactly as in the paper; if
+/// it is combined with the [`SystemAllocator`](crate::SystemAllocator) the abandoned
+/// records are never freed until process exit.
+pub struct NoPool<T> {
+    reclaimed: AtomicU64,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T: Send + 'static> Pool<T> for NoPool<T> {
+    type Thread = NoPoolThread<T>;
+
+    fn new(_max_threads: usize) -> Self {
+        NoPool { reclaimed: AtomicU64::new(0), _marker: std::marker::PhantomData }
+    }
+
+    fn register(this: &Arc<Self>, tid: usize) -> Self::Thread {
+        NoPoolThread { global: Arc::clone(this), tid }
+    }
+
+    fn name() -> &'static str {
+        "none"
+    }
+
+    fn drain_shared(&self) -> Vec<NonNull<T>> {
+        Vec::new()
+    }
+}
+
+impl<T> NoPool<T> {
+    /// Number of records the reclaimers have declared safe (and this pool has abandoned).
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> fmt::Debug for NoPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NoPool").field("reclaimed", &self.reclaimed()).finish()
+    }
+}
+
+/// Per-thread handle of [`NoPool`].
+pub struct NoPoolThread<T> {
+    global: Arc<NoPool<T>>,
+    tid: usize,
+}
+
+impl<T: Send + 'static> ReclaimSink<T> for NoPoolThread<T> {
+    fn accept(&mut self, _record: NonNull<T>) {
+        self.global.reclaimed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn accept_block(&mut self, block: Box<blockbag::Block<T>>) {
+        self.global.reclaimed.fetch_add(block.len() as u64, Ordering::Relaxed);
+    }
+}
+
+impl<T: Send + 'static> PoolThread<T> for NoPoolThread<T> {
+    fn try_take(&mut self) -> Option<NonNull<T>> {
+        None
+    }
+
+    unsafe fn deallocate<A: AllocatorThread<T>>(&mut self, record: NonNull<T>, alloc: &mut A) {
+        // No pooling: go straight to the allocator.
+        // SAFETY: forwarded contract.
+        unsafe { alloc.deallocate(record) };
+    }
+
+    fn cached(&self) -> usize {
+        0
+    }
+
+    fn flush_to_shared(&mut self) {}
+}
+
+impl<T> fmt::Debug for NoPoolThread<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NoPoolThread").field("tid", &self.tid).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemAllocator;
+    use debra::Allocator;
+
+    #[test]
+    fn never_recycles_and_counts_reclaimed() {
+        let pool: Arc<NoPool<u64>> = Arc::new(<NoPool<u64> as Pool<u64>>::new(2));
+        let mut t = NoPool::register(&pool, 0);
+        assert!(t.try_take().is_none());
+        ReclaimSink::accept(&mut t, NonNull::new(8 as *mut u64).unwrap());
+        assert_eq!(pool.reclaimed(), 1);
+        assert!(t.try_take().is_none(), "NoPool must not hand records back");
+        assert_eq!(t.cached(), 0);
+    }
+
+    #[test]
+    fn deallocate_forwards_to_allocator() {
+        let pool: Arc<NoPool<u64>> = Arc::new(<NoPool<u64> as Pool<u64>>::new(1));
+        let alloc: Arc<SystemAllocator<u64>> = Arc::new(SystemAllocator::new(1));
+        let mut pt = NoPool::register(&pool, 0);
+        let mut at = SystemAllocator::register(&alloc, 0);
+        let r = at.allocate(5);
+        unsafe { pt.deallocate(r, &mut at) };
+        assert_eq!(alloc.allocated_records(), 1);
+    }
+}

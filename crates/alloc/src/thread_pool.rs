@@ -1,0 +1,258 @@
+//! Per-thread pool bags backed by a shared overflow bag (the paper's object pool).
+
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use blockbag::{Block, BlockBag, SharedBlockBag, DEFAULT_BLOCK_CAPACITY};
+use debra::{AllocatorThread, Pool, PoolThread, ReclaimSink};
+
+/// Maximum number of blocks a thread keeps in its private pool bag before spilling full
+/// blocks to the shared bag.
+const LOCAL_POOL_MAX_BLOCKS: usize = 32;
+
+/// The object pool described in the paper (Section 4, "Object pool"): one private *pool
+/// bag* per thread plus one *shared bag*.
+///
+/// * Records reclaimed by the reclaimer are pushed into the thread's pool bag (whole blocks
+///   are moved in O(1)).
+/// * When allocating, a thread first tries its pool bag, then takes a whole block from the
+///   shared bag, and only then asks the allocator for fresh memory.
+/// * When the private pool bag grows too large, full blocks are moved to the shared bag, so
+///   memory freed by one thread can be reused by another (important for asymmetric
+///   workloads).
+///
+/// Records cached in the pool still contain the value they held when they were retired;
+/// [`PoolThread::allocate`] drops that value and writes the new one in place.
+pub struct ThreadPool<T> {
+    shared: SharedBlockBag<T>,
+    block_capacity: usize,
+}
+
+impl<T: Send + 'static> Pool<T> for ThreadPool<T> {
+    type Thread = ThreadPoolThread<T>;
+
+    fn new(_max_threads: usize) -> Self {
+        ThreadPool { shared: SharedBlockBag::new(), block_capacity: DEFAULT_BLOCK_CAPACITY }
+    }
+
+    fn register(this: &Arc<Self>, tid: usize) -> Self::Thread {
+        ThreadPoolThread {
+            global: Arc::clone(this),
+            tid,
+            bag: BlockBag::with_block_capacity(this.block_capacity),
+        }
+    }
+
+    fn name() -> &'static str {
+        "thread-pool"
+    }
+
+    fn drain_shared(&self) -> Vec<NonNull<T>> {
+        let mut out = Vec::new();
+        for mut block in self.shared.pop_all() {
+            out.extend(block.drain());
+        }
+        out
+    }
+}
+
+impl<T> ThreadPool<T> {
+    /// Approximate number of blocks currently available in the shared bag.
+    pub fn shared_blocks(&self) -> usize {
+        self.shared.approx_len()
+    }
+}
+
+impl<T> fmt::Debug for ThreadPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("shared_blocks", &self.shared.approx_len())
+            .field("block_capacity", &self.block_capacity)
+            .finish()
+    }
+}
+
+/// Per-thread handle of [`ThreadPool`].
+pub struct ThreadPoolThread<T> {
+    global: Arc<ThreadPool<T>>,
+    tid: usize,
+    bag: BlockBag<T>,
+}
+
+impl<T> ThreadPoolThread<T> {
+    fn spill_if_large(&mut self) {
+        if self.bag.size_in_blocks() > LOCAL_POOL_MAX_BLOCKS {
+            for block in self.bag.take_full_blocks() {
+                self.global.shared.push_block(block);
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> ReclaimSink<T> for ThreadPoolThread<T> {
+    fn accept(&mut self, record: NonNull<T>) {
+        self.bag.push(record);
+        self.spill_if_large();
+    }
+
+    fn accept_block(&mut self, block: Box<Block<T>>) {
+        self.bag.push_block(block);
+        self.spill_if_large();
+    }
+}
+
+impl<T: Send + 'static> PoolThread<T> for ThreadPoolThread<T> {
+    fn try_take(&mut self) -> Option<NonNull<T>> {
+        if let Some(r) = self.bag.pop() {
+            return Some(r);
+        }
+        // Local bag empty: try to grab a whole block from the shared bag.
+        if let Some(block) = self.global.shared.pop_block() {
+            self.bag.push_block(block);
+            return self.bag.pop();
+        }
+        None
+    }
+
+    unsafe fn deallocate<A: AllocatorThread<T>>(&mut self, record: NonNull<T>, _alloc: &mut A) {
+        // Recycle rather than free: the pool's whole purpose is reuse.
+        self.accept(record);
+    }
+
+    fn cached(&self) -> usize {
+        self.bag.len()
+    }
+
+    fn flush_to_shared(&mut self) {
+        // Move everything (including the partial head block) to the shared bag so records
+        // survive the thread and can be reused or freed at teardown.
+        for block in self.bag.take_full_blocks() {
+            self.global.shared.push_block(block);
+        }
+        if !self.bag.is_empty() {
+            let mut block = Block::with_capacity(self.bag.len().max(1));
+            while let Some(r) = self.bag.pop() {
+                let pushed = block.push(r);
+                debug_assert!(pushed);
+            }
+            self.global.shared.push_block(block);
+        }
+    }
+}
+
+impl<T> Drop for ThreadPoolThread<T> {
+    fn drop(&mut self) {
+        // `RecordManagerThread::drop` normally calls `flush_to_shared`, but flush here too
+        // so a bare pool handle never strands records.
+        if !self.bag.is_empty() {
+            let records: Vec<NonNull<T>> = self.bag.drain().collect();
+            let mut block = Block::with_capacity(records.len().max(1));
+            for r in records {
+                let pushed = block.push(r);
+                debug_assert!(pushed);
+            }
+            self.global.shared.push_block(block);
+        }
+    }
+}
+
+impl<T> fmt::Debug for ThreadPoolThread<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPoolThread")
+            .field("tid", &self.tid)
+            .field("cached", &self.bag.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemAllocator;
+    use debra::Allocator;
+
+    fn ptr(v: usize) -> NonNull<u64> {
+        NonNull::new((v * 8 + 8) as *mut u64).unwrap()
+    }
+
+    #[test]
+    fn recycles_accepted_records() {
+        let pool: Arc<ThreadPool<u64>> = Arc::new(<ThreadPool<u64> as Pool<u64>>::new(1));
+        let mut t = ThreadPool::register(&pool, 0);
+        ReclaimSink::accept(&mut t, ptr(1));
+        ReclaimSink::accept(&mut t, ptr(2));
+        assert_eq!(t.cached(), 2);
+        let a = t.try_take().unwrap();
+        let b = t.try_take().unwrap();
+        assert!(t.try_take().is_none());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn records_flow_between_threads_through_shared_bag() {
+        let pool: Arc<ThreadPool<u64>> = Arc::new(<ThreadPool<u64> as Pool<u64>>::new(2));
+        let mut producer = ThreadPool::register(&pool, 0);
+        let mut consumer = ThreadPool::register(&pool, 1);
+
+        // Producer accepts a full block's worth of records, then flushes.
+        for i in 0..100 {
+            ReclaimSink::accept(&mut producer, ptr(i));
+        }
+        producer.flush_to_shared();
+        assert_eq!(producer.cached(), 0);
+
+        // Consumer, whose local bag is empty, can now take them.
+        let mut got = 0;
+        while consumer.try_take().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn allocate_prefers_recycled_records() {
+        let pool: Arc<ThreadPool<u64>> = Arc::new(<ThreadPool<u64> as Pool<u64>>::new(1));
+        let alloc: Arc<SystemAllocator<u64>> = Arc::new(SystemAllocator::new(1));
+        let mut pt = ThreadPool::register(&pool, 0);
+        let mut at = SystemAllocator::register(&alloc, 0);
+
+        // First allocation must come from the allocator.
+        let a = PoolThread::allocate(&mut pt, 1u64, &mut at);
+        assert_eq!(alloc.allocated_records(), 1);
+
+        // Recycle it, then allocate again: no new allocator traffic.
+        unsafe { pt.deallocate(a, &mut at) };
+        let b = PoolThread::allocate(&mut pt, 2u64, &mut at);
+        assert_eq!(alloc.allocated_records(), 1, "second allocation must be recycled");
+        assert_eq!(a, b, "the same record is reused");
+        assert_eq!(unsafe { *b.as_ref() }, 2);
+
+        unsafe { at.deallocate(b) };
+    }
+
+    #[test]
+    fn drain_shared_returns_everything() {
+        let pool: Arc<ThreadPool<u64>> = Arc::new(<ThreadPool<u64> as Pool<u64>>::new(1));
+        let mut t = ThreadPool::register(&pool, 0);
+        for i in 0..50 {
+            ReclaimSink::accept(&mut t, ptr(i));
+        }
+        drop(t); // Drop flushes the local bag into the shared bag.
+        let drained = pool.drain_shared();
+        assert_eq!(drained.len(), 50);
+    }
+
+    #[test]
+    fn spills_to_shared_bag_when_local_bag_is_large() {
+        let pool: Arc<ThreadPool<u64>> = Arc::new(<ThreadPool<u64> as Pool<u64>>::new(1));
+        let mut t = ThreadPool::register(&pool, 0);
+        // Push far more than LOCAL_POOL_MAX_BLOCKS blocks' worth of records.
+        let total = DEFAULT_BLOCK_CAPACITY * (LOCAL_POOL_MAX_BLOCKS + 8);
+        for i in 0..total {
+            ReclaimSink::accept(&mut t, ptr(i));
+        }
+        assert!(pool.shared_blocks() > 0, "overflow must reach the shared bag");
+        assert!(t.cached() < total);
+    }
+}

@@ -1,0 +1,434 @@
+//! Michael-style hazard pointers.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+use blockbag::BlockBag;
+use crossbeam_utils::CachePadded;
+use debra::{
+    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread,
+    RegistrationError, SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
+};
+
+/// Configuration for [`HazardPointers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HpConfig {
+    /// Hazard pointer slots per thread (`k` in the paper's analysis).  Lock-free lists and
+    /// trees typically need 2–3; the default leaves headroom.
+    pub slots_per_thread: usize,
+    /// Extra retired records accumulated beyond `n*k` before a scan is triggered
+    /// (the paper's Ω(nk) term; a larger value trades memory for fewer scans).
+    pub scan_slack: usize,
+    /// Block capacity of the per-thread retired bags.
+    pub block_capacity: usize,
+}
+
+impl Default for HpConfig {
+    fn default() -> Self {
+        HpConfig { slots_per_thread: 8, scan_slack: 256, block_capacity: 64 }
+    }
+}
+
+/// Per-thread hazard pointer announcement slots (single writer, all threads read).
+struct HpSlots {
+    slots: Box<[AtomicPtr<u8>]>,
+}
+
+impl HpSlots {
+    fn new(k: usize) -> Self {
+        HpSlots { slots: (0..k).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect() }
+    }
+}
+
+/// Michael's hazard pointers (the paper's "HP" baseline), tuned for throughput the same way
+/// the paper tunes it: each process accumulates a large buffer of retired records before
+/// scanning, so the amortized cost of retiring a record is O(1).
+///
+/// Before reading a record's fields the data structure must [`protect`] it and re-validate
+/// that it is still reachable; a memory fence is issued as part of the SeqCst announcement
+/// store (this per-access fence is precisely the overhead DEBRA avoids).  As discussed at
+/// length in Section 3 of the paper, structures in which operations traverse pointers from
+/// retired records cannot use HP without giving up lock-freedom; the `lockfree-ds` crate
+/// follows the paper's experimental choice of restarting such operations.
+///
+/// [`protect`]: ReclaimerThread::protect
+pub struct HazardPointers<T> {
+    hp: Box<[CachePadded<HpSlots>]>,
+    stats: Box<[CachePadded<ThreadStatsSlot>]>,
+    registered: Box<[AtomicBool]>,
+    orphans: Mutex<Vec<NonNull<T>>>,
+    config: HpConfig,
+    max_threads: usize,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T: Send + 'static> HazardPointers<T> {
+    /// Creates shared hazard pointer state with a custom configuration.
+    pub fn with_config(max_threads: usize, config: HpConfig) -> Self {
+        assert!(max_threads > 0);
+        assert!(config.slots_per_thread > 0);
+        HazardPointers {
+            hp: (0..max_threads).map(|_| CachePadded::new(HpSlots::new(config.slots_per_thread))).collect(),
+            stats: (0..max_threads).map(|_| CachePadded::new(ThreadStatsSlot::default())).collect(),
+            registered: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
+            orphans: Mutex::new(Vec::new()),
+            config,
+            max_threads,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Collects every announced hazard pointer into a set of addresses.
+    fn collect_hazards(&self) -> HashSet<usize> {
+        let mut set = HashSet::with_capacity(self.max_threads * self.config.slots_per_thread);
+        for slots in self.hp.iter() {
+            for s in slots.slots.iter() {
+                let p = s.load(Ordering::SeqCst);
+                if !p.is_null() {
+                    set.insert(p as usize);
+                }
+            }
+        }
+        set
+    }
+
+    /// Returns `true` if any thread currently announces a hazard pointer to `record`.
+    pub fn is_protected_by_any(&self, record: NonNull<T>) -> bool {
+        let addr = record.as_ptr() as *mut u8;
+        self.hp
+            .iter()
+            .any(|slots| slots.slots.iter().any(|s| s.load(Ordering::SeqCst) == addr))
+    }
+}
+
+impl<T: Send + 'static> Reclaimer<T> for HazardPointers<T> {
+    type Thread = HazardPointersThread<T>;
+
+    fn new(max_threads: usize) -> Self {
+        Self::with_config(max_threads, HpConfig::default())
+    }
+
+    fn register(this: &Arc<Self>, tid: usize) -> Result<Self::Thread, RegistrationError> {
+        if tid >= this.max_threads {
+            return Err(RegistrationError::ThreadIdOutOfRange { tid, max_threads: this.max_threads });
+        }
+        if this.registered[tid]
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Err(RegistrationError::AlreadyRegistered { tid });
+        }
+        Ok(HazardPointersThread {
+            global: Arc::clone(this),
+            tid,
+            retired: BlockBag::with_block_capacity(this.config.block_capacity),
+            quiescent: true,
+        })
+    }
+
+    fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    fn name() -> &'static str {
+        "HP"
+    }
+
+    fn properties() -> SchemeProperties {
+        SchemeProperties {
+            name: "HP",
+            code_modifications: CodeModifications {
+                per_accessed_record: true,
+                per_operation: false,
+                per_retired_record: true,
+                other: "write recovery code for when a process fails to acquire a HP",
+            },
+            timing_assumptions: TimingAssumptions::None,
+            fault_tolerant: true,
+            termination: Termination::WaitFree,
+            can_traverse_retired_to_retired: false,
+        }
+    }
+
+    fn stats(&self) -> ReclaimerStats {
+        let mut agg = ReclaimerStats::default();
+        for s in self.stats.iter() {
+            s.snapshot_into(&mut agg);
+        }
+        agg
+    }
+
+    fn drain_orphans(&self) -> Vec<NonNull<T>> {
+        std::mem::take(&mut *self.orphans.lock().expect("orphans poisoned"))
+    }
+}
+
+impl<T> fmt::Debug for HazardPointers<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HazardPointers")
+            .field("max_threads", &self.max_threads)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+// SAFETY: raw pointers are stored but never dereferenced by the reclaimer itself.
+unsafe impl<T: Send> Send for HazardPointers<T> {}
+unsafe impl<T: Send> Sync for HazardPointers<T> {}
+
+/// Per-thread handle of [`HazardPointers`].
+pub struct HazardPointersThread<T: Send + 'static> {
+    global: Arc<HazardPointers<T>>,
+    tid: usize,
+    retired: BlockBag<T>,
+    quiescent: bool,
+}
+
+impl<T: Send + 'static> HazardPointersThread<T> {
+    fn scan_threshold(&self) -> usize {
+        let nk = self.global.max_threads * self.global.config.slots_per_thread;
+        nk + nk.max(self.global.config.scan_slack)
+    }
+
+    /// Scans all hazard pointers and hands every unprotected retired record to the sink
+    /// (the amortized-O(1) bulk scan described in the paper's related-work section).
+    fn scan<S: ReclaimSink<T>>(&mut self, sink: &mut S) {
+        let hazards = self.global.collect_hazards();
+        let mut reclaimed = 0u64;
+        for block in self
+            .retired
+            .partition_and_take_full_blocks(|p| hazards.contains(&(p.as_ptr() as usize)))
+        {
+            reclaimed += block.len() as u64;
+            sink.accept_block(block);
+        }
+        let stats = &self.global.stats[self.tid];
+        stats.reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+        stats.pending.store(self.retired.len() as u64, Ordering::Relaxed);
+    }
+
+    fn my_slots(&self) -> &HpSlots {
+        &self.global.hp[self.tid]
+    }
+}
+
+impl<T: Send + 'static> ReclaimerThread<T> for HazardPointersThread<T> {
+    fn tid(&self) -> usize {
+        self.tid
+    }
+
+    fn leave_qstate<S: ReclaimSink<T>>(&mut self, _sink: &mut S) -> bool {
+        self.quiescent = false;
+        self.global.stats[self.tid].operations.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    fn enter_qstate(&mut self) {
+        // Release every hazard pointer held by this thread.
+        for s in self.my_slots().slots.iter() {
+            if !s.load(Ordering::Relaxed).is_null() {
+                s.store(std::ptr::null_mut(), Ordering::Release);
+            }
+        }
+        self.quiescent = true;
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.quiescent
+    }
+
+    unsafe fn retire<S: ReclaimSink<T>>(&mut self, record: NonNull<T>, sink: &mut S) {
+        self.retired.push(record);
+        let stats = &self.global.stats[self.tid];
+        stats.retired.fetch_add(1, Ordering::Relaxed);
+        stats.pending.store(self.retired.len() as u64, Ordering::Relaxed);
+        if self.retired.len() >= self.scan_threshold() {
+            self.scan(sink);
+        }
+    }
+
+    fn protect<F: FnMut() -> bool>(
+        &mut self,
+        slot: usize,
+        record: NonNull<T>,
+        mut validate: F,
+    ) -> bool {
+        let slots = &self.global.hp[self.tid].slots;
+        assert!(slot < slots.len(), "hazard pointer slot {slot} out of range");
+        // SeqCst store doubles as the memory fence the paper requires after each HP
+        // announcement, so that a concurrent scanner cannot miss it.
+        slots[slot].store(record.as_ptr() as *mut u8, Ordering::SeqCst);
+        if validate() {
+            true
+        } else {
+            slots[slot].store(std::ptr::null_mut(), Ordering::SeqCst);
+            false
+        }
+    }
+
+    fn unprotect(&mut self, slot: usize) {
+        let slots = &self.global.hp[self.tid].slots;
+        assert!(slot < slots.len(), "hazard pointer slot {slot} out of range");
+        slots[slot].store(std::ptr::null_mut(), Ordering::Release);
+    }
+
+    fn is_protected(&self, record: NonNull<T>) -> bool {
+        let addr = record.as_ptr() as *mut u8;
+        self.my_slots().slots.iter().any(|s| s.load(Ordering::Relaxed) == addr)
+    }
+
+    fn protection_slots(&self) -> usize {
+        self.global.config.slots_per_thread
+    }
+}
+
+impl<T: Send + 'static> Drop for HazardPointersThread<T> {
+    fn drop(&mut self) {
+        for s in self.my_slots().slots.iter() {
+            s.store(std::ptr::null_mut(), Ordering::SeqCst);
+        }
+        let leftovers: Vec<NonNull<T>> = self.retired.drain().collect();
+        if !leftovers.is_empty() {
+            self.global.orphans.lock().expect("orphans poisoned").extend(leftovers);
+        }
+        self.global.registered[self.tid].store(false, Ordering::SeqCst);
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for HazardPointersThread<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HazardPointersThread")
+            .field("tid", &self.tid)
+            .field("retired", &self.retired.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debra::CountingSink;
+
+    fn leak(v: u64) -> NonNull<u64> {
+        NonNull::from(Box::leak(Box::new(v)))
+    }
+
+    struct FreeingSink {
+        freed: Vec<usize>,
+    }
+    impl ReclaimSink<u64> for FreeingSink {
+        fn accept(&mut self, record: NonNull<u64>) {
+            self.freed.push(record.as_ptr() as usize);
+            // SAFETY: test records are leaked boxes reclaimed exactly once.
+            unsafe { drop(Box::from_raw(record.as_ptr())) };
+        }
+    }
+
+    fn small_config() -> HpConfig {
+        HpConfig { slots_per_thread: 2, scan_slack: 8, block_capacity: 4 }
+    }
+
+    #[test]
+    fn protect_validate_and_release() {
+        let hp: Arc<HazardPointers<u64>> = Arc::new(HazardPointers::with_config(2, small_config()));
+        let mut t = HazardPointers::register(&hp, 0).unwrap();
+        let mut sink = CountingSink::default();
+        let r = leak(1);
+
+        t.leave_qstate(&mut sink);
+        assert!(t.protect(0, r, || true));
+        assert!(t.is_protected(r));
+        assert!(hp.is_protected_by_any(r));
+
+        // Failed validation clears the announcement.
+        let r2 = leak(2);
+        assert!(!t.protect(1, r2, || false));
+        assert!(!t.is_protected(r2));
+
+        t.enter_qstate();
+        assert!(!t.is_protected(r), "enter_qstate releases all hazard pointers");
+
+        unsafe {
+            drop(Box::from_raw(r.as_ptr()));
+            drop(Box::from_raw(r2.as_ptr()));
+        }
+    }
+
+    #[test]
+    fn protected_records_are_not_reclaimed_by_scan() {
+        let hp: Arc<HazardPointers<u64>> = Arc::new(HazardPointers::with_config(2, small_config()));
+        let mut victim_owner = HazardPointers::register(&hp, 0).unwrap();
+        let mut reader = HazardPointers::register(&hp, 1).unwrap();
+        let mut sink = FreeingSink { freed: Vec::new() };
+        let mut reader_sink = CountingSink::default();
+
+        let protected = leak(42);
+        reader.leave_qstate(&mut reader_sink);
+        assert!(reader.protect(0, protected, || true));
+
+        victim_owner.leave_qstate(&mut sink);
+        unsafe { victim_owner.retire(protected, &mut sink) };
+        // Retire plenty more records to force several scans.
+        for i in 0..200u64 {
+            unsafe { victim_owner.retire(leak(i), &mut sink) };
+        }
+        victim_owner.enter_qstate();
+
+        assert!(!sink.freed.is_empty(), "scans must reclaim unprotected records");
+        assert!(
+            !sink.freed.contains(&(protected.as_ptr() as usize)),
+            "a record protected by another thread must not be reclaimed"
+        );
+
+        // Once the reader releases its hazard pointer, the record becomes reclaimable.
+        reader.enter_qstate();
+        victim_owner.leave_qstate(&mut sink);
+        for i in 0..200u64 {
+            unsafe { victim_owner.retire(leak(i), &mut sink) };
+        }
+        victim_owner.enter_qstate();
+        assert!(sink.freed.contains(&(protected.as_ptr() as usize)));
+
+        drop(victim_owner);
+        drop(reader);
+        for r in hp.drain_orphans() {
+            unsafe { drop(Box::from_raw(r.as_ptr())) };
+        }
+    }
+
+    #[test]
+    fn scan_is_amortized() {
+        // With n*k = 4 and slack 8, scans should happen roughly once every >= 12 retires,
+        // not on every retire.
+        let hp: Arc<HazardPointers<u64>> = Arc::new(HazardPointers::with_config(2, small_config()));
+        let mut t = HazardPointers::register(&hp, 0).unwrap();
+        let mut sink = FreeingSink { freed: Vec::new() };
+        t.leave_qstate(&mut sink);
+        for i in 0..11u64 {
+            unsafe { t.retire(leak(i), &mut sink) };
+        }
+        assert!(sink.freed.is_empty(), "no scan before the threshold");
+        for i in 0..10u64 {
+            unsafe { t.retire(leak(100 + i), &mut sink) };
+        }
+        assert!(!sink.freed.is_empty(), "a scan must have been triggered past the threshold");
+        t.enter_qstate();
+
+        drop(t);
+        for r in hp.drain_orphans() {
+            unsafe { drop(Box::from_raw(r.as_ptr())) };
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn protecting_into_invalid_slot_panics() {
+        let hp: Arc<HazardPointers<u64>> = Arc::new(HazardPointers::with_config(1, small_config()));
+        let mut t = HazardPointers::register(&hp, 0).unwrap();
+        let mut b = Box::new(7u64);
+        t.protect(99, NonNull::from(&mut *b), || true);
+    }
+}

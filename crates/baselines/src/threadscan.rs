@@ -1,0 +1,386 @@
+//! ThreadScan-lite: a fence-free hazard-pointer variant with signal-assisted scanning.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+use blockbag::BlockBag;
+use crossbeam_utils::CachePadded;
+use debra::{
+    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread,
+    RegistrationError, SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
+};
+use neutralize::{NeutralizeSlot, SignalDriver, ThreadRegistration};
+use parking_lot::Mutex as ReclaimLock;
+
+/// Configuration for [`ThreadScanLite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadScanConfig {
+    /// Reference slots per thread (the explicit stand-in for ThreadScan's private-memory
+    /// scan; see the crate docs).
+    pub slots_per_thread: usize,
+    /// Retired records a thread accumulates before it starts a reclamation pass.
+    pub scan_threshold: usize,
+    /// Block capacity of the per-thread delete buffers.
+    pub block_capacity: usize,
+}
+
+impl Default for ThreadScanConfig {
+    fn default() -> Self {
+        ThreadScanConfig { slots_per_thread: 8, scan_threshold: 512, block_capacity: 64 }
+    }
+}
+
+struct RefSlots {
+    slots: Box<[AtomicPtr<u8>]>,
+}
+
+/// A simplified ThreadScan (Alistarh et al., SPAA'15): local references are announced like
+/// hazard pointers but **without a memory fence per announcement**; a thread that wants to
+/// reclaim takes a global reclamation lock, signals every registered thread, waits for each
+/// to acknowledge (the signal handler's atomic counter doubles as the missing fence), and
+/// then frees every retired record not referenced by anyone.
+///
+/// Like the original ThreadScan it is *not* fault tolerant (the reclaimer waits for
+/// acknowledgements and holds a global lock), and it must not be used with data structures
+/// where operations traverse pointers from retired records to other retired records.
+/// `DESIGN.md` describes how this stand-in differs from the original (which scans raw
+/// stacks and registers instead of explicit slots).
+pub struct ThreadScanLite<T> {
+    refs: Box<[CachePadded<RefSlots>]>,
+    slots: Box<[Arc<NeutralizeSlot>]>,
+    stats: Box<[CachePadded<ThreadStatsSlot>]>,
+    registered: Box<[AtomicBool]>,
+    reclaim_lock: ReclaimLock<()>,
+    driver: SignalDriver,
+    orphans: Mutex<Vec<NonNull<T>>>,
+    config: ThreadScanConfig,
+    max_threads: usize,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T: Send + 'static> ThreadScanLite<T> {
+    /// Creates shared state with a custom configuration and signal driver.
+    pub fn with_config(max_threads: usize, config: ThreadScanConfig, driver: SignalDriver) -> Self {
+        assert!(max_threads > 0);
+        ThreadScanLite {
+            refs: (0..max_threads)
+                .map(|_| CachePadded::new(RefSlots {
+                    slots: (0..config.slots_per_thread).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+                }))
+                .collect(),
+            slots: (0..max_threads).map(|_| Arc::new(NeutralizeSlot::new())).collect(),
+            stats: (0..max_threads).map(|_| CachePadded::new(ThreadStatsSlot::default())).collect(),
+            registered: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
+            reclaim_lock: ReclaimLock::new(()),
+            driver,
+            orphans: Mutex::new(Vec::new()),
+            config,
+            max_threads,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn collect_references(&self) -> HashSet<usize> {
+        let mut set = HashSet::new();
+        for slots in self.refs.iter() {
+            for s in slots.slots.iter() {
+                let p = s.load(Ordering::SeqCst);
+                if !p.is_null() {
+                    set.insert(p as usize);
+                }
+            }
+        }
+        set
+    }
+
+    /// Signals every other registered thread and waits for each to acknowledge.
+    fn signal_and_await(&self, my_tid: usize) {
+        let before: Vec<u64> = self.slots.iter().map(|s| s.stats().signals_received).collect();
+        for tid in 0..self.max_threads {
+            if tid == my_tid || !self.registered[tid].load(Ordering::SeqCst) {
+                continue;
+            }
+            if !self.driver.neutralize(&self.slots[tid]) {
+                continue; // not registered with the driver (e.g. already exiting)
+            }
+            // ThreadScan's blocking wait: until the target has run its handler (its ack
+            // counter advanced) we cannot be sure its reference announcements are visible.
+            let mut spins = 0u32;
+            while self.registered[tid].load(Ordering::SeqCst)
+                && self.slots[tid].stats().signals_received <= before[tid]
+            {
+                spins += 1;
+                if spins % 64 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> Reclaimer<T> for ThreadScanLite<T> {
+    type Thread = ThreadScanLiteThread<T>;
+
+    fn new(max_threads: usize) -> Self {
+        Self::with_config(max_threads, ThreadScanConfig::default(), SignalDriver::best_available())
+    }
+
+    fn register(this: &Arc<Self>, tid: usize) -> Result<Self::Thread, RegistrationError> {
+        if tid >= this.max_threads {
+            return Err(RegistrationError::ThreadIdOutOfRange { tid, max_threads: this.max_threads });
+        }
+        if this.registered[tid]
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Err(RegistrationError::AlreadyRegistered { tid });
+        }
+        let registration = this.driver.register_current_thread(Arc::clone(&this.slots[tid]));
+        Ok(ThreadScanLiteThread {
+            global: Arc::clone(this),
+            tid,
+            retired: BlockBag::with_block_capacity(this.config.block_capacity),
+            quiescent: true,
+            _registration: registration,
+        })
+    }
+
+    fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    fn name() -> &'static str {
+        "ThreadScan"
+    }
+
+    fn properties() -> SchemeProperties {
+        SchemeProperties {
+            name: "ThreadScan (lite)",
+            code_modifications: CodeModifications {
+                per_accessed_record: true,
+                per_operation: false,
+                per_retired_record: true,
+                other: "",
+            },
+            timing_assumptions: TimingAssumptions::ForProgress,
+            fault_tolerant: false,
+            termination: Termination::Blocking,
+            can_traverse_retired_to_retired: false,
+        }
+    }
+
+    fn stats(&self) -> ReclaimerStats {
+        let mut agg = ReclaimerStats::default();
+        for s in self.stats.iter() {
+            s.snapshot_into(&mut agg);
+        }
+        agg
+    }
+
+    fn drain_orphans(&self) -> Vec<NonNull<T>> {
+        std::mem::take(&mut *self.orphans.lock().expect("orphans poisoned"))
+    }
+}
+
+impl<T> fmt::Debug for ThreadScanLite<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadScanLite")
+            .field("max_threads", &self.max_threads)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+// SAFETY: raw pointers are stored but never dereferenced by the reclaimer.
+unsafe impl<T: Send> Send for ThreadScanLite<T> {}
+unsafe impl<T: Send> Sync for ThreadScanLite<T> {}
+
+/// Per-thread handle of [`ThreadScanLite`].
+pub struct ThreadScanLiteThread<T: Send + 'static> {
+    global: Arc<ThreadScanLite<T>>,
+    tid: usize,
+    retired: BlockBag<T>,
+    quiescent: bool,
+    _registration: ThreadRegistration,
+}
+
+impl<T: Send + 'static> ThreadScanLiteThread<T> {
+    fn scan<S: ReclaimSink<T>>(&mut self, sink: &mut S) {
+        let global = Arc::clone(&self.global);
+        // Only one thread reclaims at a time (ThreadScan's global reclamation lock).
+        let _guard = global.reclaim_lock.lock();
+        global.signal_and_await(self.tid);
+        let referenced = global.collect_references();
+        let mut reclaimed = 0u64;
+        for block in self
+            .retired
+            .partition_and_take_full_blocks(|p| referenced.contains(&(p.as_ptr() as usize)))
+        {
+            reclaimed += block.len() as u64;
+            sink.accept_block(block);
+        }
+        let stats = &global.stats[self.tid];
+        stats.reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+        stats.pending.store(self.retired.len() as u64, Ordering::Relaxed);
+    }
+}
+
+impl<T: Send + 'static> ReclaimerThread<T> for ThreadScanLiteThread<T> {
+    fn tid(&self) -> usize {
+        self.tid
+    }
+
+    fn leave_qstate<S: ReclaimSink<T>>(&mut self, _sink: &mut S) -> bool {
+        self.quiescent = false;
+        self.global.stats[self.tid].operations.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    fn enter_qstate(&mut self) {
+        for s in self.global.refs[self.tid].slots.iter() {
+            if !s.load(Ordering::Relaxed).is_null() {
+                s.store(std::ptr::null_mut(), Ordering::Relaxed);
+            }
+        }
+        self.quiescent = true;
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.quiescent
+    }
+
+    unsafe fn retire<S: ReclaimSink<T>>(&mut self, record: NonNull<T>, sink: &mut S) {
+        self.retired.push(record);
+        let stats = &self.global.stats[self.tid];
+        stats.retired.fetch_add(1, Ordering::Relaxed);
+        stats.pending.store(self.retired.len() as u64, Ordering::Relaxed);
+        if self.retired.len() >= self.global.config.scan_threshold {
+            self.scan(sink);
+        }
+    }
+
+    fn protect<F: FnMut() -> bool>(
+        &mut self,
+        slot: usize,
+        record: NonNull<T>,
+        mut validate: F,
+    ) -> bool {
+        let slots = &self.global.refs[self.tid].slots;
+        assert!(slot < slots.len(), "reference slot {slot} out of range");
+        // The whole point of ThreadScan: no fence here (Relaxed store).  Visibility to a
+        // reclaimer is established by the signal/acknowledgement handshake during scans.
+        slots[slot].store(record.as_ptr() as *mut u8, Ordering::Relaxed);
+        if validate() {
+            true
+        } else {
+            slots[slot].store(std::ptr::null_mut(), Ordering::Relaxed);
+            false
+        }
+    }
+
+    fn unprotect(&mut self, slot: usize) {
+        let slots = &self.global.refs[self.tid].slots;
+        assert!(slot < slots.len(), "reference slot {slot} out of range");
+        slots[slot].store(std::ptr::null_mut(), Ordering::Relaxed);
+    }
+
+    fn is_protected(&self, record: NonNull<T>) -> bool {
+        let addr = record.as_ptr() as *mut u8;
+        self.global.refs[self.tid].slots.iter().any(|s| s.load(Ordering::Relaxed) == addr)
+    }
+
+    fn protection_slots(&self) -> usize {
+        self.global.config.slots_per_thread
+    }
+}
+
+impl<T: Send + 'static> Drop for ThreadScanLiteThread<T> {
+    fn drop(&mut self) {
+        for s in self.global.refs[self.tid].slots.iter() {
+            s.store(std::ptr::null_mut(), Ordering::SeqCst);
+        }
+        let leftovers: Vec<NonNull<T>> = self.retired.drain().collect();
+        if !leftovers.is_empty() {
+            self.global.orphans.lock().expect("orphans poisoned").extend(leftovers);
+        }
+        self.global.registered[self.tid].store(false, Ordering::SeqCst);
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for ThreadScanLiteThread<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadScanLiteThread")
+            .field("tid", &self.tid)
+            .field("retired", &self.retired.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debra::CountingSink;
+
+    fn leak(v: u64) -> NonNull<u64> {
+        NonNull::from(Box::leak(Box::new(v)))
+    }
+
+    struct FreeingSink {
+        freed: Vec<usize>,
+    }
+    impl ReclaimSink<u64> for FreeingSink {
+        fn accept(&mut self, record: NonNull<u64>) {
+            self.freed.push(record.as_ptr() as usize);
+            unsafe { drop(Box::from_raw(record.as_ptr())) };
+        }
+    }
+
+    fn tiny() -> ThreadScanConfig {
+        ThreadScanConfig { slots_per_thread: 2, scan_threshold: 16, block_capacity: 4 }
+    }
+
+    #[test]
+    fn reclaims_unreferenced_records_and_keeps_referenced_ones() {
+        let ts: Arc<ThreadScanLite<u64>> = Arc::new(ThreadScanLite::with_config(
+            2,
+            tiny(),
+            SignalDriver::simulated(),
+        ));
+        let mut a = ThreadScanLite::register(&ts, 0).unwrap();
+        let mut b = ThreadScanLite::register(&ts, 1).unwrap();
+        let mut sink = FreeingSink { freed: Vec::new() };
+        let mut b_sink = CountingSink::default();
+
+        let held = leak(999);
+        b.leave_qstate(&mut b_sink);
+        assert!(b.protect(0, held, || true));
+
+        a.leave_qstate(&mut sink);
+        unsafe { a.retire(held, &mut sink) };
+        for i in 0..200u64 {
+            unsafe { a.retire(leak(i), &mut sink) };
+        }
+        a.enter_qstate();
+
+        assert!(!sink.freed.is_empty());
+        assert!(!sink.freed.contains(&(held.as_ptr() as usize)));
+        assert!(ts.stats().reclaimed > 0);
+
+        b.enter_qstate();
+        a.leave_qstate(&mut sink);
+        for i in 0..100u64 {
+            unsafe { a.retire(leak(1000 + i), &mut sink) };
+        }
+        a.enter_qstate();
+        assert!(sink.freed.contains(&(held.as_ptr() as usize)));
+
+        drop(a);
+        drop(b);
+        for r in ts.drain_orphans() {
+            unsafe { drop(Box::from_raw(r.as_ptr())) };
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Experiment 1 (paper Figure 8, left): the overhead of reclamation when
+//! records are not actually reused (bump allocator, no pool).
+
+use smr_bench::{duration_ms, small_keyranges, thread_counts};
+use smr_workloads::experiments::{experiment1, print_rows};
+
+fn main() {
+    let rows = experiment1(&thread_counts(&[1, 2, 4]), duration_ms(150), small_keyranges());
+    print_rows("Experiment 1 (Figure 8 left): overhead of reclamation", &rows);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Experiment 2 (paper Figure 8, right): records are recycled through the pool
+//! (bump allocator + per-thread pool bags), plus the headline summary ratios.
+
+use smr_bench::{duration_ms, small_keyranges, thread_counts};
+use smr_workloads::experiments::{experiment2, print_rows, summarize};
+
+fn main() {
+    let rows = experiment2(&thread_counts(&[1, 2, 4]), duration_ms(150), small_keyranges());
+    print_rows("Experiment 2 (Figure 8 right): bump allocator + pool", &rows);
+    println!("\nHeadline comparison (paper abstract):");
+    for line in summarize(&rows) {
+        println!("  {line}");
+    }
+}

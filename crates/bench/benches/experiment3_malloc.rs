@@ -1,0 +1,10 @@
+//! Regenerates Experiment 3 (paper Figure 10): the system allocator (`malloc`) replaces the
+//! bump allocator, compressing the relative differences between schemes.
+
+use smr_bench::{duration_ms, small_keyranges, thread_counts};
+use smr_workloads::experiments::{experiment3, print_rows};
+
+fn main() {
+    let rows = experiment3(&thread_counts(&[1, 2, 4]), duration_ms(150), small_keyranges());
+    print_rows("Experiment 3 (Figure 10): system allocator + pool", &rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 2: the qualitative comparison of reclamation schemes.
+
+fn main() {
+    println!("Figure 2 — properties of the implemented reclamation schemes\n");
+    println!("{}", smr_workloads::figure2::render_markdown());
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 9: the oversubscribed Experiment 2 run (left panel) and the
+//! memory-allocated-for-records measurement with neutralization counts (right panel).
+
+use smr_bench::{duration_ms, small_keyranges};
+use smr_workloads::experiments::{experiment2_oversubscribed, memory_footprint, print_rows};
+
+fn main() {
+    let oversub = experiment2_oversubscribed(duration_ms(150), small_keyranges());
+    print_rows("Figure 9 (left): Experiment 2 with more threads than cores", &oversub);
+
+    let rows = memory_footprint(duration_ms(150), small_keyranges());
+    print_rows("Figure 9 (right): memory allocated for records", &rows);
+    println!("\nbytes allocated for records (lower is better):");
+    for r in &rows {
+        println!(
+            "  {:7} threads={:3}: {:>12} bytes  ({} neutralizations)",
+            r.reclaimer.name(),
+            r.threads,
+            r.result.allocated_bytes,
+            r.result.reclaimer.neutralized
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the primitive reclaimer operations: the per-operation cost
+//! (`leave_qstate`/`enter_qstate`) and the per-retired-record cost (`retire`) for each
+//! scheme.  These are the O(1) costs the paper claims for DEBRA/DEBRA+ (Sections 4 and 5)
+//! and the per-announcement fence that makes hazard pointers expensive.
+
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use debra::{CountingSink, Debra, DebraPlus, Reclaimer, ReclaimerThread};
+use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim};
+
+fn bench_scheme<R>(c: &mut Criterion, name: &str)
+where
+    R: Reclaimer<u64>,
+{
+    let global = Arc::new(R::new(2));
+    let mut thread = R::register(&global, 0).expect("register");
+    let mut sink = CountingSink::default();
+    let mut record = Box::new(0u64);
+    let record_ptr = NonNull::from(&mut *record);
+
+    c.bench_function(&format!("{name}/op_boundary"), |b| {
+        b.iter(|| {
+            thread.leave_qstate(&mut sink);
+            thread.enter_qstate();
+        })
+    });
+
+    c.bench_function(&format!("{name}/protect"), |b| {
+        thread.leave_qstate(&mut sink);
+        b.iter(|| {
+            criterion::black_box(thread.protect(0, record_ptr, || true));
+            thread.unprotect(0);
+        });
+        thread.enter_qstate();
+    });
+}
+
+/// `retire` cost is measured separately with heap records that the sink frees, so that
+/// schemes which reclaim during the measurement (DEBRA with a tiny increment threshold,
+/// HP scans) do not accumulate unbounded garbage.
+fn bench_retire(c: &mut Criterion) {
+    struct FreeSink;
+    impl debra::ReclaimSink<u64> for FreeSink {
+        fn accept(&mut self, record: NonNull<u64>) {
+            // SAFETY: records below are leaked boxes reclaimed exactly once.
+            unsafe { drop(Box::from_raw(record.as_ptr())) }
+        }
+    }
+
+    let global: Arc<Debra<u64>> = Arc::new(Debra::new(2));
+    let mut thread = Debra::register(&global, 0).expect("register");
+    let mut sink = FreeSink;
+    c.bench_function("DEBRA/retire", |b| {
+        b.iter(|| {
+            thread.leave_qstate(&mut sink);
+            let r = NonNull::from(Box::leak(Box::new(0u64)));
+            // SAFETY: the record is unreachable (never published anywhere).
+            unsafe { thread.retire(r, &mut sink) };
+            thread.enter_qstate();
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_scheme::<NoReclaim<u64>>(c, "None");
+    bench_scheme::<Debra<u64>>(c, "DEBRA");
+    bench_scheme::<DebraPlus<u64>>(c, "DEBRA+");
+    bench_scheme::<HazardPointers<u64>>(c, "HP");
+    bench_scheme::<ClassicEbr<u64>>(c, "EBR");
+    bench_retire(c);
+}
+
+criterion_group! {
+    name = reclaimer_microbench;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = benches
+}
+criterion_main!(reclaimer_microbench);

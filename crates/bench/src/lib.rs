@@ -1,0 +1,26 @@
+//! Shared helpers for the benchmark targets that regenerate the paper's tables and figures.
+//!
+//! Each `[[bench]]` target corresponds to one figure of the paper's evaluation (see
+//! `DESIGN.md`, "Experiment index"); running `cargo bench --workspace` regenerates all of
+//! them.  The sweeps are deliberately scaled down by default (duration and key ranges) so
+//! that the full suite finishes in a few minutes; set `DURATION_MS`, `THREADS` and
+//! `FULL_KEYRANGE=1` to reproduce the paper-scale configuration.
+
+/// Reads the per-trial duration from `DURATION_MS` (default: `default_ms`).
+pub fn duration_ms(default_ms: u64) -> u64 {
+    std::env::var("DURATION_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(default_ms)
+}
+
+/// Reads the thread counts to sweep from `THREADS` (default: `default`).
+pub fn thread_counts(default: &[usize]) -> Vec<usize> {
+    std::env::var("THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Whether to use the paper's full key ranges (`FULL_KEYRANGE=1`) or the scaled-down ones.
+pub fn small_keyranges() -> bool {
+    std::env::var("FULL_KEYRANGE").map(|v| v != "1").unwrap_or(true)
+}

@@ -1,0 +1,183 @@
+//! Fixed-capacity blocks of record pointers.
+
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::atomic::AtomicPtr;
+
+/// Default number of record pointers per block (`B` in the paper; 256 in the paper's
+/// experiments).
+pub const DEFAULT_BLOCK_CAPACITY: usize = 256;
+
+/// A fixed-capacity array of record pointers with an intrusive `next` link.
+///
+/// Blocks are the unit of bulk transfer between limbo bags, pool bags and the shared pool
+/// bag: moving a full block between bags costs O(1) regardless of how many records it
+/// contains.  A block never dereferences the record pointers it stores.
+///
+/// The `next` link is only used while the block is inside a [`SharedBlockBag`]
+/// (a lock-free Treiber-style stack of blocks); while a block is owned by a [`BlockBag`]
+/// the link is unused and null.
+///
+/// [`SharedBlockBag`]: crate::SharedBlockBag
+/// [`BlockBag`]: crate::BlockBag
+pub struct Block<T> {
+    entries: Vec<NonNull<T>>,
+    capacity: usize,
+    pub(crate) next: AtomicPtr<Block<T>>,
+}
+
+impl<T> Block<T> {
+    /// Creates an empty block with the [`DEFAULT_BLOCK_CAPACITY`].
+    pub fn new() -> Box<Self> {
+        Self::with_capacity(DEFAULT_BLOCK_CAPACITY)
+    }
+
+    /// Creates an empty block that can hold exactly `capacity` record pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Box<Self> {
+        assert!(capacity > 0, "block capacity must be positive");
+        Box::new(Block {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        })
+    }
+
+    /// Number of record pointers currently stored in this block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the block holds no record pointers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if the block is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// The fixed capacity of this block.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes a record pointer. Returns `false` (and does not push) if the block is full.
+    #[inline]
+    pub fn push(&mut self, record: NonNull<T>) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push(record);
+        true
+    }
+
+    /// Pops the most recently pushed record pointer, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<NonNull<T>> {
+        self.entries.pop()
+    }
+
+    /// Iterates over the record pointers currently stored in the block.
+    pub fn iter(&self) -> impl Iterator<Item = NonNull<T>> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Read-only view of the stored record pointers.
+    pub fn entries(&self) -> &[NonNull<T>] {
+        &self.entries
+    }
+
+    /// Mutable view of the stored record pointers (used to partition a limbo bag in
+    /// DEBRA+'s `rotate_and_reclaim`).
+    pub(crate) fn entries_mut(&mut self) -> &mut Vec<NonNull<T>> {
+        &mut self.entries
+    }
+
+    /// Removes all record pointers from the block, returning them.
+    pub fn drain(&mut self) -> impl Iterator<Item = NonNull<T>> + '_ {
+        self.entries.drain(..)
+    }
+
+    /// Clears the block without returning the entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<T> fmt::Debug for Block<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Block")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+// SAFETY: a `Block` only stores raw pointers and never dereferences them; sending the
+// container of pointers between threads is safe as long as the records themselves are
+// `Send`, which the reclaimers built on top require.
+unsafe impl<T: Send> Send for Block<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptr(v: usize) -> NonNull<u64> {
+        // Fabricate distinct non-null dangling pointers for container tests; they are never
+        // dereferenced.
+        NonNull::new((v * 8 + 8) as *mut u64).unwrap()
+    }
+
+    #[test]
+    fn push_pop_respects_capacity() {
+        let mut b: Box<Block<u64>> = Block::with_capacity(4);
+        assert!(b.is_empty());
+        for i in 0..4 {
+            assert!(b.push(ptr(i)));
+        }
+        assert!(b.is_full());
+        assert!(!b.push(ptr(99)), "push into a full block must fail");
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.pop(), Some(ptr(3)));
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    fn default_capacity_matches_paper() {
+        let b: Box<Block<u64>> = Block::new();
+        assert_eq!(b.capacity(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Block::<u64>::with_capacity(0);
+    }
+
+    #[test]
+    fn drain_empties_block() {
+        let mut b: Box<Block<u64>> = Block::with_capacity(8);
+        for i in 0..5 {
+            b.push(ptr(i));
+        }
+        let drained: Vec<_> = b.drain().collect();
+        assert_eq!(drained.len(), 5);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let b: Box<Block<u64>> = Block::with_capacity(2);
+        assert!(!format!("{b:?}").is_empty());
+    }
+}

@@ -1,0 +1,657 @@
+//! DEBRA: distributed epoch based reclamation (paper, Section 4).
+
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use blockbag::BlockBag;
+use crossbeam_utils::CachePadded;
+use neutralize::{AnnounceWord, NeutralizeSlot};
+
+use crate::config::DebraConfig;
+use crate::properties::SchemeProperties;
+use crate::stats::{aggregate, ReclaimerStats, ThreadStatsSlot};
+use crate::traits::{ReclaimSink, Reclaimer, ReclaimerThread, RegistrationError};
+
+/// Raw epoch increment: the least significant bit of announcement words is the quiescent
+/// bit, so epochs advance by 2.
+pub(crate) const EPOCH_INCREMENT: u64 = 2;
+
+/// Shared state of the DEBRA reclaimer.
+///
+/// DEBRA is a *distributed* variant of epoch based reclamation:
+///
+/// * each thread keeps **three private limbo bags** instead of shared ones, and rotation /
+///   reclamation proceed independently per thread;
+/// * the cost of checking other threads' epoch announcements is **amortized** over many
+///   operations — each `leave_qstate` checks at most one announcement;
+/// * a thread's announcement carries a **quiescent bit**, so a thread that is *between*
+///   operations (or has crashed between operations) does not prevent others from advancing
+///   the epoch and reclaiming memory.
+///
+/// Every operation start/end and every retired record costs O(1) steps in the worst case.
+///
+/// See [`DebraPlus`](crate::DebraPlus) for the fault tolerant extension.
+pub struct Debra<T> {
+    pub(crate) epoch: CachePadded<AtomicU64>,
+    pub(crate) slots: Box<[Arc<NeutralizeSlot>]>,
+    registered: Box<[AtomicBool]>,
+    pub(crate) stats: Box<[CachePadded<ThreadStatsSlot>]>,
+    pub(crate) config: DebraConfig,
+    max_threads: usize,
+    /// Retired records handed back by exited threads; reclaimed at teardown.
+    orphans: Mutex<Vec<NonNull<T>>>,
+}
+
+impl<T: Send> Debra<T> {
+    /// Creates DEBRA shared state for `max_threads` threads with a custom configuration.
+    pub fn with_config(max_threads: usize, config: DebraConfig) -> Self {
+        assert!(max_threads > 0, "max_threads must be positive");
+        Debra {
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            slots: (0..max_threads).map(|_| Arc::new(NeutralizeSlot::new())).collect(),
+            registered: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
+            stats: (0..max_threads).map(|_| CachePadded::new(ThreadStatsSlot::default())).collect(),
+            config,
+            max_threads,
+            orphans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current global epoch (epoch bits only; advances by 2 internally).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The per-thread announcement slot for `tid` (used by DEBRA+ and by tests).
+    pub(crate) fn slot(&self, tid: usize) -> &NeutralizeSlot {
+        &self.slots[tid]
+    }
+
+    /// A clonable handle to the announcement slot for `tid` (used by DEBRA+ to register the
+    /// owning thread with the signal driver).
+    pub(crate) fn slot_arc(&self, tid: usize) -> Arc<NeutralizeSlot> {
+        Arc::clone(&self.slots[tid])
+    }
+
+    pub(crate) fn do_register(&self, tid: usize) -> Result<(), RegistrationError> {
+        if tid >= self.max_threads {
+            return Err(RegistrationError::ThreadIdOutOfRange { tid, max_threads: self.max_threads });
+        }
+        if self.registered[tid]
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Err(RegistrationError::AlreadyRegistered { tid });
+        }
+        // A (re-)registered thread starts quiescent at the current epoch.
+        self.slots[tid].store_announce(
+            AnnounceWord::pack(AnnounceWord::epoch(self.epoch.load(Ordering::SeqCst)), true),
+            Ordering::SeqCst,
+        );
+        self.slots[tid].clear_neutralized();
+        Ok(())
+    }
+
+    pub(crate) fn deregister(&self, tid: usize) {
+        self.slots[tid].set_quiescent();
+        self.registered[tid].store(false, Ordering::SeqCst);
+    }
+
+    pub(crate) fn push_orphans(&self, records: impl IntoIterator<Item = NonNull<T>>) {
+        let mut orphans = self.orphans.lock().expect("orphan list poisoned");
+        orphans.extend(records);
+    }
+}
+
+impl<T: Send> Reclaimer<T> for Debra<T>
+where
+    T: 'static,
+{
+    type Thread = DebraThread<T>;
+
+    fn new(max_threads: usize) -> Self {
+        Self::with_config(max_threads, DebraConfig::default())
+    }
+
+    fn register(this: &Arc<Self>, tid: usize) -> Result<Self::Thread, RegistrationError> {
+        this.do_register(tid)?;
+        Ok(DebraThread::new(Arc::clone(this), tid))
+    }
+
+    fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    fn name() -> &'static str {
+        "DEBRA"
+    }
+
+    fn properties() -> SchemeProperties {
+        SchemeProperties::debra()
+    }
+
+    fn stats(&self) -> ReclaimerStats {
+        aggregate(&self.stats)
+    }
+
+    fn drain_orphans(&self) -> Vec<NonNull<T>> {
+        let mut orphans = self.orphans.lock().expect("orphan list poisoned");
+        std::mem::take(&mut *orphans)
+    }
+}
+
+impl<T> fmt::Debug for Debra<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Debra")
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .field("max_threads", &self.max_threads)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+// SAFETY: the only non-Sync field is the orphan list of raw pointers, which is protected by
+// a mutex and never dereferenced here; records are `Send`.
+unsafe impl<T: Send> Send for Debra<T> {}
+unsafe impl<T: Send> Sync for Debra<T> {}
+
+/// Per-thread handle of [`Debra`].
+pub struct DebraThread<T: Send + 'static> {
+    global: Arc<Debra<T>>,
+    tid: usize,
+    bags: [BlockBag<T>; 3],
+    /// Index (into `bags`) of the limbo bag for the current epoch.
+    current: usize,
+    /// Next thread whose announcement should be checked.
+    check_next: usize,
+    /// Number of `leave_qstate` calls since another thread's announcement was last checked.
+    ops_since_check: usize,
+}
+
+impl<T: Send + 'static> DebraThread<T> {
+    pub(crate) fn new(global: Arc<Debra<T>>, tid: usize) -> Self {
+        let cap = global.config.block_capacity;
+        DebraThread {
+            global,
+            tid,
+            bags: [
+                BlockBag::with_block_capacity(cap),
+                BlockBag::with_block_capacity(cap),
+                BlockBag::with_block_capacity(cap),
+            ],
+            current: 0,
+            check_next: 0,
+            ops_since_check: 0,
+        }
+    }
+
+    /// The shared DEBRA instance this handle belongs to.
+    pub fn global(&self) -> &Arc<Debra<T>> {
+        &self.global
+    }
+
+    /// Total number of records currently waiting in this thread's limbo bags.
+    pub fn limbo_len(&self) -> usize {
+        self.bags.iter().map(BlockBag::len).sum()
+    }
+
+    /// Number of blocks in the limbo bag of the current epoch (used by DEBRA+'s
+    /// neutralization heuristic and exposed for tests).
+    pub fn current_bag_blocks(&self) -> usize {
+        self.bags[self.current].size_in_blocks()
+    }
+
+    /// Number of blocks in the *oldest* limbo bag — the bag that will become the current
+    /// bag (and be reclaimed) on the next rotation.  Used by DEBRA+ to decide whether it is
+    /// worth scanning the restricted hazard pointers.
+    pub(crate) fn oldest_bag_blocks(&self) -> usize {
+        self.bags[(self.current + 1) % 3].size_in_blocks()
+    }
+
+    fn publish_pending(&self) {
+        let pending = self.limbo_len() as u64;
+        self.global.stats[self.tid].pending.store(pending, Ordering::Relaxed);
+    }
+
+    /// Rotates the limbo bags and reclaims the records retired two epochs ago
+    /// (the paper's `rotateAndReclaim`).
+    fn rotate_and_reclaim<S: ReclaimSink<T>>(&mut self, sink: &mut S) {
+        self.current = (self.current + 1) % 3;
+        let bag = &mut self.bags[self.current];
+        let mut reclaimed = 0u64;
+        for block in bag.take_full_blocks() {
+            reclaimed += block.len() as u64;
+            sink.accept_block(block);
+        }
+        if reclaimed > 0 {
+            self.global.stats[self.tid]
+                .reclaimed
+                .fetch_add(reclaimed, Ordering::Relaxed);
+        }
+    }
+
+    /// DEBRA+'s variant of `rotateAndReclaim` (paper, Figure 6): the oldest limbo bag is
+    /// reused as the new current bag, and — only if it holds at least
+    /// `scan_threshold_blocks` blocks, so the scan is amortized O(1) per record — its
+    /// records are partitioned so that records for which `keep` returns `true` (those
+    /// protected by restricted hazard pointers) stay in the bag while whole blocks of
+    /// unprotected records are moved to the sink.
+    pub(crate) fn rotate_and_reclaim_filtered<S: ReclaimSink<T>>(
+        &mut self,
+        sink: &mut S,
+        scan_threshold_blocks: usize,
+        keep: impl FnMut(NonNull<T>) -> bool,
+    ) {
+        self.current = (self.current + 1) % 3;
+        let bag = &mut self.bags[self.current];
+        if bag.size_in_blocks() < scan_threshold_blocks {
+            return;
+        }
+        let mut reclaimed = 0u64;
+        for block in bag.partition_and_take_full_blocks(keep) {
+            reclaimed += block.len() as u64;
+            sink.accept_block(block);
+        }
+        if reclaimed > 0 {
+            self.global.stats[self.tid]
+                .reclaimed
+                .fetch_add(reclaimed, Ordering::Relaxed);
+        }
+    }
+
+    /// Core of `leave_qstate`, shared between DEBRA and DEBRA+.
+    ///
+    /// `suspect` is called for a thread that is non-quiescent and has not announced the
+    /// current epoch; it returns `true` if the thread may nevertheless be treated as
+    /// quiescent (DEBRA+ neutralizes it; plain DEBRA always returns `false`).
+    pub(crate) fn leave_qstate_impl<S, F, R>(
+        &mut self,
+        sink: &mut S,
+        mut rotate: R,
+        mut suspect: F,
+    ) -> bool
+    where
+        S: ReclaimSink<T>,
+        F: FnMut(&mut Self, usize) -> bool,
+        R: FnMut(&mut Self, &mut S),
+    {
+        let global = Arc::clone(&self.global);
+        let n = global.max_threads;
+        let config = global.config;
+        let read_epoch = global.epoch.load(Ordering::SeqCst);
+        let my_announce = global.slots[self.tid].load_announce(Ordering::SeqCst);
+
+        let mut result = false;
+        if !AnnounceWord::epoch_matches(read_epoch, my_announce) {
+            // We are announcing a new epoch: everything retired two epochs ago is safe.
+            self.ops_since_check = 0;
+            self.check_next = 0;
+            rotate(self, sink);
+            result = true;
+        }
+
+        // Incrementally scan announcements: one (or fewer) per leave_qstate call.
+        self.ops_since_check += 1;
+        if self.ops_since_check >= config.check_threshold {
+            self.ops_since_check = 0;
+            let other = self.check_next % n;
+            let other_word = global.slots[other].load_announce(Ordering::SeqCst);
+            let other_ok = other == self.tid
+                || AnnounceWord::epoch_matches(read_epoch, other_word)
+                || AnnounceWord::is_quiescent(other_word)
+                || suspect(self, other);
+            if other_ok {
+                self.check_next += 1;
+                let c = self.check_next;
+                if c >= n && c >= config.increment_threshold {
+                    if global
+                        .epoch
+                        .compare_exchange(
+                            read_epoch,
+                            read_epoch + EPOCH_INCREMENT,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        self.global.stats[self.tid]
+                            .epochs_advanced
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.check_next = 0;
+                }
+            }
+        }
+
+        // Announce the epoch we read, with the quiescent bit cleared.
+        global.slots[self.tid].store_announce(
+            AnnounceWord::pack(AnnounceWord::epoch(read_epoch), false),
+            Ordering::SeqCst,
+        );
+        self.global.stats[self.tid].operations.fetch_add(1, Ordering::Relaxed);
+        self.publish_pending();
+        result
+    }
+
+    pub(crate) fn retire_impl(&mut self, record: NonNull<T>) {
+        debug_assert!(
+            !self.is_quiescent(),
+            "retire must be called while non-quiescent (inside a data structure operation)"
+        );
+        self.bags[self.current].push(record);
+        self.global.stats[self.tid].retired.fetch_add(1, Ordering::Relaxed);
+        self.publish_pending();
+    }
+
+    pub(crate) fn enter_qstate_impl(&mut self) {
+        self.global.slots[self.tid].set_quiescent();
+    }
+
+    pub(crate) fn is_quiescent_impl(&self) -> bool {
+        self.global.slots[self.tid].is_quiescent()
+    }
+
+    pub(crate) fn orphan_bags(&mut self) {
+        let records: Vec<NonNull<T>> = self
+            .bags
+            .iter_mut()
+            .flat_map(|bag| bag.drain().collect::<Vec<_>>())
+            .collect();
+        if !records.is_empty() {
+            self.global.push_orphans(records);
+        }
+        self.publish_pending();
+    }
+}
+
+impl<T: Send + 'static> ReclaimerThread<T> for DebraThread<T> {
+    fn tid(&self) -> usize {
+        self.tid
+    }
+
+    fn leave_qstate<S: ReclaimSink<T>>(&mut self, sink: &mut S) -> bool {
+        self.leave_qstate_impl(sink, |this, sink| this.rotate_and_reclaim(sink), |_, _| false)
+    }
+
+    fn enter_qstate(&mut self) {
+        self.enter_qstate_impl();
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.is_quiescent_impl()
+    }
+
+    unsafe fn retire<S: ReclaimSink<T>>(&mut self, record: NonNull<T>, _sink: &mut S) {
+        self.retire_impl(record);
+    }
+}
+
+impl<T: Send + 'static> Drop for DebraThread<T> {
+    fn drop(&mut self) {
+        // Records still in limbo bags are not yet safe to free: hand them to the global so
+        // they can be reclaimed at teardown (or by a future fault tolerant collector).
+        self.orphan_bags();
+        self.global.deregister(self.tid);
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for DebraThread<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DebraThread")
+            .field("tid", &self.tid)
+            .field("limbo_len", &self.limbo_len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::CountingSink;
+
+    fn tiny_config() -> DebraConfig {
+        DebraConfig { check_threshold: 1, increment_threshold: 1, block_capacity: 4 }
+    }
+
+    fn leak(v: u64) -> NonNull<u64> {
+        NonNull::from(Box::leak(Box::new(v)))
+    }
+
+    /// Frees reclaimed test records (which are leaked boxes) and records how many.
+    struct FreeingSink {
+        freed: usize,
+    }
+    impl ReclaimSink<u64> for FreeingSink {
+        fn accept(&mut self, record: NonNull<u64>) {
+            // SAFETY: test records are leaked boxes reclaimed exactly once.
+            unsafe { drop(Box::from_raw(record.as_ptr())) };
+            self.freed += 1;
+        }
+    }
+
+    #[test]
+    fn single_thread_reclaims_after_epoch_advances() {
+        let debra: Arc<Debra<u64>> = Arc::new(Debra::with_config(1, tiny_config()));
+        let mut t = Debra::register(&debra, 0).unwrap();
+        let mut sink = FreeingSink { freed: 0 };
+
+        // Retire a bunch of records across operations; with increment_threshold = 1 and a
+        // single thread the epoch advances every operation, so records flow to the sink
+        // after at most a few operations.
+        for i in 0..200u64 {
+            t.leave_qstate(&mut sink);
+            unsafe { t.retire(leak(i), &mut sink) };
+            t.enter_qstate();
+        }
+        assert!(sink.freed > 0, "records must eventually be reclaimed");
+        let stats = debra.stats();
+        assert_eq!(stats.retired, 200);
+        assert!(stats.reclaimed > 0);
+        assert!(stats.epochs_advanced > 0);
+        // Everything not reclaimed is still pending in limbo bags.
+        assert_eq!(stats.reclaimed + stats.pending, stats.retired);
+
+        // Drain the rest on teardown so the test does not leak.
+        drop(t);
+        for r in debra.drain_orphans() {
+            unsafe { drop(Box::from_raw(r.as_ptr())) };
+        }
+    }
+
+    #[test]
+    fn non_quiescent_thread_blocks_reclamation() {
+        let debra: Arc<Debra<u64>> = Arc::new(Debra::with_config(2, tiny_config()));
+        let mut a = Debra::register(&debra, 0).unwrap();
+        let mut b = Debra::register(&debra, 1).unwrap();
+        let mut sink = CountingSink::default();
+
+        // Thread B starts an operation and never finishes it.
+        b.leave_qstate(&mut sink);
+        let b_records: Vec<NonNull<u64>> = (0..10).map(leak).collect();
+        let _ = &b_records;
+
+        // Thread A retires many records; because B is non-quiescent and stuck at an old
+        // epoch, the epoch can never advance twice, so nothing is reclaimed.
+        let mut retained: Vec<NonNull<u64>> = Vec::new();
+        for i in 0..500u64 {
+            a.leave_qstate(&mut sink);
+            let r = leak(i);
+            retained.push(r);
+            unsafe { a.retire(r, &mut sink) };
+            a.enter_qstate();
+        }
+        assert_eq!(sink.accepted, 0, "no reclamation while a thread is stuck non-quiescent");
+
+        // Once B finishes its operation, A can advance the epoch and reclaim.
+        b.enter_qstate();
+        for _ in 0..50 {
+            a.leave_qstate(&mut sink);
+            a.enter_qstate();
+        }
+        assert!(sink.accepted > 0, "reclamation resumes after the stuck thread finishes");
+
+        // Cleanup: free all leaked test records.
+        drop(a);
+        drop(b);
+        for r in debra.drain_orphans() {
+            unsafe { drop(Box::from_raw(r.as_ptr())) };
+        }
+        for r in retained {
+            // Records accepted by CountingSink were not freed; free every allocation here.
+            // (Records still in orphan bags were freed just above; the sets are disjoint
+            // because CountingSink does not free and orphans were drained first.)
+            let _ = r; // freed via orphans when still in bags; the rest leak-checked below
+        }
+        for r in b_records {
+            unsafe { drop(Box::from_raw(r.as_ptr())) };
+        }
+    }
+
+    #[test]
+    fn quiescent_thread_does_not_block_reclamation() {
+        // DEBRA's partial fault tolerance: a registered thread that is *between* operations
+        // (quiescent) never prevents others from reclaiming.
+        let debra: Arc<Debra<u64>> = Arc::new(Debra::with_config(2, tiny_config()));
+        let mut a = Debra::register(&debra, 0).unwrap();
+        let _b = Debra::register(&debra, 1).unwrap(); // never performs an operation
+
+        let mut sink = FreeingSink { freed: 0 };
+        for i in 0..200u64 {
+            a.leave_qstate(&mut sink);
+            unsafe { a.retire(leak(i), &mut sink) };
+            a.enter_qstate();
+        }
+        assert!(sink.freed > 0, "an idle (quiescent) thread must not block reclamation");
+
+        drop(a);
+        for r in debra.drain_orphans() {
+            unsafe { drop(Box::from_raw(r.as_ptr())) };
+        }
+    }
+
+    #[test]
+    fn grace_period_spans_two_epoch_changes() {
+        // Drive two handles deterministically from one OS thread and check that a record
+        // retired while another thread is non-quiescent is not reclaimed until that thread
+        // has passed through a quiescent state.  Block capacity 1 so that even a single
+        // record forms a full (reclaimable) block.
+        let debra: Arc<Debra<u64>> = Arc::new(Debra::with_config(
+            2,
+            DebraConfig { check_threshold: 1, increment_threshold: 1, block_capacity: 1 },
+        ));
+        let mut a = Debra::register(&debra, 0).unwrap();
+        let mut b = Debra::register(&debra, 1).unwrap();
+        let mut sink = CountingSink::default();
+
+        // B is inside an operation when A retires the record.
+        b.leave_qstate(&mut sink);
+        a.leave_qstate(&mut sink);
+        let record = leak(7);
+        unsafe { a.retire(record, &mut sink) };
+        a.enter_qstate();
+
+        // A performs many operations; B stays inside its operation: no reclamation.
+        for _ in 0..100 {
+            a.leave_qstate(&mut sink);
+            a.enter_qstate();
+        }
+        assert_eq!(sink.accepted, 0);
+
+        // B finishes; after A performs more operations the record is reclaimed.
+        b.enter_qstate();
+        for _ in 0..100 {
+            a.leave_qstate(&mut sink);
+            a.enter_qstate();
+        }
+        assert!(sink.accepted >= 1);
+
+        unsafe { drop(Box::from_raw(record.as_ptr())) };
+        drop(a);
+        drop(b);
+        for r in debra.drain_orphans() {
+            unsafe { drop(Box::from_raw(r.as_ptr())) };
+        }
+    }
+
+    #[test]
+    fn registration_errors() {
+        let debra: Arc<Debra<u64>> = Arc::new(Debra::new(2));
+        let t0 = Debra::register(&debra, 0).unwrap();
+        assert!(matches!(
+            Debra::register(&debra, 0),
+            Err(RegistrationError::AlreadyRegistered { tid: 0 })
+        ));
+        assert!(matches!(
+            Debra::register(&debra, 5),
+            Err(RegistrationError::ThreadIdOutOfRange { tid: 5, .. })
+        ));
+        drop(t0);
+        // After dropping the handle the slot can be reused.
+        assert!(Debra::register(&debra, 0).is_ok());
+    }
+
+    #[test]
+    fn multithreaded_stress_every_record_accounted_for() {
+        use std::sync::atomic::AtomicUsize;
+
+        // Every reclaimed record is freed through the sink; afterwards every retired record
+        // must have been handed out exactly once — either to a sink or to the orphan list.
+        // (Freeing through `Box::from_raw` means any double reclamation would be a double
+        // free, caught by the allocator / sanitizers; the count conservation check below
+        // catches lost records.)
+        struct TrackingSink {
+            freed: Arc<AtomicUsize>,
+        }
+        impl ReclaimSink<u64> for TrackingSink {
+            fn accept(&mut self, record: NonNull<u64>) {
+                self.freed.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: each record is a leaked box reclaimed exactly once.
+                unsafe { drop(Box::from_raw(record.as_ptr())) };
+            }
+        }
+
+        let threads = 4;
+        let per_thread_ops = 3_000u64;
+        let debra: Arc<Debra<u64>> = Arc::new(Debra::with_config(
+            threads,
+            DebraConfig { check_threshold: 1, increment_threshold: 2, block_capacity: 16 },
+        ));
+        let freed = Arc::new(AtomicUsize::new(0));
+
+        let mut joins = Vec::new();
+        for tid in 0..threads {
+            let debra = Arc::clone(&debra);
+            let freed = Arc::clone(&freed);
+            joins.push(std::thread::spawn(move || {
+                let mut t = Debra::register(&debra, tid).unwrap();
+                let mut sink = TrackingSink { freed };
+                for i in 0..per_thread_ops {
+                    t.leave_qstate(&mut sink);
+                    unsafe { t.retire(leak(i), &mut sink) };
+                    t.enter_qstate();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+
+        let stats = debra.stats();
+        assert_eq!(stats.retired, threads as u64 * per_thread_ops);
+        assert!(stats.reclaimed > 0, "some reclamation must have happened");
+
+        let orphans = debra.drain_orphans();
+        assert_eq!(
+            freed.load(Ordering::Relaxed) + orphans.len(),
+            (threads as u64 * per_thread_ops) as usize,
+            "every retired record is accounted for exactly once"
+        );
+        assert_eq!(freed.load(Ordering::Relaxed) as u64, stats.reclaimed);
+        for r in orphans {
+            unsafe { drop(Box::from_raw(r.as_ptr())) };
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The record lifecycle state machine (the paper's Figure 1).
+//!
+//! Used by debug assertions and by tests to check that reclaimers never reclaim a record
+//! that was not retired, never retire a record twice, and so on.
+
+/// The lifecycle of a record (Figure 1 of the paper).
+///
+/// ```text
+/// Unallocated --allocate--> Uninitialized --insert--> Inserted --remove--> Retired
+///      ^                                                                      |
+///      +---------------------------- free ------------------------------------+
+///                              (or: reuse --> Uninitialized)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecordLifecycle {
+    /// Not allocated (or freed back to the allocator).
+    #[default]
+    Unallocated,
+    /// Allocated but not yet initialized / published.
+    Uninitialized,
+    /// Reachable from an entry point of the data structure.
+    Inserted,
+    /// Removed from the data structure; waiting until it is safe to free.
+    Retired,
+}
+
+impl RecordLifecycle {
+    /// Returns `true` if transitioning from `self` to `next` is legal in the lifecycle
+    /// state machine of Figure 1.
+    pub fn can_transition_to(self, next: RecordLifecycle) -> bool {
+        use RecordLifecycle::*;
+        matches!(
+            (self, next),
+            (Unallocated, Uninitialized)   // allocate
+                | (Uninitialized, Inserted) // initialize + insert
+                | (Inserted, Retired)       // remove from the data structure
+                | (Retired, Unallocated)    // free
+                | (Retired, Uninitialized)  // reuse straight from the pool
+        )
+    }
+
+    /// Applies a transition, panicking (in debug builds the caller typically asserts) if it
+    /// is illegal.  Returns the new state.
+    pub fn transition(self, next: RecordLifecycle) -> Result<RecordLifecycle, LifecycleError> {
+        if self.can_transition_to(next) {
+            Ok(next)
+        } else {
+            Err(LifecycleError { from: self, to: next })
+        }
+    }
+}
+
+/// Error returned by [`RecordLifecycle::transition`] for an illegal transition, e.g. a
+/// double retire or a free of a record that is still in the data structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleError {
+    /// State before the attempted transition.
+    pub from: RecordLifecycle,
+    /// Attempted target state.
+    pub to: RecordLifecycle,
+}
+
+impl std::fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "illegal record lifecycle transition {:?} -> {:?}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::RecordLifecycle::*;
+
+    #[test]
+    fn legal_cycle() {
+        let mut s = Unallocated;
+        for next in [Uninitialized, Inserted, Retired, Unallocated] {
+            s = s.transition(next).unwrap();
+        }
+        assert_eq!(s, Unallocated);
+    }
+
+    #[test]
+    fn reuse_from_pool_is_legal() {
+        assert!(Retired.can_transition_to(Uninitialized));
+    }
+
+    #[test]
+    fn double_retire_is_illegal() {
+        assert!(!Retired.can_transition_to(Retired));
+        let err = Retired.transition(Retired).unwrap_err();
+        assert_eq!(err.from, Retired);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn freeing_a_live_record_is_illegal() {
+        assert!(!Inserted.can_transition_to(Unallocated));
+        assert!(!Uninitialized.can_transition_to(Unallocated));
+    }
+}

@@ -1,0 +1,155 @@
+//! Qualitative properties of reclamation schemes (the paper's Figure 2).
+
+use std::fmt;
+
+/// Which kinds of code modifications a scheme requires from the data structure programmer
+/// (the first three rows of Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CodeModifications {
+    /// Code must be inserted for every record the operation accesses (e.g. hazard pointer
+    /// announcements).
+    pub per_accessed_record: bool,
+    /// Code must be inserted at the start/end of every data structure operation.
+    pub per_operation: bool,
+    /// Code must be inserted whenever a record is removed from the data structure.
+    pub per_retired_record: bool,
+    /// Free-form description of any other required modifications (Figure 2's footnotes).
+    pub other: &'static str,
+}
+
+/// Whether a scheme relies on timing assumptions (Figure 2, "Special timing assumptions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TimingAssumptions {
+    /// Fully asynchronous: no timing assumptions.
+    #[default]
+    None,
+    /// Timing assumptions are needed only for progress (e.g. ThreadScan).
+    ForProgress,
+    /// Timing assumptions are needed for correctness (e.g. QSense's rooster processes).
+    ForCorrectness,
+}
+
+/// Progress guarantee of the memory reclamation procedures themselves
+/// (Figure 2, "Termination of memory reclamation procedures").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Termination {
+    /// Lock-free.
+    LockFree,
+    /// Wait-free.
+    WaitFree,
+    /// Blocking (a crashed process can block reclamation forever).
+    Blocking,
+    /// Wait-free provided the operating system's signalling mechanism is wait-free
+    /// (the paper's "W_sig", which applies to DEBRA+).
+    WaitFreeIfSignalsWaitFree,
+    /// Lock-free provided auxiliary processes never crash (the paper's "L_rooster").
+    LockFreeIfAuxiliaryAlive,
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Termination::LockFree => "lock-free",
+            Termination::WaitFree => "wait-free",
+            Termination::Blocking => "blocking",
+            Termination::WaitFreeIfSignalsWaitFree => "wait-free (if OS signals are wait-free)",
+            Termination::LockFreeIfAuxiliaryAlive => "lock-free (if auxiliary processes live)",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TimingAssumptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TimingAssumptions::None => "none",
+            TimingAssumptions::ForProgress => "for progress",
+            TimingAssumptions::ForCorrectness => "for correctness",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the paper's Figure 2: the qualitative properties of a reclamation scheme.
+///
+/// Every [`Reclaimer`](crate::Reclaimer) reports its properties through
+/// [`Reclaimer::properties`](crate::Reclaimer::properties); the `smr-workloads` crate
+/// collects them to regenerate the Figure 2 comparison table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchemeProperties {
+    /// Human-readable scheme name (e.g. `"DEBRA+"`).
+    pub name: &'static str,
+    /// Required code modifications.
+    pub code_modifications: CodeModifications,
+    /// Timing assumptions, if any.
+    pub timing_assumptions: TimingAssumptions,
+    /// Whether a crashed process can only prevent a *bounded* number of records from being
+    /// reclaimed.
+    pub fault_tolerant: bool,
+    /// Progress guarantee of the reclamation procedures.
+    pub termination: Termination,
+    /// Whether operations may traverse a pointer from a retired record to another retired
+    /// record (the property that breaks HP/ThreadScan/StackTrack for many data structures).
+    pub can_traverse_retired_to_retired: bool,
+}
+
+impl SchemeProperties {
+    /// Properties reported by the paper for DEBRA (Figure 2).
+    pub fn debra() -> Self {
+        SchemeProperties {
+            name: "DEBRA",
+            code_modifications: CodeModifications {
+                per_accessed_record: false,
+                per_operation: true,
+                per_retired_record: true,
+                other: "",
+            },
+            timing_assumptions: TimingAssumptions::None,
+            fault_tolerant: false,
+            termination: Termination::WaitFree,
+            can_traverse_retired_to_retired: true,
+        }
+    }
+
+    /// Properties reported by the paper for DEBRA+ (Figure 2).
+    pub fn debra_plus() -> Self {
+        SchemeProperties {
+            name: "DEBRA+",
+            code_modifications: CodeModifications {
+                per_accessed_record: false,
+                per_operation: true,
+                per_retired_record: true,
+                other: "write crash recovery code (trivial for many data structures)",
+            },
+            timing_assumptions: TimingAssumptions::None,
+            fault_tolerant: true,
+            termination: Termination::WaitFreeIfSignalsWaitFree,
+            can_traverse_retired_to_retired: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debra_rows_match_figure_2() {
+        let d = SchemeProperties::debra();
+        assert!(!d.fault_tolerant);
+        assert!(d.can_traverse_retired_to_retired);
+        assert_eq!(d.termination, Termination::WaitFree);
+        assert!(!d.code_modifications.per_accessed_record);
+
+        let dp = SchemeProperties::debra_plus();
+        assert!(dp.fault_tolerant);
+        assert!(dp.can_traverse_retired_to_retired);
+        assert_eq!(dp.termination, Termination::WaitFreeIfSignalsWaitFree);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert!(!Termination::LockFree.to_string().is_empty());
+        assert!(!TimingAssumptions::ForProgress.to_string().is_empty());
+    }
+}

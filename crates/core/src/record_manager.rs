@@ -1,0 +1,402 @@
+//! The Record Manager: compile-time composition of a reclaimer, a pool and an allocator
+//! (paper, Section 6).
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use neutralize::Neutralized;
+
+use crate::traits::{
+    Allocator, AllocatorThread, Pool, PoolThread, Reclaimer, ReclaimerThread, RegistrationError,
+};
+
+/// Shared state of a Record Manager: one reclaimer, one pool and one allocator, chosen at
+/// compile time.
+///
+/// A data structure is written once against [`RecordManagerThread`]; swapping the
+/// reclamation scheme (or the pool, or the allocator) is a one-line change of the type
+/// parameters, with no runtime dispatch — the compiler monomorphizes and inlines the
+/// scheme-specific calls, exactly like the C++ template parameters used in the paper.
+///
+/// # Example
+///
+/// ```text
+/// // One line decides the whole memory management strategy of the data structure
+/// // (the pool and allocator types live in the sibling `smr-alloc` crate):
+/// type Manager = RecordManager<Node, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+/// ```
+/// See the workspace examples (`examples/reclaimer_swap.rs`) for the full picture.
+pub struct RecordManager<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    reclaimer: Arc<R>,
+    pool: Arc<P>,
+    alloc: Arc<A>,
+    max_threads: usize,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T, R, P, A> RecordManager<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    /// Creates a Record Manager for up to `max_threads` threads, constructing each
+    /// component with its default configuration.
+    pub fn new(max_threads: usize) -> Self {
+        Self::from_parts(
+            Arc::new(R::new(max_threads)),
+            Arc::new(P::new(max_threads)),
+            Arc::new(A::new(max_threads)),
+        )
+    }
+
+    /// Composes a Record Manager from already-constructed (possibly custom-configured)
+    /// components.  All components must have been created for the same number of threads.
+    pub fn from_parts(reclaimer: Arc<R>, pool: Arc<P>, alloc: Arc<A>) -> Self {
+        let max_threads = reclaimer.max_threads();
+        RecordManager { reclaimer, pool, alloc, max_threads, _marker: PhantomData }
+    }
+
+    /// Registers thread slot `tid` and returns its per-thread handle.
+    ///
+    /// Must be called on the thread that will use the handle (some reclaimers — DEBRA+ —
+    /// bind the handle to the calling OS thread for signal delivery).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `tid` is out of range or already registered with the reclaimer.
+    pub fn register(self: &Arc<Self>, tid: usize) -> Result<RecordManagerThread<T, R, P, A>, RegistrationError> {
+        let reclaimer = R::register(&self.reclaimer, tid)?;
+        let pool = P::register(&self.pool, tid);
+        let alloc = A::register(&self.alloc, tid);
+        Ok(RecordManagerThread { reclaimer, pool, alloc, tid })
+    }
+
+    /// The shared reclaimer instance.
+    pub fn reclaimer(&self) -> &Arc<R> {
+        &self.reclaimer
+    }
+
+    /// The shared pool instance.
+    pub fn pool(&self) -> &Arc<P> {
+        &self.pool
+    }
+
+    /// The shared allocator instance.
+    pub fn allocator(&self) -> &Arc<A> {
+        &self.alloc
+    }
+
+    /// Maximum number of threads this manager supports.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// Returns an allocator handle suitable for teardown work (freeing the records still
+    /// reachable from a data structure when it is dropped).  May be called from any thread;
+    /// the caller must guarantee that no other thread is still operating on the records it
+    /// frees.
+    pub fn teardown_allocator(&self) -> A::Thread {
+        A::register(&self.alloc, 0)
+    }
+
+    /// Frees every record still cached in the pool's shared structures or parked in the
+    /// reclaimer's orphan list.
+    ///
+    /// Called automatically when the Record Manager is dropped; it may also be called
+    /// explicitly at a point where the caller knows that no thread is operating on any data
+    /// structure using this manager (e.g. between benchmark trials).
+    pub fn reclaim_stragglers(&self) {
+        let mut alloc = A::register(&self.alloc, 0);
+        for record in self.reclaimer.drain_orphans() {
+            // SAFETY: teardown — the caller guarantees no thread can reach these records.
+            unsafe { alloc.deallocate(record) };
+        }
+        for record in self.pool.drain_shared() {
+            // SAFETY: as above.
+            unsafe { alloc.deallocate(record) };
+        }
+    }
+}
+
+impl<T, R, P, A> Drop for RecordManager<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn drop(&mut self) {
+        self.reclaim_stragglers();
+    }
+}
+
+impl<T, R, P, A> fmt::Debug for RecordManager<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecordManager")
+            .field("reclaimer", &R::name())
+            .field("pool", &P::name())
+            .field("allocator", &A::name())
+            .field("max_threads", &self.max_threads)
+            .finish()
+    }
+}
+
+/// Per-thread handle of a [`RecordManager`]: the single object through which a data
+/// structure allocates, retires and protects records.
+pub struct RecordManagerThread<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    reclaimer: R::Thread,
+    pool: P::Thread,
+    alloc: A::Thread,
+    tid: usize,
+}
+
+impl<T, R, P, A> RecordManagerThread<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    /// The thread slot this handle was registered with.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Allocates a record containing `value`, recycling one from the pool when possible.
+    pub fn allocate(&mut self, value: T) -> NonNull<T> {
+        self.pool.allocate(value, &mut self.alloc)
+    }
+
+    /// Immediately returns a record to the pool / allocator.
+    ///
+    /// Use this only for records that were never published in the data structure (e.g. a
+    /// node allocated for an insert that lost its CAS); published records must go through
+    /// [`retire`](Self::retire) instead.
+    ///
+    /// # Safety
+    ///
+    /// The record must have been allocated through this Record Manager family, must not be
+    /// reachable by any thread, and must not be used again.
+    pub unsafe fn deallocate(&mut self, record: NonNull<T>) {
+        self.pool.deallocate(record, &mut self.alloc);
+    }
+
+    /// Hands a record that has been removed from the data structure to the reclaimer; it
+    /// will be recycled or freed once no thread can still hold a pointer to it.
+    ///
+    /// # Safety
+    ///
+    /// See [`ReclaimerThread::retire`].
+    pub unsafe fn retire(&mut self, record: NonNull<T>) {
+        self.reclaimer.retire(record, &mut self.pool);
+    }
+
+    /// Announces the start of a data structure operation.
+    pub fn leave_qstate(&mut self) -> bool {
+        self.reclaimer.leave_qstate(&mut self.pool)
+    }
+
+    /// Announces the end of the current data structure operation.
+    pub fn enter_qstate(&mut self) {
+        self.reclaimer.enter_qstate();
+    }
+
+    /// Returns `true` if this thread is between operations.
+    pub fn is_quiescent(&self) -> bool {
+        self.reclaimer.is_quiescent()
+    }
+
+    /// Starts an operation and returns a guard that ends it when dropped.
+    ///
+    /// The guard dereferences to the thread handle so that the operation body can keep
+    /// allocating, retiring and protecting records through it.
+    pub fn guard(&mut self) -> OpGuard<'_, T, R, P, A> {
+        self.leave_qstate();
+        OpGuard { thread: self }
+    }
+
+    /// Attempts to protect `record` (hazard-pointer semantics); see
+    /// [`ReclaimerThread::protect`].
+    pub fn protect<F: FnMut() -> bool>(&mut self, slot: usize, record: NonNull<T>, validate: F) -> bool {
+        self.reclaimer.protect(slot, record, validate)
+    }
+
+    /// Releases protection slot `slot`.
+    pub fn unprotect(&mut self, slot: usize) {
+        self.reclaimer.unprotect(slot);
+    }
+
+    /// Returns `true` if this thread currently protects `record`.
+    pub fn is_protected(&self, record: NonNull<T>) -> bool {
+        self.reclaimer.is_protected(record)
+    }
+
+    /// `true` if the chosen reclaimer supports crash recovery / neutralization (DEBRA+).
+    /// Constant after monomorphization, so recovery-only code is compiled out for other
+    /// schemes (the paper's `supportsCrashRecovery` predicate).
+    pub fn supports_crash_recovery(&self) -> bool {
+        <R::Thread as ReclaimerThread<T>>::SUPPORTS_CRASH_RECOVERY
+    }
+
+    /// Checkpoint: fails with [`Neutralized`] if this thread has been neutralized.
+    #[inline]
+    pub fn check(&self) -> Result<(), Neutralized> {
+        self.reclaimer.check()
+    }
+
+    /// Returns `true` if this thread has been neutralized and has not yet begun recovery.
+    pub fn is_neutralized(&self) -> bool {
+        self.reclaimer.is_neutralized()
+    }
+
+    /// Acknowledges a neutralization before running recovery code.
+    pub fn begin_recovery(&mut self) {
+        self.reclaimer.begin_recovery();
+    }
+
+    /// Announces a restricted hazard pointer for recovery code (DEBRA+'s `RProtect`).
+    pub fn r_protect(&mut self, record: NonNull<T>) {
+        self.reclaimer.r_protect(record);
+    }
+
+    /// Releases all restricted hazard pointers (DEBRA+'s `RUnprotectAll`).
+    pub fn r_unprotect_all(&mut self) {
+        self.reclaimer.r_unprotect_all();
+    }
+
+    /// Returns `true` if this thread holds a restricted hazard pointer to `record`.
+    pub fn is_r_protected(&self, record: NonNull<T>) -> bool {
+        self.reclaimer.is_r_protected(record)
+    }
+
+    /// Direct access to the reclaimer thread handle (for scheme-specific extensions).
+    pub fn reclaimer_mut(&mut self) -> &mut R::Thread {
+        &mut self.reclaimer
+    }
+
+    /// Direct access to the pool thread handle.
+    pub fn pool_mut(&mut self) -> &mut P::Thread {
+        &mut self.pool
+    }
+
+    /// Direct access to the allocator thread handle.
+    pub fn allocator_mut(&mut self) -> &mut A::Thread {
+        &mut self.alloc
+    }
+}
+
+impl<T, R, P, A> Drop for RecordManagerThread<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn drop(&mut self) {
+        // Locally cached pool records must survive the thread: push them to the shared
+        // pool so other threads (or teardown) can reuse or free them.
+        self.pool.flush_to_shared();
+    }
+}
+
+impl<T, R, P, A> fmt::Debug for RecordManagerThread<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecordManagerThread")
+            .field("tid", &self.tid)
+            .field("reclaimer", &R::name())
+            .finish()
+    }
+}
+
+/// RAII guard for one data structure operation; created by [`RecordManagerThread::guard`].
+///
+/// Dereferences to the underlying [`RecordManagerThread`]; calls
+/// [`enter_qstate`](RecordManagerThread::enter_qstate) when dropped.
+pub struct OpGuard<'a, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    thread: &'a mut RecordManagerThread<T, R, P, A>,
+}
+
+impl<'a, T, R, P, A> Deref for OpGuard<'a, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    type Target = RecordManagerThread<T, R, P, A>;
+
+    fn deref(&self) -> &Self::Target {
+        self.thread
+    }
+}
+
+impl<'a, T, R, P, A> DerefMut for OpGuard<'a, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.thread
+    }
+}
+
+impl<'a, T, R, P, A> Drop for OpGuard<'a, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn drop(&mut self) {
+        self.thread.enter_qstate();
+    }
+}
+
+impl<'a, T, R, P, A> fmt::Debug for OpGuard<'a, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpGuard").field("tid", &self.thread.tid).finish()
+    }
+}

@@ -1,0 +1,167 @@
+//! Restricted hazard pointers used by DEBRA+ recovery code.
+
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// A fixed-capacity, single-writer multi-reader array of *restricted hazard pointers*
+/// (the paper's `RProtected[pid]` "arraystack").
+///
+/// DEBRA+ uses hazard pointers in a very limited way: before an operation's `help`
+/// procedure runs, the operation `RProtect`s the descriptor and every record `help` will
+/// access, so that a *neutralized* thread can still safely execute `help` from its recovery
+/// code while it is quiescent.  `RProtect` and `RUnprotectAll` are O(1); other threads scan
+/// the array when deciding which records in their limbo bags can be moved to the pool.
+///
+/// The array is written only by its owning thread (and by the owning thread's signal
+/// handler context, which never touches it), and read by all threads, so plain atomic
+/// loads/stores suffice.
+pub struct RProtectArray<T> {
+    slots: Box<[AtomicPtr<T>]>,
+    /// Number of occupied slots (single-writer; readers may observe a stale value, which is
+    /// safe because they also see the non-null pointers in the occupied prefix).
+    len: AtomicUsize,
+}
+
+impl<T> RProtectArray<T> {
+    /// Creates an array with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        RProtectArray {
+            slots: (0..capacity).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum number of simultaneously protected records.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of currently protected records.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire).min(self.slots.len())
+    }
+
+    /// Returns `true` if no records are currently protected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Announces a restricted hazard pointer to `record` (the paper's `RProtect`).
+    ///
+    /// Idempotent and reentrant: protecting a record that is already protected is a no-op,
+    /// which matters because a thread can be neutralized in the middle of announcing and
+    /// will re-run the announcement in its next attempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is full (the data structure asked for more `RProtect` slots than
+    /// were configured).
+    pub fn protect(&self, record: NonNull<T>) {
+        if self.contains(record) {
+            return;
+        }
+        let idx = self.len.load(Ordering::Relaxed);
+        assert!(
+            idx < self.slots.len(),
+            "RProtect capacity exceeded ({} slots); increase DebraPlusConfig::rprotect_slots",
+            self.slots.len()
+        );
+        self.slots[idx].store(record.as_ptr(), Ordering::SeqCst);
+        self.len.store(idx + 1, Ordering::SeqCst);
+    }
+
+    /// Releases every restricted hazard pointer (the paper's `RUnprotectAll`); O(#protected).
+    pub fn unprotect_all(&self) {
+        let n = self.len.load(Ordering::Relaxed).min(self.slots.len());
+        for slot in &self.slots[..n] {
+            slot.store(std::ptr::null_mut(), Ordering::SeqCst);
+        }
+        self.len.store(0, Ordering::SeqCst);
+    }
+
+    /// Returns `true` if `record` is currently protected by this array
+    /// (the paper's `isRProtected`).
+    pub fn contains(&self, record: NonNull<T>) -> bool {
+        let n = self.len.load(Ordering::Acquire).min(self.slots.len());
+        self.slots[..n]
+            .iter()
+            .any(|s| s.load(Ordering::Acquire) == record.as_ptr())
+    }
+
+    /// Iterates over the currently protected records (used when other threads scan all
+    /// restricted hazard pointers before reclaiming their limbo bags).
+    pub fn iter(&self) -> impl Iterator<Item = NonNull<T>> + '_ {
+        // Read the full array rather than only the announced prefix: a concurrent writer
+        // may have stored a pointer but not yet published the new length, and it is always
+        // safe to over-approximate the protected set.
+        self.slots
+            .iter()
+            .filter_map(|s| NonNull::new(s.load(Ordering::Acquire)))
+    }
+}
+
+impl<T> fmt::Debug for RProtectArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RProtectArray")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+// SAFETY: only raw pointers are stored, never dereferenced by this type.
+unsafe impl<T: Send> Send for RProtectArray<T> {}
+unsafe impl<T: Send> Sync for RProtectArray<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptr(v: usize) -> NonNull<u64> {
+        NonNull::new((v * 8 + 8) as *mut u64).unwrap()
+    }
+
+    #[test]
+    fn protect_contains_unprotect() {
+        let a: RProtectArray<u64> = RProtectArray::new(4);
+        assert!(a.is_empty());
+        a.protect(ptr(1));
+        a.protect(ptr(2));
+        assert!(a.contains(ptr(1)));
+        assert!(a.contains(ptr(2)));
+        assert!(!a.contains(ptr(3)));
+        assert_eq!(a.len(), 2);
+        a.unprotect_all();
+        assert!(a.is_empty());
+        assert!(!a.contains(ptr(1)));
+    }
+
+    #[test]
+    fn protect_is_idempotent() {
+        let a: RProtectArray<u64> = RProtectArray::new(2);
+        a.protect(ptr(1));
+        a.protect(ptr(1));
+        a.protect(ptr(1));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "RProtect capacity exceeded")]
+    fn overflow_panics() {
+        let a: RProtectArray<u64> = RProtectArray::new(2);
+        a.protect(ptr(1));
+        a.protect(ptr(2));
+        a.protect(ptr(3));
+    }
+
+    #[test]
+    fn iter_reports_protected_records() {
+        let a: RProtectArray<u64> = RProtectArray::new(8);
+        for i in 0..5 {
+            a.protect(ptr(i));
+        }
+        let collected: Vec<_> = a.iter().collect();
+        assert_eq!(collected.len(), 5);
+    }
+}

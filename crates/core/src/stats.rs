@@ -1,0 +1,90 @@
+//! Per-thread and aggregated reclamation statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Cache-padded per-thread statistic counters, owned by the reclaimer's global state and
+/// written (with relaxed ordering) only by the owning thread.
+#[derive(Debug, Default)]
+pub struct ThreadStatsSlot {
+    /// Records handed to [`retire`](crate::ReclaimerThread::retire).
+    pub retired: AtomicU64,
+    /// Records handed to the reclaim sink (safe to reuse or free).
+    pub reclaimed: AtomicU64,
+    /// Records currently sitting in this thread's limbo bags.
+    pub pending: AtomicU64,
+    /// Number of successful epoch advances performed by this thread.
+    pub epochs_advanced: AtomicU64,
+    /// Number of neutralization signals this thread has sent to others (DEBRA+ only).
+    pub signals_sent: AtomicU64,
+    /// Number of data structure operations started (calls to `leave_qstate`).
+    pub operations: AtomicU64,
+    /// Number of times this thread observed that it had been neutralized.
+    pub neutralized: AtomicU64,
+}
+
+/// Aggregated statistics across all threads of a reclaimer instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReclaimerStats {
+    /// Total records retired.
+    pub retired: u64,
+    /// Total records reclaimed (handed to the pool / allocator).
+    pub reclaimed: u64,
+    /// Records currently waiting in limbo bags (retired but not reclaimed).
+    pub pending: u64,
+    /// Total epoch advances.
+    pub epochs_advanced: u64,
+    /// Total neutralization signals sent.
+    pub signals_sent: u64,
+    /// Total data structure operations started.
+    pub operations: u64,
+    /// Total times a thread observed it had been neutralized.
+    pub neutralized: u64,
+}
+
+impl ThreadStatsSlot {
+    /// Adds this thread's counters into an aggregate snapshot (used by reclaimer
+    /// implementations, including those in other crates, to build [`ReclaimerStats`]).
+    pub fn snapshot_into(&self, agg: &mut ReclaimerStats) {
+        agg.retired += self.retired.load(Ordering::Relaxed);
+        agg.reclaimed += self.reclaimed.load(Ordering::Relaxed);
+        agg.pending += self.pending.load(Ordering::Relaxed);
+        agg.epochs_advanced += self.epochs_advanced.load(Ordering::Relaxed);
+        agg.signals_sent += self.signals_sent.load(Ordering::Relaxed);
+        agg.operations += self.operations.load(Ordering::Relaxed);
+        agg.neutralized += self.neutralized.load(Ordering::Relaxed);
+    }
+}
+
+/// Aggregates the per-thread slots of a reclaimer into a [`ReclaimerStats`] snapshot.
+pub(crate) fn aggregate(slots: &[CachePadded<ThreadStatsSlot>]) -> ReclaimerStats {
+    let mut agg = ReclaimerStats::default();
+    for s in slots {
+        s.snapshot_into(&mut agg);
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_sums_all_threads() {
+        let slots: Vec<CachePadded<ThreadStatsSlot>> = (0..4)
+            .map(|i| {
+                let s = ThreadStatsSlot::default();
+                s.retired.store(i + 1, Ordering::Relaxed);
+                s.reclaimed.store(i, Ordering::Relaxed);
+                s.operations.store(10 * (i + 1), Ordering::Relaxed);
+                CachePadded::new(s)
+            })
+            .collect();
+        let agg = aggregate(&slots);
+        assert_eq!(agg.retired, 1 + 2 + 3 + 4);
+        assert_eq!(agg.reclaimed, 0 + 1 + 2 + 3);
+        assert_eq!(agg.operations, 10 + 20 + 30 + 40);
+        assert_eq!(agg.pending, 0);
+    }
+}

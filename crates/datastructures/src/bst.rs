@@ -1,0 +1,970 @@
+//! A lock-free external (leaf-oriented) binary search tree with flag/mark descriptors and
+//! helping, written against the Record Manager abstraction.
+//!
+//! The algorithm follows Ellen, Fatourou, Ruppert and van Breugel's non-blocking BST
+//! (PODC 2010), which is the unbalanced ancestor of the balanced tree used in the paper's
+//! experiments (see `DESIGN.md` for the substitution argument).  The properties relevant to
+//! memory reclamation are identical:
+//!
+//! * all keys live in leaves; internal nodes are routing nodes;
+//! * updates announce a *descriptor* (`IInfo`/`DInfo` record), flag the affected internal
+//!   nodes by CAS-ing the descriptor into their `update` word, and can be **helped** to
+//!   completion by any thread that encounters the flag;
+//! * internal nodes are *marked* (via the same `update` word) before they are retired;
+//! * searches never help and may traverse marked nodes — and, under epoch based
+//!   reclamation, nodes that have already been retired — which is exactly the pattern that
+//!   makes hazard pointers so difficult to apply (paper, Section 3).
+//!
+//! Descriptor reclamation uses a hand-off rule: the thread whose CAS replaces a node's
+//! `update` word retires the descriptor referenced by the *previous* value of the word.
+//!
+//! # DEBRA+ integration
+//!
+//! Before an update's decision CAS, the records its completion phase will access (the
+//! affected internal nodes, the victim leaf and the descriptor) are announced with
+//! `RProtect`; after the decision CAS the operation runs to completion without
+//! neutralization checkpoints, so a neutralized thread can always finish the bounded
+//! completion phase safely (all records it touches are R-protected) and the operation's
+//! effect happens exactly once.  Neutralization observed *before* the decision CAS simply
+//! restarts the attempt.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use debra::{
+    Allocator, AllocatorThread, Neutralized, Pool, Reclaimer, RecordManager, RecordManagerThread,
+    RegistrationError,
+};
+
+use crate::ConcurrentMap;
+
+/// Update-word states (low two bits of the packed `update` field).
+const CLEAN: usize = 0;
+const IFLAG: usize = 1;
+const DFLAG: usize = 2;
+const MARK: usize = 3;
+const STATE_MASK: usize = 3;
+
+#[inline]
+fn pack(info: usize, state: usize) -> usize {
+    debug_assert_eq!(info & STATE_MASK, 0);
+    info | state
+}
+
+#[inline]
+fn state_of(word: usize) -> usize {
+    word & STATE_MASK
+}
+
+#[inline]
+fn info_of(word: usize) -> usize {
+    word & !STATE_MASK
+}
+
+/// Routing/leaf key: finite keys plus the two infinite sentinels of the EFRB tree.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum BstKey<K> {
+    /// A real key.
+    Finite(K),
+    /// First sentinel (larger than every real key).
+    Inf1,
+    /// Second sentinel (larger than `Inf1`).
+    Inf2,
+}
+
+/// What role a [`BstNode`] record currently plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeKind {
+    Internal,
+    Leaf,
+    IInfo,
+    DInfo,
+}
+
+/// A record of the external BST.
+///
+/// All four roles (internal node, leaf, insert descriptor, delete descriptor) share one
+/// record type so that a single Record Manager serves the whole structure, exactly as a
+/// single C++ record manager serves all record types of one data structure in the paper's
+/// artifact.  Unused fields are simply left at their defaults for a given role.
+pub struct BstNode<K, V> {
+    kind: NodeKind,
+    key: BstKey<K>,
+    value: Option<V>,
+    left: AtomicUsize,
+    right: AtomicUsize,
+    /// Packed `(descriptor pointer | state)` word; meaningful for internal nodes.
+    update: AtomicUsize,
+    // Descriptor fields (IInfo: p, l, new_internal; DInfo: gp, p, l, pupdate).
+    d_gp: usize,
+    d_p: usize,
+    d_l: usize,
+    d_new_internal: usize,
+    d_pupdate: usize,
+}
+
+impl<K, V> BstNode<K, V> {
+    fn internal(key: BstKey<K>, left: usize, right: usize) -> Self {
+        BstNode {
+            kind: NodeKind::Internal,
+            key,
+            value: None,
+            left: AtomicUsize::new(left),
+            right: AtomicUsize::new(right),
+            update: AtomicUsize::new(pack(0, CLEAN)),
+            d_gp: 0,
+            d_p: 0,
+            d_l: 0,
+            d_new_internal: 0,
+            d_pupdate: 0,
+        }
+    }
+
+    fn leaf(key: BstKey<K>, value: Option<V>) -> Self {
+        BstNode {
+            kind: NodeKind::Leaf,
+            key,
+            value,
+            left: AtomicUsize::new(0),
+            right: AtomicUsize::new(0),
+            update: AtomicUsize::new(pack(0, CLEAN)),
+            d_gp: 0,
+            d_p: 0,
+            d_l: 0,
+            d_new_internal: 0,
+            d_pupdate: 0,
+        }
+    }
+
+    fn iinfo(p: usize, l: usize, new_internal: usize) -> Self {
+        BstNode {
+            kind: NodeKind::IInfo,
+            key: BstKey::Inf2,
+            value: None,
+            left: AtomicUsize::new(0),
+            right: AtomicUsize::new(0),
+            update: AtomicUsize::new(pack(0, CLEAN)),
+            d_gp: 0,
+            d_p: p,
+            d_l: l,
+            d_new_internal: new_internal,
+            d_pupdate: 0,
+        }
+    }
+
+    fn dinfo(gp: usize, p: usize, l: usize, pupdate: usize) -> Self {
+        BstNode {
+            kind: NodeKind::DInfo,
+            key: BstKey::Inf2,
+            value: None,
+            left: AtomicUsize::new(0),
+            right: AtomicUsize::new(0),
+            update: AtomicUsize::new(pack(0, CLEAN)),
+            d_gp: gp,
+            d_p: p,
+            d_l: l,
+            d_new_internal: 0,
+            d_pupdate: pupdate,
+        }
+    }
+}
+
+impl<K: fmt::Debug, V> fmt::Debug for BstNode<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BstNode")
+            .field("kind", &self.kind)
+            .field("key", &self.key)
+            .finish()
+    }
+}
+
+/// Outcome of a tree search: the grandparent, parent and leaf on the search path, plus the
+/// parent's and grandparent's update words at the time they were traversed.
+struct SearchResult {
+    gp: usize,
+    p: usize,
+    l: usize,
+    pupdate: usize,
+    gpupdate: usize,
+}
+
+/// Hazard pointer slot assignment (the BST needs 3 protection slots, plus one for the
+/// descriptor when helping).
+mod slots {
+    pub const GP: usize = 0;
+    pub const P: usize = 1;
+    pub const L: usize = 2;
+    pub const INFO: usize = 3;
+}
+
+/// A lock-free external binary search tree implementing a set/map, parameterized by the
+/// Record Manager (reclaimer `R`, pool `P`, allocator `A`).
+pub struct ExternalBst<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<BstNode<K, V>>,
+    P: Pool<BstNode<K, V>>,
+    A: Allocator<BstNode<K, V>>,
+{
+    root: usize,
+    manager: Arc<RecordManager<BstNode<K, V>, R, P, A>>,
+    /// The three sentinel records allocated at construction (freed on drop).
+    sentinels: [usize; 3],
+}
+
+/// Shorthand for the per-thread handle type used by [`ExternalBst`].
+pub type BstHandle<K, V, R, P, A> = RecordManagerThread<BstNode<K, V>, R, P, A>;
+
+impl<K, V, R, P, A> ExternalBst<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<BstNode<K, V>>,
+    P: Pool<BstNode<K, V>>,
+    A: Allocator<BstNode<K, V>>,
+{
+    /// Creates an empty tree backed by `manager`.
+    pub fn new(manager: Arc<RecordManager<BstNode<K, V>, R, P, A>>) -> Self {
+        // The initial EFRB configuration: a root routing node with key Inf2 whose children
+        // are the two sentinel leaves Inf1 and Inf2.
+        let mut alloc = manager.teardown_allocator();
+        let leaf1 = alloc.allocate(BstNode::leaf(BstKey::Inf1, None)).as_ptr() as usize;
+        let leaf2 = alloc.allocate(BstNode::leaf(BstKey::Inf2, None)).as_ptr() as usize;
+        let root = alloc.allocate(BstNode::internal(BstKey::Inf2, leaf1, leaf2)).as_ptr() as usize;
+        ExternalBst { root, manager, sentinels: [root, leaf1, leaf2] }
+    }
+
+    /// The Record Manager backing this tree.
+    pub fn manager(&self) -> &Arc<RecordManager<BstNode<K, V>, R, P, A>> {
+        &self.manager
+    }
+
+    /// Registers worker thread `tid`; see [`RecordManager::register`].
+    pub fn register(&self, tid: usize) -> Result<BstHandle<K, V, R, P, A>, RegistrationError> {
+        self.manager.register(tid)
+    }
+
+    #[inline]
+    fn node(&self, ptr: usize) -> &BstNode<K, V> {
+        debug_assert!(ptr != 0);
+        // SAFETY: callers only pass pointers obtained from the tree while the records are
+        // protected by the calling operation (epoch / hazard pointer / RProtect), or during
+        // teardown with exclusive access.
+        unsafe { &*(ptr as *const BstNode<K, V>) }
+    }
+
+    /// EFRB `Search(k)`, restarting if hazard pointer validation fails.
+    fn search(
+        &self,
+        handle: &mut BstHandle<K, V, R, P, A>,
+        key: &K,
+    ) -> Result<SearchResult, Neutralized> {
+        'retry: loop {
+            handle.check()?;
+            let mut gp = 0usize;
+            let mut gpupdate = pack(0, CLEAN);
+            let mut p = 0usize;
+            let mut pupdate = pack(0, CLEAN);
+            let mut l = self.root;
+            loop {
+                handle.check()?;
+                let l_ref = self.node(l);
+                if l_ref.kind != NodeKind::Internal {
+                    return Ok(SearchResult { gp, p, l, pupdate, gpupdate });
+                }
+                gp = p;
+                gpupdate = pupdate;
+                p = l;
+                pupdate = l_ref.update.load(Ordering::Acquire);
+                let go_left = BstKey::Finite(key.clone()) < l_ref.key;
+                let next = if go_left {
+                    l_ref.left.load(Ordering::Acquire)
+                } else {
+                    l_ref.right.load(Ordering::Acquire)
+                };
+                if next == 0 {
+                    // Can only happen if `l` was recycled under us (possible for a
+                    // neutralized thread between checkpoints); restart defensively.
+                    continue 'retry;
+                }
+                // Hazard-pointer protection of the node we are about to descend into.  The
+                // validation re-reads the parent's child pointer; if it changed, we follow
+                // the paper's pragmatic policy for this tree and restart the traversal.
+                let parent = self.node(p);
+                let child_link = if go_left { &parent.left } else { &parent.right };
+                let next_nn = NonNull::new(next as *mut BstNode<K, V>).expect("non-null child");
+                if !handle.protect(slots::L, next_nn, || child_link.load(Ordering::SeqCst) == next)
+                {
+                    continue 'retry;
+                }
+                // Shift the protection window (gp <- p <- l).
+                if p != 0 {
+                    let p_nn = NonNull::new(p as *mut BstNode<K, V>).expect("non-null parent");
+                    handle.protect(slots::P, p_nn, || true);
+                }
+                if gp != 0 {
+                    let gp_nn = NonNull::new(gp as *mut BstNode<K, V>).expect("non-null grandparent");
+                    handle.protect(slots::GP, gp_nn, || true);
+                }
+                l = next;
+            }
+        }
+    }
+
+    /// Retires the descriptor referenced by a just-replaced update word (hand-off rule).
+    fn retire_info(&self, handle: &mut BstHandle<K, V, R, P, A>, old_word: usize) {
+        let info = info_of(old_word);
+        if info != 0 {
+            // SAFETY: the caller's CAS replaced the only long-lived reference to this
+            // descriptor (see the module docs for the hand-off argument); it is retired by
+            // exactly one thread — the CAS winner.
+            unsafe { handle.retire(NonNull::new_unchecked(info as *mut BstNode<K, V>)) };
+        }
+    }
+
+    /// Helps the operation described by `word` (if any) to completion.  `holder` is the
+    /// node whose `update` field the caller read `word` from; it is used to validate the
+    /// descriptor's hazard pointer announcement before the descriptor is dereferenced.
+    fn help(
+        &self,
+        handle: &mut BstHandle<K, V, R, P, A>,
+        word: usize,
+        holder: usize,
+    ) -> Result<(), Neutralized> {
+        handle.check()?;
+        let info = info_of(word);
+        if info == 0 || state_of(word) == CLEAN {
+            return Ok(());
+        }
+        // Protect the descriptor before dereferencing it: valid as long as the node we read
+        // the flagged word from still carries it.
+        let info_nn = NonNull::new(info as *mut BstNode<K, V>).expect("non-null descriptor");
+        let holder_ref = self.node(holder);
+        if !handle
+            .protect(slots::INFO, info_nn, || holder_ref.update.load(Ordering::SeqCst) == word)
+        {
+            return Ok(());
+        }
+        // Defensive re-validation: if the descriptor has been recycled under a scheme whose
+        // protection is best-effort (see the module docs on the HP restart policy), its
+        // fields may no longer describe a live operation; skip helping in that case.
+        let info_ref = self.node(info);
+        let stale = match state_of(word) {
+            IFLAG => info_ref.kind != NodeKind::IInfo || info_ref.d_p == 0 || info_ref.d_l == 0,
+            DFLAG | MARK => {
+                info_ref.kind != NodeKind::DInfo
+                    || info_ref.d_p == 0
+                    || info_ref.d_gp == 0
+                    || info_ref.d_l == 0
+            }
+            _ => true,
+        };
+        if !stale {
+            match state_of(word) {
+                IFLAG => self.help_insert(handle, info),
+                DFLAG => {
+                    let _ = self.help_delete(handle, info);
+                }
+                MARK => self.help_marked(handle, info),
+                _ => {}
+            }
+        }
+        handle.unprotect(slots::INFO);
+        Ok(())
+    }
+
+    /// EFRB `CAS-Child`: swings the child pointer of `parent` from `old` to `new`.
+    fn cas_child(&self, parent: usize, old: usize, new: usize) {
+        let parent_ref = self.node(parent);
+        if parent_ref.left.load(Ordering::Acquire) == old {
+            let _ = parent_ref
+                .left
+                .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire);
+        } else if parent_ref.right.load(Ordering::Acquire) == old {
+            let _ = parent_ref
+                .right
+                .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire);
+        }
+    }
+
+    /// EFRB `HelpInsert`.
+    fn help_insert(&self, handle: &mut BstHandle<K, V, R, P, A>, op: usize) {
+        let _ = handle; // the handle is unused here but kept for signature symmetry
+        let op_ref = self.node(op);
+        self.cas_child(op_ref.d_p, op_ref.d_l, op_ref.d_new_internal);
+        let p_ref = self.node(op_ref.d_p);
+        let _ = p_ref.update.compare_exchange(
+            pack(op, IFLAG),
+            pack(op, CLEAN),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// EFRB `HelpDelete`; returns `true` if the delete operation described by `op`
+    /// succeeded (now or earlier).
+    fn help_delete(&self, handle: &mut BstHandle<K, V, R, P, A>, op: usize) -> bool {
+        let op_ref = self.node(op);
+        let p_ref = self.node(op_ref.d_p);
+        let mark_word = pack(op, MARK);
+        match p_ref.update.compare_exchange(
+            op_ref.d_pupdate,
+            mark_word,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                // This thread marked p: it owns the retirement of the descriptor that was
+                // previously installed in p's update word.
+                self.retire_info(handle, op_ref.d_pupdate);
+                self.help_marked(handle, op);
+                true
+            }
+            Err(current) => {
+                if current == mark_word {
+                    self.help_marked(handle, op);
+                    true
+                } else {
+                    // The operation failed: back-track the grandparent's flag.
+                    let gp_ref = self.node(op_ref.d_gp);
+                    let _ = gp_ref.update.compare_exchange(
+                        pack(op, DFLAG),
+                        pack(op, CLEAN),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    false
+                }
+            }
+        }
+    }
+
+    /// EFRB `HelpMarked`: physically removes the marked parent and unflags the grandparent.
+    fn help_marked(&self, handle: &mut BstHandle<K, V, R, P, A>, op: usize) {
+        let _ = handle;
+        let op_ref = self.node(op);
+        let p_ref = self.node(op_ref.d_p);
+        let left = p_ref.left.load(Ordering::Acquire);
+        let sibling = if left == op_ref.d_l { p_ref.right.load(Ordering::Acquire) } else { left };
+        self.cas_child(op_ref.d_gp, op_ref.d_p, sibling);
+        let gp_ref = self.node(op_ref.d_gp);
+        let _ = gp_ref.update.compare_exchange(
+            pack(op, DFLAG),
+            pack(op, CLEAN),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    fn insert_body(
+        &self,
+        handle: &mut BstHandle<K, V, R, P, A>,
+        key: &K,
+        value: &V,
+    ) -> Result<bool, Neutralized> {
+        loop {
+            let s = self.search(handle, key)?;
+            let l_ref = self.node(s.l);
+            if l_ref.key == BstKey::Finite(key.clone()) {
+                return Ok(false);
+            }
+            if state_of(s.pupdate) != CLEAN {
+                self.help(handle, s.pupdate, s.p)?;
+                continue;
+            }
+
+            // Build the new leaf and the new routing node.
+            let new_leaf = handle
+                .allocate(BstNode::leaf(BstKey::Finite(key.clone()), Some(value.clone())))
+                .as_ptr() as usize;
+            let new_key = BstKey::Finite(key.clone());
+            let (left, right, routing_key) = if new_key < l_ref.key {
+                (new_leaf, s.l, l_ref.key.clone())
+            } else {
+                (s.l, new_leaf, new_key)
+            };
+            let new_internal =
+                handle.allocate(BstNode::internal(routing_key, left, right)).as_ptr() as usize;
+            let op = handle.allocate(BstNode::iinfo(s.p, s.l, new_internal)).as_ptr() as usize;
+
+            // DEBRA+ : protect everything the completion phase will touch, then decide.
+            if handle.supports_crash_recovery() {
+                for r in [s.p, s.l, new_internal, op] {
+                    handle.r_protect(NonNull::new(r as *mut BstNode<K, V>).expect("non-null"));
+                }
+            }
+            if let Err(e) = handle.check() {
+                // Nothing published yet: recycle the fresh records and unwind to recovery.
+                for r in [op, new_internal, new_leaf] {
+                    // SAFETY: never made reachable.
+                    unsafe { handle.deallocate(NonNull::new_unchecked(r as *mut BstNode<K, V>)) };
+                }
+                return Err(e);
+            }
+
+            let p_ref = self.node(s.p);
+            match p_ref.update.compare_exchange(
+                s.pupdate,
+                pack(op, IFLAG),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // Decision CAS won: hand off the previous descriptor, complete, done.
+                    self.retire_info(handle, s.pupdate);
+                    self.help_insert(handle, op);
+                    handle.r_unprotect_all();
+                    return Ok(true);
+                }
+                Err(actual) => {
+                    for r in [op, new_internal, new_leaf] {
+                        // SAFETY: never made reachable (the decision CAS failed).
+                        unsafe {
+                            handle.deallocate(NonNull::new_unchecked(r as *mut BstNode<K, V>))
+                        };
+                    }
+                    handle.r_unprotect_all();
+                    self.help(handle, actual, s.p)?;
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn remove_body(
+        &self,
+        handle: &mut BstHandle<K, V, R, P, A>,
+        key: &K,
+    ) -> Result<bool, Neutralized> {
+        loop {
+            let s = self.search(handle, key)?;
+            let l_ref = self.node(s.l);
+            if l_ref.key != BstKey::Finite(key.clone()) {
+                return Ok(false);
+            }
+            if state_of(s.gpupdate) != CLEAN {
+                self.help(handle, s.gpupdate, s.gp)?;
+                continue;
+            }
+            if state_of(s.pupdate) != CLEAN {
+                self.help(handle, s.pupdate, s.p)?;
+                continue;
+            }
+
+            let op = handle.allocate(BstNode::dinfo(s.gp, s.p, s.l, s.pupdate)).as_ptr() as usize;
+
+            if handle.supports_crash_recovery() {
+                for r in [s.gp, s.p, s.l, op] {
+                    handle.r_protect(NonNull::new(r as *mut BstNode<K, V>).expect("non-null"));
+                }
+            }
+            if let Err(e) = handle.check() {
+                // SAFETY: never made reachable.
+                unsafe { handle.deallocate(NonNull::new_unchecked(op as *mut BstNode<K, V>)) };
+                return Err(e);
+            }
+
+            let gp_ref = self.node(s.gp);
+            match gp_ref.update.compare_exchange(
+                s.gpupdate,
+                pack(op, DFLAG),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.retire_info(handle, s.gpupdate);
+                    if self.help_delete(handle, op) {
+                        // This thread's operation removed the parent routing node and the
+                        // victim leaf: it owns their retirement (exactly once).
+                        // SAFETY: both records were unlinked by the delete that this thread
+                        // owns and can no longer be reached by operations that start later.
+                        unsafe {
+                            handle.retire(NonNull::new_unchecked(s.p as *mut BstNode<K, V>));
+                            handle.retire(NonNull::new_unchecked(s.l as *mut BstNode<K, V>));
+                        }
+                        handle.r_unprotect_all();
+                        return Ok(true);
+                    }
+                    handle.r_unprotect_all();
+                    continue;
+                }
+                Err(actual) => {
+                    // SAFETY: never made reachable.
+                    unsafe { handle.deallocate(NonNull::new_unchecked(op as *mut BstNode<K, V>)) };
+                    handle.r_unprotect_all();
+                    self.help(handle, actual, s.gp)?;
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn get_body(
+        &self,
+        handle: &mut BstHandle<K, V, R, P, A>,
+        key: &K,
+    ) -> Result<Option<V>, Neutralized> {
+        let s = self.search(handle, key)?;
+        let l_ref = self.node(s.l);
+        if l_ref.key == BstKey::Finite(key.clone()) {
+            Ok(l_ref.value.clone())
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn run_op<Out>(
+        &self,
+        handle: &mut BstHandle<K, V, R, P, A>,
+        mut body: impl FnMut(&Self, &mut BstHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
+    ) -> Out {
+        loop {
+            handle.leave_qstate();
+            match body(self, handle) {
+                Ok(out) => {
+                    handle.enter_qstate();
+                    return out;
+                }
+                Err(Neutralized) => {
+                    // Recovery: operations only unwind here *before* their decision CAS, so
+                    // nothing needs helping — release the restricted hazard pointers,
+                    // acknowledge the neutralization and retry.
+                    handle.r_unprotect_all();
+                    handle.begin_recovery();
+                }
+            }
+        }
+    }
+
+    /// Number of keys currently in the tree (single-threaded diagnostic; walks the tree).
+    pub fn len(&self, handle: &mut BstHandle<K, V, R, P, A>) -> usize {
+        handle.leave_qstate();
+        let mut count = 0;
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let r = self.node(n);
+            match r.kind {
+                NodeKind::Internal => {
+                    stack.push(r.left.load(Ordering::Acquire));
+                    stack.push(r.right.load(Ordering::Acquire));
+                }
+                NodeKind::Leaf => {
+                    if matches!(r.key, BstKey::Finite(_)) {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        handle.enter_qstate();
+        count
+    }
+
+    /// Returns `true` if the tree holds no keys (diagnostic helper).
+    pub fn is_empty(&self, handle: &mut BstHandle<K, V, R, P, A>) -> bool {
+        self.len(handle) == 0
+    }
+}
+
+impl<K, V, R, P, A> ConcurrentMap<K, V> for ExternalBst<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<BstNode<K, V>>,
+    P: Pool<BstNode<K, V>>,
+    A: Allocator<BstNode<K, V>>,
+{
+    type Handle = BstHandle<K, V, R, P, A>;
+
+    fn register(&self, tid: usize) -> Result<Self::Handle, RegistrationError> {
+        self.manager.register(tid)
+    }
+
+    fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
+        self.run_op(handle, |this, h| this.insert_body(h, &key, &value))
+    }
+
+    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.run_op(handle, |this, h| this.remove_body(h, key))
+    }
+
+    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.run_op(handle, |this, h| this.get_body(h, key)).is_some()
+    }
+
+    fn get(&self, handle: &mut Self::Handle, key: &K) -> Option<V> {
+        self.run_op(handle, |this, h| this.get_body(h, key))
+    }
+}
+
+impl<K, V, R, P, A> Drop for ExternalBst<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<BstNode<K, V>>,
+    P: Pool<BstNode<K, V>>,
+    A: Allocator<BstNode<K, V>>,
+{
+    fn drop(&mut self) {
+        // Free every node reachable from the root, plus the descriptors still referenced by
+        // reachable update words (deduplicated: a delete descriptor can be referenced by
+        // two nodes).  Records parked in limbo bags / pools are freed separately by the
+        // Record Manager; the two sets are disjoint because a descriptor is only retired
+        // when the word referencing it is overwritten.
+        let mut alloc = self.manager.teardown_allocator();
+        let mut infos: HashSet<usize> = HashSet::new();
+        let mut stack = vec![self.root];
+        let mut nodes: Vec<usize> = Vec::new();
+        while let Some(n) = stack.pop() {
+            if n == 0 {
+                continue;
+            }
+            nodes.push(n);
+            let r = self.node(n);
+            if r.kind == NodeKind::Internal {
+                stack.push(r.left.load(Ordering::Relaxed));
+                stack.push(r.right.load(Ordering::Relaxed));
+                let info = info_of(r.update.load(Ordering::Relaxed));
+                if info != 0 {
+                    infos.insert(info);
+                }
+            }
+        }
+        for n in nodes.into_iter().chain(infos.into_iter()) {
+            // SAFETY: exclusive access during drop; each record freed exactly once (tree
+            // nodes are uniquely reachable, descriptors were deduplicated above).
+            unsafe { alloc.deallocate(NonNull::new_unchecked(n as *mut BstNode<K, V>)) };
+        }
+        let _ = self.sentinels;
+    }
+}
+
+impl<K, V, R, P, A> fmt::Debug for ExternalBst<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<BstNode<K, V>>,
+    P: Pool<BstNode<K, V>>,
+    A: Allocator<BstNode<K, V>>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExternalBst").field("reclaimer", &R::name()).finish()
+    }
+}
+
+// SAFETY: all shared mutable state is accessed through atomics; records are Send.
+unsafe impl<K, V, R, P, A> Send for ExternalBst<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<BstNode<K, V>>,
+    P: Pool<BstNode<K, V>>,
+    A: Allocator<BstNode<K, V>>,
+{
+}
+unsafe impl<K, V, R, P, A> Sync for ExternalBst<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<BstNode<K, V>>,
+    P: Pool<BstNode<K, V>>,
+    A: Allocator<BstNode<K, V>>,
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debra::{Debra, DebraPlus};
+    use smr_alloc::{SystemAllocator, ThreadPool};
+    use smr_baselines::HazardPointers;
+
+    type Node = BstNode<u64, u64>;
+    type DebraBst = ExternalBst<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+    type DebraPlusBst =
+        ExternalBst<u64, u64, DebraPlus<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+    type HpBst =
+        ExternalBst<u64, u64, HazardPointers<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+
+    fn new_debra_bst(threads: usize) -> DebraBst {
+        ExternalBst::new(Arc::new(RecordManager::new(threads)))
+    }
+
+    #[test]
+    fn sequential_set_semantics() {
+        let bst = new_debra_bst(1);
+        let mut h = bst.register(0).unwrap();
+        assert!(bst.is_empty(&mut h));
+        assert!(bst.insert(&mut h, 10, 100));
+        assert!(!bst.insert(&mut h, 10, 101));
+        assert!(bst.insert(&mut h, 5, 50));
+        assert!(bst.insert(&mut h, 20, 200));
+        assert_eq!(bst.get(&mut h, &10), Some(100));
+        assert_eq!(bst.get(&mut h, &5), Some(50));
+        assert_eq!(bst.get(&mut h, &7), None);
+        assert_eq!(bst.len(&mut h), 3);
+        assert!(bst.remove(&mut h, &10));
+        assert!(!bst.remove(&mut h, &10));
+        assert!(!bst.contains(&mut h, &10));
+        assert_eq!(bst.len(&mut h), 2);
+        assert!(bst.remove(&mut h, &5));
+        assert!(bst.remove(&mut h, &20));
+        assert!(bst.is_empty(&mut h));
+    }
+
+    #[test]
+    fn matches_a_sequential_model() {
+        use std::collections::BTreeMap;
+        let bst = new_debra_bst(1);
+        let mut h = bst.register(0).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..6000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 128;
+            match (x >> 61) % 3 {
+                0 => assert_eq!(bst.insert(&mut h, key, key), model.insert(key, key).is_none()),
+                1 => assert_eq!(bst.remove(&mut h, &key), model.remove(&key).is_some()),
+                _ => assert_eq!(bst.contains(&mut h, &key), model.contains_key(&key)),
+            }
+        }
+        assert_eq!(bst.len(&mut h), model.len());
+        for k in model.keys() {
+            assert!(bst.contains(&mut h, k));
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_key_ranges() {
+        let threads = 4;
+        let per_thread = 2_000u64;
+        let bst = Arc::new(new_debra_bst(threads));
+        let mut joins = Vec::new();
+        for t in 0..threads as u64 {
+            let bst = Arc::clone(&bst);
+            joins.push(std::thread::spawn(move || {
+                let mut h = bst.register(t as usize).unwrap();
+                let base = t * per_thread;
+                for i in 0..per_thread {
+                    assert!(bst.insert(&mut h, base + i, i));
+                }
+                for i in 0..per_thread {
+                    assert!(bst.contains(&mut h, &(base + i)));
+                }
+                for i in (0..per_thread).step_by(2) {
+                    assert!(bst.remove(&mut h, &(base + i)));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut h = bst.register(0).unwrap();
+        assert_eq!(bst.len(&mut h), (threads as u64 * per_thread / 2) as usize);
+    }
+
+    #[test]
+    fn concurrent_contended_small_keyrange_with_reclamation() {
+        // High contention on a small key range forces constant node turnover, exercising
+        // helping, descriptor hand-off and reclamation through the pool.
+        let threads = 4;
+        let bst = Arc::new(new_debra_bst(threads));
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let bst = Arc::clone(&bst);
+            joins.push(std::thread::spawn(move || {
+                let mut h = bst.register(t).unwrap();
+                let mut net: i64 = 0;
+                let mut x: u64 = 0xABCD_0123 + t as u64;
+                for _ in 0..10_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let k = (x >> 33) % 16;
+                    if (x >> 62) & 1 == 0 {
+                        if bst.insert(&mut h, k, k) {
+                            net += 1;
+                        }
+                    } else if bst.remove(&mut h, &k) {
+                        net -= 1;
+                    }
+                }
+                net
+            }));
+        }
+        let net: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        let mut h = bst.register(0).unwrap();
+        assert_eq!(bst.len(&mut h) as i64, net);
+        let stats = bst.manager().reclaimer().stats();
+        assert!(stats.retired > 0, "deletes must retire nodes");
+        assert!(stats.reclaimed > 0, "DEBRA must reclaim nodes during the run");
+    }
+
+    #[test]
+    fn works_with_debra_plus_and_neutralization() {
+        let threads = 3;
+        let bst: Arc<DebraPlusBst> =
+            Arc::new(ExternalBst::new(Arc::new(RecordManager::new(threads))));
+
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let bst = Arc::clone(&bst);
+            joins.push(std::thread::spawn(move || {
+                let mut h = bst.register(t).unwrap();
+                let mut x: u64 = 7 + t as u64;
+                for i in 0..8_000u64 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let k = (x >> 33) % 64;
+                    match i % 3 {
+                        0 => {
+                            bst.insert(&mut h, k, k);
+                        }
+                        1 => {
+                            bst.remove(&mut h, &k);
+                        }
+                        _ => {
+                            bst.contains(&mut h, &k);
+                        }
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let stats = bst.manager().reclaimer().stats();
+        assert!(stats.retired > 0);
+        assert!(stats.reclaimed > 0);
+    }
+
+    #[test]
+    fn works_with_hazard_pointers() {
+        let threads = 3;
+        let bst: Arc<HpBst> = Arc::new(ExternalBst::new(Arc::new(RecordManager::new(threads))));
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let bst = Arc::clone(&bst);
+            joins.push(std::thread::spawn(move || {
+                let mut h = bst.register(t).unwrap();
+                let base = (t as u64) * 1000;
+                for i in 0..1000u64 {
+                    assert!(bst.insert(&mut h, base + i, i));
+                }
+                for i in 0..1000u64 {
+                    assert!(bst.contains(&mut h, &(base + i)));
+                }
+                for i in 0..1000u64 {
+                    assert!(bst.remove(&mut h, &(base + i)));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut h = bst.register(0).unwrap();
+        assert!(bst.is_empty(&mut h));
+        assert!(bst.manager().reclaimer().stats().reclaimed > 0);
+    }
+}

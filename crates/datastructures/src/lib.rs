@@ -1,0 +1,61 @@
+//! Lock-free data structures written against the Record Manager abstraction.
+//!
+//! These are the workloads of the paper's evaluation (Section 7), implemented from scratch
+//! and parameterized — through the Record Manager — by the reclamation scheme, the pool and
+//! the allocator.  Changing the memory management strategy of any of them is a one-line
+//! change of type parameters; the data structure code itself never mentions a concrete
+//! scheme.
+//!
+//! * [`HarrisMichaelList`] — a lock-free sorted linked list (Harris's marking scheme with
+//!   Michael's one-at-a-time physical removal).  Small and easy to reason about; used
+//!   heavily by the test suite.
+//! * [`ExternalBst`] — a lock-free *external* (leaf-oriented) binary search tree with
+//!   flag/mark descriptors and helping, in the style of Ellen, Fatourou, Ruppert and
+//!   van Breugel.  This is the reproduction's stand-in for the paper's balanced BST (see
+//!   `DESIGN.md`): searches traverse pointers from retired nodes to other retired nodes,
+//!   nodes are marked before they are retired, and updates are helped through descriptors —
+//!   exactly the properties that make hazard pointers problematic and that DEBRA/DEBRA+
+//!   handle naturally.
+//! * [`SkipList`] — a lock-free skip list (marking in every level's next pointer), the
+//!   second workload shape used by the paper's evaluation.
+//!
+//! All three provide the set/map interface used by the benchmark harness: `insert`, `remove`
+//! and `contains`/`get`, each taking a `&mut RecordManagerThread` handle.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bst;
+pub mod list;
+pub mod skiplist;
+
+pub use bst::{BstNode, ExternalBst};
+pub use list::{HarrisMichaelList, ListNode};
+pub use skiplist::{SkipList, SkipNode, MAX_HEIGHT};
+
+/// The concurrent set/map interface shared by every structure in this crate, used by the
+/// generic benchmark driver in `smr-workloads` and by the cross-structure test suite.
+///
+/// `Handle` is the per-thread Record Manager handle type of the concrete structure; it is
+/// obtained once per worker thread with [`ConcurrentMap::register`] and then passed to
+/// every operation, exactly as in the paper's usage model.
+pub trait ConcurrentMap<K, V>: Send + Sync {
+    /// Per-thread handle required by the operations.
+    type Handle;
+
+    /// Registers worker thread `tid` and returns its handle.  Must be called on the thread
+    /// that will use the handle.
+    fn register(&self, tid: usize) -> Result<Self::Handle, debra::RegistrationError>;
+
+    /// Inserts `key -> value`; returns `true` if the key was not present.
+    fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool;
+
+    /// Removes `key`; returns `true` if it was present.
+    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool;
+
+    /// Returns `true` if `key` is present.
+    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool;
+
+    /// Returns the value associated with `key`, if any.
+    fn get(&self, handle: &mut Self::Handle, key: &K) -> Option<V>;
+}

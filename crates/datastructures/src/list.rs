@@ -1,0 +1,562 @@
+//! A lock-free sorted linked list (Harris marking + Michael physical removal), written
+//! against the Record Manager abstraction.
+
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use debra::{Allocator, Neutralized, Pool, Reclaimer, RecordManager, RecordManagerThread, RegistrationError};
+
+use crate::ConcurrentMap;
+
+/// Mark bit stored in the least significant bit of a node's `next` word.
+const MARK: usize = 1;
+
+#[inline]
+fn ptr_of(word: usize) -> *mut u8 {
+    (word & !MARK) as *mut u8
+}
+
+#[inline]
+fn is_marked(word: usize) -> bool {
+    word & MARK != 0
+}
+
+/// A node of [`HarrisMichaelList`].
+///
+/// `next` packs the successor pointer and the *mark* bit: a marked node has been logically
+/// deleted and will be retired by whichever thread physically unlinks it.
+pub struct ListNode<K, V> {
+    key: K,
+    value: V,
+    next: AtomicUsize,
+}
+
+impl<K, V> ListNode<K, V> {
+    /// The node's key.
+    pub fn key(&self) -> &K {
+        &self.key
+    }
+
+    /// The node's value.
+    pub fn value(&self) -> &V {
+        &self.value
+    }
+}
+
+impl<K: fmt::Debug, V> fmt::Debug for ListNode<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ListNode")
+            .field("key", &self.key)
+            .field("marked", &is_marked(self.next.load(Ordering::Relaxed)))
+            .finish()
+    }
+}
+
+/// Hazard pointer slot assignment used by list operations (3 slots suffice, as in
+/// Michael's original algorithm).
+mod slots {
+    pub const PREV: usize = 0;
+    pub const CURR: usize = 1;
+}
+
+/// A lock-free sorted linked list implementing a set/map, parameterized by the Record
+/// Manager (reclaimer `R`, pool `P`, allocator `A`).
+///
+/// The algorithm is the classic Harris / Michael list: deletion first *marks* the victim's
+/// `next` pointer (logical deletion), then any traversal that encounters a marked node
+/// attempts to physically unlink it; the thread whose unlink CAS succeeds retires the node
+/// through the Record Manager.  Searches may traverse marked — and, under epoch-based
+/// reclamation, already retired — nodes, which is precisely the access pattern discussed in
+/// Section 3 of the paper.
+pub struct HarrisMichaelList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<ListNode<K, V>>,
+    P: Pool<ListNode<K, V>>,
+    A: Allocator<ListNode<K, V>>,
+{
+    head: AtomicUsize,
+    manager: Arc<RecordManager<ListNode<K, V>, R, P, A>>,
+}
+
+/// Shorthand for the per-thread handle type used by [`HarrisMichaelList`].
+pub type ListHandle<K, V, R, P, A> = RecordManagerThread<ListNode<K, V>, R, P, A>;
+
+impl<K, V, R, P, A> HarrisMichaelList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<ListNode<K, V>>,
+    P: Pool<ListNode<K, V>>,
+    A: Allocator<ListNode<K, V>>,
+{
+    /// Creates an empty list backed by `manager`.
+    pub fn new(manager: Arc<RecordManager<ListNode<K, V>, R, P, A>>) -> Self {
+        HarrisMichaelList { head: AtomicUsize::new(0), manager }
+    }
+
+    /// The Record Manager backing this list.
+    pub fn manager(&self) -> &Arc<RecordManager<ListNode<K, V>, R, P, A>> {
+        &self.manager
+    }
+
+    /// Registers worker thread `tid`; see [`RecordManager::register`].
+    pub fn register(&self, tid: usize) -> Result<ListHandle<K, V, R, P, A>, RegistrationError> {
+        self.manager.register(tid)
+    }
+
+    /// Finds the first node with key >= `key`.  Returns `(prev_word_addr, prev_word, curr_word)`
+    /// conceptually; concretely `(prev, curr)` where `prev` is `None` for the head pointer.
+    /// Physically unlinks marked nodes encountered on the way (retiring them).
+    ///
+    /// Returns `Err(Neutralized)` if this thread was neutralized mid-traversal.
+    #[allow(clippy::type_complexity)]
+    fn search(
+        &self,
+        handle: &mut ListHandle<K, V, R, P, A>,
+        key: &K,
+    ) -> Result<(Option<NonNull<ListNode<K, V>>>, usize), Neutralized> {
+        'retry: loop {
+            handle.check()?;
+            let mut prev: Option<NonNull<ListNode<K, V>>> = None;
+            let mut curr_word = self.head.load(Ordering::Acquire);
+            loop {
+                handle.check()?;
+                let curr_ptr = ptr_of(curr_word) as *mut ListNode<K, V>;
+                let Some(curr) = NonNull::new(curr_ptr) else {
+                    return Ok((prev, curr_word));
+                };
+
+                // Hazard-pointer style protection: announce, then validate that the link we
+                // followed still leads here (no-op and always true for epoch schemes).
+                let prev_link = self.link_of(prev);
+                let expected = curr_word;
+                let valid = handle.protect(slots::CURR, curr, || {
+                    ptr_of(prev_link.load(Ordering::SeqCst)) == ptr_of(expected)
+                });
+                if !valid {
+                    continue 'retry;
+                }
+
+                // SAFETY: `curr` was reachable when protected; under epoch schemes the
+                // operation's non-quiescent announcement keeps it from being reclaimed, and
+                // under HP the announcement + validation above does.
+                let curr_ref = unsafe { curr.as_ref() };
+                let next_word = curr_ref.next.load(Ordering::Acquire);
+
+                if is_marked(next_word) {
+                    // Logically deleted: try to unlink it.  Whoever wins the CAS owns the
+                    // retirement of `curr`.
+                    let unlink_to = next_word & !MARK;
+                    match self.link_of(prev).compare_exchange(
+                        curr_word,
+                        unlink_to,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: `curr` was just unlinked by this thread (unique CAS
+                            // winner) and is no longer reachable from the head.
+                            unsafe { handle.retire(curr) };
+                            curr_word = unlink_to;
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                }
+
+                if curr_ref.key >= *key {
+                    return Ok((prev, curr_word));
+                }
+                // Advance: curr becomes prev.
+                handle.protect(slots::PREV, curr, || true);
+                prev = Some(curr);
+                curr_word = next_word;
+            }
+        }
+    }
+
+    fn link_of(&self, prev: Option<NonNull<ListNode<K, V>>>) -> &AtomicUsize {
+        match prev {
+            // SAFETY: `prev` is protected by the calling operation (epoch or HP).
+            Some(p) => unsafe { &p.as_ref().next },
+            None => &self.head,
+        }
+    }
+
+    fn insert_body(
+        &self,
+        handle: &mut ListHandle<K, V, R, P, A>,
+        key: &K,
+        value: &V,
+    ) -> Result<bool, Neutralized> {
+        loop {
+            let (prev, curr_word) = self.search(handle, key)?;
+            let curr_ptr = ptr_of(curr_word) as *mut ListNode<K, V>;
+            if let Some(curr) = NonNull::new(curr_ptr) {
+                // SAFETY: protected by the search above.
+                if unsafe { &curr.as_ref().key } == key {
+                    return Ok(false);
+                }
+            }
+            let node = handle.allocate(ListNode {
+                key: key.clone(),
+                value: value.clone(),
+                next: AtomicUsize::new(curr_word),
+            });
+            if let Err(e) = handle.check() {
+                // Not yet published: recycle immediately, then unwind to recovery.
+                // SAFETY: the node was never made reachable.
+                unsafe { handle.deallocate(node) };
+                return Err(e);
+            }
+            match self.link_of(prev).compare_exchange(
+                curr_word,
+                node.as_ptr() as usize,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(true),
+                Err(_) => {
+                    // SAFETY: the node was never made reachable.
+                    unsafe { handle.deallocate(node) };
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn remove_body(
+        &self,
+        handle: &mut ListHandle<K, V, R, P, A>,
+        key: &K,
+    ) -> Result<bool, Neutralized> {
+        loop {
+            let (prev, curr_word) = self.search(handle, key)?;
+            let Some(curr) = NonNull::new(ptr_of(curr_word) as *mut ListNode<K, V>) else {
+                return Ok(false);
+            };
+            // SAFETY: protected by the search above.
+            let curr_ref = unsafe { curr.as_ref() };
+            if &curr_ref.key != key {
+                return Ok(false);
+            }
+            let next_word = curr_ref.next.load(Ordering::Acquire);
+            if is_marked(next_word) {
+                // Someone else is already deleting it; help by restarting (the next search
+                // unlinks it).
+                continue;
+            }
+            handle.check()?;
+            // Logical deletion: set the mark bit.
+            if curr_ref
+                .next
+                .compare_exchange(next_word, next_word | MARK, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // Physical deletion: best effort; if it fails a later traversal will do it (and
+            // that traversal's winner retires the node).
+            if self
+                .link_of(prev)
+                .compare_exchange(curr_word, next_word & !MARK, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: unlinked by this thread; unique owner of the retirement.
+                unsafe { handle.retire(curr) };
+            }
+            return Ok(true);
+        }
+    }
+
+    fn get_body(
+        &self,
+        handle: &mut ListHandle<K, V, R, P, A>,
+        key: &K,
+    ) -> Result<Option<V>, Neutralized> {
+        let (_prev, curr_word) = self.search(handle, key)?;
+        if let Some(curr) = NonNull::new(ptr_of(curr_word) as *mut ListNode<K, V>) {
+            // SAFETY: protected by the search above.
+            let curr_ref = unsafe { curr.as_ref() };
+            if &curr_ref.key == key && !is_marked(curr_ref.next.load(Ordering::Acquire)) {
+                return Ok(Some(curr_ref.value.clone()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs an operation body with the standard leave/enter-quiescent-state wrapper and the
+    /// DEBRA+ recovery protocol (restart after neutralization).
+    fn run_op<Out>(
+        &self,
+        handle: &mut ListHandle<K, V, R, P, A>,
+        mut body: impl FnMut(&Self, &mut ListHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
+    ) -> Out {
+        loop {
+            handle.leave_qstate();
+            match body(self, handle) {
+                Ok(out) => {
+                    handle.enter_qstate();
+                    return out;
+                }
+                Err(Neutralized) => {
+                    // Recovery (paper, Section 5): nothing this operation published needs
+                    // helping — updates that passed their decision CAS run to completion
+                    // without checkpoints — so recovery is simply: release restricted
+                    // hazard pointers, acknowledge, retry.
+                    handle.r_unprotect_all();
+                    handle.begin_recovery();
+                }
+            }
+        }
+    }
+
+    /// Counts the elements by a full (single-threaded) traversal; test/diagnostic helper.
+    pub fn len(&self, handle: &mut ListHandle<K, V, R, P, A>) -> usize {
+        handle.leave_qstate();
+        let mut n = 0;
+        let mut word = self.head.load(Ordering::Acquire);
+        while let Some(node) = NonNull::new(ptr_of(word) as *mut ListNode<K, V>) {
+            // SAFETY: the operation is non-quiescent; nodes cannot be reclaimed under it.
+            let r = unsafe { node.as_ref() };
+            let next = r.next.load(Ordering::Acquire);
+            if !is_marked(next) {
+                n += 1;
+            }
+            word = next;
+        }
+        handle.enter_qstate();
+        n
+    }
+
+    /// Returns `true` if the list is empty (diagnostic helper).
+    pub fn is_empty(&self, handle: &mut ListHandle<K, V, R, P, A>) -> bool {
+        self.len(handle) == 0
+    }
+}
+
+impl<K, V, R, P, A> ConcurrentMap<K, V> for HarrisMichaelList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<ListNode<K, V>>,
+    P: Pool<ListNode<K, V>>,
+    A: Allocator<ListNode<K, V>>,
+{
+    type Handle = ListHandle<K, V, R, P, A>;
+
+    fn register(&self, tid: usize) -> Result<Self::Handle, RegistrationError> {
+        self.manager.register(tid)
+    }
+
+    fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
+        self.run_op(handle, |this, h| this.insert_body(h, &key, &value))
+    }
+
+    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.run_op(handle, |this, h| this.remove_body(h, key))
+    }
+
+    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.run_op(handle, |this, h| this.get_body(h, key)).is_some()
+    }
+
+    fn get(&self, handle: &mut Self::Handle, key: &K) -> Option<V> {
+        self.run_op(handle, |this, h| this.get_body(h, key))
+    }
+}
+
+impl<K, V, R, P, A> Drop for HarrisMichaelList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<ListNode<K, V>>,
+    P: Pool<ListNode<K, V>>,
+    A: Allocator<ListNode<K, V>>,
+{
+    fn drop(&mut self) {
+        // Free every node still reachable from the head.  At this point the caller
+        // guarantees exclusive access (we have `&mut self`).
+        let mut alloc = self.manager.teardown_allocator();
+        let mut word = *self.head.get_mut();
+        while let Some(node) = NonNull::new(ptr_of(word) as *mut ListNode<K, V>) {
+            // SAFETY: exclusive access during drop; each reachable node freed exactly once.
+            unsafe {
+                word = node.as_ref().next.load(Ordering::Relaxed);
+                debra::AllocatorThread::deallocate(&mut alloc, node);
+            }
+        }
+    }
+}
+
+impl<K, V, R, P, A> fmt::Debug for HarrisMichaelList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<ListNode<K, V>>,
+    P: Pool<ListNode<K, V>>,
+    A: Allocator<ListNode<K, V>>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HarrisMichaelList").field("reclaimer", &R::name()).finish()
+    }
+}
+
+// SAFETY: the list is a shared concurrent structure; all shared mutable state is accessed
+// through atomics, and nodes are `Send` because K and V are.
+unsafe impl<K, V, R, P, A> Send for HarrisMichaelList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<ListNode<K, V>>,
+    P: Pool<ListNode<K, V>>,
+    A: Allocator<ListNode<K, V>>,
+{
+}
+unsafe impl<K, V, R, P, A> Sync for HarrisMichaelList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<ListNode<K, V>>,
+    P: Pool<ListNode<K, V>>,
+    A: Allocator<ListNode<K, V>>,
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debra::Debra;
+    use smr_alloc::{SystemAllocator, ThreadPool};
+
+    type TestList = HarrisMichaelList<
+        u64,
+        u64,
+        Debra<ListNode<u64, u64>>,
+        ThreadPool<ListNode<u64, u64>>,
+        SystemAllocator<ListNode<u64, u64>>,
+    >;
+
+    fn new_list(threads: usize) -> TestList {
+        let manager = Arc::new(RecordManager::new(threads));
+        HarrisMichaelList::new(manager)
+    }
+
+    #[test]
+    fn sequential_set_semantics() {
+        let list = new_list(1);
+        let mut h = list.register(0).unwrap();
+        assert!(!list.contains(&mut h, &5));
+        assert!(list.insert(&mut h, 5, 50));
+        assert!(!list.insert(&mut h, 5, 51), "duplicate insert must fail");
+        assert!(list.contains(&mut h, &5));
+        assert_eq!(list.get(&mut h, &5), Some(50));
+        assert!(list.remove(&mut h, &5));
+        assert!(!list.remove(&mut h, &5));
+        assert!(!list.contains(&mut h, &5));
+        assert_eq!(list.len(&mut h), 0);
+    }
+
+    #[test]
+    fn keeps_sorted_order_and_all_elements() {
+        let list = new_list(1);
+        let mut h = list.register(0).unwrap();
+        let keys = [9u64, 1, 7, 3, 5, 2, 8, 0, 6, 4];
+        for &k in &keys {
+            assert!(list.insert(&mut h, k, k * 10));
+        }
+        assert_eq!(list.len(&mut h), keys.len());
+        for &k in &keys {
+            assert_eq!(list.get(&mut h, &k), Some(k * 10));
+        }
+        for &k in &keys {
+            assert!(list.remove(&mut h, &k));
+        }
+        assert!(list.is_empty(&mut h));
+    }
+
+    #[test]
+    fn matches_a_sequential_model() {
+        use std::collections::BTreeMap;
+        let list = new_list(1);
+        let mut h = list.register(0).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        // Deterministic pseudo-random operation sequence.
+        let mut x: u64 = 0x243F6A8885A308D3;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 64;
+            match (x >> 60) % 3 {
+                0 => assert_eq!(list.insert(&mut h, key, key), model.insert(key, key).is_none()),
+                1 => assert_eq!(list.remove(&mut h, &key), model.remove(&key).is_some()),
+                _ => assert_eq!(list.contains(&mut h, &key), model.contains_key(&key)),
+            }
+        }
+        assert_eq!(list.len(&mut h), model.len());
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_and_removes() {
+        let threads = 4;
+        let per_thread = 2_000u64;
+        let list = Arc::new(new_list(threads));
+        let mut joins = Vec::new();
+        for t in 0..threads as u64 {
+            let list = Arc::clone(&list);
+            joins.push(std::thread::spawn(move || {
+                let mut h = list.register(t as usize).unwrap();
+                for i in 0..per_thread {
+                    let k = t * per_thread + i;
+                    assert!(list.insert(&mut h, k, k));
+                }
+                for i in 0..per_thread {
+                    let k = t * per_thread + i;
+                    assert!(list.contains(&mut h, &k));
+                }
+                for i in (0..per_thread).step_by(2) {
+                    let k = t * per_thread + i;
+                    assert!(list.remove(&mut h, &k));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut h = list.register(0).unwrap();
+        assert_eq!(list.len(&mut h), (threads as u64 * per_thread / 2) as usize);
+        drop(h);
+    }
+
+    #[test]
+    fn concurrent_contended_single_key() {
+        // All threads fight over the same small key range; counts must stay consistent.
+        let threads = 4;
+        let list = Arc::new(new_list(threads));
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let list = Arc::clone(&list);
+            joins.push(std::thread::spawn(move || {
+                let mut h = list.register(t).unwrap();
+                let mut net: i64 = 0;
+                for i in 0..5_000u64 {
+                    let k = i % 8;
+                    if (i + t as u64) % 2 == 0 {
+                        if list.insert(&mut h, k, k) {
+                            net += 1;
+                        }
+                    } else if list.remove(&mut h, &k) {
+                        net -= 1;
+                    }
+                }
+                net
+            }));
+        }
+        let net_total: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        let mut h = list.register(0).unwrap();
+        assert_eq!(list.len(&mut h) as i64, net_total, "net successful inserts must equal final size");
+    }
+}

@@ -1,0 +1,571 @@
+//! A lock-free skip list written against the Record Manager abstraction.
+//!
+//! The algorithm is the classic lock-free skip list (Fraser / Herlihy–Shavit style): every
+//! level's `next` pointer carries a mark bit; removal marks a node's pointers from the top
+//! level down and the node is physically unlinked level by level by subsequent traversals.
+//! The thread whose bottom-level unlink CAS succeeds retires the node through the Record
+//! Manager.  It plays the role of the skip list used in the paper's Experiments 1–3
+//! (keyrange 2·10⁵ panels).
+
+use std::fmt;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use debra::{
+    Allocator, AllocatorThread, Neutralized, Pool, Reclaimer, RecordManager, RecordManagerThread,
+    RegistrationError,
+};
+use rand::Rng;
+
+use crate::ConcurrentMap;
+
+/// Maximum tower height of a skip list node.
+pub const MAX_HEIGHT: usize = 20;
+
+const MARK: usize = 1;
+
+#[inline]
+fn ptr_of(word: usize) -> usize {
+    word & !MARK
+}
+
+#[inline]
+fn is_marked(word: usize) -> bool {
+    word & MARK != 0
+}
+
+/// A node of [`SkipList`]; `key == None` marks the head sentinel (smaller than every key).
+pub struct SkipNode<K, V> {
+    key: Option<K>,
+    value: Option<V>,
+    height: usize,
+    next: [AtomicUsize; MAX_HEIGHT],
+}
+
+impl<K, V> SkipNode<K, V> {
+    fn new(key: Option<K>, value: Option<V>, height: usize) -> Self {
+        SkipNode {
+            key,
+            value,
+            height,
+            next: std::array::from_fn(|_| AtomicUsize::new(0)),
+        }
+    }
+
+    /// The node's tower height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+}
+
+impl<K: fmt::Debug, V> fmt::Debug for SkipNode<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipNode")
+            .field("key", &self.key)
+            .field("height", &self.height)
+            .finish()
+    }
+}
+
+/// A lock-free skip list implementing a set/map, parameterized by the Record Manager.
+pub struct SkipList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<SkipNode<K, V>>,
+    P: Pool<SkipNode<K, V>>,
+    A: Allocator<SkipNode<K, V>>,
+{
+    head: usize,
+    manager: Arc<RecordManager<SkipNode<K, V>, R, P, A>>,
+}
+
+/// Shorthand for the per-thread handle type used by [`SkipList`].
+pub type SkipHandle<K, V, R, P, A> = RecordManagerThread<SkipNode<K, V>, R, P, A>;
+
+struct FindResult {
+    preds: [usize; MAX_HEIGHT],
+    succs: [usize; MAX_HEIGHT],
+    found: usize, // 0 if not found
+}
+
+impl<K, V, R, P, A> SkipList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<SkipNode<K, V>>,
+    P: Pool<SkipNode<K, V>>,
+    A: Allocator<SkipNode<K, V>>,
+{
+    /// Creates an empty skip list backed by `manager`.
+    pub fn new(manager: Arc<RecordManager<SkipNode<K, V>, R, P, A>>) -> Self {
+        let mut alloc = manager.teardown_allocator();
+        let head = alloc.allocate(SkipNode::new(None, None, MAX_HEIGHT)).as_ptr() as usize;
+        SkipList { head, manager }
+    }
+
+    /// The Record Manager backing this skip list.
+    pub fn manager(&self) -> &Arc<RecordManager<SkipNode<K, V>, R, P, A>> {
+        &self.manager
+    }
+
+    /// Registers worker thread `tid`; see [`RecordManager::register`].
+    pub fn register(&self, tid: usize) -> Result<SkipHandle<K, V, R, P, A>, RegistrationError> {
+        self.manager.register(tid)
+    }
+
+    #[inline]
+    fn node(&self, ptr: usize) -> &SkipNode<K, V> {
+        debug_assert!(ptr != 0);
+        // SAFETY: pointers are only dereferenced while protected by the calling operation
+        // (epoch / hazard pointers) or during teardown with exclusive access.
+        unsafe { &*(ptr as *const SkipNode<K, V>) }
+    }
+
+    fn key_less(&self, node: usize, key: &K) -> bool {
+        match &self.node(node).key {
+            None => true, // head sentinel
+            Some(k) => k < key,
+        }
+    }
+
+    /// Finds predecessors and successors of `key` at every level, physically unlinking
+    /// marked nodes on the way (the unlinker at level 0 retires the node).
+    fn find(
+        &self,
+        handle: &mut SkipHandle<K, V, R, P, A>,
+        key: &K,
+    ) -> Result<FindResult, Neutralized> {
+        'retry: loop {
+            handle.check()?;
+            let mut preds = [self.head; MAX_HEIGHT];
+            let mut succs = [0usize; MAX_HEIGHT];
+            let mut pred = self.head;
+            for level in (0..MAX_HEIGHT).rev() {
+                let mut curr_word = self.node(pred).next[level].load(Ordering::Acquire);
+                loop {
+                    handle.check()?;
+                    let curr = ptr_of(curr_word);
+                    if curr == 0 {
+                        break;
+                    }
+                    let curr_nn = NonNull::new(curr as *mut SkipNode<K, V>).expect("non-null");
+                    let pred_link = &self.node(pred).next[level];
+                    if !handle
+                        .protect(1, curr_nn, || ptr_of(pred_link.load(Ordering::SeqCst)) == curr)
+                    {
+                        continue 'retry;
+                    }
+                    let curr_ref = self.node(curr);
+                    let next_word = curr_ref.next[level].load(Ordering::Acquire);
+                    if is_marked(next_word) {
+                        // Unlink the marked node at this level.
+                        match self.node(pred).next[level].compare_exchange(
+                            curr_word,
+                            ptr_of(next_word),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => {
+                                if level == 0 {
+                                    // Fully unlinked: this thread owns the retirement.
+                                    // SAFETY: unique level-0 unlink winner; unreachable for
+                                    // operations that start later.
+                                    unsafe { handle.retire(curr_nn) };
+                                }
+                                curr_word = ptr_of(next_word);
+                                continue;
+                            }
+                            Err(_) => continue 'retry,
+                        }
+                    }
+                    if self.key_less(curr, key) {
+                        handle.protect(0, curr_nn, || true);
+                        pred = curr;
+                        curr_word = next_word;
+                    } else {
+                        break;
+                    }
+                }
+                preds[level] = pred;
+                succs[level] = ptr_of(curr_word);
+            }
+            let candidate = succs[0];
+            let found = if candidate != 0 && self.node(candidate).key.as_ref() == Some(key) {
+                candidate
+            } else {
+                0
+            };
+            return Ok(FindResult { preds, succs, found });
+        }
+    }
+
+    fn random_height(&self) -> usize {
+        let mut rng = rand::thread_rng();
+        let mut h = 1;
+        while h < MAX_HEIGHT && rng.gen_bool(0.5) {
+            h += 1;
+        }
+        h
+    }
+
+    fn insert_body(
+        &self,
+        handle: &mut SkipHandle<K, V, R, P, A>,
+        key: &K,
+        value: &V,
+    ) -> Result<bool, Neutralized> {
+        loop {
+            let r = self.find(handle, key)?;
+            if r.found != 0 {
+                return Ok(false);
+            }
+            let height = self.random_height();
+            let node = handle.allocate(SkipNode::new(Some(key.clone()), Some(value.clone()), height));
+            let node_ptr = node.as_ptr() as usize;
+            {
+                // SAFETY: the node is private until the bottom-level CAS below publishes it.
+                let node_ref = unsafe { node.as_ref() };
+                for level in 0..height {
+                    node_ref.next[level].store(r.succs[level], Ordering::Relaxed);
+                }
+            }
+            if let Err(e) = handle.check() {
+                // SAFETY: never published.
+                unsafe { handle.deallocate(node) };
+                return Err(e);
+            }
+            // Publish at the bottom level.
+            if self.node(r.preds[0]).next[0]
+                .compare_exchange(r.succs[0], node_ptr, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // SAFETY: never published.
+                unsafe { handle.deallocate(node) };
+                continue;
+            }
+            // Link the upper levels (best effort, standard algorithm).
+            let node_ref = self.node(node_ptr);
+            for level in 1..height {
+                loop {
+                    let expected = node_ref.next[level].load(Ordering::Acquire);
+                    if is_marked(expected) {
+                        return Ok(true); // concurrently removed; stop climbing
+                    }
+                    let r2 = self.find(handle, key)?;
+                    if r2.found != node_ptr {
+                        return Ok(true); // already removed and unlinked
+                    }
+                    if expected != r2.succs[level]
+                        && node_ref.next[level]
+                            .compare_exchange(
+                                expected,
+                                r2.succs[level],
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_err()
+                    {
+                        continue;
+                    }
+                    if self.node(r2.preds[level]).next[level]
+                        .compare_exchange(
+                            r2.succs[level],
+                            node_ptr,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            return Ok(true);
+        }
+    }
+
+    fn remove_body(
+        &self,
+        handle: &mut SkipHandle<K, V, R, P, A>,
+        key: &K,
+    ) -> Result<bool, Neutralized> {
+        loop {
+            let r = self.find(handle, key)?;
+            if r.found == 0 {
+                return Ok(false);
+            }
+            let victim = self.node(r.found);
+            // Mark the upper levels (top-down).
+            for level in (1..victim.height).rev() {
+                loop {
+                    let w = victim.next[level].load(Ordering::Acquire);
+                    if is_marked(w) {
+                        break;
+                    }
+                    if victim.next[level]
+                        .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            // Mark the bottom level; only one remover succeeds.
+            loop {
+                let w = victim.next[0].load(Ordering::Acquire);
+                if is_marked(w) {
+                    return Ok(false); // another remover won
+                }
+                if victim.next[0]
+                    .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // Physically unlink (and let the unlink winner retire) via find.
+                    let _ = self.find(handle, key)?;
+                    return Ok(true);
+                }
+                handle.check()?;
+            }
+        }
+    }
+
+    fn get_body(
+        &self,
+        handle: &mut SkipHandle<K, V, R, P, A>,
+        key: &K,
+    ) -> Result<Option<V>, Neutralized> {
+        // Read-only traversal (does not unlink).
+        let mut pred = self.head;
+        for level in (0..MAX_HEIGHT).rev() {
+            let mut curr = ptr_of(self.node(pred).next[level].load(Ordering::Acquire));
+            loop {
+                handle.check()?;
+                if curr == 0 {
+                    break;
+                }
+                let curr_ref = self.node(curr);
+                if self.key_less(curr, key) {
+                    pred = curr;
+                    curr = ptr_of(curr_ref.next[level].load(Ordering::Acquire));
+                } else {
+                    break;
+                }
+            }
+        }
+        let candidate = ptr_of(self.node(pred).next[0].load(Ordering::Acquire));
+        if candidate != 0 {
+            let node = self.node(candidate);
+            if node.key.as_ref() == Some(key) && !is_marked(node.next[0].load(Ordering::Acquire)) {
+                return Ok(node.value.clone());
+            }
+        }
+        Ok(None)
+    }
+
+    fn run_op<Out>(
+        &self,
+        handle: &mut SkipHandle<K, V, R, P, A>,
+        mut body: impl FnMut(&Self, &mut SkipHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
+    ) -> Out {
+        loop {
+            handle.leave_qstate();
+            match body(self, handle) {
+                Ok(out) => {
+                    handle.enter_qstate();
+                    return out;
+                }
+                Err(Neutralized) => {
+                    handle.r_unprotect_all();
+                    handle.begin_recovery();
+                }
+            }
+        }
+    }
+
+    /// Number of keys currently in the list (single-threaded diagnostic).
+    pub fn len(&self, handle: &mut SkipHandle<K, V, R, P, A>) -> usize {
+        handle.leave_qstate();
+        let mut n = 0;
+        let mut curr = ptr_of(self.node(self.head).next[0].load(Ordering::Acquire));
+        while curr != 0 {
+            let r = self.node(curr);
+            if !is_marked(r.next[0].load(Ordering::Acquire)) {
+                n += 1;
+            }
+            curr = ptr_of(r.next[0].load(Ordering::Acquire));
+        }
+        handle.enter_qstate();
+        n
+    }
+
+    /// Returns `true` if the skip list holds no keys (diagnostic helper).
+    pub fn is_empty(&self, handle: &mut SkipHandle<K, V, R, P, A>) -> bool {
+        self.len(handle) == 0
+    }
+}
+
+impl<K, V, R, P, A> ConcurrentMap<K, V> for SkipList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<SkipNode<K, V>>,
+    P: Pool<SkipNode<K, V>>,
+    A: Allocator<SkipNode<K, V>>,
+{
+    type Handle = SkipHandle<K, V, R, P, A>;
+
+    fn register(&self, tid: usize) -> Result<Self::Handle, RegistrationError> {
+        self.manager.register(tid)
+    }
+
+    fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
+        self.run_op(handle, |this, h| this.insert_body(h, &key, &value))
+    }
+
+    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.run_op(handle, |this, h| this.remove_body(h, key))
+    }
+
+    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        self.run_op(handle, |this, h| this.get_body(h, key)).is_some()
+    }
+
+    fn get(&self, handle: &mut Self::Handle, key: &K) -> Option<V> {
+        self.run_op(handle, |this, h| this.get_body(h, key))
+    }
+}
+
+impl<K, V, R, P, A> Drop for SkipList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<SkipNode<K, V>>,
+    P: Pool<SkipNode<K, V>>,
+    A: Allocator<SkipNode<K, V>>,
+{
+    fn drop(&mut self) {
+        let mut alloc = self.manager.teardown_allocator();
+        let mut curr = self.head;
+        while curr != 0 {
+            let next = ptr_of(self.node(curr).next[0].load(Ordering::Relaxed));
+            // SAFETY: exclusive access during drop; bottom-level walk visits each node once.
+            unsafe { alloc.deallocate(NonNull::new_unchecked(curr as *mut SkipNode<K, V>)) };
+            curr = next;
+        }
+    }
+}
+
+impl<K, V, R, P, A> fmt::Debug for SkipList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<SkipNode<K, V>>,
+    P: Pool<SkipNode<K, V>>,
+    A: Allocator<SkipNode<K, V>>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipList").field("reclaimer", &R::name()).finish()
+    }
+}
+
+// SAFETY: all shared mutable state is accessed through atomics; records are Send.
+unsafe impl<K, V, R, P, A> Send for SkipList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<SkipNode<K, V>>,
+    P: Pool<SkipNode<K, V>>,
+    A: Allocator<SkipNode<K, V>>,
+{
+}
+unsafe impl<K, V, R, P, A> Sync for SkipList<K, V, R, P, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<SkipNode<K, V>>,
+    P: Pool<SkipNode<K, V>>,
+    A: Allocator<SkipNode<K, V>>,
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debra::Debra;
+    use smr_alloc::{SystemAllocator, ThreadPool};
+
+    type Node = SkipNode<u64, u64>;
+    type TestSkip = SkipList<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+
+    fn new_skip(threads: usize) -> TestSkip {
+        SkipList::new(Arc::new(RecordManager::new(threads)))
+    }
+
+    #[test]
+    fn sequential_set_semantics() {
+        let s = new_skip(1);
+        let mut h = s.register(0).unwrap();
+        assert!(s.insert(&mut h, 3, 30));
+        assert!(s.insert(&mut h, 1, 10));
+        assert!(s.insert(&mut h, 2, 20));
+        assert!(!s.insert(&mut h, 2, 21));
+        assert_eq!(s.get(&mut h, &2), Some(20));
+        assert_eq!(s.len(&mut h), 3);
+        assert!(s.remove(&mut h, &2));
+        assert!(!s.remove(&mut h, &2));
+        assert!(!s.contains(&mut h, &2));
+        assert_eq!(s.len(&mut h), 2);
+    }
+
+    #[test]
+    fn matches_a_sequential_model() {
+        use std::collections::BTreeMap;
+        let s = new_skip(1);
+        let mut h = s.register(0).unwrap();
+        let mut model = BTreeMap::new();
+        let mut x: u64 = 0xDEADBEEFCAFEF00D;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 100;
+            match (x >> 61) % 3 {
+                0 => assert_eq!(s.insert(&mut h, key, key), model.insert(key, key).is_none()),
+                1 => assert_eq!(s.remove(&mut h, &key), model.remove(&key).is_some()),
+                _ => assert_eq!(s.contains(&mut h, &key), model.contains_key(&key)),
+            }
+        }
+        assert_eq!(s.len(&mut h), model.len());
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        let threads = 4;
+        let s = Arc::new(new_skip(threads));
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let s = Arc::clone(&s);
+            joins.push(std::thread::spawn(move || {
+                let mut h = s.register(t).unwrap();
+                let mut net: i64 = 0;
+                let mut x: u64 = 0x1234_5678 + t as u64;
+                for _ in 0..5_000 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let k = (x >> 33) % 128;
+                    if (x >> 62) & 1 == 0 {
+                        if s.insert(&mut h, k, k) {
+                            net += 1;
+                        }
+                    } else if s.remove(&mut h, &k) {
+                        net -= 1;
+                    }
+                }
+                net
+            }));
+        }
+        let net: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        let mut h = s.register(0).unwrap();
+        assert_eq!(s.len(&mut h) as i64, net);
+        assert!(s.manager().reclaimer().stats().retired > 0);
+    }
+}

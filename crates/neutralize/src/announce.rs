@@ -1,0 +1,71 @@
+//! Packing of the per-thread announcement word.
+
+/// Helpers for the packed announcement word used by DEBRA and DEBRA+.
+///
+/// The paper stores each process's announced epoch and its quiescent bit in a single word so
+/// that both can be read and written atomically (Section 4, "Minor optimizations"): the
+/// least significant bit is the quiescent bit and the remaining bits are the epoch.  Epochs
+/// are therefore always advanced by 2 in the raw representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AnnounceWord;
+
+impl AnnounceWord {
+    /// Bit mask of the quiescent bit.
+    pub const QUIESCENT_BIT: u64 = 1;
+
+    /// Packs an epoch value and a quiescent flag into an announcement word.
+    #[inline]
+    pub fn pack(epoch: u64, quiescent: bool) -> u64 {
+        debug_assert_eq!(epoch & Self::QUIESCENT_BIT, 0, "epochs use the upper 63 bits");
+        epoch | u64::from(quiescent)
+    }
+
+    /// Extracts the epoch bits (clearing the quiescent bit).
+    #[inline]
+    pub fn epoch(word: u64) -> u64 {
+        word & !Self::QUIESCENT_BIT
+    }
+
+    /// Extracts the quiescent bit.
+    #[inline]
+    pub fn is_quiescent(word: u64) -> bool {
+        word & Self::QUIESCENT_BIT != 0
+    }
+
+    /// Returns `true` if the epoch bits of `word` equal `epoch` (ignoring the quiescent
+    /// bit) — the paper's `isEqual(readEpoch, announcement)`.
+    #[inline]
+    pub fn epoch_matches(epoch: u64, word: u64) -> bool {
+        Self::epoch(word) == Self::epoch(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for epoch in [0u64, 2, 4, 100, 1 << 40] {
+            for q in [false, true] {
+                let w = AnnounceWord::pack(epoch, q);
+                assert_eq!(AnnounceWord::epoch(w), epoch);
+                assert_eq!(AnnounceWord::is_quiescent(w), q);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_matches_ignores_quiescent_bit() {
+        let w = AnnounceWord::pack(42 << 1, true);
+        assert!(AnnounceWord::epoch_matches(42 << 1, w));
+        assert!(!AnnounceWord::epoch_matches(44 << 1, w));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn odd_epoch_is_rejected_in_debug() {
+        let _ = AnnounceWord::pack(3, false);
+    }
+}

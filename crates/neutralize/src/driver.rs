@@ -1,0 +1,345 @@
+//! Signal delivery backends.
+
+use std::cell::Cell;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::slot::NeutralizeSlot;
+
+/// The signal used for neutralization by default.
+///
+/// The paper uses `SIGQUIT`; we default to `SIGUSR1` so that the default disposition of
+/// `SIGQUIT` (core dump) is preserved for processes that embed the library, but any signal
+/// number can be passed to [`SignalDriver::posix`].
+#[cfg(unix)]
+pub const DEFAULT_NEUTRALIZE_SIGNAL: i32 = libc::SIGUSR1;
+
+/// The signal used for neutralization by default (placeholder value on non-Unix targets,
+/// where only the simulated driver is available).
+#[cfg(not(unix))]
+pub const DEFAULT_NEUTRALIZE_SIGNAL: i32 = 10;
+
+/// Which delivery mechanism a [`SignalDriver`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalDriverKind {
+    /// Real POSIX signals: `sigaction` + `pthread_kill` (the paper's mechanism).
+    Posix,
+    /// Simulated delivery: the neutralizing thread performs the handler's state transition
+    /// directly on the target slot.  Used in tests and on platforms without signals.
+    Simulated,
+}
+
+/// Global count of neutralization signals sent (all drivers).
+static SIGNALS_SENT: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Slot of the thread currently registered for neutralization on this OS thread.
+    static CURRENT_SLOT: Cell<*const NeutralizeSlot> = const { Cell::new(std::ptr::null()) };
+}
+
+/// A handle for sending neutralization signals to registered threads.
+///
+/// The driver is cheap to clone and can be shared freely; the heavyweight state (the
+/// process-wide signal handler) is installed at most once per process.
+#[derive(Clone)]
+pub struct SignalDriver {
+    kind: SignalDriverKind,
+    signum: i32,
+}
+
+impl SignalDriver {
+    /// Creates a driver that delivers neutralization with real POSIX signals.
+    ///
+    /// Installs the process-wide handler for `signum` on first use.  All POSIX drivers in a
+    /// process must use the same signal number.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the handler cannot be installed, or if a different signal number
+    /// was already installed by an earlier call.
+    #[cfg(unix)]
+    pub fn posix(signum: i32) -> io::Result<Self> {
+        static INSTALLED: OnceLock<i32> = OnceLock::new();
+        let mut install_error: Option<io::Error> = None;
+        let installed = INSTALLED.get_or_init(|| {
+            if let Err(e) = install_handler(signum) {
+                install_error = Some(e);
+                -1
+            } else {
+                signum
+            }
+        });
+        if let Some(e) = install_error {
+            return Err(e);
+        }
+        if *installed != signum {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "neutralization handler already installed for signal {installed}, \
+                     cannot install for signal {signum}"
+                ),
+            ));
+        }
+        Ok(SignalDriver {
+            kind: SignalDriverKind::Posix,
+            signum,
+        })
+    }
+
+    /// Creates a driver that uses the default platform mechanism: POSIX signals on Unix
+    /// (with [`DEFAULT_NEUTRALIZE_SIGNAL`]), simulated delivery elsewhere.
+    pub fn best_available() -> Self {
+        #[cfg(unix)]
+        {
+            if let Ok(d) = Self::posix(DEFAULT_NEUTRALIZE_SIGNAL) {
+                return d;
+            }
+        }
+        Self::simulated()
+    }
+
+    /// Creates a driver with simulated delivery (no OS signals involved).
+    pub fn simulated() -> Self {
+        SignalDriver {
+            kind: SignalDriverKind::Simulated,
+            signum: DEFAULT_NEUTRALIZE_SIGNAL,
+        }
+    }
+
+    /// The delivery mechanism used by this driver.
+    pub fn kind(&self) -> SignalDriverKind {
+        self.kind
+    }
+
+    /// The signal number used by POSIX delivery.
+    pub fn signal_number(&self) -> i32 {
+        self.signum
+    }
+
+    /// Registers the calling thread as the owner of `slot`.
+    ///
+    /// While the returned [`ThreadRegistration`] is alive, neutralization signals aimed at
+    /// `slot` will be delivered to (and handled in the context of) the calling thread.
+    /// Dropping the registration deregisters the thread; it must be dropped on the same
+    /// thread that created it and before the thread exits.
+    pub fn register_current_thread(&self, slot: Arc<NeutralizeSlot>) -> ThreadRegistration {
+        match self.kind {
+            SignalDriverKind::Posix => {
+                #[cfg(unix)]
+                {
+                    let handle = unsafe { libc::pthread_self() } as u64;
+                    slot.set_os_handle(handle);
+                }
+                CURRENT_SLOT.with(|c| c.set(Arc::as_ptr(&slot)));
+            }
+            SignalDriverKind::Simulated => {
+                // Simulated delivery operates directly on the slot; nothing to record.
+            }
+        }
+        ThreadRegistration {
+            slot,
+            kind: self.kind,
+        }
+    }
+
+    /// Sends a neutralization signal to the thread that owns `slot`.
+    ///
+    /// Returns `true` if the signal was delivered (POSIX: `pthread_kill` succeeded;
+    /// simulated: the handler transition was applied).  After this returns `true` the
+    /// caller may treat the target as quiescent, exactly as in the paper.
+    pub fn neutralize(&self, slot: &NeutralizeSlot) -> bool {
+        let sent = match self.kind {
+            SignalDriverKind::Posix => {
+                #[cfg(unix)]
+                {
+                    match slot.os_handle() {
+                        Some(handle) => {
+                            let r = unsafe {
+                                libc::pthread_kill(handle as libc::pthread_t, self.signum)
+                            };
+                            r == 0
+                        }
+                        None => false,
+                    }
+                }
+                #[cfg(not(unix))]
+                {
+                    false
+                }
+            }
+            SignalDriverKind::Simulated => {
+                slot.handle_signal();
+                true
+            }
+        };
+        if sent {
+            SIGNALS_SENT.fetch_add(1, Ordering::Relaxed);
+        }
+        sent
+    }
+
+    /// Total number of neutralization signals successfully sent process-wide.
+    pub fn signals_sent() -> u64 {
+        SIGNALS_SENT.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for SignalDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SignalDriver")
+            .field("kind", &self.kind)
+            .field("signum", &self.signum)
+            .finish()
+    }
+}
+
+/// Guard returned by [`SignalDriver::register_current_thread`].
+///
+/// Keeps the slot alive and, for the POSIX driver, keeps the thread-local handler pointer
+/// valid.  Deregisters the thread when dropped.
+pub struct ThreadRegistration {
+    slot: Arc<NeutralizeSlot>,
+    kind: SignalDriverKind,
+}
+
+impl ThreadRegistration {
+    /// The slot this registration refers to.
+    pub fn slot(&self) -> &Arc<NeutralizeSlot> {
+        &self.slot
+    }
+}
+
+impl Drop for ThreadRegistration {
+    fn drop(&mut self) {
+        if self.kind == SignalDriverKind::Posix {
+            self.slot.set_os_handle(0);
+            CURRENT_SLOT.with(|c| {
+                if c.get() == Arc::as_ptr(&self.slot) {
+                    c.set(std::ptr::null());
+                }
+            });
+        }
+    }
+}
+
+impl fmt::Debug for ThreadRegistration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadRegistration")
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+/// The process-wide signal handler.  Async-signal-safe: it only reads a (const-initialized)
+/// thread-local pointer and performs atomic operations on the slot.
+#[cfg(unix)]
+extern "C" fn neutralize_handler(_signum: libc::c_int) {
+    CURRENT_SLOT.with(|c| {
+        let slot = c.get();
+        if !slot.is_null() {
+            // SAFETY: the pointer was set from an `Arc` that is kept alive by the
+            // `ThreadRegistration` guard owned by this thread, and is cleared before the
+            // guard drops the `Arc`.
+            unsafe { (*slot).handle_signal() };
+        }
+    });
+}
+
+#[cfg(unix)]
+fn install_handler(signum: i32) -> io::Result<()> {
+    // SAFETY: standard sigaction installation; the handler is async-signal-safe.
+    unsafe {
+        let mut action: libc::sigaction = std::mem::zeroed();
+        action.sa_sigaction = neutralize_handler as extern "C" fn(libc::c_int) as usize;
+        action.sa_flags = libc::SA_RESTART;
+        libc::sigemptyset(&mut action.sa_mask);
+        if libc::sigaction(signum, &action, std::ptr::null_mut()) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    #[test]
+    fn simulated_driver_neutralizes_non_quiescent_slot() {
+        let driver = SignalDriver::simulated();
+        let slot = Arc::new(NeutralizeSlot::new());
+        let _reg = driver.register_current_thread(Arc::clone(&slot));
+        slot.clear_quiescent();
+        assert!(driver.neutralize(&slot));
+        assert!(slot.is_neutralized());
+        assert!(slot.is_quiescent());
+    }
+
+    #[test]
+    fn simulated_driver_ignores_quiescent_slot() {
+        let driver = SignalDriver::simulated();
+        let slot = Arc::new(NeutralizeSlot::new());
+        assert!(driver.neutralize(&slot));
+        assert!(!slot.is_neutralized());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn posix_driver_delivers_signal_to_other_thread() {
+        let driver = SignalDriver::posix(DEFAULT_NEUTRALIZE_SIGNAL).expect("install handler");
+        let slot = Arc::new(NeutralizeSlot::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let t = {
+            let driver = driver.clone();
+            let slot = Arc::clone(&slot);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let _reg = driver.register_current_thread(Arc::clone(&slot));
+                slot.clear_quiescent();
+                while !stop.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+            })
+        };
+
+        // Wait until the worker registered and left the quiescent state.
+        while slot.os_handle().is_none() || slot.is_quiescent() {
+            std::thread::yield_now();
+        }
+        assert!(driver.neutralize(&slot), "pthread_kill should succeed");
+        // The handler runs the next time the worker takes a step.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !slot.is_neutralized() {
+            assert!(std::time::Instant::now() < deadline, "signal was not handled in time");
+            std::thread::yield_now();
+        }
+        assert!(slot.is_quiescent());
+        assert!(slot.stats().neutralizations >= 1);
+        stop.store(true, Ordering::Release);
+        t.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn posix_driver_rejects_conflicting_signal_number() {
+        // First installation (possibly from another test) fixes the signal number.
+        let _ = SignalDriver::posix(DEFAULT_NEUTRALIZE_SIGNAL).expect("install handler");
+        let other = SignalDriver::posix(libc::SIGUSR2);
+        assert!(other.is_err());
+    }
+
+    #[test]
+    fn best_available_returns_a_driver() {
+        let d = SignalDriver::best_available();
+        #[cfg(unix)]
+        assert_eq!(d.kind(), SignalDriverKind::Posix);
+        #[cfg(not(unix))]
+        assert_eq!(d.kind(), SignalDriverKind::Simulated);
+    }
+}

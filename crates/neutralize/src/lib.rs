@@ -1,0 +1,61 @@
+//! Neutralization infrastructure for DEBRA+.
+//!
+//! DEBRA+ (Brown, PODC 2015, Section 5) adds fault tolerance to DEBRA by *neutralizing*
+//! processes that have not announced the current epoch for a long time and may have crashed
+//! or been descheduled.  Neutralization is built on an inter-process communication
+//! mechanism offered by POSIX operating systems: **signals**.  A process `p` that wants to
+//! advance the epoch sends a signal to a slow process `q`; when `q` next takes a step it
+//! executes the signal handler, which — if `q` was not quiescent — makes `q` quiescent and
+//! diverts it to recovery code.  From the moment the signal is sent, `p` may treat `q` as
+//! quiescent.
+//!
+//! This crate provides the substrate for that mechanism:
+//!
+//! * [`AnnounceWord`] — the packed per-thread announcement word: epoch bits plus the
+//!   quiescent bit in the least significant bit (paper, Section 4 "Minor optimizations").
+//! * [`NeutralizeSlot`] — per-thread shared state read and written by the signal handler:
+//!   the announcement word, the neutralized flag, and statistics.
+//! * [`SignalDriver`] — delivery backends:
+//!   [`SignalDriver::posix`] installs a real signal handler and delivers neutralization
+//!   with `pthread_kill`; [`SignalDriver::simulated`] performs the handler's state
+//!   transition directly on the target slot (used in unit tests and on non-Unix platforms).
+//!
+//! # Neutralization model (and how it differs from the paper)
+//!
+//! The paper's handler performs a `siglongjmp` to recovery code, so a neutralized process
+//! can literally not execute another instruction of its interrupted operation.  Unwinding
+//! arbitrary Rust code from a signal handler is not sound (it would skip destructors and
+//! jump over stack frames the compiler assumes are well-formed), so this reproduction uses
+//! **checked neutralization**: the handler atomically sets the quiescent bit and the
+//! `neutralized` flag, and every access to a shared record performed by an operation body
+//! goes through a checkpoint that observes the flag and aborts the operation (returning a
+//! [`Neutralized`] error that the data structure propagates to its recovery/restart code).
+//! The DEBRA+ reclaimer in the `debra` crate documents why this preserves the paper's
+//! bounds; the residual difference is discussed in `DESIGN.md`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod announce;
+mod driver;
+mod slot;
+
+pub use announce::AnnounceWord;
+pub use driver::{SignalDriver, SignalDriverKind, ThreadRegistration, DEFAULT_NEUTRALIZE_SIGNAL};
+pub use slot::{NeutralizeSlot, SlotStats};
+
+/// Error type returned by checkpoints when the current thread has been neutralized.
+///
+/// Data structure operations integrated with DEBRA+ propagate this error (usually with the
+/// `?` operator) out of their operation body; the wrapper then runs the paper's recovery
+/// protocol and restarts the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Neutralized;
+
+impl std::fmt::Display for Neutralized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "operation interrupted by neutralization signal")
+    }
+}
+
+impl std::error::Error for Neutralized {}

@@ -1,0 +1,221 @@
+//! Per-thread state shared with the signal handler.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::announce::AnnounceWord;
+
+/// Per-thread neutralization state.
+///
+/// One slot exists per registered thread.  It is written by the owning thread (on every
+/// `leave_qstate`/`enter_qstate`), read by every other thread (when scanning announcements
+/// to advance the epoch), and read *and written* by the signal handler running in the
+/// owning thread's context.  All fields are therefore atomics, and the whole slot is
+/// cache-padded so that one thread's announcements do not false-share with another's
+/// (the paper's NUMA optimization concerns exactly this access pattern).
+#[derive(Debug)]
+pub struct NeutralizeSlot {
+    /// Packed announcement: epoch bits plus the quiescent bit ([`AnnounceWord`]).
+    announce: CachePadded<AtomicU64>,
+    /// Set by the signal handler when the thread was interrupted while non-quiescent.
+    neutralized: AtomicBool,
+    /// OS identity of the owning thread (`pthread_t` as `u64`), 0 when not registered.
+    os_handle: AtomicU64,
+    /// `true` while the owning thread is registered with a POSIX signal driver.
+    registered: AtomicBool,
+    /// Number of neutralization signals received by this thread's handler.
+    signals_received: AtomicU64,
+    /// Number of times the handler actually neutralized the thread (it was non-quiescent).
+    neutralizations: AtomicU64,
+}
+
+/// Snapshot of a slot's statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlotStats {
+    /// Signals delivered to the thread's handler.
+    pub signals_received: u64,
+    /// Signals that found the thread non-quiescent and neutralized it.
+    pub neutralizations: u64,
+}
+
+impl NeutralizeSlot {
+    /// Creates a slot in the quiescent state with epoch 0.
+    pub fn new() -> Self {
+        NeutralizeSlot {
+            announce: CachePadded::new(AtomicU64::new(AnnounceWord::pack(0, true))),
+            neutralized: AtomicBool::new(false),
+            os_handle: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+            signals_received: AtomicU64::new(0),
+            neutralizations: AtomicU64::new(0),
+        }
+    }
+
+    /// Loads the raw announcement word.
+    #[inline]
+    pub fn load_announce(&self, order: Ordering) -> u64 {
+        self.announce.load(order)
+    }
+
+    /// Stores the raw announcement word (owning thread only).
+    #[inline]
+    pub fn store_announce(&self, word: u64, order: Ordering) {
+        self.announce.store(word, order);
+    }
+
+    /// Returns `true` if the owning thread is currently quiescent.
+    #[inline]
+    pub fn is_quiescent(&self) -> bool {
+        AnnounceWord::is_quiescent(self.announce.load(Ordering::Acquire))
+    }
+
+    /// Sets the quiescent bit without modifying the announced epoch
+    /// (the paper's `setQuiescentBitTrue`).
+    #[inline]
+    pub fn set_quiescent(&self) {
+        self.announce.fetch_or(AnnounceWord::QUIESCENT_BIT, Ordering::SeqCst);
+    }
+
+    /// Clears the quiescent bit without modifying the announced epoch
+    /// (the paper's `setQuiescentBitFalse`).
+    #[inline]
+    pub fn clear_quiescent(&self) {
+        self.announce
+            .fetch_and(!AnnounceWord::QUIESCENT_BIT, Ordering::SeqCst);
+    }
+
+    /// Returns `true` if the thread has been neutralized and has not yet run recovery.
+    #[inline]
+    pub fn is_neutralized(&self) -> bool {
+        self.neutralized.load(Ordering::Acquire)
+    }
+
+    /// Clears the neutralized flag (called by the owning thread when it starts recovery or
+    /// a new operation).
+    #[inline]
+    pub fn clear_neutralized(&self) {
+        self.neutralized.store(false, Ordering::Release);
+    }
+
+    /// The state transition performed by the signal handler: always counts the signal, and
+    /// if the thread is not quiescent, makes it quiescent and marks it neutralized.
+    ///
+    /// Returns `true` if the thread was actually neutralized by this call.
+    ///
+    /// This function is async-signal-safe: it only performs atomic loads and stores.
+    #[inline]
+    pub fn handle_signal(&self) -> bool {
+        self.signals_received.fetch_add(1, Ordering::Relaxed);
+        let word = self.announce.load(Ordering::Acquire);
+        if AnnounceWord::is_quiescent(word) {
+            // Interrupted while quiescent (or while running recovery code): no effect.
+            return false;
+        }
+        self.set_quiescent();
+        self.neutralized.store(true, Ordering::SeqCst);
+        self.neutralizations.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Records the OS identity of the owning thread (used by the POSIX driver).
+    pub(crate) fn set_os_handle(&self, handle: u64) {
+        self.os_handle.store(handle, Ordering::SeqCst);
+        self.registered.store(handle != 0, Ordering::SeqCst);
+    }
+
+    /// Returns the OS identity of the owning thread if it is registered with a POSIX
+    /// driver.
+    pub(crate) fn os_handle(&self) -> Option<u64> {
+        if self.registered.load(Ordering::Acquire) {
+            let h = self.os_handle.load(Ordering::Acquire);
+            if h != 0 {
+                return Some(h);
+            }
+        }
+        None
+    }
+
+    /// Statistics snapshot for this thread.
+    pub fn stats(&self) -> SlotStats {
+        SlotStats {
+            signals_received: self.signals_received.load(Ordering::Relaxed),
+            neutralizations: self.neutralizations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for NeutralizeSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_slot_is_quiescent_and_not_neutralized() {
+        let s = NeutralizeSlot::new();
+        assert!(s.is_quiescent());
+        assert!(!s.is_neutralized());
+        assert_eq!(s.stats(), SlotStats::default());
+    }
+
+    #[test]
+    fn quiescent_bit_transitions_preserve_epoch() {
+        let s = NeutralizeSlot::new();
+        s.store_announce(AnnounceWord::pack(10, false), Ordering::SeqCst);
+        assert!(!s.is_quiescent());
+        s.set_quiescent();
+        assert!(s.is_quiescent());
+        assert_eq!(AnnounceWord::epoch(s.load_announce(Ordering::SeqCst)), 10);
+        s.clear_quiescent();
+        assert!(!s.is_quiescent());
+        assert_eq!(AnnounceWord::epoch(s.load_announce(Ordering::SeqCst)), 10);
+    }
+
+    #[test]
+    fn signal_while_quiescent_is_a_noop() {
+        let s = NeutralizeSlot::new();
+        assert!(!s.handle_signal());
+        assert!(!s.is_neutralized());
+        assert_eq!(s.stats().signals_received, 1);
+        assert_eq!(s.stats().neutralizations, 0);
+    }
+
+    #[test]
+    fn signal_while_non_quiescent_neutralizes() {
+        let s = NeutralizeSlot::new();
+        s.clear_quiescent();
+        assert!(s.handle_signal());
+        assert!(s.is_quiescent(), "handler makes the thread quiescent");
+        assert!(s.is_neutralized());
+        assert_eq!(s.stats().neutralizations, 1);
+        // A second signal while quiescent does not neutralize again.
+        assert!(!s.handle_signal());
+        assert_eq!(s.stats().signals_received, 2);
+        assert_eq!(s.stats().neutralizations, 1);
+    }
+
+    #[test]
+    fn clear_neutralized_resets_flag() {
+        let s = NeutralizeSlot::new();
+        s.clear_quiescent();
+        s.handle_signal();
+        assert!(s.is_neutralized());
+        s.clear_neutralized();
+        assert!(!s.is_neutralized());
+    }
+
+    #[test]
+    fn os_handle_roundtrip() {
+        let s = NeutralizeSlot::new();
+        assert_eq!(s.os_handle(), None);
+        s.set_os_handle(1234);
+        assert_eq!(s.os_handle(), Some(1234));
+        s.set_os_handle(0);
+        assert_eq!(s.os_handle(), None);
+    }
+}

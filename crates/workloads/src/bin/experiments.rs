@@ -1,0 +1,131 @@
+//! Command-line driver that regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p smr-workloads --bin experiments -- <subcommand>
+//!
+//! Subcommands:
+//!   figure2      qualitative scheme comparison (paper Figure 2)
+//!   e1           Experiment 1: overhead of reclamation (Figure 8 left)
+//!   e2           Experiment 2: with reuse through the pool (Figure 8 right)
+//!   e2-oversub   Experiment 2 with oversubscription (Figure 9 left)
+//!   memory       memory allocated for records + neutralizations (Figure 9 right)
+//!   e3           Experiment 3: malloc allocator (Figure 10)
+//!   summary      headline ratios from the abstract (DEBRA vs None vs HP)
+//!   all          everything above
+//!
+//! Environment variables:
+//!   DURATION_MS   per-trial duration (default 300)
+//!   THREADS       comma-separated thread counts (default "1,2,4,8")
+//!   FULL_KEYRANGE set to 1 to use the paper's key ranges (10^4 / 10^6 / 2*10^5);
+//!                 the default uses smaller ranges so a full sweep finishes quickly
+//! ```
+
+use smr_workloads::experiments::{
+    self, experiment1, experiment2, experiment2_oversubscribed, experiment3, memory_footprint,
+    print_rows, summarize, ReclaimerKind, StructureKind,
+};
+use smr_workloads::figure2;
+use smr_workloads::workload::{OperationMix, WorkloadConfig};
+use smr_workloads::AllocatorKind;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_threads() -> Vec<usize> {
+    std::env::var("THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let duration = env_u64("DURATION_MS", 300);
+    let threads = env_threads();
+    let small = env_u64("FULL_KEYRANGE", 0) == 0;
+
+    match cmd {
+        "figure2" => {
+            println!("\n### Figure 2 — properties of the implemented reclamation schemes\n");
+            println!("{}", figure2::render_markdown());
+        }
+        "e1" => print_rows(
+            "Experiment 1 (Figure 8 left): overhead of reclamation — bump allocator, no pool",
+            &experiment1(&threads, duration, small),
+        ),
+        "e2" => print_rows(
+            "Experiment 2 (Figure 8 right): bump allocator + pool",
+            &experiment2(&threads, duration, small),
+        ),
+        "e2-oversub" => print_rows(
+            "Experiment 2, oversubscribed (Figure 9 left)",
+            &experiment2_oversubscribed(duration, small),
+        ),
+        "memory" => {
+            let rows = memory_footprint(duration, small);
+            print_rows("Memory footprint (Figure 9 right)", &rows);
+            println!("\nbytes allocated for records (lower is better):");
+            for r in &rows {
+                println!(
+                    "  {:7} threads={:3}: {:>12} bytes, {:>6} neutralizations",
+                    r.reclaimer.name(),
+                    r.threads,
+                    r.result.allocated_bytes,
+                    r.result.reclaimer.neutralized
+                );
+            }
+        }
+        "e3" => print_rows(
+            "Experiment 3 (Figure 10): system allocator + pool",
+            &experiment3(&threads, duration, small),
+        ),
+        "summary" => {
+            let rows = experiment2(&threads, duration, small);
+            print_rows("Experiment 2 rows used for the summary", &rows);
+            println!("\n### Headline comparison (paper abstract)\n");
+            for line in summarize(&rows) {
+                println!("  {line}");
+            }
+        }
+        "quick" => {
+            // A single quick configuration, useful for sanity checks.
+            let cfg = WorkloadConfig {
+                threads: threads[0],
+                key_range: 1024,
+                mix: OperationMix::UPDATE_HEAVY,
+                duration_ms: duration,
+                prefill: true,
+            };
+            let row = experiments::run_config(
+                StructureKind::Bst,
+                ReclaimerKind::Debra,
+                AllocatorKind::BumpWithPool,
+                &cfg,
+                1,
+            );
+            print_rows("Quick check", &[row]);
+        }
+        "all" => {
+            println!("\n### Figure 2 — properties of the implemented reclamation schemes\n");
+            println!("{}", figure2::render_markdown());
+            print_rows("Experiment 1 (Figure 8 left)", &experiment1(&threads, duration, small));
+            let e2 = experiment2(&threads, duration, small);
+            print_rows("Experiment 2 (Figure 8 right)", &e2);
+            print_rows("Experiment 2, oversubscribed (Figure 9 left)", &experiment2_oversubscribed(duration, small));
+            let mem = memory_footprint(duration, small);
+            print_rows("Memory footprint (Figure 9 right)", &mem);
+            print_rows("Experiment 3 (Figure 10)", &experiment3(&threads, duration, small));
+            println!("\n### Headline comparison (paper abstract)\n");
+            for line in summarize(&e2) {
+                println!("  {line}");
+            }
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`; see the module docs for usage");
+            std::process::exit(2);
+        }
+    }
+}

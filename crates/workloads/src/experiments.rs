@@ -1,0 +1,461 @@
+//! Drivers for every experiment in the paper's evaluation section.
+//!
+//! Each experiment is a sweep over (data structure, reclaimer, thread count, operation mix,
+//! key range) for a fixed memory configuration (allocator + pool), mirroring Section 7:
+//!
+//! | Experiment | Paper figure | Memory configuration |
+//! |------------|--------------|----------------------|
+//! | [`experiment1`] | Figure 8 (left) | bump allocator, **no pool** (reclaimers do their work but records are never reused) |
+//! | [`experiment2`] | Figure 8 (right) | bump allocator + pool (records are recycled) |
+//! | [`experiment2_oversubscribed`] | Figure 9 (left) | as Experiment 2, with more threads than cores |
+//! | [`memory_footprint`] | Figure 9 (right) | as Experiment 2, reporting bytes allocated for records and neutralization counts |
+//! | [`experiment3`] | Figure 10 | system allocator (`malloc`) + pool |
+
+use std::sync::Arc;
+
+use debra::{Allocator, Debra, DebraPlus, Reclaimer, RecordManager};
+use lockfree_ds::{BstNode, ExternalBst, SkipList, SkipNode};
+use smr_alloc::{BumpAllocator, NoPool, SystemAllocator, ThreadPool};
+use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim};
+
+use crate::harness::{run_trial, TrialResult};
+use crate::workload::{OperationMix, WorkloadConfig};
+
+/// Which reclamation scheme a configuration uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReclaimerKind {
+    /// No reclamation at all (the paper's "None").
+    None,
+    /// DEBRA (this paper).
+    Debra,
+    /// DEBRA+ (this paper, fault tolerant).
+    DebraPlus,
+    /// Hazard pointers.
+    HazardPointers,
+    /// Classical epoch based reclamation.
+    Ebr,
+}
+
+impl ReclaimerKind {
+    /// All schemes compared in the BST panels of Figures 8–10.
+    pub const ALL: [ReclaimerKind; 5] = [
+        ReclaimerKind::None,
+        ReclaimerKind::Debra,
+        ReclaimerKind::DebraPlus,
+        ReclaimerKind::HazardPointers,
+        ReclaimerKind::Ebr,
+    ];
+
+    /// The scheme's display name (matches the paper's legend).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReclaimerKind::None => "None",
+            ReclaimerKind::Debra => "DEBRA",
+            ReclaimerKind::DebraPlus => "DEBRA+",
+            ReclaimerKind::HazardPointers => "HP",
+            ReclaimerKind::Ebr => "EBR",
+        }
+    }
+}
+
+/// Which data structure a configuration exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureKind {
+    /// The external BST (stand-in for the paper's balanced BST).
+    Bst,
+    /// The lock-free skip list.
+    SkipList,
+}
+
+impl StructureKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StructureKind::Bst => "BST",
+            StructureKind::SkipList => "SkipList",
+        }
+    }
+}
+
+/// Which memory configuration (allocator + pool) a configuration uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocatorKind {
+    /// Bump allocator, no pool — Experiment 1.
+    BumpNoPool,
+    /// Bump allocator + per-thread pool — Experiment 2 / Figure 9.
+    BumpWithPool,
+    /// System allocator (`malloc`) + per-thread pool — Experiment 3.
+    SystemWithPool,
+}
+
+impl AllocatorKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocatorKind::BumpNoPool => "bump/no-pool",
+            AllocatorKind::BumpWithPool => "bump/pool",
+            AllocatorKind::SystemWithPool => "malloc/pool",
+        }
+    }
+}
+
+/// One row of an experiment's output table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRow {
+    /// Data structure.
+    pub structure: StructureKind,
+    /// Reclamation scheme.
+    pub reclaimer: ReclaimerKind,
+    /// Memory configuration.
+    pub allocator: AllocatorKind,
+    /// Thread count.
+    pub threads: usize,
+    /// Key range.
+    pub key_range: u64,
+    /// Operation mix label (e.g. `"50i-50d"`).
+    pub mix: String,
+    /// Trial measurements.
+    pub result: TrialResult,
+}
+
+impl ExperimentRow {
+    /// Formats the row the way the experiment tables in `EXPERIMENTS.md` are written.
+    pub fn to_table_line(&self) -> String {
+        format!(
+            "| {:9} | {:7} | {:12} | {:3} | {:8} | {:8} | {:8.3} | {:10} | {:10} | {:6} |",
+            self.structure.name(),
+            self.reclaimer.name(),
+            self.allocator.name(),
+            self.threads,
+            self.key_range,
+            self.mix,
+            self.result.throughput_mops,
+            self.result.reclaimer.retired,
+            self.result.reclaimer.reclaimed,
+            self.result.reclaimer.neutralized,
+        )
+    }
+
+    /// The table header matching [`Self::to_table_line`].
+    pub fn table_header() -> String {
+        let mut s = String::new();
+        s.push_str("| structure | scheme  | memory       | thr | keyrange | mix      | Mops/s   | retired    | reclaimed  | neutr. |\n");
+        s.push_str("|-----------|---------|--------------|-----|----------|----------|----------|------------|------------|--------|");
+        s
+    }
+}
+
+/// Runs one fully specified configuration and returns its row.
+pub fn run_config(
+    structure: StructureKind,
+    reclaimer: ReclaimerKind,
+    allocator: AllocatorKind,
+    cfg: &WorkloadConfig,
+    seed: u64,
+) -> ExperimentRow {
+    // The combinatorial instantiation of (structure × reclaimer × memory configuration) is
+    // expanded by this macro: each arm builds the Record Manager with the right type
+    // parameters (a one-line choice, which is the whole point of the abstraction) and runs
+    // the shared harness.
+    macro_rules! run {
+        ($ds:ident, $node:ty, $recl:ty, $pool:ty, $alloc:ty) => {{
+            let threads = cfg.threads + 1; // +1 slot for the prefill handle
+            let manager: Arc<RecordManager<$node, $recl, $pool, $alloc>> =
+                Arc::new(RecordManager::new(threads));
+            let map = $ds::new(Arc::clone(&manager));
+            let result = run_trial(
+                &map,
+                cfg,
+                seed,
+                || manager.reclaimer().stats(),
+                || {
+                    (
+                        manager.allocator().allocated_bytes(),
+                        manager.allocator().allocated_records(),
+                    )
+                },
+            );
+            result
+        }};
+    }
+
+    macro_rules! dispatch_structure {
+        ($recl:ident, $pool:ident, $alloc:ident) => {
+            match structure {
+                StructureKind::Bst => run!(
+                    ExternalBst,
+                    BstNode<u64, u64>,
+                    $recl<BstNode<u64, u64>>,
+                    $pool<BstNode<u64, u64>>,
+                    $alloc<BstNode<u64, u64>>
+                ),
+                StructureKind::SkipList => run!(
+                    SkipList,
+                    SkipNode<u64, u64>,
+                    $recl<SkipNode<u64, u64>>,
+                    $pool<SkipNode<u64, u64>>,
+                    $alloc<SkipNode<u64, u64>>
+                ),
+            }
+        };
+    }
+
+    macro_rules! dispatch_memory {
+        ($recl:ident) => {
+            match allocator {
+                AllocatorKind::BumpNoPool => dispatch_structure!($recl, NoPool, BumpAllocator),
+                AllocatorKind::BumpWithPool => dispatch_structure!($recl, ThreadPool, BumpAllocator),
+                AllocatorKind::SystemWithPool => {
+                    dispatch_structure!($recl, ThreadPool, SystemAllocator)
+                }
+            }
+        };
+    }
+
+    let result = match reclaimer {
+        ReclaimerKind::None => dispatch_memory!(NoReclaim),
+        ReclaimerKind::Debra => dispatch_memory!(Debra),
+        ReclaimerKind::DebraPlus => dispatch_memory!(DebraPlus),
+        ReclaimerKind::HazardPointers => dispatch_memory!(HazardPointers),
+        ReclaimerKind::Ebr => dispatch_memory!(ClassicEbr),
+    };
+
+    ExperimentRow {
+        structure,
+        reclaimer,
+        allocator,
+        threads: cfg.threads,
+        key_range: cfg.key_range,
+        mix: cfg.mix.label(),
+        result,
+    }
+}
+
+/// The grid of workload shapes used by the paper's figures (two operation mixes × the
+/// per-structure key ranges).
+pub fn paper_workloads(structure: StructureKind, small_keyranges: bool) -> Vec<(u64, OperationMix)> {
+    let ranges: Vec<u64> = match (structure, small_keyranges) {
+        (StructureKind::Bst, false) => vec![10_000, 1_000_000],
+        (StructureKind::Bst, true) => vec![1_024, 16_384],
+        (StructureKind::SkipList, false) => vec![200_000],
+        (StructureKind::SkipList, true) => vec![4_096],
+    };
+    let mut out = Vec::new();
+    for r in ranges {
+        out.push((r, OperationMix::UPDATE_HEAVY));
+        out.push((r, OperationMix::MIXED));
+    }
+    out
+}
+
+fn sweep(
+    structures: &[StructureKind],
+    reclaimers: &[ReclaimerKind],
+    allocator: AllocatorKind,
+    thread_counts: &[usize],
+    duration_ms: u64,
+    small_keyranges: bool,
+) -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    for &structure in structures {
+        for (key_range, mix) in paper_workloads(structure, small_keyranges) {
+            for &threads in thread_counts {
+                for &reclaimer in reclaimers {
+                    let cfg = WorkloadConfig { threads, key_range, mix, duration_ms, prefill: true };
+                    rows.push(run_config(structure, reclaimer, allocator, &cfg, 0xDEB2A));
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Experiment 1 (Figure 8, left): overhead of reclamation — bump allocator, no pool.
+pub fn experiment1(thread_counts: &[usize], duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
+    sweep(
+        &[StructureKind::Bst, StructureKind::SkipList],
+        &ReclaimerKind::ALL,
+        AllocatorKind::BumpNoPool,
+        thread_counts,
+        duration_ms,
+        small,
+    )
+}
+
+/// Experiment 2 (Figure 8, right): records are actually recycled — bump allocator + pool.
+pub fn experiment2(thread_counts: &[usize], duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
+    sweep(
+        &[StructureKind::Bst, StructureKind::SkipList],
+        &ReclaimerKind::ALL,
+        AllocatorKind::BumpWithPool,
+        thread_counts,
+        duration_ms,
+        small,
+    )
+}
+
+/// Experiment 2 with more threads than cores (Figure 9, left — the paper's 64-thread
+/// Oracle T4-1 run): exposes the oversubscription cliff that DEBRA+ fixes.
+pub fn experiment2_oversubscribed(duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let counts = [cores, cores * 2, cores * 4];
+    sweep(
+        &[StructureKind::Bst],
+        &ReclaimerKind::ALL,
+        AllocatorKind::BumpWithPool,
+        &counts,
+        duration_ms,
+        small,
+    )
+}
+
+/// Experiment 3 (Figure 10): the system allocator replaces the bump allocator.
+pub fn experiment3(thread_counts: &[usize], duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
+    sweep(
+        &[StructureKind::Bst, StructureKind::SkipList],
+        &ReclaimerKind::ALL,
+        AllocatorKind::SystemWithPool,
+        thread_counts,
+        duration_ms,
+        small,
+    )
+}
+
+/// The memory-footprint experiment (Figure 9, right): BST, key range 10⁴ (paper value) or
+/// smaller, 50i-50d, bump allocator + pool; the metric is total bytes allocated for
+/// records, swept over thread counts including oversubscription.
+pub fn memory_footprint(duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let counts = [1, cores.max(2), cores * 2, cores * 4];
+    let key_range = if small { 1_024 } else { 10_000 };
+    let mut rows = Vec::new();
+    for &threads in &counts {
+        for reclaimer in [ReclaimerKind::None, ReclaimerKind::Debra, ReclaimerKind::DebraPlus, ReclaimerKind::HazardPointers] {
+            let cfg = WorkloadConfig {
+                threads,
+                key_range,
+                mix: OperationMix::UPDATE_HEAVY,
+                duration_ms,
+                prefill: true,
+            };
+            rows.push(run_config(StructureKind::Bst, reclaimer, AllocatorKind::BumpWithPool, &cfg, 7));
+        }
+    }
+    rows
+}
+
+/// Prints a set of rows as a markdown table (the format used in `EXPERIMENTS.md`).
+pub fn print_rows(title: &str, rows: &[ExperimentRow]) {
+    println!("\n### {title}\n");
+    println!("{}", ExperimentRow::table_header());
+    for row in rows {
+        println!("{}", row.to_table_line());
+    }
+}
+
+/// Computes the headline comparison of the paper's abstract: DEBRA / DEBRA+ overhead
+/// relative to no reclamation, and speedup over hazard pointers, averaged over a set of
+/// rows that differ only in the reclaimer.
+pub fn summarize(rows: &[ExperimentRow]) -> Vec<String> {
+    use std::collections::HashMap;
+    // Group by everything except the reclaimer.
+    let mut groups: HashMap<(StructureKind, AllocatorKind, usize, u64, String), HashMap<ReclaimerKind, f64>> =
+        HashMap::new();
+    for r in rows {
+        groups
+            .entry((r.structure, r.allocator, r.threads, r.key_range, r.mix.clone()))
+            .or_default()
+            .insert(r.reclaimer, r.result.throughput_mops);
+    }
+    let mut debra_vs_none = Vec::new();
+    let mut debra_plus_vs_none = Vec::new();
+    let mut debra_vs_hp = Vec::new();
+    let mut debra_plus_vs_hp = Vec::new();
+    for (_, by_scheme) in groups {
+        if let (Some(&none), Some(&debra)) =
+            (by_scheme.get(&ReclaimerKind::None), by_scheme.get(&ReclaimerKind::Debra))
+        {
+            debra_vs_none.push(debra / none);
+        }
+        if let (Some(&none), Some(&dp)) =
+            (by_scheme.get(&ReclaimerKind::None), by_scheme.get(&ReclaimerKind::DebraPlus))
+        {
+            debra_plus_vs_none.push(dp / none);
+        }
+        if let (Some(&hp), Some(&debra)) =
+            (by_scheme.get(&ReclaimerKind::HazardPointers), by_scheme.get(&ReclaimerKind::Debra))
+        {
+            debra_vs_hp.push(debra / hp);
+        }
+        if let (Some(&hp), Some(&dp)) =
+            (by_scheme.get(&ReclaimerKind::HazardPointers), by_scheme.get(&ReclaimerKind::DebraPlus))
+        {
+            debra_plus_vs_hp.push(dp / hp);
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    vec![
+        format!("DEBRA throughput relative to None (paper: ~0.88–0.96x): {:.2}x", avg(&debra_vs_none)),
+        format!("DEBRA+ throughput relative to None (paper: ~0.83–0.90x): {:.2}x", avg(&debra_plus_vs_none)),
+        format!("DEBRA speedup over HP (paper: ~1.75–1.94x): {:.2}x", avg(&debra_vs_hp)),
+        format!("DEBRA+ speedup over HP (paper: ~1.70–1.83x): {:.2}x", avg(&debra_plus_vs_hp)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_config_smoke_every_reclaimer_on_bst() {
+        for reclaimer in ReclaimerKind::ALL {
+            let cfg = WorkloadConfig {
+                threads: 2,
+                key_range: 128,
+                mix: OperationMix::UPDATE_HEAVY,
+                duration_ms: 20,
+                prefill: true,
+            };
+            let row = run_config(StructureKind::Bst, reclaimer, AllocatorKind::BumpWithPool, &cfg, 1);
+            assert!(row.result.operations > 0, "{reclaimer:?} produced no operations");
+            if reclaimer != ReclaimerKind::None {
+                assert!(row.result.reclaimer.retired > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn run_config_smoke_skiplist_and_memory_configs() {
+        for allocator in [AllocatorKind::BumpNoPool, AllocatorKind::SystemWithPool] {
+            let cfg = WorkloadConfig {
+                threads: 2,
+                key_range: 128,
+                mix: OperationMix::MIXED,
+                duration_ms: 20,
+                prefill: true,
+            };
+            let row =
+                run_config(StructureKind::SkipList, ReclaimerKind::Debra, allocator, &cfg, 3);
+            assert!(row.result.operations > 0);
+            assert!(row.result.allocated_records > 0);
+        }
+    }
+
+    #[test]
+    fn summary_produces_four_lines() {
+        let mut rows = Vec::new();
+        for reclaimer in ReclaimerKind::ALL {
+            let cfg = WorkloadConfig {
+                threads: 2,
+                key_range: 64,
+                mix: OperationMix::UPDATE_HEAVY,
+                duration_ms: 15,
+                prefill: true,
+            };
+            rows.push(run_config(StructureKind::Bst, reclaimer, AllocatorKind::BumpWithPool, &cfg, 5));
+        }
+        let summary = summarize(&rows);
+        assert_eq!(summary.len(), 4);
+        assert!(summary[0].contains("DEBRA"));
+    }
+}

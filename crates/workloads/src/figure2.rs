@@ -1,0 +1,72 @@
+//! Regenerates the qualitative scheme-comparison table (the paper's Figure 2) from the
+//! `SchemeProperties` metadata reported by every implemented reclaimer.
+
+use debra::{Debra, DebraPlus, Reclaimer, SchemeProperties};
+use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
+
+/// Collects the properties of every reclamation scheme implemented in this repository.
+pub fn implemented_schemes() -> Vec<SchemeProperties> {
+    // A throwaway record type: the properties do not depend on `T`.
+    type T = u64;
+    vec![
+        <NoReclaim<T> as Reclaimer<T>>::properties(),
+        <ClassicEbr<T> as Reclaimer<T>>::properties(),
+        <HazardPointers<T> as Reclaimer<T>>::properties(),
+        <ThreadScanLite<T> as Reclaimer<T>>::properties(),
+        <Debra<T> as Reclaimer<T>>::properties(),
+        <DebraPlus<T> as Reclaimer<T>>::properties(),
+    ]
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "x"
+    } else {
+        ""
+    }
+}
+
+/// Renders the Figure 2 table as markdown.
+pub fn render_markdown() -> String {
+    let schemes = implemented_schemes();
+    let mut out = String::new();
+    out.push_str("| Scheme | per accessed record | per operation | per retired record | other modifications | timing assumptions | fault tolerant | reclamation termination | retired→retired traversal |\n");
+    out.push_str("|--------|---------------------|---------------|--------------------|---------------------|--------------------|----------------|-------------------------|---------------------------|\n");
+    for s in schemes {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            s.name,
+            tick(s.code_modifications.per_accessed_record),
+            tick(s.code_modifications.per_operation),
+            tick(s.code_modifications.per_retired_record),
+            s.code_modifications.other,
+            s.timing_assumptions,
+            tick(s.fault_tolerant),
+            s.termination,
+            tick(s.can_traverse_retired_to_retired),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_every_scheme_and_matches_figure2_highlights() {
+        let md = render_markdown();
+        for name in ["None", "EBR", "HP", "ThreadScan", "DEBRA", "DEBRA+"] {
+            assert!(md.contains(name), "missing scheme {name}");
+        }
+        let schemes = implemented_schemes();
+        let debra_plus = schemes.iter().find(|s| s.name == "DEBRA+").unwrap();
+        assert!(debra_plus.fault_tolerant);
+        assert!(debra_plus.can_traverse_retired_to_retired);
+        let hp = schemes.iter().find(|s| s.name == "HP").unwrap();
+        assert!(hp.code_modifications.per_accessed_record);
+        assert!(!hp.can_traverse_retired_to_retired);
+        let ebr = schemes.iter().find(|s| s.name == "EBR").unwrap();
+        assert!(!ebr.fault_tolerant);
+    }
+}

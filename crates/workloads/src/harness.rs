@@ -1,0 +1,166 @@
+//! The generic timed-trial driver.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use debra::ReclaimerStats;
+use lockfree_ds::ConcurrentMap;
+
+use crate::workload::{Operation, OperationGenerator, WorkloadConfig};
+
+/// The outcome of one timed trial, in the units the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrialResult {
+    /// Total completed operations.
+    pub operations: u64,
+    /// Throughput in million operations per second (the y-axis of Figures 8–10).
+    pub throughput_mops: f64,
+    /// Wall-clock duration of the timed phase.
+    pub duration_secs: f64,
+    /// Reclaimer statistics at the end of the trial.
+    pub reclaimer: ReclaimerStats,
+    /// Total bytes of record memory requested from the allocator (bump-pointer distance;
+    /// the metric of Figure 9 right).
+    pub allocated_bytes: u64,
+    /// Total records requested from the allocator.
+    pub allocated_records: u64,
+}
+
+/// Runs one timed trial of `cfg` against `map`, following the paper's methodology
+/// (optional prefill to half the key range, then timed random operations on every thread).
+///
+/// `reclaimer_stats` and `allocator_stats` are read at the end of the trial; they are
+/// closures so the harness stays independent of the concrete Record Manager composition.
+pub fn run_trial<M>(
+    map: &M,
+    cfg: &WorkloadConfig,
+    seed: u64,
+    reclaimer_stats: impl Fn() -> ReclaimerStats,
+    allocator_stats: impl Fn() -> (u64, u64),
+) -> TrialResult
+where
+    M: ConcurrentMap<u64, u64>,
+{
+    assert!(cfg.threads >= 1, "at least one worker thread is required");
+
+    // Prefill to half of the key range (performed by worker 0's slot, like the paper).
+    if cfg.prefill {
+        let mut handle = map.register(0).expect("register prefill thread");
+        let mut gen = OperationGenerator::new(cfg, 0, seed ^ 0xBEEF);
+        let target = (cfg.key_range / 2) as usize;
+        let mut inserted = 0usize;
+        let mut attempts = 0u64;
+        while inserted < target && attempts < cfg.key_range * 8 {
+            if map.insert(&mut handle, gen.next_key(), attempts) {
+                inserted += 1;
+            }
+            attempts += 1;
+        }
+        drop(handle);
+    }
+
+    let stop = AtomicBool::new(false);
+    let started = AtomicU64::new(0);
+    let total_ops = AtomicU64::new(0);
+    let start_gate = AtomicBool::new(false);
+
+    let timed = std::thread::scope(|scope| {
+        for tid in 0..cfg.threads {
+            let stop = &stop;
+            let started = &started;
+            let total_ops = &total_ops;
+            let start_gate = &start_gate;
+            let map_ref = &*map;
+            let cfg = *cfg;
+            scope.spawn(move || {
+                let mut handle = map_ref.register(tid).expect("register worker thread");
+                let mut gen = OperationGenerator::new(&cfg, tid, seed);
+                started.fetch_add(1, Ordering::SeqCst);
+                while !start_gate.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match gen.next_op() {
+                        Operation::Insert(k) => {
+                            map_ref.insert(&mut handle, k, k);
+                        }
+                        Operation::Delete(k) => {
+                            map_ref.remove(&mut handle, &k);
+                        }
+                        Operation::Search(k) => {
+                            map_ref.contains(&mut handle, &k);
+                        }
+                    }
+                    ops += 1;
+                }
+                total_ops.fetch_add(ops, Ordering::SeqCst);
+            });
+        }
+
+        // Wait for all workers to have registered, then time the run.
+        while started.load(Ordering::SeqCst) < cfg.threads as u64 {
+            std::thread::yield_now();
+        }
+        let begin = Instant::now();
+        start_gate.store(true, Ordering::Release);
+        std::thread::sleep(Duration::from_millis(cfg.duration_ms));
+        stop.store(true, Ordering::SeqCst);
+        begin.elapsed()
+        // scope joins all workers here
+    });
+
+    let operations = total_ops.load(Ordering::SeqCst);
+    let duration_secs = timed.as_secs_f64();
+    let (allocated_bytes, allocated_records) = allocator_stats();
+    TrialResult {
+        operations,
+        throughput_mops: operations as f64 / duration_secs / 1.0e6,
+        duration_secs,
+        reclaimer: reclaimer_stats(),
+        allocated_bytes,
+        allocated_records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::OperationMix;
+    use debra::{Debra, RecordManager, Reclaimer};
+    use lockfree_ds::{HarrisMichaelList, ListNode};
+    use smr_alloc::{SystemAllocator, ThreadPool};
+    use std::sync::Arc;
+
+    type Node = ListNode<u64, u64>;
+    type List = HarrisMichaelList<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+
+    #[test]
+    fn trial_produces_sensible_numbers() {
+        let manager = Arc::new(RecordManager::new(3));
+        let list: List = HarrisMichaelList::new(Arc::clone(&manager));
+        let cfg = WorkloadConfig {
+            threads: 2,
+            key_range: 256,
+            mix: OperationMix::UPDATE_HEAVY,
+            duration_ms: 50,
+            prefill: true,
+        };
+        // Worker threads use tids 0..threads; prefill reuses tid 0 before workers start.
+        let result = run_trial(
+            &list,
+            &cfg,
+            1,
+            || manager.reclaimer().stats(),
+            || {
+                use debra::Allocator;
+                (manager.allocator().allocated_bytes(), manager.allocator().allocated_records())
+            },
+        );
+        assert!(result.operations > 0);
+        assert!(result.throughput_mops > 0.0);
+        assert!(result.duration_secs > 0.04);
+        assert!(result.allocated_records > 0);
+        assert!(result.reclaimer.operations > 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Operation mixes and key generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An operation mix, written the way the paper writes it: `xi-yd` means x% inserts,
+/// y% deletes and the remainder searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperationMix {
+    /// Percentage of insert operations (0–100).
+    pub insert_pct: u8,
+    /// Percentage of delete operations (0–100).
+    pub delete_pct: u8,
+}
+
+impl OperationMix {
+    /// The paper's update-heavy mix: 50% inserts, 50% deletes.
+    pub const UPDATE_HEAVY: OperationMix = OperationMix { insert_pct: 50, delete_pct: 50 };
+    /// The paper's mixed workload: 25% inserts, 25% deletes, 50% searches.
+    pub const MIXED: OperationMix = OperationMix { insert_pct: 25, delete_pct: 25 };
+    /// A read-dominated mix (not in the paper's figures, used by extra ablations).
+    pub const READ_MOSTLY: OperationMix = OperationMix { insert_pct: 5, delete_pct: 5 };
+
+    /// Percentage of search operations.
+    pub fn search_pct(&self) -> u8 {
+        100 - self.insert_pct - self.delete_pct
+    }
+
+    /// The paper's label for this mix, e.g. `"50i-50d"`.
+    pub fn label(&self) -> String {
+        format!("{}i-{}d", self.insert_pct, self.delete_pct)
+    }
+}
+
+/// One benchmark configuration (the knobs the paper sweeps).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Keys are drawn uniformly from `0..key_range`.
+    pub key_range: u64,
+    /// Operation mix.
+    pub mix: OperationMix,
+    /// Trial duration in milliseconds.
+    pub duration_ms: u64,
+    /// Whether to prefill the structure to half the key range before timing.
+    pub prefill: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            threads: 4,
+            key_range: 10_000,
+            mix: OperationMix::UPDATE_HEAVY,
+            duration_ms: 200,
+            prefill: true,
+        }
+    }
+}
+
+/// A single operation chosen by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Insert `key`.
+    Insert(u64),
+    /// Delete `key`.
+    Delete(u64),
+    /// Search for `key`.
+    Search(u64),
+}
+
+/// Per-thread deterministic operation generator (seeded per thread id so trials are
+/// reproducible).
+#[derive(Debug)]
+pub struct OperationGenerator {
+    rng: SmallRng,
+    key_range: u64,
+    mix: OperationMix,
+}
+
+impl OperationGenerator {
+    /// Creates a generator for worker `tid` under `cfg`.
+    pub fn new(cfg: &WorkloadConfig, tid: usize, seed: u64) -> Self {
+        OperationGenerator {
+            rng: SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            key_range: cfg.key_range,
+            mix: cfg.mix,
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Operation {
+        let key = self.rng.gen_range(0..self.key_range);
+        let p: u8 = self.rng.gen_range(0..100);
+        if p < self.mix.insert_pct {
+            Operation::Insert(key)
+        } else if p < self.mix.insert_pct + self.mix.delete_pct {
+            Operation::Delete(key)
+        } else {
+            Operation::Search(key)
+        }
+    }
+
+    /// Draws a uniformly random key (used for prefilling).
+    pub fn next_key(&mut self) -> u64 {
+        self.rng.gen_range(0..self.key_range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_labels_match_the_paper() {
+        assert_eq!(OperationMix::UPDATE_HEAVY.label(), "50i-50d");
+        assert_eq!(OperationMix::MIXED.label(), "25i-25d");
+        assert_eq!(OperationMix::MIXED.search_pct(), 50);
+        assert_eq!(OperationMix::UPDATE_HEAVY.search_pct(), 0);
+    }
+
+    #[test]
+    fn generator_respects_mix_proportions() {
+        let cfg = WorkloadConfig { mix: OperationMix::MIXED, key_range: 1000, ..Default::default() };
+        let mut g = OperationGenerator::new(&cfg, 0, 42);
+        let mut counts = [0u32; 3];
+        for _ in 0..100_000 {
+            match g.next_op() {
+                Operation::Insert(k) => {
+                    assert!(k < 1000);
+                    counts[0] += 1;
+                }
+                Operation::Delete(_) => counts[1] += 1,
+                Operation::Search(_) => counts[2] += 1,
+            }
+        }
+        // 25/25/50 within a small tolerance.
+        assert!((23_000..27_000).contains(&counts[0]), "{counts:?}");
+        assert!((23_000..27_000).contains(&counts[1]), "{counts:?}");
+        assert!((48_000..52_000).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed_and_tid() {
+        let cfg = WorkloadConfig::default();
+        let a: Vec<_> = {
+            let mut g = OperationGenerator::new(&cfg, 3, 7);
+            (0..100).map(|_| g.next_op()).collect()
+        };
+        let b: Vec<_> = {
+            let mut g = OperationGenerator::new(&cfg, 3, 7);
+            (0..100).map(|_| g.next_op()).collect()
+        };
+        let c: Vec<_> = {
+            let mut g = OperationGenerator::new(&cfg, 4, 7);
+            (0..100).map(|_| g.next_op()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,108 @@
+//! Fault tolerance demonstration (the heart of DEBRA+, paper Section 5).
+//!
+//! One thread starts a data-structure operation and then stalls *inside* it, simulating a
+//! descheduled or crashed process.  Under DEBRA the stalled thread pins the epoch and the
+//! number of unreclaimed records grows with every retire; under DEBRA+ the other threads
+//! neutralize the stalled thread with a signal and reclamation continues, keeping the
+//! number of unreclaimed records bounded (the effect behind Figure 9, right).
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use debra_repro::debra::{
+    CountingSink, Debra, DebraPlus, Reclaimer, ReclaimerThread,
+};
+
+/// Drives one reclaimer with a stalled second thread and reports the peak number of
+/// retired-but-unreclaimed records.
+fn run<R>(label: &str) -> u64
+where
+    R: Reclaimer<u64>,
+{
+    let global = Arc::new(R::new(2));
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicBool::new(false));
+
+    // The "stalled" worker: leaves its quiescent state and then spins, periodically
+    // checking whether it has been neutralized (as any DEBRA+-integrated operation would).
+    let staller = {
+        let global = Arc::clone(&global);
+        let stop = Arc::clone(&stop);
+        let started = Arc::clone(&started);
+        std::thread::spawn(move || {
+            let mut thread = R::register(&global, 1).expect("register staller");
+            let mut sink = CountingSink::default();
+            thread.leave_qstate(&mut sink);
+            started.store(true, Ordering::Release);
+            while !stop.load(Ordering::Acquire) {
+                if thread.check().is_err() {
+                    // Neutralized: run the (trivial) recovery protocol and start over.
+                    thread.begin_recovery();
+                    thread.leave_qstate(&mut sink);
+                }
+                std::hint::spin_loop();
+            }
+            thread.enter_qstate();
+        })
+    };
+    while !started.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+
+    // The productive worker keeps retiring records (as a data structure under a delete-heavy
+    // workload would).
+    struct FreeSink;
+    impl debra_repro::debra::ReclaimSink<u64> for FreeSink {
+        fn accept(&mut self, record: NonNull<u64>) {
+            // SAFETY: records are leaked boxes reclaimed exactly once.
+            unsafe { drop(Box::from_raw(record.as_ptr())) }
+        }
+    }
+    let mut worker = R::register(&global, 0).expect("register worker");
+    let mut sink = FreeSink;
+    let mut peak_pending = 0u64;
+    for i in 0..200_000u64 {
+        worker.leave_qstate(&mut sink);
+        let record = NonNull::from(Box::leak(Box::new(i)));
+        // SAFETY: the record was never published; retiring it is trivially valid.
+        unsafe { worker.retire(record, &mut sink) };
+        worker.enter_qstate();
+        if i % 4096 == 0 {
+            peak_pending = peak_pending.max(global.stats().pending);
+        }
+    }
+    peak_pending = peak_pending.max(global.stats().pending);
+
+    stop.store(true, Ordering::Release);
+    staller.join().unwrap();
+    let stats = global.stats();
+    println!(
+        "{label:7} | peak unreclaimed records: {:>8} | reclaimed: {:>8} | neutralizations: {:>4}",
+        peak_pending, stats.reclaimed, stats.neutralized
+    );
+    // Give stragglers a home before the global is dropped.
+    drop(worker);
+    for r in global.drain_orphans() {
+        // SAFETY: orphaned test records are leaked boxes owned solely by us now.
+        unsafe { drop(Box::from_raw(r.as_ptr())) };
+    }
+    std::thread::sleep(Duration::from_millis(10));
+    peak_pending
+}
+
+fn main() {
+    println!("A thread stalls inside an operation while another thread retires 200k records.\n");
+    let debra_peak = run::<Debra<u64>>("DEBRA");
+    let plus_peak = run::<DebraPlus<u64>>("DEBRA+");
+    println!(
+        "\nDEBRA's garbage grew to {debra_peak} records (unbounded in the limit); \
+         DEBRA+ kept it at {plus_peak} thanks to neutralization — the paper reports a 94% \
+         reduction in peak memory for the same reason (Figure 9, right)."
+    );
+}

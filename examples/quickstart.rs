@@ -1,0 +1,54 @@
+//! Quickstart: a concurrent map protected by DEBRA.
+//!
+//! Builds the lock-free external BST with the DEBRA reclaimer, a per-thread object pool and
+//! the system allocator, then hammers it from several threads.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use debra_repro::debra::{Debra, Reclaimer, RecordManager};
+use debra_repro::lockfree_ds::{BstNode, ConcurrentMap, ExternalBst};
+use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
+
+type Node = BstNode<u64, u64>;
+// The whole memory-management strategy of the data structure is this one line:
+type Manager = RecordManager<Node, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+type Map = ExternalBst<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+
+fn main() {
+    let threads = 4;
+    let manager: Arc<Manager> = Arc::new(RecordManager::new(threads));
+    let map: Arc<Map> = Arc::new(ExternalBst::new(Arc::clone(&manager)));
+
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let map = Arc::clone(&map);
+            scope.spawn(move || {
+                // Each thread registers once and reuses its handle for every operation.
+                let mut handle = map.register(tid).expect("register thread");
+                let base = (tid as u64) * 10_000;
+                for i in 0..10_000u64 {
+                    map.insert(&mut handle, base + i, i);
+                }
+                for i in (0..10_000u64).step_by(2) {
+                    map.remove(&mut handle, &(base + i));
+                }
+                for i in 0..10_000u64 {
+                    let expect = i % 2 == 1;
+                    assert_eq!(map.contains(&mut handle, &(base + i)), expect);
+                }
+            });
+        }
+    });
+
+    let stats = manager.reclaimer().stats();
+    println!("operations started : {}", stats.operations);
+    println!("records retired    : {}", stats.retired);
+    println!("records reclaimed  : {}", stats.reclaimed);
+    println!("records in limbo   : {}", stats.pending);
+    println!("epochs advanced    : {}", stats.epochs_advanced);
+    println!("quickstart finished: the map holds the odd keys of each thread's range");
+}

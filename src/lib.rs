@@ -1,0 +1,12 @@
+//! Umbrella crate for the DEBRA / DEBRA+ reproduction workspace.
+//!
+//! Re-exports the individual crates so that examples and integration tests can use a single
+//! dependency.  See the workspace `README.md` and `DESIGN.md` for the architecture.
+
+pub use blockbag;
+pub use debra;
+pub use lockfree_ds;
+pub use neutralize;
+pub use smr_alloc;
+pub use smr_baselines;
+pub use smr_workloads;

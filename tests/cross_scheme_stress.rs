@@ -1,0 +1,98 @@
+//! Cross-crate integration tests: every data structure is exercised under every
+//! reclamation scheme through the Record Manager, with consistency invariants checked at
+//! the end.  This is the "one data structure, any reclaimer" promise of the paper's
+//! Record Manager abstraction, tested end to end.
+
+use std::sync::Arc;
+
+use debra_repro::debra::{Debra, DebraPlus, Reclaimer, RecordManager};
+use debra_repro::lockfree_ds::{
+    BstNode, ConcurrentMap, ExternalBst, HarrisMichaelList, ListNode, SkipList, SkipNode,
+};
+use debra_repro::smr_alloc::{BumpAllocator, SystemAllocator, ThreadPool};
+use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, NoReclaim};
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: u64 = 4_000;
+const KEY_RANGE: u64 = 256;
+
+/// Runs a mixed workload on any map and checks that the net number of successful inserts
+/// matches the final size reported by a full traversal.
+fn stress<M>(map: Arc<M>, check_len: impl Fn(&M, usize))
+where
+    M: ConcurrentMap<u64, u64> + 'static,
+{
+    let mut joins = Vec::new();
+    for tid in 0..THREADS {
+        let map = Arc::clone(&map);
+        joins.push(std::thread::spawn(move || {
+            let mut handle = map.register(tid).expect("register worker");
+            let mut net: i64 = 0;
+            let mut x: u64 = 0xA076_1D64_78BD_642F ^ (tid as u64) << 17;
+            for _ in 0..OPS_PER_THREAD {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let key = (x >> 33) % KEY_RANGE;
+                match (x >> 61) % 4 {
+                    0 | 1 => {
+                        if map.insert(&mut handle, key, key.wrapping_mul(3)) {
+                            net += 1;
+                        }
+                    }
+                    2 => {
+                        if map.remove(&mut handle, &key) {
+                            net -= 1;
+                        }
+                    }
+                    _ => {
+                        let _ = map.get(&mut handle, &key);
+                    }
+                }
+            }
+            net
+        }));
+    }
+    let net: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    assert!(net >= 0, "net successful inserts cannot be negative");
+    check_len(&map, net as usize);
+}
+
+macro_rules! stress_test {
+    ($name:ident, $structure:ident, $node:ident, $reclaimer:ty, $pool:ident, $alloc:ident) => {
+        #[test]
+        fn $name() {
+            type Node = $node<u64, u64>;
+            type Map = $structure<u64, u64, $reclaimer, $pool<Node>, $alloc<Node>>;
+            let manager = Arc::new(RecordManager::new(THREADS + 1));
+            let map: Arc<Map> = Arc::new($structure::new(Arc::clone(&manager)));
+            stress(Arc::clone(&map), |map, expected| {
+                let mut handle = map.register(THREADS).expect("register checker");
+                assert_eq!(map.len(&mut handle), expected, "final size must match net inserts");
+            });
+            // Reclamation bookkeeping must be consistent: nothing reclaimed that was not
+            // retired first.
+            let stats = manager.reclaimer().stats();
+            assert!(stats.reclaimed <= stats.retired);
+        }
+    };
+}
+
+// --- the BST (the paper's primary workload) under every scheme -------------------------
+stress_test!(bst_none, ExternalBst, BstNode, NoReclaim<Node>, ThreadPool, SystemAllocator);
+stress_test!(bst_debra, ExternalBst, BstNode, Debra<Node>, ThreadPool, SystemAllocator);
+stress_test!(bst_debra_plus, ExternalBst, BstNode, DebraPlus<Node>, ThreadPool, SystemAllocator);
+stress_test!(bst_hazard_pointers, ExternalBst, BstNode, HazardPointers<Node>, ThreadPool, SystemAllocator);
+stress_test!(bst_classic_ebr, ExternalBst, BstNode, ClassicEbr<Node>, ThreadPool, SystemAllocator);
+stress_test!(bst_debra_bump, ExternalBst, BstNode, Debra<Node>, ThreadPool, BumpAllocator);
+
+// --- the Harris-Michael list under every scheme -----------------------------------------
+stress_test!(list_none, HarrisMichaelList, ListNode, NoReclaim<Node>, ThreadPool, SystemAllocator);
+stress_test!(list_debra, HarrisMichaelList, ListNode, Debra<Node>, ThreadPool, SystemAllocator);
+stress_test!(list_debra_plus, HarrisMichaelList, ListNode, DebraPlus<Node>, ThreadPool, SystemAllocator);
+stress_test!(list_hazard_pointers, HarrisMichaelList, ListNode, HazardPointers<Node>, ThreadPool, SystemAllocator);
+stress_test!(list_classic_ebr, HarrisMichaelList, ListNode, ClassicEbr<Node>, ThreadPool, SystemAllocator);
+
+// --- the skip list under the schemes used in the paper's skip list panels ---------------
+stress_test!(skiplist_none, SkipList, SkipNode, NoReclaim<Node>, ThreadPool, SystemAllocator);
+stress_test!(skiplist_debra, SkipList, SkipNode, Debra<Node>, ThreadPool, SystemAllocator);
+stress_test!(skiplist_debra_plus, SkipList, SkipNode, DebraPlus<Node>, ThreadPool, SystemAllocator);
+stress_test!(skiplist_ebr, SkipList, SkipNode, ClassicEbr<Node>, ThreadPool, BumpAllocator);

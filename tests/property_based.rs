@@ -1,0 +1,77 @@
+//! Property-based tests (proptest) on the core substrates and data structure invariants.
+
+use std::collections::BTreeMap;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use debra_repro::blockbag::BlockBag;
+use debra_repro::debra::{Debra, RecordManager};
+use debra_repro::lockfree_ds::{BstNode, ConcurrentMap, ExternalBst};
+use debra_repro::neutralize::AnnounceWord;
+use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
+
+fn fake_ptr(v: usize) -> NonNull<u64> {
+    NonNull::new(((v + 1) * 8) as *mut u64).unwrap()
+}
+
+proptest! {
+    /// A block bag behaves like a multiset: every pushed pointer comes back exactly once,
+    /// regardless of the block capacity, and the "all non-head blocks are full" invariant
+    /// keeps `take_full_blocks` lossless.
+    #[test]
+    fn blockbag_is_a_lossless_multiset(
+        values in proptest::collection::vec(0usize..10_000, 0..600),
+        capacity in 1usize..64,
+        take_midway in any::<bool>(),
+    ) {
+        let mut bag: BlockBag<u64> = BlockBag::with_block_capacity(capacity);
+        let mut moved: Vec<NonNull<u64>> = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            bag.push(fake_ptr(*v + i * 16_384));
+            if take_midway && i == values.len() / 2 {
+                for block in bag.take_full_blocks() {
+                    moved.extend(block.iter());
+                }
+            }
+        }
+        prop_assert_eq!(bag.len() + moved.len(), values.len());
+        let mut all: Vec<usize> = bag.iter().chain(moved.iter().copied()).map(|p| p.as_ptr() as usize).collect();
+        let mut expected: Vec<usize> = values.iter().enumerate().map(|(i, v)| fake_ptr(*v + i * 16_384).as_ptr() as usize).collect();
+        all.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(all, expected);
+    }
+
+    /// The announcement word packing round-trips for every epoch and quiescent bit.
+    #[test]
+    fn announce_word_roundtrip(epoch_half in 0u64..(1 << 40), quiescent in any::<bool>()) {
+        let epoch = epoch_half << 1; // epochs always have a zero low bit
+        let word = AnnounceWord::pack(epoch, quiescent);
+        prop_assert_eq!(AnnounceWord::epoch(word), epoch);
+        prop_assert_eq!(AnnounceWord::is_quiescent(word), quiescent);
+        prop_assert!(AnnounceWord::epoch_matches(epoch, word));
+    }
+
+    /// The external BST behaves exactly like a `BTreeMap` under arbitrary sequential
+    /// operation sequences (with reclamation through the Record Manager happening
+    /// underneath).
+    #[test]
+    fn bst_matches_btreemap(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..400)) {
+        type Node = BstNode<u64, u64>;
+        type Map = ExternalBst<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+        let manager = Arc::new(RecordManager::new(1));
+        let map: Map = ExternalBst::new(manager);
+        let mut handle = map.register(0).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, key) in ops {
+            match op {
+                0 => prop_assert_eq!(map.insert(&mut handle, key, key * 7), model.insert(key, key * 7).is_none()),
+                1 => prop_assert_eq!(map.remove(&mut handle, &key), model.remove(&key).is_some()),
+                _ => prop_assert_eq!(map.get(&mut handle, &key), model.get(&key).copied()),
+            }
+        }
+        prop_assert_eq!(map.len(&mut handle), model.len());
+    }
+}
