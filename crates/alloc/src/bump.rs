@@ -190,7 +190,8 @@ mod tests {
         for (i, p) in ptrs.iter().enumerate() {
             assert_eq!(unsafe { *p.as_ref() }, i as u64);
         }
-        let unique: std::collections::HashSet<_> = ptrs.iter().map(|p| p.as_ptr() as usize).collect();
+        let unique: std::collections::HashSet<_> =
+            ptrs.iter().map(|p| p.as_ptr() as usize).collect();
         assert_eq!(unique.len(), ptrs.len());
         assert_eq!(global.allocated_records(), 10_000);
         assert_eq!(global.allocated_bytes(), 10_000 * 8);

@@ -108,7 +108,7 @@ mod tests {
         let pool: Arc<NoPool<u64>> = Arc::new(<NoPool<u64> as Pool<u64>>::new(2));
         let mut t = NoPool::register(&pool, 0);
         assert!(t.try_take().is_none());
-        ReclaimSink::accept(&mut t, NonNull::new(8 as *mut u64).unwrap());
+        ReclaimSink::accept(&mut t, NonNull::<u64>::dangling());
         assert_eq!(pool.reclaimed(), 1);
         assert!(t.try_take().is_none(), "NoPool must not hand records back");
         assert_eq!(t.cached(), 0);

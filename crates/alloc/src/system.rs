@@ -59,9 +59,7 @@ impl<T: Send + 'static> Allocator<T> for SystemAllocator<T> {
 
 impl<T> fmt::Debug for SystemAllocator<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SystemAllocator")
-            .field("threads", &self.per_thread.len())
-            .finish()
+        f.debug_struct("SystemAllocator").field("threads", &self.per_thread.len()).finish()
     }
 }
 

@@ -8,8 +8,8 @@ use std::sync::{Arc, Mutex};
 use blockbag::BlockBag;
 use crossbeam_utils::CachePadded;
 use debra::{
-    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread,
-    RegistrationError, SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
+    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread, RegistrationError,
+    SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
 };
 
 /// Announcement value of a thread that has never executed an operation.
@@ -82,7 +82,10 @@ impl<T: Send + 'static> Reclaimer<T> for ClassicEbr<T> {
 
     fn register(this: &Arc<Self>, tid: usize) -> Result<Self::Thread, RegistrationError> {
         if tid >= this.max_threads {
-            return Err(RegistrationError::ThreadIdOutOfRange { tid, max_threads: this.max_threads });
+            return Err(RegistrationError::ThreadIdOutOfRange {
+                tid,
+                max_threads: this.max_threads,
+            });
         }
         if this.registered[tid]
             .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
@@ -239,11 +242,8 @@ impl<T: Send + 'static> ReclaimerThread<T> for ClassicEbrThread<T> {
 
 impl<T: Send + 'static> Drop for ClassicEbrThread<T> {
     fn drop(&mut self) {
-        let leftovers: Vec<NonNull<T>> = self
-            .bags
-            .iter_mut()
-            .flat_map(|b| b.drain().collect::<Vec<_>>())
-            .collect();
+        let leftovers: Vec<NonNull<T>> =
+            self.bags.iter_mut().flat_map(|b| b.drain().collect::<Vec<_>>()).collect();
         if !leftovers.is_empty() {
             self.global.orphans.lock().expect("orphans poisoned").extend(leftovers);
         }

@@ -9,8 +9,8 @@ use std::sync::{Arc, Mutex};
 use blockbag::BlockBag;
 use crossbeam_utils::CachePadded;
 use debra::{
-    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread,
-    RegistrationError, SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
+    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread, RegistrationError,
+    SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
 };
 
 /// Configuration for [`HazardPointers`].
@@ -71,7 +71,9 @@ impl<T: Send + 'static> HazardPointers<T> {
         assert!(max_threads > 0);
         assert!(config.slots_per_thread > 0);
         HazardPointers {
-            hp: (0..max_threads).map(|_| CachePadded::new(HpSlots::new(config.slots_per_thread))).collect(),
+            hp: (0..max_threads)
+                .map(|_| CachePadded::new(HpSlots::new(config.slots_per_thread)))
+                .collect(),
             stats: (0..max_threads).map(|_| CachePadded::new(ThreadStatsSlot::default())).collect(),
             registered: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
             orphans: Mutex::new(Vec::new()),
@@ -98,9 +100,7 @@ impl<T: Send + 'static> HazardPointers<T> {
     /// Returns `true` if any thread currently announces a hazard pointer to `record`.
     pub fn is_protected_by_any(&self, record: NonNull<T>) -> bool {
         let addr = record.as_ptr() as *mut u8;
-        self.hp
-            .iter()
-            .any(|slots| slots.slots.iter().any(|s| s.load(Ordering::SeqCst) == addr))
+        self.hp.iter().any(|slots| slots.slots.iter().any(|s| s.load(Ordering::SeqCst) == addr))
     }
 }
 
@@ -113,7 +113,10 @@ impl<T: Send + 'static> Reclaimer<T> for HazardPointers<T> {
 
     fn register(this: &Arc<Self>, tid: usize) -> Result<Self::Thread, RegistrationError> {
         if tid >= this.max_threads {
-            return Err(RegistrationError::ThreadIdOutOfRange { tid, max_threads: this.max_threads });
+            return Err(RegistrationError::ThreadIdOutOfRange {
+                tid,
+                max_threads: this.max_threads,
+            });
         }
         if this.registered[tid]
             .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)

@@ -34,4 +34,4 @@ mod threadscan;
 pub use ebr::{ClassicEbr, ClassicEbrThread, EbrConfig};
 pub use hazard::{HazardPointers, HazardPointersThread, HpConfig};
 pub use none::{NoReclaim, NoReclaimThread};
-pub use threadscan::{ThreadScanLite, ThreadScanLiteThread, ThreadScanConfig};
+pub use threadscan::{ThreadScanConfig, ThreadScanLite, ThreadScanLiteThread};

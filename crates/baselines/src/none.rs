@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 use debra::{
-    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread,
-    RegistrationError, SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
+    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread, RegistrationError,
+    SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
 };
 
 /// The paper's "None" baseline: retired records are simply abandoned.
@@ -31,7 +31,9 @@ impl<T: Send + 'static> Reclaimer<T> for NoReclaim<T> {
         assert!(max_threads > 0);
         NoReclaim {
             stats: (0..max_threads).map(|_| CachePadded::new(ThreadStatsSlot::default())).collect(),
-            registered: (0..max_threads).map(|_| std::sync::atomic::AtomicBool::new(false)).collect(),
+            registered: (0..max_threads)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
             max_threads,
             _marker: std::marker::PhantomData,
         }
@@ -39,7 +41,10 @@ impl<T: Send + 'static> Reclaimer<T> for NoReclaim<T> {
 
     fn register(this: &Arc<Self>, tid: usize) -> Result<Self::Thread, RegistrationError> {
         if tid >= this.max_threads {
-            return Err(RegistrationError::ThreadIdOutOfRange { tid, max_threads: this.max_threads });
+            return Err(RegistrationError::ThreadIdOutOfRange {
+                tid,
+                max_threads: this.max_threads,
+            });
         }
         if this.registered[tid]
             .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)

@@ -9,8 +9,8 @@ use std::sync::{Arc, Mutex};
 use blockbag::BlockBag;
 use crossbeam_utils::CachePadded;
 use debra::{
-    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread,
-    RegistrationError, SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
+    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread, RegistrationError,
+    SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
 };
 use neutralize::{NeutralizeSlot, SignalDriver, ThreadRegistration};
 use parking_lot::Mutex as ReclaimLock;
@@ -67,9 +67,13 @@ impl<T: Send + 'static> ThreadScanLite<T> {
         assert!(max_threads > 0);
         ThreadScanLite {
             refs: (0..max_threads)
-                .map(|_| CachePadded::new(RefSlots {
-                    slots: (0..config.slots_per_thread).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
-                }))
+                .map(|_| {
+                    CachePadded::new(RefSlots {
+                        slots: (0..config.slots_per_thread)
+                            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                            .collect(),
+                    })
+                })
                 .collect(),
             slots: (0..max_threads).map(|_| Arc::new(NeutralizeSlot::new())).collect(),
             stats: (0..max_threads).map(|_| CachePadded::new(ThreadStatsSlot::default())).collect(),
@@ -99,6 +103,7 @@ impl<T: Send + 'static> ThreadScanLite<T> {
     /// Signals every other registered thread and waits for each to acknowledge.
     fn signal_and_await(&self, my_tid: usize) {
         let before: Vec<u64> = self.slots.iter().map(|s| s.stats().signals_received).collect();
+        #[allow(clippy::needless_range_loop)] // tid indexes three parallel per-thread arrays
         for tid in 0..self.max_threads {
             if tid == my_tid || !self.registered[tid].load(Ordering::SeqCst) {
                 continue;
@@ -113,7 +118,7 @@ impl<T: Send + 'static> ThreadScanLite<T> {
                 && self.slots[tid].stats().signals_received <= before[tid]
             {
                 spins += 1;
-                if spins % 64 == 0 {
+                if spins.is_multiple_of(64) {
                     std::thread::yield_now();
                 }
             }
@@ -130,7 +135,10 @@ impl<T: Send + 'static> Reclaimer<T> for ThreadScanLite<T> {
 
     fn register(this: &Arc<Self>, tid: usize) -> Result<Self::Thread, RegistrationError> {
         if tid >= this.max_threads {
-            return Err(RegistrationError::ThreadIdOutOfRange { tid, max_threads: this.max_threads });
+            return Err(RegistrationError::ThreadIdOutOfRange {
+                tid,
+                max_threads: this.max_threads,
+            });
         }
         if this.registered[tid]
             .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
@@ -344,11 +352,8 @@ mod tests {
 
     #[test]
     fn reclaims_unreferenced_records_and_keeps_referenced_ones() {
-        let ts: Arc<ThreadScanLite<u64>> = Arc::new(ThreadScanLite::with_config(
-            2,
-            tiny(),
-            SignalDriver::simulated(),
-        ));
+        let ts: Arc<ThreadScanLite<u64>> =
+            Arc::new(ThreadScanLite::with_config(2, tiny(), SignalDriver::simulated()));
         let mut a = ThreadScanLite::register(&ts, 0).unwrap();
         let mut b = ThreadScanLite::register(&ts, 1).unwrap();
         let mut sink = FreeingSink { freed: Vec::new() };

@@ -2,13 +2,23 @@
 //! (`leave_qstate`/`enter_qstate`) and the per-retired-record cost (`retire`) for each
 //! scheme.  These are the O(1) costs the paper claims for DEBRA/DEBRA+ (Sections 4 and 5)
 //! and the per-announcement fence that makes hazard pointers expensive.
+//!
+//! Besides the human-readable output, the run writes a machine-readable summary to
+//! `BENCH_reclaimer.json` (override the path with the `BENCH_JSON` environment variable),
+//! seeding the repository's benchmark trajectory:
+//!
+//! ```text
+//! cargo bench -p smr-bench --bench reclaimer_microbench
+//! ```
 
+use std::io::Write as _;
 use std::ptr::NonNull;
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 use debra::{CountingSink, Debra, DebraPlus, Reclaimer, ReclaimerThread};
 use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim};
+use smr_ibr::Ibr;
 
 fn bench_scheme<R>(c: &mut Criterion, name: &str)
 where
@@ -20,14 +30,14 @@ where
     let mut record = Box::new(0u64);
     let record_ptr = NonNull::from(&mut *record);
 
-    c.bench_function(&format!("{name}/op_boundary"), |b| {
+    c.bench_function(format!("{name}/op_boundary"), |b| {
         b.iter(|| {
             thread.leave_qstate(&mut sink);
             thread.enter_qstate();
         })
     });
 
-    c.bench_function(&format!("{name}/protect"), |b| {
+    c.bench_function(format!("{name}/protect"), |b| {
         thread.leave_qstate(&mut sink);
         b.iter(|| {
             criterion::black_box(thread.protect(0, record_ptr, || true));
@@ -39,8 +49,11 @@ where
 
 /// `retire` cost is measured separately with heap records that the sink frees, so that
 /// schemes which reclaim during the measurement (DEBRA with a tiny increment threshold,
-/// HP scans) do not accumulate unbounded garbage.
-fn bench_retire(c: &mut Criterion) {
+/// HP scans, IBR's amortized interval scan) do not accumulate unbounded garbage.
+fn bench_retire<R>(c: &mut Criterion, name: &str)
+where
+    R: Reclaimer<u64>,
+{
     struct FreeSink;
     impl debra::ReclaimSink<u64> for FreeSink {
         fn accept(&mut self, record: NonNull<u64>) {
@@ -49,13 +62,15 @@ fn bench_retire(c: &mut Criterion) {
         }
     }
 
-    let global: Arc<Debra<u64>> = Arc::new(Debra::new(2));
-    let mut thread = Debra::register(&global, 0).expect("register");
+    let global = Arc::new(R::new(2));
+    let mut thread = R::register(&global, 0).expect("register");
     let mut sink = FreeSink;
-    c.bench_function("DEBRA/retire", |b| {
+    c.bench_function(format!("{name}/retire"), |b| {
         b.iter(|| {
             thread.leave_qstate(&mut sink);
             let r = NonNull::from(Box::leak(Box::new(0u64)));
+            // Tag the birth era like the Record Manager would (no-op for other schemes).
+            thread.record_allocated(r);
             // SAFETY: the record is unreachable (never published anywhere).
             unsafe { thread.retire(r, &mut sink) };
             thread.enter_qstate();
@@ -69,12 +84,48 @@ fn benches(c: &mut Criterion) {
     bench_scheme::<DebraPlus<u64>>(c, "DEBRA+");
     bench_scheme::<HazardPointers<u64>>(c, "HP");
     bench_scheme::<ClassicEbr<u64>>(c, "EBR");
-    bench_retire(c);
+    bench_scheme::<Ibr<u64>>(c, "IBR");
+    bench_retire::<Debra<u64>>(c, "DEBRA");
+    bench_retire::<ClassicEbr<u64>>(c, "EBR");
+    bench_retire::<Ibr<u64>>(c, "IBR");
 }
 
-criterion_group! {
-    name = reclaimer_microbench;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = benches
+/// Serializes the collected results as JSON (schema: `{"benchmarks": [{"name", "scheme",
+/// "op", "ns_per_iter", "iters"}]}`), written without a JSON dependency on purpose.
+fn write_json(c: &Criterion, path: &str) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let results = c.results();
+    for (i, r) in results.iter().enumerate() {
+        let (scheme, op) = r.name.split_once('/').unwrap_or((r.name.as_str(), ""));
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scheme\": \"{}\", \"op\": \"{}\", \
+             \"ns_per_iter\": {:.3}, \"iters\": {}}}{}\n",
+            r.name,
+            scheme,
+            op,
+            r.ns_per_iter,
+            r.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
 }
-criterion_main!(reclaimer_microbench);
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(500))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .configure_from_args();
+    benches(&mut criterion);
+    // Default to the workspace root (cargo bench runs with the package as cwd).
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reclaimer.json").into()
+    });
+    match write_json(&criterion, &path) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

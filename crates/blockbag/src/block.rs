@@ -115,10 +115,7 @@ impl<T> Block<T> {
 
 impl<T> fmt::Debug for Block<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Block")
-            .field("len", &self.len())
-            .field("capacity", &self.capacity)
-            .finish()
+        f.debug_struct("Block").field("len", &self.len()).field("capacity", &self.capacity).finish()
     }
 }
 

@@ -12,6 +12,8 @@ use crate::block::{Block, DEFAULT_BLOCK_CAPACITY};
 /// than 99.9%.  `BlockMemoryPool` is that cache: instead of freeing an empty block, return
 /// it here; instead of allocating a new block, ask here first.
 pub struct BlockMemoryPool<T> {
+    // Boxed for the same reason as `BlockBag`: blocks travel whole between owners.
+    #[allow(clippy::vec_box)]
     spare: Vec<Box<Block<T>>>,
     max_spare: usize,
     block_capacity: usize,
@@ -36,13 +38,7 @@ impl<T> BlockMemoryPool<T> {
     /// Panics if `block_capacity` is zero.
     pub fn with_limits(max_spare: usize, block_capacity: usize) -> Self {
         assert!(block_capacity > 0, "block capacity must be positive");
-        BlockMemoryPool {
-            spare: Vec::new(),
-            max_spare,
-            block_capacity,
-            allocated: 0,
-            reused: 0,
-        }
+        BlockMemoryPool { spare: Vec::new(), max_spare, block_capacity, allocated: 0, reused: 0 }
     }
 
     /// Obtains an empty block, reusing a cached one when possible.
@@ -141,7 +137,7 @@ mod tests {
     fn released_blocks_are_cleared() {
         let mut pool: BlockMemoryPool<u64> = BlockMemoryPool::with_limits(2, 8);
         let mut b = pool.acquire();
-        b.push(NonNull::new(8 as *mut u64).unwrap());
+        b.push(NonNull::<u64>::dangling());
         pool.release(b);
         let b = pool.acquire();
         assert!(b.is_empty());
@@ -162,6 +158,9 @@ mod tests {
             let _ = round;
         }
         let total = pool.allocations() + pool.reuses();
-        assert!(pool.allocations() * 100 < total, "block allocations should be <1% of acquisitions");
+        assert!(
+            pool.allocations() * 100 < total,
+            "block allocations should be <1% of acquisitions"
+        );
     }
 }

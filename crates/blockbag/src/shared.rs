@@ -29,10 +29,7 @@ pub struct SharedBlockBag<T> {
 impl<T> SharedBlockBag<T> {
     /// Creates an empty shared bag.
     pub fn new() -> Self {
-        SharedBlockBag {
-            head: AtomicPtr::new(ptr::null_mut()),
-            approx_blocks: AtomicUsize::new(0),
-        }
+        SharedBlockBag { head: AtomicPtr::new(ptr::null_mut()), approx_blocks: AtomicUsize::new(0) }
     }
 
     /// Approximate number of blocks currently in the bag.
@@ -119,12 +116,8 @@ impl<T> SharedBlockBag<T> {
         loop {
             // SAFETY: tail is part of the privately owned chain until the CAS publishes it.
             unsafe { (*tail).next.store(head, Ordering::Relaxed) };
-            match self.head.compare_exchange_weak(
-                head,
-                chain,
-                Ordering::Release,
-                Ordering::Acquire,
-            ) {
+            match self.head.compare_exchange_weak(head, chain, Ordering::Release, Ordering::Acquire)
+            {
                 Ok(_) => return,
                 Err(current) => head = current,
             }
@@ -153,9 +146,7 @@ impl<T> Drop for SharedBlockBag<T> {
 
 impl<T> fmt::Debug for SharedBlockBag<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SharedBlockBag")
-            .field("approx_blocks", &self.approx_len())
-            .finish()
+        f.debug_struct("SharedBlockBag").field("approx_blocks", &self.approx_len()).finish()
     }
 }
 

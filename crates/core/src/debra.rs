@@ -77,7 +77,10 @@ impl<T: Send> Debra<T> {
 
     pub(crate) fn do_register(&self, tid: usize) -> Result<(), RegistrationError> {
         if tid >= self.max_threads {
-            return Err(RegistrationError::ThreadIdOutOfRange { tid, max_threads: self.max_threads });
+            return Err(RegistrationError::ThreadIdOutOfRange {
+                tid,
+                max_threads: self.max_threads,
+            });
         }
         if self.registered[tid]
             .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
@@ -226,9 +229,7 @@ impl<T: Send + 'static> DebraThread<T> {
             sink.accept_block(block);
         }
         if reclaimed > 0 {
-            self.global.stats[self.tid]
-                .reclaimed
-                .fetch_add(reclaimed, Ordering::Relaxed);
+            self.global.stats[self.tid].reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
         }
     }
 
@@ -255,9 +256,7 @@ impl<T: Send + 'static> DebraThread<T> {
             sink.accept_block(block);
         }
         if reclaimed > 0 {
-            self.global.stats[self.tid]
-                .reclaimed
-                .fetch_add(reclaimed, Ordering::Relaxed);
+            self.global.stats[self.tid].reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
         }
     }
 
@@ -316,9 +315,7 @@ impl<T: Send + 'static> DebraThread<T> {
                         )
                         .is_ok()
                     {
-                        self.global.stats[self.tid]
-                            .epochs_advanced
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.global.stats[self.tid].epochs_advanced.fetch_add(1, Ordering::Relaxed);
                     }
                     self.check_next = 0;
                 }
@@ -336,10 +333,10 @@ impl<T: Send + 'static> DebraThread<T> {
     }
 
     pub(crate) fn retire_impl(&mut self, record: NonNull<T>) {
-        debug_assert!(
-            !self.is_quiescent(),
-            "retire must be called while non-quiescent (inside a data structure operation)"
-        );
+        // Note: no quiescence assertion here.  Plain DEBRA asserts in its `retire` wrapper;
+        // under DEBRA+ a neutralization signal sets the quiescent bit *mid-operation*, and a
+        // thread whose decision CAS already succeeded legitimately retires records while its
+        // announcement reads quiescent (the completion phase of a decided operation).
         self.bags[self.current].push(record);
         self.global.stats[self.tid].retired.fetch_add(1, Ordering::Relaxed);
         self.publish_pending();
@@ -354,11 +351,8 @@ impl<T: Send + 'static> DebraThread<T> {
     }
 
     pub(crate) fn orphan_bags(&mut self) {
-        let records: Vec<NonNull<T>> = self
-            .bags
-            .iter_mut()
-            .flat_map(|bag| bag.drain().collect::<Vec<_>>())
-            .collect();
+        let records: Vec<NonNull<T>> =
+            self.bags.iter_mut().flat_map(|bag| bag.drain().collect::<Vec<_>>()).collect();
         if !records.is_empty() {
             self.global.push_orphans(records);
         }
@@ -384,6 +378,10 @@ impl<T: Send + 'static> ReclaimerThread<T> for DebraThread<T> {
     }
 
     unsafe fn retire<S: ReclaimSink<T>>(&mut self, record: NonNull<T>, _sink: &mut S) {
+        debug_assert!(
+            !self.is_quiescent(),
+            "retire must be called while non-quiescent (inside a data structure operation)"
+        );
         self.retire_impl(record);
     }
 }

@@ -105,9 +105,7 @@ impl<T: Send + 'static> DebraPlus<T> {
 
     /// Total number of neutralizations observed by all threads' signal handlers.
     pub fn neutralizations(&self) -> u64 {
-        (0..self.base.max_threads())
-            .map(|tid| self.base.slot(tid).stats().neutralizations)
-            .sum()
+        (0..self.base.max_threads()).map(|tid| self.base.slot(tid).stats().neutralizations).sum()
     }
 }
 
@@ -124,11 +122,7 @@ impl<T: Send + 'static> Reclaimer<T> for DebraPlus<T> {
         // Register the *calling* thread as the target of neutralization signals for `tid`.
         // (A DEBRA+ thread handle must therefore be created on the thread that will use it.)
         let registration = this.driver.register_current_thread(this.base.slot_arc(tid));
-        Ok(DebraPlusThread {
-            inner,
-            plus: Arc::clone(this),
-            _registration: registration,
-        })
+        Ok(DebraPlusThread { inner, plus: Arc::clone(this), _registration: registration })
     }
 
     fn max_threads(&self) -> usize {
@@ -339,11 +333,8 @@ mod tests {
 
     #[test]
     fn stalled_thread_is_neutralized_and_reclamation_continues() {
-        let plus: Arc<DebraPlus<u64>> = Arc::new(DebraPlus::with_config(
-            2,
-            tiny_config(),
-            SignalDriver::simulated(),
-        ));
+        let plus: Arc<DebraPlus<u64>> =
+            Arc::new(DebraPlus::with_config(2, tiny_config(), SignalDriver::simulated()));
         let mut a = DebraPlus::register(&plus, 0).unwrap();
         let mut b = DebraPlus::register(&plus, 1).unwrap();
         let mut sink = FreeingSink { freed: Vec::new() };
@@ -387,11 +378,8 @@ mod tests {
         // The paper's bound: with neutralization, the number of records waiting to be freed
         // stays bounded (O(c + nm) per thread) even though one thread never finishes its
         // operation.
-        let plus: Arc<DebraPlus<u64>> = Arc::new(DebraPlus::with_config(
-            2,
-            tiny_config(),
-            SignalDriver::simulated(),
-        ));
+        let plus: Arc<DebraPlus<u64>> =
+            Arc::new(DebraPlus::with_config(2, tiny_config(), SignalDriver::simulated()));
         let mut a = DebraPlus::register(&plus, 0).unwrap();
         let mut b = DebraPlus::register(&plus, 1).unwrap();
         let mut sink = FreeingSink { freed: Vec::new() };
@@ -420,11 +408,8 @@ mod tests {
 
     #[test]
     fn rprotected_records_survive_reclamation() {
-        let plus: Arc<DebraPlus<u64>> = Arc::new(DebraPlus::with_config(
-            2,
-            tiny_config(),
-            SignalDriver::simulated(),
-        ));
+        let plus: Arc<DebraPlus<u64>> =
+            Arc::new(DebraPlus::with_config(2, tiny_config(), SignalDriver::simulated()));
         let mut a = DebraPlus::register(&plus, 0).unwrap();
         let mut b = DebraPlus::register(&plus, 1).unwrap();
         let mut sink = FreeingSink { freed: Vec::new() };
@@ -474,11 +459,8 @@ mod tests {
     fn posix_neutralization_end_to_end() {
         use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 
-        let plus: Arc<DebraPlus<u64>> = Arc::new(DebraPlus::with_config(
-            2,
-            tiny_config(),
-            SignalDriver::best_available(),
-        ));
+        let plus: Arc<DebraPlus<u64>> =
+            Arc::new(DebraPlus::with_config(2, tiny_config(), SignalDriver::best_available()));
         let stop = Arc::new(AtomicBool::new(false));
         let worker_started = Arc::new(AtomicBool::new(false));
         let worker_recovered = Arc::new(AtomicBool::new(false));
@@ -520,7 +502,12 @@ mod tests {
         let mut sink = FreeingSink { freed: Vec::new() };
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
         let mut i = 0u64;
-        while sink.freed.len() < 100 && std::time::Instant::now() < deadline {
+        // Keep retiring until the worker has also *observed* its neutralization: treating
+        // the worker as quiescent only requires `pthread_kill` to succeed, so reclamation
+        // can finish long before the worker's signal handler has even run.
+        while (sink.freed.len() < 100 || !worker_recovered.load(Ordering::Acquire))
+            && std::time::Instant::now() < deadline
+        {
             a.leave_qstate(&mut sink);
             unsafe { a.retire(leak(i), &mut sink) };
             a.enter_qstate();

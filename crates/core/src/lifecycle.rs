@@ -35,7 +35,7 @@ impl RecordLifecycle {
                 | (Uninitialized, Inserted) // initialize + insert
                 | (Inserted, Retired)       // remove from the data structure
                 | (Retired, Unallocated)    // free
-                | (Retired, Uninitialized)  // reuse straight from the pool
+                | (Retired, Uninitialized) // reuse straight from the pool
         )
     }
 

@@ -75,7 +75,10 @@ where
     /// # Errors
     ///
     /// Fails if `tid` is out of range or already registered with the reclaimer.
-    pub fn register(self: &Arc<Self>, tid: usize) -> Result<RecordManagerThread<T, R, P, A>, RegistrationError> {
+    pub fn register(
+        self: &Arc<Self>,
+        tid: usize,
+    ) -> Result<RecordManagerThread<T, R, P, A>, RegistrationError> {
         let reclaimer = R::register(&self.reclaimer, tid)?;
         let pool = P::register(&self.pool, tid);
         let alloc = A::register(&self.alloc, tid);
@@ -187,7 +190,10 @@ where
 
     /// Allocates a record containing `value`, recycling one from the pool when possible.
     pub fn allocate(&mut self, value: T) -> NonNull<T> {
-        self.pool.allocate(value, &mut self.alloc)
+        let record = self.pool.allocate(value, &mut self.alloc);
+        // Interval-based schemes tag the record's birth era here; a no-op elsewhere.
+        self.reclaimer.record_allocated(record);
+        record
     }
 
     /// Immediately returns a record to the pool / allocator.
@@ -240,7 +246,12 @@ where
 
     /// Attempts to protect `record` (hazard-pointer semantics); see
     /// [`ReclaimerThread::protect`].
-    pub fn protect<F: FnMut() -> bool>(&mut self, slot: usize, record: NonNull<T>, validate: F) -> bool {
+    pub fn protect<F: FnMut() -> bool>(
+        &mut self,
+        slot: usize,
+        record: NonNull<T>,
+        validate: F,
+    ) -> bool {
         self.reclaimer.protect(slot, record, validate)
     }
 
@@ -252,6 +263,13 @@ where
     /// Returns `true` if this thread currently protects `record`.
     pub fn is_protected(&self, record: NonNull<T>) -> bool {
         self.reclaimer.is_protected(record)
+    }
+
+    /// Number of per-thread protection slots offered by the chosen reclaimer (0 for
+    /// epoch-based schemes).  Constant after monomorphization; data structures use it to
+    /// detect schemes whose `protect` is a real announcement rather than a no-op.
+    pub fn protection_slots(&self) -> usize {
+        self.reclaimer.protection_slots()
     }
 
     /// `true` if the chosen reclaimer supports crash recovery / neutralization (DEBRA+).

@@ -84,9 +84,7 @@ impl<T> RProtectArray<T> {
     /// (the paper's `isRProtected`).
     pub fn contains(&self, record: NonNull<T>) -> bool {
         let n = self.len.load(Ordering::Acquire).min(self.slots.len());
-        self.slots[..n]
-            .iter()
-            .any(|s| s.load(Ordering::Acquire) == record.as_ptr())
+        self.slots[..n].iter().any(|s| s.load(Ordering::Acquire) == record.as_ptr())
     }
 
     /// Iterates over the currently protected records (used when other threads scan all
@@ -95,9 +93,7 @@ impl<T> RProtectArray<T> {
         // Read the full array rather than only the announced prefix: a concurrent writer
         // may have stored a pointer but not yet published the new length, and it is always
         // safe to over-approximate the protected set.
-        self.slots
-            .iter()
-            .filter_map(|s| NonNull::new(s.load(Ordering::Acquire)))
+        self.slots.iter().filter_map(|s| NonNull::new(s.load(Ordering::Acquire)))
     }
 }
 

@@ -83,7 +83,7 @@ mod tests {
             .collect();
         let agg = aggregate(&slots);
         assert_eq!(agg.retired, 1 + 2 + 3 + 4);
-        assert_eq!(agg.reclaimed, 0 + 1 + 2 + 3);
+        assert_eq!(agg.reclaimed, 1 + 2 + 3);
         assert_eq!(agg.operations, 10 + 20 + 30 + 40);
         assert_eq!(agg.pending, 0);
     }

@@ -63,6 +63,8 @@ pub trait ReclaimSink<T> {
     ///
     /// The default implementation drains the block into [`accept`](Self::accept);
     /// block-aware sinks (pool bags) override it to move the block in O(1).
+    // The box is the point: the whole allocation changes owner (see `BlockBag`).
+    #[allow(clippy::boxed_local)]
     fn accept_block(&mut self, mut block: Box<Block<T>>) {
         let records: Vec<NonNull<T>> = block.drain().collect();
         for r in records {
@@ -166,6 +168,15 @@ pub trait ReclaimerThread<T: Send> {
 
     /// Returns `true` if the thread is currently quiescent.
     fn is_quiescent(&self) -> bool;
+
+    /// Informs the reclaimer that `record` was just handed out by the allocator/pool.
+    ///
+    /// Interval-based schemes use this to tag the record's *birth era*; every other scheme
+    /// leaves the default no-op (which the compiler removes after monomorphization, so the
+    /// hook costs nothing where it is unused).  Called by
+    /// [`RecordManagerThread::allocate`](crate::RecordManagerThread::allocate) for both
+    /// fresh and pool-recycled records.
+    fn record_allocated(&mut self, _record: NonNull<T>) {}
 
     /// Hands a record that has been removed from the data structure to the reclaimer.
     ///

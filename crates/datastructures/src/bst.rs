@@ -174,10 +174,7 @@ impl<K, V> BstNode<K, V> {
 
 impl<K: fmt::Debug, V> fmt::Debug for BstNode<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("BstNode")
-            .field("kind", &self.kind)
-            .field("key", &self.key)
-            .finish()
+        f.debug_struct("BstNode").field("kind", &self.kind).field("key", &self.key).finish()
     }
 }
 
@@ -191,13 +188,18 @@ struct SearchResult {
     gpupdate: usize,
 }
 
-/// Hazard pointer slot assignment (the BST needs 3 protection slots, plus one for the
-/// descriptor when helping).
+/// Hazard pointer slot assignment (the BST needs 3 protection slots for the search path,
+/// one for the descriptor when helping, and two pinning the descriptors referenced by the
+/// search's `pupdate`/`gpupdate` words).
 mod slots {
     pub const GP: usize = 0;
     pub const P: usize = 1;
     pub const L: usize = 2;
     pub const INFO: usize = 3;
+    /// Descriptor referenced by the parent's update word at search time.
+    pub const PINFO: usize = 4;
+    /// Descriptor referenced by the grandparent's update word at search time.
+    pub const GPINFO: usize = 5;
 }
 
 /// A lock-free external binary search tree implementing a set/map, parameterized by the
@@ -274,6 +276,35 @@ where
                 handle.check()?;
                 let l_ref = self.node(l);
                 if l_ref.kind != NodeKind::Internal {
+                    // Pin the descriptors referenced by the update words we return: the
+                    // caller's decision CAS uses those words as expected values, and under
+                    // a scheme that frees during our operation a reclaimed descriptor
+                    // could be recycled *as a new descriptor at the same address*, letting
+                    // a stale decision CAS succeed by ABA (a lost insert/delete).  The
+                    // validation re-reads the word: if it is still installed, the
+                    // descriptor has not yet been handed off for retirement.  No-ops under
+                    // epoch schemes, whose non-quiescent announcement already pins it.
+                    let p_info = info_of(pupdate);
+                    if p_info != 0 {
+                        let info_nn = NonNull::new(p_info as *mut BstNode<K, V>).expect("non-null");
+                        let p_ref = self.node(p);
+                        if !handle.protect(slots::PINFO, info_nn, || {
+                            p_ref.update.load(Ordering::SeqCst) == pupdate
+                        }) {
+                            continue 'retry;
+                        }
+                    }
+                    let gp_info = info_of(gpupdate);
+                    if gp != 0 && gp_info != 0 {
+                        let info_nn =
+                            NonNull::new(gp_info as *mut BstNode<K, V>).expect("non-null");
+                        let gp_ref = self.node(gp);
+                        if !handle.protect(slots::GPINFO, info_nn, || {
+                            gp_ref.update.load(Ordering::SeqCst) == gpupdate
+                        }) {
+                            continue 'retry;
+                        }
+                    }
                     return Ok(SearchResult { gp, p, l, pupdate, gpupdate });
                 }
                 gp = p;
@@ -291,24 +322,34 @@ where
                     // neutralized thread between checkpoints); restart defensively.
                     continue 'retry;
                 }
-                // Hazard-pointer protection of the node we are about to descend into.  The
-                // validation re-reads the parent's child pointer; if it changed, we follow
-                // the paper's pragmatic policy for this tree and restart the traversal.
-                let parent = self.node(p);
-                let child_link = if go_left { &parent.left } else { &parent.right };
-                let next_nn = NonNull::new(next as *mut BstNode<K, V>).expect("non-null child");
-                if !handle.protect(slots::L, next_nn, || child_link.load(Ordering::SeqCst) == next)
-                {
-                    continue 'retry;
-                }
-                // Shift the protection window (gp <- p <- l).
-                if p != 0 {
-                    let p_nn = NonNull::new(p as *mut BstNode<K, V>).expect("non-null parent");
-                    handle.protect(slots::P, p_nn, || true);
-                }
+                // Shift the protection window upward *before* announcing the next child:
+                // `gp` is still covered by slot P and `p` by slot L while they are being
+                // re-announced, so every node on the path stays continuously protected
+                // (announcing `next` first would leave `p` unprotected for a moment, which
+                // is a use-after-free window under hazard pointers).
                 if gp != 0 {
-                    let gp_nn = NonNull::new(gp as *mut BstNode<K, V>).expect("non-null grandparent");
+                    let gp_nn =
+                        NonNull::new(gp as *mut BstNode<K, V>).expect("non-null grandparent");
                     handle.protect(slots::GP, gp_nn, || true);
+                }
+                let p_nn = NonNull::new(p as *mut BstNode<K, V>).expect("non-null parent");
+                handle.protect(slots::P, p_nn, || true);
+                // Hazard-pointer protection of the node we are about to descend into.  The
+                // validation must prove the child is not yet *retired*, and the parent's
+                // child pointer alone cannot: a removed parent keeps its frozen child links,
+                // and its leaf child is retired together with it without ever being
+                // unlinked individually.  Every node is marked before it is retired, so
+                // additionally requiring the parent to be unmarked rules that out — the
+                // search restarts rather than traverse from a retired record (the
+                // restriction the paper describes for HP-style schemes in Section 3).
+                // No-op (always true) under epoch schemes.
+                let child_link = if go_left { &l_ref.left } else { &l_ref.right };
+                let next_nn = NonNull::new(next as *mut BstNode<K, V>).expect("non-null child");
+                if !handle.protect(slots::L, next_nn, || {
+                    state_of(l_ref.update.load(Ordering::SeqCst)) != MARK
+                        && child_link.load(Ordering::SeqCst) == next
+                }) {
+                    continue 'retry;
                 }
                 l = next;
             }
@@ -338,6 +379,18 @@ where
         handle.check()?;
         let info = info_of(word);
         if info == 0 || state_of(word) == CLEAN {
+            return Ok(());
+        }
+        if handle.protection_slots() > 0 {
+            // Schemes with per-access protection (hazard pointers) cannot safely help: the
+            // completion phase dereferences the helpee's nodes (`d_p`, `d_gp`), which the
+            // helper has no protection for and which may already be reclaimed — exactly the
+            // retired-record traversal the paper says HP-style schemes cannot support
+            // (Section 3).  Under those schemes the tree does not help; the caller backs
+            // off and retries until the operation's owner completes it.  The yield keeps a
+            // starved owner schedulable on oversubscribed machines (spinning retriers can
+            // otherwise monopolize the cores for whole scheduling quanta).
+            std::thread::yield_now();
             return Ok(());
         }
         // Protect the descriptor before dereferencing it: valid as long as the node we read
@@ -381,13 +434,10 @@ where
     fn cas_child(&self, parent: usize, old: usize, new: usize) {
         let parent_ref = self.node(parent);
         if parent_ref.left.load(Ordering::Acquire) == old {
-            let _ = parent_ref
-                .left
-                .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire);
+            let _ = parent_ref.left.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire);
         } else if parent_ref.right.load(Ordering::Acquire) == old {
-            let _ = parent_ref
-                .right
-                .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire);
+            let _ =
+                parent_ref.right.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire);
         }
     }
 
@@ -734,7 +784,7 @@ where
                 }
             }
         }
-        for n in nodes.into_iter().chain(infos.into_iter()) {
+        for n in nodes.into_iter().chain(infos) {
             // SAFETY: exclusive access during drop; each record freed exactly once (tree
             // nodes are uniquely reachable, descriptors were deduplicated above).
             unsafe { alloc.deallocate(NonNull::new_unchecked(n as *mut BstNode<K, V>)) };

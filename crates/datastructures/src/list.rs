@@ -6,7 +6,9 @@ use std::ptr::NonNull;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use debra::{Allocator, Neutralized, Pool, Reclaimer, RecordManager, RecordManagerThread, RegistrationError};
+use debra::{
+    Allocator, Neutralized, Pool, Reclaimer, RecordManager, RecordManagerThread, RegistrationError,
+};
 
 use crate::ConcurrentMap;
 
@@ -544,7 +546,7 @@ mod tests {
                 let mut net: i64 = 0;
                 for i in 0..5_000u64 {
                     let k = i % 8;
-                    if (i + t as u64) % 2 == 0 {
+                    if (i + t as u64).is_multiple_of(2) {
                         if list.insert(&mut h, k, k) {
                             net += 1;
                         }
@@ -557,6 +559,10 @@ mod tests {
         }
         let net_total: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
         let mut h = list.register(0).unwrap();
-        assert_eq!(list.len(&mut h) as i64, net_total, "net successful inserts must equal final size");
+        assert_eq!(
+            list.len(&mut h) as i64,
+            net_total,
+            "net successful inserts must equal final size"
+        );
     }
 }

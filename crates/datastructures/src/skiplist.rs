@@ -45,12 +45,7 @@ pub struct SkipNode<K, V> {
 
 impl<K, V> SkipNode<K, V> {
     fn new(key: Option<K>, value: Option<V>, height: usize) -> Self {
-        SkipNode {
-            key,
-            value,
-            height,
-            next: std::array::from_fn(|_| AtomicUsize::new(0)),
-        }
+        SkipNode { key, value, height, next: std::array::from_fn(|_| AtomicUsize::new(0)) }
     }
 
     /// The node's tower height.
@@ -61,10 +56,7 @@ impl<K, V> SkipNode<K, V> {
 
 impl<K: fmt::Debug, V> fmt::Debug for SkipNode<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SkipNode")
-            .field("key", &self.key)
-            .field("height", &self.height)
-            .finish()
+        f.debug_struct("SkipNode").field("key", &self.key).field("height", &self.height).finish()
     }
 }
 
@@ -144,6 +136,13 @@ where
             let mut pred = self.head;
             for level in (0..MAX_HEIGHT).rev() {
                 let mut curr_word = self.node(pred).next[level].load(Ordering::Acquire);
+                if is_marked(curr_word) {
+                    // `pred` is being removed: its successors at this level can no longer
+                    // be trusted, and an unlink CAS whose expected value carried the mark
+                    // would *clear* it, resurrecting the half-removed predecessor (a
+                    // double-retire in waiting).  Restart from the head.
+                    continue 'retry;
+                }
                 loop {
                     handle.check()?;
                     let curr = ptr_of(curr_word);
@@ -215,6 +214,7 @@ where
         handle: &mut SkipHandle<K, V, R, P, A>,
         key: &K,
         value: &V,
+        published: &mut Option<(usize, usize)>,
     ) -> Result<bool, Neutralized> {
         loop {
             let r = self.find(handle, key)?;
@@ -222,7 +222,8 @@ where
                 return Ok(false);
             }
             let height = self.random_height();
-            let node = handle.allocate(SkipNode::new(Some(key.clone()), Some(value.clone()), height));
+            let node =
+                handle.allocate(SkipNode::new(Some(key.clone()), Some(value.clone()), height));
             let node_ptr = node.as_ptr() as usize;
             {
                 // SAFETY: the node is private until the bottom-level CAS below publishes it.
@@ -236,7 +237,7 @@ where
                 unsafe { handle.deallocate(node) };
                 return Err(e);
             }
-            // Publish at the bottom level.
+            // Publish at the bottom level: the operation's linearization point.
             if self.node(r.preds[0]).next[0]
                 .compare_exchange(r.succs[0], node_ptr, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
@@ -245,89 +246,125 @@ where
                 unsafe { handle.deallocate(node) };
                 continue;
             }
-            // Link the upper levels (best effort, standard algorithm).
-            let node_ref = self.node(node_ptr);
-            for level in 1..height {
-                loop {
-                    let expected = node_ref.next[level].load(Ordering::Acquire);
-                    if is_marked(expected) {
-                        return Ok(true); // concurrently removed; stop climbing
-                    }
-                    let r2 = self.find(handle, key)?;
-                    if r2.found != node_ptr {
-                        return Ok(true); // already removed and unlinked
-                    }
-                    if expected != r2.succs[level]
-                        && node_ref.next[level]
-                            .compare_exchange(
-                                expected,
-                                r2.succs[level],
-                                Ordering::AcqRel,
-                                Ordering::Acquire,
-                            )
-                            .is_err()
-                    {
-                        continue;
-                    }
-                    if self.node(r2.preds[level]).next[level]
+            // From here on the operation must report success; completion work is resumable
+            // across a neutralization (see `complete_insert`).  The restricted hazard
+            // pointer keeps the node's memory valid across a recovery gap, during which a
+            // concurrent remove may retire it.
+            handle.r_protect(node);
+            *published = Some((node_ptr, height));
+            self.complete_insert(handle, key, node_ptr, height)?;
+            return Ok(true);
+        }
+    }
+
+    /// Completion phase of an already-published insert: links the upper levels and, if a
+    /// concurrent remove marked the node meanwhile, makes sure it is physically unlinked
+    /// before the operation ends (a retired node must never stay reachable past the
+    /// inserting operation, or it could be freed while other threads can still step onto
+    /// it through an upper-level link).
+    ///
+    /// Idempotent: on neutralization the caller re-runs it inside a fresh operation.
+    fn complete_insert(
+        &self,
+        handle: &mut SkipHandle<K, V, R, P, A>,
+        key: &K,
+        node_ptr: usize,
+        height: usize,
+    ) -> Result<(), Neutralized> {
+        let node_ref = self.node(node_ptr);
+        'levels: for level in 1..height {
+            loop {
+                let expected = node_ref.next[level].load(Ordering::Acquire);
+                if is_marked(expected) {
+                    break 'levels; // concurrently removed; stop climbing
+                }
+                let r2 = self.find(handle, key)?;
+                if r2.found != node_ptr {
+                    break 'levels; // already removed and unlinked at the bottom
+                }
+                if expected != r2.succs[level]
+                    && node_ref.next[level]
                         .compare_exchange(
+                            expected,
                             r2.succs[level],
-                            node_ptr,
                             Ordering::AcqRel,
                             Ordering::Acquire,
                         )
-                        .is_ok()
-                    {
-                        break;
-                    }
+                        .is_err()
+                {
+                    continue;
+                }
+                if self.node(r2.preds[level]).next[level]
+                    .compare_exchange(
+                        r2.succs[level],
+                        node_ptr,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    break;
                 }
             }
-            return Ok(true);
         }
+        if is_marked(node_ref.next[0].load(Ordering::Acquire)) {
+            // A concurrent remove won while we were climbing: unlink everywhere (the
+            // level-0 unlink winner performs the retirement).
+            let _ = self.find(handle, key)?;
+        }
+        handle.r_unprotect_all();
+        Ok(())
     }
 
     fn remove_body(
         &self,
         handle: &mut SkipHandle<K, V, R, P, A>,
         key: &K,
+        decided: &mut bool,
     ) -> Result<bool, Neutralized> {
-        loop {
-            let r = self.find(handle, key)?;
-            if r.found == 0 {
-                return Ok(false);
-            }
-            let victim = self.node(r.found);
-            // Mark the upper levels (top-down).
-            for level in (1..victim.height).rev() {
-                loop {
-                    let w = victim.next[level].load(Ordering::Acquire);
-                    if is_marked(w) {
-                        break;
-                    }
-                    if victim.next[level]
-                        .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        break;
-                    }
-                }
-            }
-            // Mark the bottom level; only one remover succeeds.
+        if *decided {
+            // The bottom-level mark CAS already succeeded in an attempt that was then
+            // interrupted by neutralization; only the physical unlink remains.
+            let _ = self.find(handle, key)?;
+            return Ok(true);
+        }
+        let r = self.find(handle, key)?;
+        if r.found == 0 {
+            return Ok(false);
+        }
+        let victim = self.node(r.found);
+        // Mark the upper levels (top-down).
+        for level in (1..victim.height).rev() {
             loop {
-                let w = victim.next[0].load(Ordering::Acquire);
+                let w = victim.next[level].load(Ordering::Acquire);
                 if is_marked(w) {
-                    return Ok(false); // another remover won
+                    break;
                 }
-                if victim.next[0]
+                if victim.next[level]
                     .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
-                    // Physically unlink (and let the unlink winner retire) via find.
-                    let _ = self.find(handle, key)?;
-                    return Ok(true);
+                    break;
                 }
-                handle.check()?;
             }
+        }
+        // Mark the bottom level; only one remover succeeds.  The successful CAS is the
+        // linearization point: everything after it must not unwind the decision.
+        loop {
+            let w = victim.next[0].load(Ordering::Acquire);
+            if is_marked(w) {
+                return Ok(false); // another remover won
+            }
+            if victim.next[0]
+                .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                *decided = true;
+                // Physically unlink (and let the unlink winner retire) via find.
+                let _ = self.find(handle, key)?;
+                return Ok(true);
+            }
+            handle.check()?;
         }
     }
 
@@ -336,32 +373,56 @@ where
         handle: &mut SkipHandle<K, V, R, P, A>,
         key: &K,
     ) -> Result<Option<V>, Neutralized> {
-        // Read-only traversal (does not unlink).
-        let mut pred = self.head;
-        for level in (0..MAX_HEIGHT).rev() {
-            let mut curr = ptr_of(self.node(pred).next[level].load(Ordering::Acquire));
-            loop {
-                handle.check()?;
-                if curr == 0 {
-                    break;
-                }
-                let curr_ref = self.node(curr);
-                if self.key_less(curr, key) {
-                    pred = curr;
-                    curr = ptr_of(curr_ref.next[level].load(Ordering::Acquire));
-                } else {
-                    break;
+        // Read-only traversal (does not unlink).  Every step onto a node goes through a
+        // validated `protect` so that schemes with real per-access protection (hazard
+        // pointers, IBR's validating read) cover the record before it is dereferenced;
+        // epoch schemes compile this to a plain `true`.
+        'retry: loop {
+            handle.check()?;
+            let mut pred = self.head;
+            for level in (0..MAX_HEIGHT).rev() {
+                let mut curr = ptr_of(self.node(pred).next[level].load(Ordering::Acquire));
+                loop {
+                    handle.check()?;
+                    if curr == 0 {
+                        break;
+                    }
+                    let curr_nn = NonNull::new(curr as *mut SkipNode<K, V>).expect("non-null");
+                    let pred_link = &self.node(pred).next[level];
+                    if !handle
+                        .protect(1, curr_nn, || ptr_of(pred_link.load(Ordering::SeqCst)) == curr)
+                    {
+                        continue 'retry;
+                    }
+                    let curr_ref = self.node(curr);
+                    if self.key_less(curr, key) {
+                        handle.protect(0, curr_nn, || true);
+                        pred = curr;
+                        curr = ptr_of(curr_ref.next[level].load(Ordering::Acquire));
+                    } else {
+                        break;
+                    }
                 }
             }
-        }
-        let candidate = ptr_of(self.node(pred).next[0].load(Ordering::Acquire));
-        if candidate != 0 {
-            let node = self.node(candidate);
-            if node.key.as_ref() == Some(key) && !is_marked(node.next[0].load(Ordering::Acquire)) {
-                return Ok(node.value.clone());
+            let candidate = ptr_of(self.node(pred).next[0].load(Ordering::Acquire));
+            if candidate != 0 {
+                let candidate_nn =
+                    NonNull::new(candidate as *mut SkipNode<K, V>).expect("non-null");
+                let pred_link = &self.node(pred).next[0];
+                if !handle.protect(1, candidate_nn, || {
+                    ptr_of(pred_link.load(Ordering::SeqCst)) == candidate
+                }) {
+                    continue 'retry;
+                }
+                let node = self.node(candidate);
+                if node.key.as_ref() == Some(key)
+                    && !is_marked(node.next[0].load(Ordering::Acquire))
+                {
+                    return Ok(node.value.clone());
+                }
             }
+            return Ok(None);
         }
-        Ok(None)
     }
 
     fn run_op<Out>(
@@ -377,7 +438,10 @@ where
                     return out;
                 }
                 Err(Neutralized) => {
-                    handle.r_unprotect_all();
+                    // Recovery: acknowledge and retry the body.  Restricted hazard pointers
+                    // are deliberately *kept*: an insert whose decision CAS already
+                    // succeeded holds its new node R-protected across the recovery gap and
+                    // releases it when its completion phase finishes.
                     handle.begin_recovery();
                 }
             }
@@ -421,11 +485,24 @@ where
     }
 
     fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
-        self.run_op(handle, |this, h| this.insert_body(h, &key, &value))
+        // `published` survives neutralization-induced retries: once the bottom-level CAS
+        // has succeeded, only the (idempotent) completion phase is re-run, so the insert
+        // takes effect exactly once.
+        let mut published: Option<(usize, usize)> = None;
+        self.run_op(handle, |this, h| {
+            if let Some((node_ptr, height)) = published {
+                this.complete_insert(h, &key, node_ptr, height)?;
+                return Ok(true);
+            }
+            this.insert_body(h, &key, &value, &mut published)
+        })
     }
 
     fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.run_op(handle, |this, h| this.remove_body(h, key))
+        // Same decision/completion split as `insert`: a remove whose bottom-level mark CAS
+        // has succeeded reports success even if its physical unlink is interrupted.
+        let mut decided = false;
+        self.run_op(handle, |this, h| this.remove_body(h, key, &mut decided))
     }
 
     fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {

@@ -83,10 +83,7 @@ impl SignalDriver {
                 ),
             ));
         }
-        Ok(SignalDriver {
-            kind: SignalDriverKind::Posix,
-            signum,
-        })
+        Ok(SignalDriver { kind: SignalDriverKind::Posix, signum })
     }
 
     /// Creates a driver that uses the default platform mechanism: POSIX signals on Unix
@@ -103,10 +100,7 @@ impl SignalDriver {
 
     /// Creates a driver with simulated delivery (no OS signals involved).
     pub fn simulated() -> Self {
-        SignalDriver {
-            kind: SignalDriverKind::Simulated,
-            signum: DEFAULT_NEUTRALIZE_SIGNAL,
-        }
+        SignalDriver { kind: SignalDriverKind::Simulated, signum: DEFAULT_NEUTRALIZE_SIGNAL }
     }
 
     /// The delivery mechanism used by this driver.
@@ -139,10 +133,7 @@ impl SignalDriver {
                 // Simulated delivery operates directly on the slot; nothing to record.
             }
         }
-        ThreadRegistration {
-            slot,
-            kind: self.kind,
-        }
+        ThreadRegistration { slot, kind: self.kind }
     }
 
     /// Sends a neutralization signal to the thread that owns `slot`.
@@ -227,9 +218,7 @@ impl Drop for ThreadRegistration {
 
 impl fmt::Debug for ThreadRegistration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ThreadRegistration")
-            .field("kind", &self.kind)
-            .finish()
+        f.debug_struct("ThreadRegistration").field("kind", &self.kind).finish()
     }
 }
 

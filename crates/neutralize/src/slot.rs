@@ -81,8 +81,7 @@ impl NeutralizeSlot {
     /// (the paper's `setQuiescentBitFalse`).
     #[inline]
     pub fn clear_quiescent(&self) {
-        self.announce
-            .fetch_and(!AnnounceWord::QUIESCENT_BIT, Ordering::SeqCst);
+        self.announce.fetch_and(!AnnounceWord::QUIESCENT_BIT, Ordering::SeqCst);
     }
 
     /// Returns `true` if the thread has been neutralized and has not yet run recovery.

@@ -114,7 +114,10 @@ fn main() {
             print_rows("Experiment 1 (Figure 8 left)", &experiment1(&threads, duration, small));
             let e2 = experiment2(&threads, duration, small);
             print_rows("Experiment 2 (Figure 8 right)", &e2);
-            print_rows("Experiment 2, oversubscribed (Figure 9 left)", &experiment2_oversubscribed(duration, small));
+            print_rows(
+                "Experiment 2, oversubscribed (Figure 9 left)",
+                &experiment2_oversubscribed(duration, small),
+            );
             let mem = memory_footprint(duration, small);
             print_rows("Memory footprint (Figure 9 right)", &mem);
             print_rows("Experiment 3 (Figure 10)", &experiment3(&threads, duration, small));

@@ -17,6 +17,7 @@ use debra::{Allocator, Debra, DebraPlus, Reclaimer, RecordManager};
 use lockfree_ds::{BstNode, ExternalBst, SkipList, SkipNode};
 use smr_alloc::{BumpAllocator, NoPool, SystemAllocator, ThreadPool};
 use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim};
+use smr_ibr::Ibr;
 
 use crate::harness::{run_trial, TrialResult};
 use crate::workload::{OperationMix, WorkloadConfig};
@@ -34,16 +35,20 @@ pub enum ReclaimerKind {
     HazardPointers,
     /// Classical epoch based reclamation.
     Ebr,
+    /// Interval-based reclamation (2GEIBR-style birth/retire-era tagging).
+    Ibr,
 }
 
 impl ReclaimerKind {
-    /// All schemes compared in the BST panels of Figures 8–10.
-    pub const ALL: [ReclaimerKind; 5] = [
+    /// All schemes compared in the BST panels of Figures 8–10 (plus IBR, this
+    /// reproduction's extra point of comparison).
+    pub const ALL: [ReclaimerKind; 6] = [
         ReclaimerKind::None,
         ReclaimerKind::Debra,
         ReclaimerKind::DebraPlus,
         ReclaimerKind::HazardPointers,
         ReclaimerKind::Ebr,
+        ReclaimerKind::Ibr,
     ];
 
     /// The scheme's display name (matches the paper's legend).
@@ -54,6 +59,7 @@ impl ReclaimerKind {
             ReclaimerKind::DebraPlus => "DEBRA+",
             ReclaimerKind::HazardPointers => "HP",
             ReclaimerKind::Ebr => "EBR",
+            ReclaimerKind::Ibr => "IBR",
         }
     }
 }
@@ -168,12 +174,7 @@ pub fn run_config(
                 cfg,
                 seed,
                 || manager.reclaimer().stats(),
-                || {
-                    (
-                        manager.allocator().allocated_bytes(),
-                        manager.allocator().allocated_records(),
-                    )
-                },
+                || (manager.allocator().allocated_bytes(), manager.allocator().allocated_records()),
             );
             result
         }};
@@ -204,7 +205,9 @@ pub fn run_config(
         ($recl:ident) => {
             match allocator {
                 AllocatorKind::BumpNoPool => dispatch_structure!($recl, NoPool, BumpAllocator),
-                AllocatorKind::BumpWithPool => dispatch_structure!($recl, ThreadPool, BumpAllocator),
+                AllocatorKind::BumpWithPool => {
+                    dispatch_structure!($recl, ThreadPool, BumpAllocator)
+                }
                 AllocatorKind::SystemWithPool => {
                     dispatch_structure!($recl, ThreadPool, SystemAllocator)
                 }
@@ -218,6 +221,7 @@ pub fn run_config(
         ReclaimerKind::DebraPlus => dispatch_memory!(DebraPlus),
         ReclaimerKind::HazardPointers => dispatch_memory!(HazardPointers),
         ReclaimerKind::Ebr => dispatch_memory!(ClassicEbr),
+        ReclaimerKind::Ibr => dispatch_memory!(Ibr),
     };
 
     ExperimentRow {
@@ -233,7 +237,10 @@ pub fn run_config(
 
 /// The grid of workload shapes used by the paper's figures (two operation mixes × the
 /// per-structure key ranges).
-pub fn paper_workloads(structure: StructureKind, small_keyranges: bool) -> Vec<(u64, OperationMix)> {
+pub fn paper_workloads(
+    structure: StructureKind,
+    small_keyranges: bool,
+) -> Vec<(u64, OperationMix)> {
     let ranges: Vec<u64> = match (structure, small_keyranges) {
         (StructureKind::Bst, false) => vec![10_000, 1_000_000],
         (StructureKind::Bst, true) => vec![1_024, 16_384],
@@ -261,7 +268,8 @@ fn sweep(
         for (key_range, mix) in paper_workloads(structure, small_keyranges) {
             for &threads in thread_counts {
                 for &reclaimer in reclaimers {
-                    let cfg = WorkloadConfig { threads, key_range, mix, duration_ms, prefill: true };
+                    let cfg =
+                        WorkloadConfig { threads, key_range, mix, duration_ms, prefill: true };
                     rows.push(run_config(structure, reclaimer, allocator, &cfg, 0xDEB2A));
                 }
             }
@@ -330,7 +338,12 @@ pub fn memory_footprint(duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
     let key_range = if small { 1_024 } else { 10_000 };
     let mut rows = Vec::new();
     for &threads in &counts {
-        for reclaimer in [ReclaimerKind::None, ReclaimerKind::Debra, ReclaimerKind::DebraPlus, ReclaimerKind::HazardPointers] {
+        for reclaimer in [
+            ReclaimerKind::None,
+            ReclaimerKind::Debra,
+            ReclaimerKind::DebraPlus,
+            ReclaimerKind::HazardPointers,
+        ] {
             let cfg = WorkloadConfig {
                 threads,
                 key_range,
@@ -338,7 +351,13 @@ pub fn memory_footprint(duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
                 duration_ms,
                 prefill: true,
             };
-            rows.push(run_config(StructureKind::Bst, reclaimer, AllocatorKind::BumpWithPool, &cfg, 7));
+            rows.push(run_config(
+                StructureKind::Bst,
+                reclaimer,
+                AllocatorKind::BumpWithPool,
+                &cfg,
+                7,
+            ));
         }
     }
     rows
@@ -358,9 +377,10 @@ pub fn print_rows(title: &str, rows: &[ExperimentRow]) {
 /// rows that differ only in the reclaimer.
 pub fn summarize(rows: &[ExperimentRow]) -> Vec<String> {
     use std::collections::HashMap;
+    /// Everything that identifies a configuration except the reclaimer.
+    type ConfigKey = (StructureKind, AllocatorKind, usize, u64, String);
     // Group by everything except the reclaimer.
-    let mut groups: HashMap<(StructureKind, AllocatorKind, usize, u64, String), HashMap<ReclaimerKind, f64>> =
-        HashMap::new();
+    let mut groups: HashMap<ConfigKey, HashMap<ReclaimerKind, f64>> = HashMap::new();
     for r in rows {
         groups
             .entry((r.structure, r.allocator, r.threads, r.key_range, r.mix.clone()))
@@ -371,6 +391,8 @@ pub fn summarize(rows: &[ExperimentRow]) -> Vec<String> {
     let mut debra_plus_vs_none = Vec::new();
     let mut debra_vs_hp = Vec::new();
     let mut debra_plus_vs_hp = Vec::new();
+    let mut ibr_vs_none = Vec::new();
+    let mut ibr_vs_hp = Vec::new();
     for (_, by_scheme) in groups {
         if let (Some(&none), Some(&debra)) =
             (by_scheme.get(&ReclaimerKind::None), by_scheme.get(&ReclaimerKind::Debra))
@@ -387,18 +409,37 @@ pub fn summarize(rows: &[ExperimentRow]) -> Vec<String> {
         {
             debra_vs_hp.push(debra / hp);
         }
-        if let (Some(&hp), Some(&dp)) =
-            (by_scheme.get(&ReclaimerKind::HazardPointers), by_scheme.get(&ReclaimerKind::DebraPlus))
-        {
+        if let (Some(&hp), Some(&dp)) = (
+            by_scheme.get(&ReclaimerKind::HazardPointers),
+            by_scheme.get(&ReclaimerKind::DebraPlus),
+        ) {
             debra_plus_vs_hp.push(dp / hp);
+        }
+        if let (Some(&none), Some(&ibr)) =
+            (by_scheme.get(&ReclaimerKind::None), by_scheme.get(&ReclaimerKind::Ibr))
+        {
+            ibr_vs_none.push(ibr / none);
+        }
+        if let (Some(&hp), Some(&ibr)) =
+            (by_scheme.get(&ReclaimerKind::HazardPointers), by_scheme.get(&ReclaimerKind::Ibr))
+        {
+            ibr_vs_hp.push(ibr / hp);
         }
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     vec![
-        format!("DEBRA throughput relative to None (paper: ~0.88–0.96x): {:.2}x", avg(&debra_vs_none)),
-        format!("DEBRA+ throughput relative to None (paper: ~0.83–0.90x): {:.2}x", avg(&debra_plus_vs_none)),
+        format!(
+            "DEBRA throughput relative to None (paper: ~0.88–0.96x): {:.2}x",
+            avg(&debra_vs_none)
+        ),
+        format!(
+            "DEBRA+ throughput relative to None (paper: ~0.83–0.90x): {:.2}x",
+            avg(&debra_plus_vs_none)
+        ),
         format!("DEBRA speedup over HP (paper: ~1.75–1.94x): {:.2}x", avg(&debra_vs_hp)),
         format!("DEBRA+ speedup over HP (paper: ~1.70–1.83x): {:.2}x", avg(&debra_plus_vs_hp)),
+        format!("IBR throughput relative to None (not in the paper): {:.2}x", avg(&ibr_vs_none)),
+        format!("IBR relative to HP (not in the paper): {:.2}x", avg(&ibr_vs_hp)),
     ]
 }
 
@@ -416,7 +457,8 @@ mod tests {
                 duration_ms: 20,
                 prefill: true,
             };
-            let row = run_config(StructureKind::Bst, reclaimer, AllocatorKind::BumpWithPool, &cfg, 1);
+            let row =
+                run_config(StructureKind::Bst, reclaimer, AllocatorKind::BumpWithPool, &cfg, 1);
             assert!(row.result.operations > 0, "{reclaimer:?} produced no operations");
             if reclaimer != ReclaimerKind::None {
                 assert!(row.result.reclaimer.retired > 0);
@@ -434,8 +476,7 @@ mod tests {
                 duration_ms: 20,
                 prefill: true,
             };
-            let row =
-                run_config(StructureKind::SkipList, ReclaimerKind::Debra, allocator, &cfg, 3);
+            let row = run_config(StructureKind::SkipList, ReclaimerKind::Debra, allocator, &cfg, 3);
             assert!(row.result.operations > 0);
             assert!(row.result.allocated_records > 0);
         }
@@ -452,10 +493,17 @@ mod tests {
                 duration_ms: 15,
                 prefill: true,
             };
-            rows.push(run_config(StructureKind::Bst, reclaimer, AllocatorKind::BumpWithPool, &cfg, 5));
+            rows.push(run_config(
+                StructureKind::Bst,
+                reclaimer,
+                AllocatorKind::BumpWithPool,
+                &cfg,
+                5,
+            ));
         }
         let summary = summarize(&rows);
-        assert_eq!(summary.len(), 4);
+        assert_eq!(summary.len(), 6);
         assert!(summary[0].contains("DEBRA"));
+        assert!(summary.iter().any(|l| l.contains("IBR")));
     }
 }

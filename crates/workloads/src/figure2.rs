@@ -3,6 +3,7 @@
 
 use debra::{Debra, DebraPlus, Reclaimer, SchemeProperties};
 use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
+use smr_ibr::Ibr;
 
 /// Collects the properties of every reclamation scheme implemented in this repository.
 pub fn implemented_schemes() -> Vec<SchemeProperties> {
@@ -13,6 +14,7 @@ pub fn implemented_schemes() -> Vec<SchemeProperties> {
         <ClassicEbr<T> as Reclaimer<T>>::properties(),
         <HazardPointers<T> as Reclaimer<T>>::properties(),
         <ThreadScanLite<T> as Reclaimer<T>>::properties(),
+        <Ibr<T> as Reclaimer<T>>::properties(),
         <Debra<T> as Reclaimer<T>>::properties(),
         <DebraPlus<T> as Reclaimer<T>>::properties(),
     ]
@@ -56,7 +58,7 @@ mod tests {
     #[test]
     fn table_contains_every_scheme_and_matches_figure2_highlights() {
         let md = render_markdown();
-        for name in ["None", "EBR", "HP", "ThreadScan", "DEBRA", "DEBRA+"] {
+        for name in ["None", "EBR", "HP", "ThreadScan", "IBR", "DEBRA", "DEBRA+"] {
             assert!(md.contains(name), "missing scheme {name}");
         }
         let schemes = implemented_schemes();
@@ -68,5 +70,8 @@ mod tests {
         assert!(!hp.can_traverse_retired_to_retired);
         let ebr = schemes.iter().find(|s| s.name == "EBR").unwrap();
         assert!(!ebr.fault_tolerant);
+        let ibr = schemes.iter().find(|s| s.name == "IBR").unwrap();
+        assert!(ibr.fault_tolerant, "bounded garbage under stalls is IBR's whole point");
+        assert!(ibr.can_traverse_retired_to_retired);
     }
 }

@@ -127,7 +127,7 @@ where
 mod tests {
     use super::*;
     use crate::workload::OperationMix;
-    use debra::{Debra, RecordManager, Reclaimer};
+    use debra::{Debra, Reclaimer, RecordManager};
     use lockfree_ds::{HarrisMichaelList, ListNode};
     use smr_alloc::{SystemAllocator, ThreadPool};
     use std::sync::Arc;

@@ -122,7 +122,8 @@ mod tests {
 
     #[test]
     fn generator_respects_mix_proportions() {
-        let cfg = WorkloadConfig { mix: OperationMix::MIXED, key_range: 1000, ..Default::default() };
+        let cfg =
+            WorkloadConfig { mix: OperationMix::MIXED, key_range: 1000, ..Default::default() };
         let mut g = OperationGenerator::new(&cfg, 0, 42);
         let mut counts = [0u32; 3];
         for _ in 0..100_000 {

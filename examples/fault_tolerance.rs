@@ -15,9 +15,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use debra_repro::debra::{
-    CountingSink, Debra, DebraPlus, Reclaimer, ReclaimerThread,
-};
+use debra_repro::debra::{CountingSink, Debra, DebraPlus, Reclaimer, ReclaimerThread};
 
 /// Drives one reclaimer with a stalled second thread and reports the peak number of
 /// retired-but-unreclaimed records.

@@ -45,5 +45,7 @@ fn main() {
             row.result.allocated_records
         );
     }
-    println!("\nLower allocation with comparable throughput is the benefit DEBRA's pool reuse buys.");
+    println!(
+        "\nLower allocation with comparable throughput is the benefit DEBRA's pool reuse buys."
+    );
 }

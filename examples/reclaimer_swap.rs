@@ -1,5 +1,5 @@
 //! The Record Manager abstraction in action: the *same* data structure code runs under
-//! five different reclamation schemes — only a type parameter changes (paper, Section 6).
+//! six different reclamation schemes — only a type parameter changes (paper, Section 6).
 //!
 //! ```text
 //! cargo run --release --example reclaimer_swap
@@ -12,6 +12,7 @@ use debra_repro::debra::{Debra, DebraPlus, Reclaimer, RecordManager};
 use debra_repro::lockfree_ds::{ConcurrentMap, HarrisMichaelList, ListNode};
 use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
 use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, NoReclaim};
+use debra_repro::smr_ibr::Ibr;
 
 type Node = ListNode<u64, u64>;
 
@@ -64,7 +65,8 @@ fn main() {
     run::<NoReclaim<Node>>("None");
     run::<ClassicEbr<Node>>("EBR");
     run::<HazardPointers<Node>>("HP");
+    run::<Ibr<Node>>("IBR");
     run::<Debra<Node>>("DEBRA");
     run::<DebraPlus<Node>>("DEBRA+");
-    println!("\nSame list code, five reclamation schemes — only the type parameter changed.");
+    println!("\nSame list code, six reclamation schemes — only the type parameter changed.");
 }

@@ -1,0 +1,184 @@
+//! Offline shim for the `criterion` crate (see `shims/README.md`).
+//!
+//! A thin timing loop behind criterion's API: `Criterion::default()` builder knobs,
+//! `bench_function(id, |b| b.iter(...))`, [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`].  Two deliberate deviations from upstream:
+//!
+//! * measurements are a simple mean over a calibrated batch (no statistical analysis);
+//! * results are kept in memory and exposed through [`Criterion::results`], so bench
+//!   targets can emit machine-readable JSON (used by `reclaimer_microbench`).
+
+use std::time::{Duration, Instant};
+
+/// Opaque barrier preventing the compiler from optimizing a value away.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Number of timed iterations behind the mean.
+    pub iters: u64,
+}
+
+/// The benchmark driver: configuration plus collected results.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed batches (upstream: sample count).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for the timed phase of each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the time budget for the warm-up phase of each benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Upstream parses CLI filters here; the shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark and records (and prints) its result.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        let (ns_per_iter, iters) = bencher.measured.unwrap_or((f64::NAN, 0));
+        println!("{name:40} {ns_per_iter:12.1} ns/iter ({iters} iterations)");
+        self.results.push(BenchResult { name, ns_per_iter, iters });
+        self
+    }
+
+    /// All results collected so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// Passed to the closure of [`Criterion::bench_function`]; its [`iter`](Bencher::iter)
+/// method times a routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    measured: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean nanoseconds per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, which also calibrates the batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((self.measurement_time.as_secs_f64() / self.sample_size as f64 / per_iter)
+            as u64)
+            .max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.measured = Some((total.as_secs_f64() * 1e9 / iters.max(1) as f64, iters));
+    }
+}
+
+/// Declares a group of benchmark functions (both the plain and the `name/config/targets`
+/// forms of upstream's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Generates a `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let r = &c.results()[0];
+        assert_eq!(r.name, "noop");
+        assert!(r.iters > 0);
+        assert!(r.ns_per_iter.is_finite() && r.ns_per_iter >= 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline shim for the `crossbeam-utils` crate (see `shims/README.md`).
+//!
+//! Provides [`CachePadded`], the only item this workspace uses.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, preventing false sharing between
+/// adjacent per-thread slots in shared arrays.
+///
+/// 128-byte alignment matches upstream crossbeam on x86-64 (two 64-byte lines, because of
+/// the adjacent-line prefetcher).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns `value` to the length of a cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded").field("value", &self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_transparent() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        let mut p = CachePadded::new(7u64);
+        *p += 1;
+        assert_eq!(*p, 8);
+        assert_eq!(p.into_inner(), 8);
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline shim for the `libc` crate (see `shims/README.md`).
+//!
+//! Declares only the signal/pthread FFI surface the `neutralize` crate uses, with type
+//! layouts matching glibc on Linux x86-64 (the only platform this workspace targets; the
+//! struct layouts below are asserted against glibc's in the test module).
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `unsigned long`.
+pub type c_ulong = u64;
+/// POSIX thread handle (glibc: an unsigned long).
+pub type pthread_t = c_ulong;
+/// Signal handler slot (address-sized, holds `SIG_DFL`/`SIG_IGN` or a function pointer).
+pub type sighandler_t = usize;
+
+/// `SIGUSR1` on Linux.
+pub const SIGUSR1: c_int = 10;
+/// `SIGUSR2` on Linux.
+pub const SIGUSR2: c_int = 12;
+/// `sigaction` flag: restart interruptible syscalls instead of failing with `EINTR`.
+pub const SA_RESTART: c_int = 0x1000_0000;
+
+/// glibc's `sigset_t`: a 1024-bit mask.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [c_ulong; 16],
+}
+
+/// glibc's `struct sigaction` on Linux x86-64.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigaction {
+    /// Handler (union of `sa_handler` and `sa_sigaction`; address-sized either way).
+    pub sa_sigaction: sighandler_t,
+    /// Signals blocked while the handler runs.
+    pub sa_mask: sigset_t,
+    /// `SA_*` flags.
+    pub sa_flags: c_int,
+    /// Obsolete; present for layout compatibility.
+    pub sa_restorer: Option<extern "C" fn()>,
+}
+
+extern "C" {
+    /// Returns the calling thread's pthread handle.
+    pub fn pthread_self() -> pthread_t;
+    /// Sends signal `sig` to thread `thread`; returns 0 on success.
+    pub fn pthread_kill(thread: pthread_t, sig: c_int) -> c_int;
+    /// Initializes `set` to exclude all signals; returns 0 on success.
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    /// Installs `act` as the disposition for `signum`; returns 0 on success.
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_match_glibc() {
+        // glibc x86-64: sigset_t is 128 bytes; struct sigaction is 152 bytes
+        // (8 handler + 128 mask + 4 flags + 4 padding + 8 restorer).
+        assert_eq!(std::mem::size_of::<sigset_t>(), 128);
+        assert_eq!(std::mem::size_of::<sigaction>(), 152);
+    }
+
+    #[test]
+    fn pthread_kill_signal_zero_probes_liveness() {
+        // Signal 0 performs error checking only — safe to call on ourselves.
+        let rc = unsafe { pthread_kill(pthread_self(), 0) };
+        assert_eq!(rc, 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline shim for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro, `prop_assert*`,
+//! [`any`], integer-range / tuple / [`collection::vec`] strategies.  Each property runs a
+//! fixed number of deterministically seeded cases (`PROPTEST_CASES`, default 64).  There is
+//! no shrinking; a failing case prints its case number and seed so it can be replayed.
+
+use std::ops::Range;
+
+/// The deterministic random source handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A generator of values of one type — the shim's rendition of `proptest::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)*)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Types with a canonical "any value" strategy (the shim's `proptest::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy producing arbitrary values of `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+
+    fn arbitrary() -> Any<bool> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_for_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+
+            fn arbitrary() -> Any<$t> {
+                Any(std::marker::PhantomData)
+            }
+        }
+
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_for_int!(u8, u16, u32, u64, usize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range; created by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `len` and whose elements are drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` test body needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Prints the failing case's replay information if the property body panics.
+#[derive(Debug)]
+pub struct CaseGuard {
+    /// Test name, case index and seed.
+    pub info: (&'static str, u64, u64),
+    /// Disarmed when the case completes without panicking.
+    pub armed: bool,
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let (name, case, seed) = self.info;
+            eprintln!("proptest shim: property `{name}` failed at case {case} (seed 0x{seed:x}); rerun is deterministic");
+        }
+    }
+}
+
+/// The shim's rendition of proptest's `proptest!` macro: turns each
+/// `fn name(pat in strategy, ...) { body }` item into a `#[test]` running
+/// [`cases`] deterministically seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..$crate::cases() {
+                    // Seed differs per property (via its name) and per case.
+                    let mut __seed: u64 = 0xDEB2_A5EE_D000_0000 ^ __case.wrapping_mul(0x9E37_79B9);
+                    for b in stringify!($name).bytes() {
+                        __seed = __seed.wrapping_mul(31).wrapping_add(b as u64);
+                    }
+                    let mut __rng = $crate::TestRng::new(__seed);
+                    let mut __guard = $crate::CaseGuard {
+                        info: (stringify!($name), __case, __seed),
+                        armed: true,
+                    };
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                    __guard.armed = false;
+                    let _ = __guard;
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a name the proptest API exposes.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name the proptest API exposes.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name the proptest API exposes.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range, tuple and vec strategies stay in bounds.
+        #[test]
+        fn strategies_stay_in_bounds(
+            v in crate::collection::vec(0usize..100, 0..50),
+            (a, b) in (0u8..3, 10u64..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v.len() < 50);
+            prop_assert!(v.iter().all(|&x| x < 100));
+            prop_assert!(a < 3);
+            prop_assert!((10..20).contains(&b));
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut r1 = crate::TestRng::new(5);
+        let mut r2 = crate::TestRng::new(5);
+        let s = 0u64..1000;
+        let a: Vec<u64> = (0..64).map(|_| s.sample(&mut r1)).collect();
+        let b: Vec<u64> = (0..64).map(|_| s.sample(&mut r2)).collect();
+        assert_eq!(a, b);
+    }
+}

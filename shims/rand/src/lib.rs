@@ -1,0 +1,173 @@
+//! Offline shim for the `rand` crate, following the 0.8 API surface this workspace uses
+//! (see `shims/README.md`): `Rng::gen_range` over integer ranges, `Rng::gen_bool`,
+//! `SeedableRng::seed_from_u64`, `rngs::SmallRng` and `thread_rng`.
+//!
+//! The generator behind both `SmallRng` and `ThreadRng` is SplitMix64 — statistically fine
+//! for workload generation and skip-list coin flips, not cryptographic.
+
+use std::cell::Cell;
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods implemented on top of a raw `u64` source.
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (half-open integer ranges).
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        // 53 uniform mantissa bits, exactly like upstream's `f64` sampling.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Integer types samplable by [`Rng::gen_range`].
+pub trait SampleRange: Copy + PartialOrd {
+    /// Maps 64 random bits into `range`.
+    fn sample(bits: u64, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(bits: u64, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                // Modulo bias is < 2^-32 for every span used in this workspace.
+                range.start + (bits % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Non-cryptographic RNGs.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// A small, fast, seedable generator (SplitMix64 in this shim).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    /// The per-thread generator returned by [`thread_rng`](super::thread_rng).
+    #[derive(Debug)]
+    pub struct ThreadRng(());
+
+    impl ThreadRng {
+        pub(super) fn new() -> Self {
+            ThreadRng(())
+        }
+    }
+
+    impl Rng for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            super::THREAD_RNG_STATE.with(|s| {
+                let mut state = s.get();
+                let out = splitmix64(&mut state);
+                s.set(state);
+                out
+            })
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_RNG_STATE: Cell<u64> = Cell::new({
+        // Seed each thread differently from its stack address and a global counter.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0x5EED);
+        let c = COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed);
+        let local = &c as *const _ as u64;
+        c ^ local.rotate_left(17)
+    });
+}
+
+/// Returns a handle to this thread's lazily seeded generator.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 should appear");
+        for _ in 0..1000 {
+            let v = r.gen_range(5u64..8);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = SmallRng::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn thread_rng_works() {
+        use super::thread_rng;
+        let mut r = thread_rng();
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b);
+    }
+}

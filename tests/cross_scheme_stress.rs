@@ -11,6 +11,7 @@ use debra_repro::lockfree_ds::{
 };
 use debra_repro::smr_alloc::{BumpAllocator, SystemAllocator, ThreadPool};
 use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, NoReclaim};
+use debra_repro::smr_ibr::Ibr;
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: u64 = 4_000;
@@ -80,19 +81,100 @@ macro_rules! stress_test {
 stress_test!(bst_none, ExternalBst, BstNode, NoReclaim<Node>, ThreadPool, SystemAllocator);
 stress_test!(bst_debra, ExternalBst, BstNode, Debra<Node>, ThreadPool, SystemAllocator);
 stress_test!(bst_debra_plus, ExternalBst, BstNode, DebraPlus<Node>, ThreadPool, SystemAllocator);
-stress_test!(bst_hazard_pointers, ExternalBst, BstNode, HazardPointers<Node>, ThreadPool, SystemAllocator);
+stress_test!(
+    bst_hazard_pointers,
+    ExternalBst,
+    BstNode,
+    HazardPointers<Node>,
+    ThreadPool,
+    SystemAllocator
+);
 stress_test!(bst_classic_ebr, ExternalBst, BstNode, ClassicEbr<Node>, ThreadPool, SystemAllocator);
 stress_test!(bst_debra_bump, ExternalBst, BstNode, Debra<Node>, ThreadPool, BumpAllocator);
+stress_test!(bst_ibr, ExternalBst, BstNode, Ibr<Node>, ThreadPool, SystemAllocator);
+stress_test!(bst_ibr_bump, ExternalBst, BstNode, Ibr<Node>, ThreadPool, BumpAllocator);
 
 // --- the Harris-Michael list under every scheme -----------------------------------------
 stress_test!(list_none, HarrisMichaelList, ListNode, NoReclaim<Node>, ThreadPool, SystemAllocator);
 stress_test!(list_debra, HarrisMichaelList, ListNode, Debra<Node>, ThreadPool, SystemAllocator);
-stress_test!(list_debra_plus, HarrisMichaelList, ListNode, DebraPlus<Node>, ThreadPool, SystemAllocator);
-stress_test!(list_hazard_pointers, HarrisMichaelList, ListNode, HazardPointers<Node>, ThreadPool, SystemAllocator);
-stress_test!(list_classic_ebr, HarrisMichaelList, ListNode, ClassicEbr<Node>, ThreadPool, SystemAllocator);
+stress_test!(
+    list_debra_plus,
+    HarrisMichaelList,
+    ListNode,
+    DebraPlus<Node>,
+    ThreadPool,
+    SystemAllocator
+);
+stress_test!(
+    list_hazard_pointers,
+    HarrisMichaelList,
+    ListNode,
+    HazardPointers<Node>,
+    ThreadPool,
+    SystemAllocator
+);
+stress_test!(
+    list_classic_ebr,
+    HarrisMichaelList,
+    ListNode,
+    ClassicEbr<Node>,
+    ThreadPool,
+    SystemAllocator
+);
+stress_test!(list_ibr, HarrisMichaelList, ListNode, Ibr<Node>, ThreadPool, SystemAllocator);
 
 // --- the skip list under the schemes used in the paper's skip list panels ---------------
 stress_test!(skiplist_none, SkipList, SkipNode, NoReclaim<Node>, ThreadPool, SystemAllocator);
 stress_test!(skiplist_debra, SkipList, SkipNode, Debra<Node>, ThreadPool, SystemAllocator);
 stress_test!(skiplist_debra_plus, SkipList, SkipNode, DebraPlus<Node>, ThreadPool, SystemAllocator);
 stress_test!(skiplist_ebr, SkipList, SkipNode, ClassicEbr<Node>, ThreadPool, BumpAllocator);
+stress_test!(skiplist_ibr, SkipList, SkipNode, Ibr<Node>, ThreadPool, SystemAllocator);
+
+/// The acceptance bar for IBR: the BST stress passes at 8 worker threads, and IBR must
+/// actually have reclaimed records along the way (not just parked them in limbo).
+#[test]
+fn bst_ibr_8_threads() {
+    const WIDE: usize = 8;
+    type Node = BstNode<u64, u64>;
+    type Map = ExternalBst<u64, u64, Ibr<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+    let manager = Arc::new(RecordManager::new(WIDE + 1));
+    let map: Arc<Map> = Arc::new(ExternalBst::new(Arc::clone(&manager)));
+
+    let mut joins = Vec::new();
+    for tid in 0..WIDE {
+        let map = Arc::clone(&map);
+        joins.push(std::thread::spawn(move || {
+            let mut handle = map.register(tid).expect("register worker");
+            let mut net: i64 = 0;
+            let mut x: u64 = 0xA076_1D64_78BD_642F ^ (tid as u64) << 17;
+            for _ in 0..OPS_PER_THREAD {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let key = (x >> 33) % KEY_RANGE;
+                match (x >> 61) % 4 {
+                    0 | 1 => {
+                        if map.insert(&mut handle, key, key.wrapping_mul(3)) {
+                            net += 1;
+                        }
+                    }
+                    2 => {
+                        if map.remove(&mut handle, &key) {
+                            net -= 1;
+                        }
+                    }
+                    _ => {
+                        let _ = map.get(&mut handle, &key);
+                    }
+                }
+            }
+            net
+        }));
+    }
+    let net: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    assert!(net >= 0);
+    let mut handle = map.register(WIDE).expect("register checker");
+    assert_eq!(map.len(&mut handle), net as usize, "final size must match net inserts");
+    let stats = manager.reclaimer().stats();
+    assert!(stats.retired > 0);
+    assert!(stats.reclaimed > 0, "IBR must reclaim during an 8-thread run");
+    assert!(stats.reclaimed <= stats.retired);
+}

@@ -7,7 +7,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use debra_repro::debra::{CountingSink, Debra, DebraPlus, Reclaimer, ReclaimerThread, ReclaimSink};
+use debra_repro::debra::{CountingSink, Debra, DebraPlus, ReclaimSink, Reclaimer, ReclaimerThread};
 use std::ptr::NonNull;
 
 struct FreeSink;

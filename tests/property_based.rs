@@ -11,6 +11,7 @@ use debra_repro::debra::{Debra, RecordManager};
 use debra_repro::lockfree_ds::{BstNode, ConcurrentMap, ExternalBst};
 use debra_repro::neutralize::AnnounceWord;
 use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
+use debra_repro::smr_ibr::Ibr;
 
 fn fake_ptr(v: usize) -> NonNull<u64> {
     NonNull::new(((v + 1) * 8) as *mut u64).unwrap()
@@ -61,6 +62,26 @@ proptest! {
     fn bst_matches_btreemap(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..400)) {
         type Node = BstNode<u64, u64>;
         type Map = ExternalBst<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+        let manager = Arc::new(RecordManager::new(1));
+        let map: Map = ExternalBst::new(manager);
+        let mut handle = map.register(0).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, key) in ops {
+            match op {
+                0 => prop_assert_eq!(map.insert(&mut handle, key, key * 7), model.insert(key, key * 7).is_none()),
+                1 => prop_assert_eq!(map.remove(&mut handle, &key), model.remove(&key).is_some()),
+                _ => prop_assert_eq!(map.get(&mut handle, &key), model.get(&key).copied()),
+            }
+        }
+        prop_assert_eq!(map.len(&mut handle), model.len());
+    }
+
+    /// Swapping the reclaimer type parameter to IBR preserves exact map semantics — the
+    /// Record Manager promise, now covering the interval-based scheme too.
+    #[test]
+    fn bst_matches_btreemap_under_ibr(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..400)) {
+        type Node = BstNode<u64, u64>;
+        type Map = ExternalBst<u64, u64, Ibr<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
         let manager = Arc::new(RecordManager::new(1));
         let map: Map = ExternalBst::new(manager);
         let mut handle = map.register(0).unwrap();
