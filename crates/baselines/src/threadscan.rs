@@ -113,14 +113,13 @@ impl<T: Send + 'static> ThreadScanLite<T> {
             }
             // ThreadScan's blocking wait: until the target has run its handler (its ack
             // counter advanced) we cannot be sure its reference announcements are visible.
-            let mut spins = 0u32;
+            // Yield on every check: the target can only run its handler if it gets CPU
+            // time, and on a single-core host a spinning waiter would deny it exactly that
+            // for a whole scheduling quantum.
             while self.registered[tid].load(Ordering::SeqCst)
                 && self.slots[tid].stats().signals_received <= before[tid]
             {
-                spins += 1;
-                if spins.is_multiple_of(64) {
-                    std::thread::yield_now();
-                }
+                std::thread::yield_now();
             }
         }
     }

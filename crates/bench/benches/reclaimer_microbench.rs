@@ -3,6 +3,11 @@
 //! scheme.  These are the O(1) costs the paper claims for DEBRA/DEBRA+ (Sections 4 and 5)
 //! and the per-announcement fence that makes hazard pointers expensive.
 //!
+//! Besides the primitive costs, the run measures one *whole-structure* row per scheme:
+//! single-threaded operations on the lock-free hash map under a uniform and under a
+//! Zipfian key distribution (`hashmap_uniform` / `hashmap_zipf`), so the JSON tracks a
+//! structure-level cost next to the primitive costs.
+//!
 //! Besides the human-readable output, the run writes a machine-readable summary to
 //! `BENCH_reclaimer.json` (override the path with the `BENCH_JSON` environment variable),
 //! seeding the repository's benchmark trajectory:
@@ -10,15 +15,22 @@
 //! ```text
 //! cargo bench -p smr-bench --bench reclaimer_microbench
 //! ```
+//!
+//! Set `BENCH_SMOKE=1` for a fast schema-complete run (CI uses this: the point is that
+//! every expected row exists, not that the numbers are stable).
 
 use std::io::Write as _;
 use std::ptr::NonNull;
 use std::sync::Arc;
 
 use criterion::Criterion;
-use debra::{CountingSink, Debra, DebraPlus, Reclaimer, ReclaimerThread};
-use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim};
+use debra::{CountingSink, Debra, DebraPlus, Reclaimer, ReclaimerThread, RecordManager};
+use lockfree_ds::ConcurrentMap;
+use smr_alloc::{SystemAllocator, ThreadPool};
+use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
+use smr_hashmap::{HashMapNode, LockFreeHashMap};
 use smr_ibr::Ibr;
+use smr_workloads::workload::{KeyDistribution, Operation, OperationGenerator, WorkloadConfig};
 
 fn bench_scheme<R>(c: &mut Criterion, name: &str)
 where
@@ -78,16 +90,76 @@ where
     });
 }
 
+/// Whole-structure rows: single-threaded hash-map operations under the given key
+/// distribution.  The structure is prefilled to half the key range so every operation
+/// works on realistic chains; removes retire records, so the scheme's whole retire →
+/// reclaim pipeline is in the measured path.
+fn bench_hashmap<R>(c: &mut Criterion, name: &str, distribution: KeyDistribution, op: &str)
+where
+    R: Reclaimer<HashMapNode<u64, u64>>,
+{
+    type Node = HashMapNode<u64, u64>;
+    let cfg =
+        WorkloadConfig { threads: 1, key_range: 1_024, distribution, ..WorkloadConfig::default() };
+    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
+        Arc::new(RecordManager::new(2));
+    let map = LockFreeHashMap::with_buckets(Arc::clone(&manager), 64);
+    let mut handle = map.register(0).expect("register bench thread");
+    let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
+    let target = (cfg.key_range / 2) as usize;
+    let mut inserted = 0usize;
+    let mut attempts = 0u64;
+    while inserted < target && attempts < cfg.key_range * 8 {
+        if map.insert(&mut handle, gen.next_uniform_key(), attempts) {
+            inserted += 1;
+        }
+        attempts += 1;
+    }
+
+    // Pre-generate the operation stream so the measured path contains only map work:
+    // the Zipf sampler does transcendental math per draw, which would otherwise bias the
+    // uniform-vs-zipf comparison these rows exist to make.
+    let ops: Vec<Operation> = (0..65_536).map(|_| gen.next_op()).collect();
+    let mut i = 0usize;
+    c.bench_function(format!("{name}/{op}"), |b| {
+        b.iter(|| {
+            let next = ops[i & 0xFFFF];
+            i += 1;
+            match next {
+                Operation::Insert(k) => map.insert(&mut handle, k, k),
+                Operation::Delete(k) => map.remove(&mut handle, &k),
+                Operation::Search(k) => map.contains(&mut handle, &k),
+            }
+        })
+    });
+}
+
+fn bench_hashmap_both<R>(c: &mut Criterion, name: &str)
+where
+    R: Reclaimer<HashMapNode<u64, u64>>,
+{
+    bench_hashmap::<R>(c, name, KeyDistribution::Uniform, "hashmap_uniform");
+    bench_hashmap::<R>(c, name, KeyDistribution::ZIPF_DEFAULT, "hashmap_zipf");
+}
+
 fn benches(c: &mut Criterion) {
     bench_scheme::<NoReclaim<u64>>(c, "None");
     bench_scheme::<Debra<u64>>(c, "DEBRA");
     bench_scheme::<DebraPlus<u64>>(c, "DEBRA+");
     bench_scheme::<HazardPointers<u64>>(c, "HP");
     bench_scheme::<ClassicEbr<u64>>(c, "EBR");
+    bench_scheme::<ThreadScanLite<u64>>(c, "ThreadScan");
     bench_scheme::<Ibr<u64>>(c, "IBR");
     bench_retire::<Debra<u64>>(c, "DEBRA");
     bench_retire::<ClassicEbr<u64>>(c, "EBR");
     bench_retire::<Ibr<u64>>(c, "IBR");
+    bench_hashmap_both::<NoReclaim<HashMapNode<u64, u64>>>(c, "None");
+    bench_hashmap_both::<Debra<HashMapNode<u64, u64>>>(c, "DEBRA");
+    bench_hashmap_both::<DebraPlus<HashMapNode<u64, u64>>>(c, "DEBRA+");
+    bench_hashmap_both::<HazardPointers<HashMapNode<u64, u64>>>(c, "HP");
+    bench_hashmap_both::<ClassicEbr<HashMapNode<u64, u64>>>(c, "EBR");
+    bench_hashmap_both::<ThreadScanLite<HashMapNode<u64, u64>>>(c, "ThreadScan");
+    bench_hashmap_both::<Ibr<HashMapNode<u64, u64>>>(c, "IBR");
 }
 
 /// Serializes the collected results as JSON (schema: `{"benchmarks": [{"name", "scheme",
@@ -114,10 +186,14 @@ fn write_json(c: &Criterion, path: &str) -> std::io::Result<()> {
 }
 
 fn main() {
+    // Smoke mode (CI): every benchmark still runs — so the JSON schema is complete — but
+    // with a minimal time budget.  The numbers are only good enough to be non-NaN.
+    let smoke = std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let (sample, measure_ms, warmup_ms) = if smoke { (5, 40, 10) } else { (20, 500, 200) };
     let mut criterion = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_millis(500))
-        .warm_up_time(std::time::Duration::from_millis(200))
+        .sample_size(sample)
+        .measurement_time(std::time::Duration::from_millis(measure_ms))
+        .warm_up_time(std::time::Duration::from_millis(warmup_ms))
         .configure_from_args();
     benches(&mut criterion);
     // Default to the workspace root (cargo bench runs with the package as cwd).

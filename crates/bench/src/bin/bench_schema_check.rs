@@ -1,0 +1,100 @@
+//! Schema check for `BENCH_reclaimer.json` (CI gate, **not** a performance gate).
+//!
+//! Verifies that the file produced by the `reclaimer_microbench` bench target contains
+//! every expected (scheme × operation) row: the primitive costs per scheme, the retire
+//! rows for the bag-based schemes, and the whole-structure hash-map rows for both key
+//! distributions.  Numbers are not judged — only presence and well-formedness — so a
+//! refactor that silently drops a scheme or a structure from the benchmark matrix fails
+//! CI, while an honest perf regression does not.
+//!
+//! ```text
+//! cargo run --release -p smr-bench --bin bench_schema_check [path/to/BENCH_reclaimer.json]
+//! ```
+//!
+//! Exit code 0 if the schema is complete, 1 otherwise.  The parser is deliberately a
+//! minimal hand-rolled scan (the workspace has no JSON dependency, see `shims/README.md`).
+
+/// Every scheme in the repository's line-up.
+const SCHEMES: [&str; 7] = ["None", "DEBRA", "DEBRA+", "HP", "EBR", "ThreadScan", "IBR"];
+
+/// (scheme, op) pairs the JSON must contain.
+fn expected_rows() -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    for scheme in SCHEMES {
+        rows.push((scheme.to_string(), "op_boundary".to_string()));
+        rows.push((scheme.to_string(), "protect".to_string()));
+        rows.push((scheme.to_string(), "hashmap_uniform".to_string()));
+        rows.push((scheme.to_string(), "hashmap_zipf".to_string()));
+    }
+    for scheme in ["DEBRA", "EBR", "IBR"] {
+        rows.push((scheme.to_string(), "retire".to_string()));
+    }
+    rows
+}
+
+/// Extracts the string value of `"field": "value"` from one JSON object line.
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts the numeric value of `"field": 12.5` from one JSON object line.
+fn number(line: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..]
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .map(|i| i + start)
+        .unwrap_or(line.len());
+    line[start..end].parse().ok()
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_reclaimer.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_schema_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut present = Vec::new();
+    let mut malformed = 0usize;
+    for line in text.lines().filter(|l| l.contains("\"name\"")) {
+        let (Some(scheme), Some(op)) = (field(line, "scheme"), field(line, "op")) else {
+            eprintln!("bench_schema_check: malformed row: {}", line.trim());
+            malformed += 1;
+            continue;
+        };
+        match number(line, "ns_per_iter") {
+            Some(ns) if ns.is_finite() && ns >= 0.0 => {}
+            _ => {
+                eprintln!("bench_schema_check: bad ns_per_iter in row: {}", line.trim());
+                malformed += 1;
+                continue;
+            }
+        }
+        present.push((scheme.to_string(), op.to_string()));
+    }
+
+    let missing: Vec<(String, String)> =
+        expected_rows().into_iter().filter(|row| !present.contains(row)).collect();
+
+    if !missing.is_empty() {
+        eprintln!("bench_schema_check: {path} is missing {} expected row(s):", missing.len());
+        for (scheme, op) in &missing {
+            eprintln!("  - {scheme}/{op}");
+        }
+    }
+    if malformed > 0 || !missing.is_empty() {
+        std::process::exit(1);
+    }
+    println!(
+        "bench_schema_check: {path} OK ({} rows, all {} expected scheme x op cells present)",
+        present.len(),
+        expected_rows().len()
+    );
+}

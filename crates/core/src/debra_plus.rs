@@ -483,7 +483,9 @@ mod tests {
                         worker_recovered.store(true, AtomicOrdering::Release);
                         t.leave_qstate(&mut sink);
                     }
-                    std::hint::spin_loop();
+                    // Yield, don't just spin: on a single-core host a bare spin would
+                    // starve the retiring thread for a whole scheduling quantum.
+                    std::thread::yield_now();
                 }
                 t.enter_qstate();
             })

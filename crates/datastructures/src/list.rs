@@ -134,11 +134,16 @@ where
 
                 // Hazard-pointer style protection: announce, then validate that the link we
                 // followed still leads here (no-op and always true for epoch schemes).
+                // The comparison is on the FULL word, mark bit included: `expected` is
+                // always unmarked, so a predecessor that has since been marked (it is being
+                // deleted, and `curr` may already be unlinked from the live chain and
+                // retired) fails validation and forces a restart — Michael's algorithm
+                // requires exactly this; stripping the mark here would let a stale marked
+                // link validate a freed node.
                 let prev_link = self.link_of(prev);
                 let expected = curr_word;
-                let valid = handle.protect(slots::CURR, curr, || {
-                    ptr_of(prev_link.load(Ordering::SeqCst)) == ptr_of(expected)
-                });
+                let valid = handle
+                    .protect(slots::CURR, curr, || prev_link.load(Ordering::SeqCst) == expected);
                 if !valid {
                     continue 'retry;
                 }
@@ -318,12 +323,18 @@ where
     }
 
     /// Counts the elements by a full (single-threaded) traversal; test/diagnostic helper.
+    ///
+    /// The traversal announces no per-node protection, which only epoch-style schemes
+    /// honor; under protection-based schemes (HP, ThreadScan, IBR) it must not race with
+    /// concurrent removals — call it only when no other thread is updating the list.
     pub fn len(&self, handle: &mut ListHandle<K, V, R, P, A>) -> usize {
         handle.leave_qstate();
         let mut n = 0;
         let mut word = self.head.load(Ordering::Acquire);
         while let Some(node) = NonNull::new(ptr_of(word) as *mut ListNode<K, V>) {
-            // SAFETY: the operation is non-quiescent; nodes cannot be reclaimed under it.
+            // SAFETY: under epoch schemes the non-quiescent announcement keeps every node
+            // alive; under protection-based schemes the documented precondition (no
+            // concurrent updates) does.
             let r = unsafe { node.as_ref() };
             let next = r.next.load(Ordering::Acquire);
             if !is_marked(next) {

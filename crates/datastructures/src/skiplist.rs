@@ -151,9 +151,11 @@ where
                     }
                     let curr_nn = NonNull::new(curr as *mut SkipNode<K, V>).expect("non-null");
                     let pred_link = &self.node(pred).next[level];
-                    if !handle
-                        .protect(1, curr_nn, || ptr_of(pred_link.load(Ordering::SeqCst)) == curr)
-                    {
+                    // Full-word validation (`curr` is unmarked here): a predecessor whose
+                    // link has since been *marked* must fail and restart — under HP-style
+                    // schemes `curr` may already be unlinked and retired, and a stripped
+                    // comparison would validate it anyway.
+                    if !handle.protect(1, curr_nn, || pred_link.load(Ordering::SeqCst) == curr) {
                         continue 'retry;
                     }
                     let curr_ref = self.node(curr);
@@ -389,9 +391,11 @@ where
                     }
                     let curr_nn = NonNull::new(curr as *mut SkipNode<K, V>).expect("non-null");
                     let pred_link = &self.node(pred).next[level];
-                    if !handle
-                        .protect(1, curr_nn, || ptr_of(pred_link.load(Ordering::SeqCst)) == curr)
-                    {
+                    // Full-word validation: the link must still be the *unmarked* pointer
+                    // to `curr`.  A marked predecessor link means `curr` may already be
+                    // unlinked and retired; only epoch schemes (which never run this
+                    // closure) may keep traversing through marked nodes.
+                    if !handle.protect(1, curr_nn, || pred_link.load(Ordering::SeqCst) == curr) {
                         continue 'retry;
                     }
                     let curr_ref = self.node(curr);
@@ -409,9 +413,10 @@ where
                 let candidate_nn =
                     NonNull::new(candidate as *mut SkipNode<K, V>).expect("non-null");
                 let pred_link = &self.node(pred).next[0];
-                if !handle.protect(1, candidate_nn, || {
-                    ptr_of(pred_link.load(Ordering::SeqCst)) == candidate
-                }) {
+                // Full-word validation, as above: a marked link must not validate.
+                if !handle
+                    .protect(1, candidate_nn, || pred_link.load(Ordering::SeqCst) == candidate)
+                {
                     continue 'retry;
                 }
                 let node = self.node(candidate);

@@ -1,0 +1,722 @@
+//! A lock-free hash map written against the Record Manager abstraction.
+//!
+//! The map is a **fixed-size bucket array of Harris–Michael lists**: each bucket holds the
+//! head word of a sorted lock-free linked list (mark bit in the least significant bit of
+//! every `next` word), and a key is routed to its bucket by hashing.  This is the classic
+//! lock-free hash table of Michael ("High Performance Dynamic Lock-Free Hash Tables and
+//! List-Based Sets", SPAA 2002), restricted to a fixed bucket count — no resizing — which
+//! keeps every operation strictly per-bucket.
+//!
+//! Like the structures in `lockfree-ds`, the map is written **once** against
+//! [`RecordManagerThread`] and is parameterized by the reclamation scheme, the pool and the
+//! allocator; swapping any of them is a one-line change of type parameters.  The map runs
+//! under every scheme in this repository (None, EBR, HP, ThreadScan, IBR, DEBRA, DEBRA+).
+//!
+//! # Protection discipline (HP / ThreadScan / IBR)
+//!
+//! A bucket traversal holds at most **two** protected records at a time, exactly like the
+//! stand-alone Harris–Michael list:
+//!
+//! * slot [`slots::CURR`] — the node about to be inspected.  It is announced *before* the
+//!   node's fields are read and then validated by re-reading the link that led to it (the
+//!   bucket head or the predecessor's `next` word).  If the link changed, the traversal
+//!   restarts from the bucket head: the node may already have been retired, so its fields
+//!   must not be touched.
+//! * slot [`slots::PREV`] — the predecessor, re-announced each time the traversal advances
+//!   so the `prev.next` word stays safe to CAS on.
+//!
+//! Epoch-based schemes compile both announcements down to nothing; IBR extends the
+//! thread's reservation interval inside `protect`/`check` checkpoints, so the same two
+//! calls double as its per-access era bookkeeping.
+//!
+//! > Note: the bucket-chain protocol below is deliberately the same algorithm as
+//! > [`lockfree_ds::list`]'s stand-alone list (per the crate's charter of implementing the
+//! > structure directly against the Record Manager traits).  The two are audit twins: a
+//! > correctness fix in either search/validate/unlink path almost certainly applies to
+//! > the other.
+//!
+//! # Neutralization (DEBRA+)
+//!
+//! Every operation body is a sequence of checkpoints (`handle.check()` before each
+//! dereference and each CAS).  When a checkpoint reports [`Neutralized`], the operation
+//! unwinds to [`LockFreeHashMap::run_op`], which releases restricted hazard pointers,
+//! acknowledges the signal and **restarts the whole bucket operation** from the bucket
+//! head.  Nothing an interrupted operation published needs helping: an insert whose CAS
+//! has not yet succeeded recycles its private node, and one whose CAS succeeded runs no
+//! further checkpoints before returning.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use debra::{
+    Allocator, Neutralized, Pool, Reclaimer, RecordManager, RecordManagerThread, RegistrationError,
+};
+use lockfree_ds::ConcurrentMap;
+
+/// Mark bit stored in the least significant bit of a node's `next` word.
+const MARK: usize = 1;
+
+/// Default number of buckets used by [`LockFreeHashMap::new`].
+pub const DEFAULT_BUCKETS: usize = 256;
+
+#[inline]
+fn ptr_of(word: usize) -> *mut u8 {
+    (word & !MARK) as *mut u8
+}
+
+#[inline]
+fn is_marked(word: usize) -> bool {
+    word & MARK != 0
+}
+
+/// A node of [`LockFreeHashMap`]: one key/value pair in one bucket's list.
+///
+/// `next` packs the successor pointer and the *mark* bit: a marked node has been logically
+/// deleted and will be retired by whichever thread physically unlinks it.
+pub struct HashMapNode<K, V> {
+    key: K,
+    value: V,
+    next: AtomicUsize,
+}
+
+impl<K, V> HashMapNode<K, V> {
+    /// The node's key.
+    pub fn key(&self) -> &K {
+        &self.key
+    }
+
+    /// The node's value.
+    pub fn value(&self) -> &V {
+        &self.value
+    }
+}
+
+impl<K: fmt::Debug, V> fmt::Debug for HashMapNode<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HashMapNode")
+            .field("key", &self.key)
+            .field("marked", &is_marked(self.next.load(Ordering::Relaxed)))
+            .finish()
+    }
+}
+
+/// Protection slot assignment used by bucket traversals (two slots suffice, as in
+/// Michael's list algorithm).
+pub mod slots {
+    /// The traversal's predecessor node.
+    pub const PREV: usize = 0;
+    /// The node currently being inspected.
+    pub const CURR: usize = 1;
+}
+
+/// A lock-free hash map (fixed bucket array of Harris–Michael lists), parameterized by the
+/// Record Manager (reclaimer `R`, pool `P`, allocator `A`).
+///
+/// See the crate docs for the algorithm and the per-scheme protection discipline.
+pub struct LockFreeHashMap<K, V, R, P, A>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<HashMapNode<K, V>>,
+    P: Pool<HashMapNode<K, V>>,
+    A: Allocator<HashMapNode<K, V>>,
+{
+    /// Head word per bucket (0 = empty bucket).  The bucket count is a power of two so
+    /// routing is a mask.
+    buckets: Box<[AtomicUsize]>,
+    mask: usize,
+    manager: Arc<RecordManager<HashMapNode<K, V>, R, P, A>>,
+}
+
+/// Shorthand for the per-thread handle type used by [`LockFreeHashMap`].
+pub type HashMapHandle<K, V, R, P, A> = RecordManagerThread<HashMapNode<K, V>, R, P, A>;
+
+impl<K, V, R, P, A> LockFreeHashMap<K, V, R, P, A>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<HashMapNode<K, V>>,
+    P: Pool<HashMapNode<K, V>>,
+    A: Allocator<HashMapNode<K, V>>,
+{
+    /// Creates an empty map with [`DEFAULT_BUCKETS`] buckets backed by `manager`.
+    pub fn new(manager: Arc<RecordManager<HashMapNode<K, V>, R, P, A>>) -> Self {
+        Self::with_buckets(manager, DEFAULT_BUCKETS)
+    }
+
+    /// Creates an empty map with at least `buckets` buckets (rounded up to a power of two).
+    pub fn with_buckets(
+        manager: Arc<RecordManager<HashMapNode<K, V>, R, P, A>>,
+        buckets: usize,
+    ) -> Self {
+        let n = buckets.max(1).next_power_of_two();
+        LockFreeHashMap {
+            buckets: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            mask: n - 1,
+            manager,
+        }
+    }
+
+    /// The Record Manager backing this map.
+    pub fn manager(&self) -> &Arc<RecordManager<HashMapNode<K, V>, R, P, A>> {
+        &self.manager
+    }
+
+    /// The number of buckets (a power of two, fixed at construction).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Registers worker thread `tid`; see [`RecordManager::register`].
+    pub fn register(&self, tid: usize) -> Result<HashMapHandle<K, V, R, P, A>, RegistrationError> {
+        self.manager.register(tid)
+    }
+
+    /// Routes `key` to its bucket index.
+    #[inline]
+    fn bucket_of(&self, key: &K) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) & self.mask
+    }
+
+    /// The link word holding the pointer to the traversal's current node: the predecessor's
+    /// `next` word, or the bucket head when there is no predecessor.
+    fn link_of(&self, bucket: usize, prev: Option<NonNull<HashMapNode<K, V>>>) -> &AtomicUsize {
+        match prev {
+            // SAFETY: `prev` is protected by the calling operation (epoch or HP slot PREV).
+            Some(p) => unsafe { &(*p.as_ptr()).next },
+            None => &self.buckets[bucket],
+        }
+    }
+
+    /// Finds the first node in `key`'s bucket with key >= `key`.  Returns `(prev, curr_word)`
+    /// where `prev` is `None` when `curr` hangs off the bucket head.  Physically unlinks
+    /// marked nodes encountered on the way (retiring them).
+    ///
+    /// Returns `Err(Neutralized)` if this thread was neutralized mid-traversal.
+    #[allow(clippy::type_complexity)]
+    fn search(
+        &self,
+        handle: &mut HashMapHandle<K, V, R, P, A>,
+        bucket: usize,
+        key: &K,
+    ) -> Result<(Option<NonNull<HashMapNode<K, V>>>, usize), Neutralized> {
+        'retry: loop {
+            handle.check()?;
+            let mut prev: Option<NonNull<HashMapNode<K, V>>> = None;
+            let mut curr_word = self.buckets[bucket].load(Ordering::Acquire);
+            loop {
+                handle.check()?;
+                let curr_ptr = ptr_of(curr_word) as *mut HashMapNode<K, V>;
+                let Some(curr) = NonNull::new(curr_ptr) else {
+                    return Ok((prev, curr_word));
+                };
+
+                // Hazard-pointer style protection: announce, then validate that the link we
+                // followed still leads here (no-op and always true for epoch schemes).
+                // The comparison is on the FULL word, mark bit included: `expected` is
+                // always unmarked, so a predecessor that has since been marked (it is being
+                // deleted, and `curr` may already be unlinked from the live chain and
+                // retired) fails validation and forces a restart — Michael's algorithm
+                // requires exactly this; stripping the mark here would let a stale marked
+                // link validate a freed node.
+                let prev_link = self.link_of(bucket, prev);
+                let expected = curr_word;
+                let valid = handle
+                    .protect(slots::CURR, curr, || prev_link.load(Ordering::SeqCst) == expected);
+                if !valid {
+                    continue 'retry;
+                }
+
+                // SAFETY: `curr` was reachable when protected; under epoch schemes the
+                // operation's non-quiescent announcement keeps it from being reclaimed, and
+                // under HP/ThreadScan/IBR the announcement + validation above does.
+                let curr_ref = unsafe { curr.as_ref() };
+                let next_word = curr_ref.next.load(Ordering::Acquire);
+
+                if is_marked(next_word) {
+                    // Logically deleted: try to unlink it.  Whoever wins the CAS owns the
+                    // retirement of `curr`.
+                    let unlink_to = next_word & !MARK;
+                    match self.link_of(bucket, prev).compare_exchange(
+                        curr_word,
+                        unlink_to,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: `curr` was just unlinked by this thread (unique CAS
+                            // winner) and is no longer reachable from the bucket head.
+                            unsafe { handle.retire(curr) };
+                            curr_word = unlink_to;
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                }
+
+                if curr_ref.key >= *key {
+                    return Ok((prev, curr_word));
+                }
+                // Advance: curr becomes prev.
+                handle.protect(slots::PREV, curr, || true);
+                prev = Some(curr);
+                curr_word = next_word;
+            }
+        }
+    }
+
+    fn insert_body(
+        &self,
+        handle: &mut HashMapHandle<K, V, R, P, A>,
+        bucket: usize,
+        key: &K,
+        value: &V,
+    ) -> Result<bool, Neutralized> {
+        loop {
+            let (prev, curr_word) = self.search(handle, bucket, key)?;
+            let curr_ptr = ptr_of(curr_word) as *mut HashMapNode<K, V>;
+            if let Some(curr) = NonNull::new(curr_ptr) {
+                // SAFETY: protected by the search above.
+                if unsafe { &curr.as_ref().key } == key {
+                    return Ok(false);
+                }
+            }
+            let node = handle.allocate(HashMapNode {
+                key: key.clone(),
+                value: value.clone(),
+                next: AtomicUsize::new(curr_word),
+            });
+            if let Err(e) = handle.check() {
+                // Not yet published: recycle immediately, then unwind to recovery.
+                // SAFETY: the node was never made reachable.
+                unsafe { handle.deallocate(node) };
+                return Err(e);
+            }
+            match self.link_of(bucket, prev).compare_exchange(
+                curr_word,
+                node.as_ptr() as usize,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(true),
+                Err(_) => {
+                    // SAFETY: the node was never made reachable.
+                    unsafe { handle.deallocate(node) };
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn remove_body(
+        &self,
+        handle: &mut HashMapHandle<K, V, R, P, A>,
+        bucket: usize,
+        key: &K,
+    ) -> Result<bool, Neutralized> {
+        loop {
+            let (prev, curr_word) = self.search(handle, bucket, key)?;
+            let Some(curr) = NonNull::new(ptr_of(curr_word) as *mut HashMapNode<K, V>) else {
+                return Ok(false);
+            };
+            // SAFETY: protected by the search above.
+            let curr_ref = unsafe { curr.as_ref() };
+            if &curr_ref.key != key {
+                return Ok(false);
+            }
+            let next_word = curr_ref.next.load(Ordering::Acquire);
+            if is_marked(next_word) {
+                // Someone else is already deleting it; help by restarting (the next search
+                // unlinks it).
+                continue;
+            }
+            handle.check()?;
+            // Logical deletion: set the mark bit.
+            if curr_ref
+                .next
+                .compare_exchange(next_word, next_word | MARK, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // Physical deletion: best effort; if it fails a later traversal will do it (and
+            // that traversal's winner retires the node).
+            if self
+                .link_of(bucket, prev)
+                .compare_exchange(curr_word, next_word & !MARK, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: unlinked by this thread; unique owner of the retirement.
+                unsafe { handle.retire(curr) };
+            }
+            return Ok(true);
+        }
+    }
+
+    fn get_body(
+        &self,
+        handle: &mut HashMapHandle<K, V, R, P, A>,
+        bucket: usize,
+        key: &K,
+    ) -> Result<Option<V>, Neutralized> {
+        let (_prev, curr_word) = self.search(handle, bucket, key)?;
+        if let Some(curr) = NonNull::new(ptr_of(curr_word) as *mut HashMapNode<K, V>) {
+            // SAFETY: protected by the search above.
+            let curr_ref = unsafe { curr.as_ref() };
+            if &curr_ref.key == key && !is_marked(curr_ref.next.load(Ordering::Acquire)) {
+                return Ok(Some(curr_ref.value.clone()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs an operation body with the standard leave/enter-quiescent-state wrapper and the
+    /// DEBRA+ recovery protocol (restart the bucket operation after neutralization).
+    fn run_op<Out>(
+        &self,
+        handle: &mut HashMapHandle<K, V, R, P, A>,
+        mut body: impl FnMut(&Self, &mut HashMapHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
+    ) -> Out {
+        loop {
+            handle.leave_qstate();
+            match body(self, handle) {
+                Ok(out) => {
+                    handle.enter_qstate();
+                    return out;
+                }
+                Err(Neutralized) => {
+                    // Recovery (paper, Section 5): nothing this operation published needs
+                    // helping — updates that passed their decision CAS run to completion
+                    // without checkpoints — so recovery is simply: release restricted
+                    // hazard pointers, acknowledge, retry from the bucket head.
+                    handle.r_unprotect_all();
+                    handle.begin_recovery();
+                }
+            }
+        }
+    }
+
+    /// Counts the elements by a full traversal of every bucket; test/diagnostic helper.
+    ///
+    /// Like its twin `HarrisMichaelList::len`, the traversal relies on the operation's
+    /// non-quiescent announcement and announces no per-node protection, which only
+    /// epoch-style schemes honor.  Under protection-based schemes (HP, ThreadScan, IBR)
+    /// it must not race with concurrent removals — call it only when no other thread is
+    /// updating the map (e.g. after workers have joined, as the test suites do).
+    pub fn len(&self, handle: &mut HashMapHandle<K, V, R, P, A>) -> usize {
+        handle.leave_qstate();
+        let mut n = 0;
+        for bucket in self.buckets.iter() {
+            let mut word = bucket.load(Ordering::Acquire);
+            while let Some(node) = NonNull::new(ptr_of(word) as *mut HashMapNode<K, V>) {
+                // SAFETY: under epoch schemes the non-quiescent announcement keeps every
+                // node alive; under protection-based schemes the documented precondition
+                // (no concurrent updates) does.
+                let r = unsafe { node.as_ref() };
+                let next = r.next.load(Ordering::Acquire);
+                if !is_marked(next) {
+                    n += 1;
+                }
+                word = next;
+            }
+        }
+        handle.enter_qstate();
+        n
+    }
+
+    /// Returns `true` if the map is empty (diagnostic helper).
+    pub fn is_empty(&self, handle: &mut HashMapHandle<K, V, R, P, A>) -> bool {
+        self.len(handle) == 0
+    }
+
+    /// Per-bucket chain lengths (unmarked nodes only); diagnostic helper for load-factor
+    /// and skew inspection.  Same concurrency precondition as [`Self::len`].
+    pub fn bucket_histogram(&self, handle: &mut HashMapHandle<K, V, R, P, A>) -> Vec<usize> {
+        handle.leave_qstate();
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for bucket in self.buckets.iter() {
+            let mut n = 0;
+            let mut word = bucket.load(Ordering::Acquire);
+            while let Some(node) = NonNull::new(ptr_of(word) as *mut HashMapNode<K, V>) {
+                // SAFETY: as in `len`.
+                let r = unsafe { node.as_ref() };
+                let next = r.next.load(Ordering::Acquire);
+                if !is_marked(next) {
+                    n += 1;
+                }
+                word = next;
+            }
+            out.push(n);
+        }
+        handle.enter_qstate();
+        out
+    }
+}
+
+impl<K, V, R, P, A> ConcurrentMap<K, V> for LockFreeHashMap<K, V, R, P, A>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<HashMapNode<K, V>>,
+    P: Pool<HashMapNode<K, V>>,
+    A: Allocator<HashMapNode<K, V>>,
+{
+    type Handle = HashMapHandle<K, V, R, P, A>;
+
+    fn register(&self, tid: usize) -> Result<Self::Handle, RegistrationError> {
+        self.manager.register(tid)
+    }
+
+    fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
+        let bucket = self.bucket_of(&key);
+        self.run_op(handle, |this, h| this.insert_body(h, bucket, &key, &value))
+    }
+
+    fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        let bucket = self.bucket_of(key);
+        self.run_op(handle, |this, h| this.remove_body(h, bucket, key))
+    }
+
+    fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
+        let bucket = self.bucket_of(key);
+        self.run_op(handle, |this, h| this.get_body(h, bucket, key)).is_some()
+    }
+
+    fn get(&self, handle: &mut Self::Handle, key: &K) -> Option<V> {
+        let bucket = self.bucket_of(key);
+        self.run_op(handle, |this, h| this.get_body(h, bucket, key))
+    }
+}
+
+impl<K, V, R, P, A> Drop for LockFreeHashMap<K, V, R, P, A>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<HashMapNode<K, V>>,
+    P: Pool<HashMapNode<K, V>>,
+    A: Allocator<HashMapNode<K, V>>,
+{
+    fn drop(&mut self) {
+        // Free every node still reachable from any bucket head.  At this point the caller
+        // guarantees exclusive access (we have `&mut self`).
+        let mut alloc = self.manager.teardown_allocator();
+        for bucket in self.buckets.iter_mut() {
+            let mut word = *bucket.get_mut();
+            while let Some(node) = NonNull::new(ptr_of(word) as *mut HashMapNode<K, V>) {
+                // SAFETY: exclusive access during drop; each reachable node freed once.
+                unsafe {
+                    word = node.as_ref().next.load(Ordering::Relaxed);
+                    debra::AllocatorThread::deallocate(&mut alloc, node);
+                }
+            }
+        }
+    }
+}
+
+impl<K, V, R, P, A> fmt::Debug for LockFreeHashMap<K, V, R, P, A>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<HashMapNode<K, V>>,
+    P: Pool<HashMapNode<K, V>>,
+    A: Allocator<HashMapNode<K, V>>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockFreeHashMap")
+            .field("buckets", &self.buckets.len())
+            .field("reclaimer", &R::name())
+            .finish()
+    }
+}
+
+// SAFETY: the map is a shared concurrent structure; all shared mutable state is accessed
+// through atomics, and nodes are `Send` because K and V are.
+unsafe impl<K, V, R, P, A> Send for LockFreeHashMap<K, V, R, P, A>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<HashMapNode<K, V>>,
+    P: Pool<HashMapNode<K, V>>,
+    A: Allocator<HashMapNode<K, V>>,
+{
+}
+unsafe impl<K, V, R, P, A> Sync for LockFreeHashMap<K, V, R, P, A>
+where
+    K: Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<HashMapNode<K, V>>,
+    P: Pool<HashMapNode<K, V>>,
+    A: Allocator<HashMapNode<K, V>>,
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debra::{Debra, DebraPlus};
+    use smr_alloc::{BumpAllocator, SystemAllocator, ThreadPool};
+    use smr_baselines::HazardPointers;
+    use smr_ibr::Ibr;
+
+    type Node = HashMapNode<u64, u64>;
+    type DebraMap = LockFreeHashMap<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+
+    fn new_map(threads: usize, buckets: usize) -> DebraMap {
+        let manager = Arc::new(RecordManager::new(threads));
+        LockFreeHashMap::with_buckets(manager, buckets)
+    }
+
+    #[test]
+    fn sequential_map_semantics() {
+        let map = new_map(1, 16);
+        let mut h = map.register(0).unwrap();
+        assert!(!map.contains(&mut h, &5));
+        assert!(map.insert(&mut h, 5, 50));
+        assert!(!map.insert(&mut h, 5, 51), "duplicate insert must fail");
+        assert!(map.contains(&mut h, &5));
+        assert_eq!(map.get(&mut h, &5), Some(50));
+        assert!(map.remove(&mut h, &5));
+        assert!(!map.remove(&mut h, &5));
+        assert!(!map.contains(&mut h, &5));
+        assert_eq!(map.len(&mut h), 0);
+    }
+
+    #[test]
+    fn bucket_count_rounds_to_power_of_two() {
+        let map = new_map(1, 100);
+        assert_eq!(map.bucket_count(), 128);
+        let map = new_map(1, 1);
+        assert_eq!(map.bucket_count(), 1);
+    }
+
+    #[test]
+    fn single_bucket_degrades_to_a_sorted_list() {
+        // Every key collides: the map must still be a correct set.
+        let map = new_map(1, 1);
+        let mut h = map.register(0).unwrap();
+        let keys = [9u64, 1, 7, 3, 5, 2, 8, 0, 6, 4];
+        for &k in &keys {
+            assert!(map.insert(&mut h, k, k * 10));
+        }
+        assert_eq!(map.len(&mut h), keys.len());
+        for &k in &keys {
+            assert_eq!(map.get(&mut h, &k), Some(k * 10));
+        }
+        let histogram = map.bucket_histogram(&mut h);
+        assert_eq!(histogram, vec![keys.len()]);
+        for &k in &keys {
+            assert!(map.remove(&mut h, &k));
+        }
+        assert!(map.is_empty(&mut h));
+    }
+
+    #[test]
+    fn matches_a_sequential_model() {
+        use std::collections::HashMap;
+        let map = new_map(1, 8); // few buckets => long chains, real collisions
+        let mut h = map.register(0).unwrap();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut x: u64 = 0x243F6A8885A308D3;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 64;
+            match (x >> 60) % 3 {
+                0 => assert_eq!(map.insert(&mut h, key, key), model.insert(key, key).is_none()),
+                1 => assert_eq!(map.remove(&mut h, &key), model.remove(&key).is_some()),
+                _ => assert_eq!(map.contains(&mut h, &key), model.contains_key(&key)),
+            }
+        }
+        assert_eq!(map.len(&mut h), model.len());
+        for (k, v) in model {
+            assert_eq!(map.get(&mut h, &k), Some(v));
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_and_removes() {
+        let threads = 4;
+        let per_thread = 2_000u64;
+        let map = Arc::new(new_map(threads, 64));
+        let mut joins = Vec::new();
+        for t in 0..threads as u64 {
+            let map = Arc::clone(&map);
+            joins.push(std::thread::spawn(move || {
+                let mut h = map.register(t as usize).unwrap();
+                for i in 0..per_thread {
+                    let k = t * per_thread + i;
+                    assert!(map.insert(&mut h, k, k));
+                }
+                for i in 0..per_thread {
+                    let k = t * per_thread + i;
+                    assert!(map.contains(&mut h, &k));
+                }
+                for i in (0..per_thread).step_by(2) {
+                    let k = t * per_thread + i;
+                    assert!(map.remove(&mut h, &k));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut h = map.register(0).unwrap();
+        assert_eq!(map.len(&mut h), (threads as u64 * per_thread / 2) as usize);
+    }
+
+    /// The contended test, repeated for the schemes with non-trivial per-access protocols:
+    /// hazard pointers (validated announcements), DEBRA+ (neutralization restarts) and IBR
+    /// (birth/retire era tags).  Few buckets, so threads genuinely collide per chain.
+    macro_rules! contended_under {
+        ($name:ident, $recl:ty, $alloc:ident) => {
+            #[test]
+            fn $name() {
+                type Map = LockFreeHashMap<u64, u64, $recl, ThreadPool<Node>, $alloc<Node>>;
+                let threads = 4;
+                let manager = Arc::new(RecordManager::new(threads + 1));
+                let map: Arc<Map> = Arc::new(LockFreeHashMap::with_buckets(manager, 4));
+                let mut joins = Vec::new();
+                for t in 0..threads {
+                    let map = Arc::clone(&map);
+                    joins.push(std::thread::spawn(move || {
+                        let mut h = map.register(t).unwrap();
+                        let mut net: i64 = 0;
+                        for i in 0..5_000u64 {
+                            let k = i % 16;
+                            if (i + t as u64).is_multiple_of(2) {
+                                if map.insert(&mut h, k, k) {
+                                    net += 1;
+                                }
+                            } else if map.remove(&mut h, &k) {
+                                net -= 1;
+                            }
+                        }
+                        net
+                    }));
+                }
+                let net_total: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+                let mut h = map.register(threads).unwrap();
+                assert_eq!(
+                    map.len(&mut h) as i64,
+                    net_total,
+                    "net successful inserts must equal final size"
+                );
+                let stats = map.manager().reclaimer().stats();
+                assert!(stats.retired > 0, "contended removes must retire nodes");
+                assert!(stats.reclaimed <= stats.retired);
+            }
+        };
+    }
+
+    contended_under!(contended_under_debra, Debra<Node>, SystemAllocator);
+    contended_under!(contended_under_debra_plus, DebraPlus<Node>, SystemAllocator);
+    contended_under!(contended_under_hazard_pointers, HazardPointers<Node>, SystemAllocator);
+    contended_under!(contended_under_ibr, Ibr<Node>, BumpAllocator);
+}

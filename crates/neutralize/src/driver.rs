@@ -292,7 +292,8 @@ mod tests {
                 let _reg = driver.register_current_thread(Arc::clone(&slot));
                 slot.clear_quiescent();
                 while !stop.load(Ordering::Acquire) {
-                    std::hint::spin_loop();
+                    // Yield so the signalling thread gets scheduled on single-core hosts.
+                    std::thread::yield_now();
                 }
             })
         };

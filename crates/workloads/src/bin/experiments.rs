@@ -10,6 +10,7 @@
 //!   e2-oversub   Experiment 2 with oversubscription (Figure 9 left)
 //!   memory       memory allocated for records + neutralizations (Figure 9 right)
 //!   e3           Experiment 3: malloc allocator (Figure 10)
+//!   zipf         uniform vs. Zipfian keys on the hash map and BST (not in the paper)
 //!   summary      headline ratios from the abstract (DEBRA vs None vs HP)
 //!   all          everything above
 //!
@@ -21,11 +22,11 @@
 //! ```
 
 use smr_workloads::experiments::{
-    self, experiment1, experiment2, experiment2_oversubscribed, experiment3, memory_footprint,
-    print_rows, summarize, ReclaimerKind, StructureKind,
+    self, experiment1, experiment2, experiment2_oversubscribed, experiment3,
+    experiment_distribution, memory_footprint, print_rows, summarize, ReclaimerKind, StructureKind,
 };
 use smr_workloads::figure2;
-use smr_workloads::workload::{OperationMix, WorkloadConfig};
+use smr_workloads::workload::{KeyDistribution, OperationMix, WorkloadConfig};
 use smr_workloads::AllocatorKind;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -82,6 +83,10 @@ fn main() {
             "Experiment 3 (Figure 10): system allocator + pool",
             &experiment3(&threads, duration, small),
         ),
+        "zipf" => print_rows(
+            "Key-distribution experiment: uniform vs. Zipfian (hash map + BST)",
+            &experiment_distribution(&threads, duration, small),
+        ),
         "summary" => {
             let rows = experiment2(&threads, duration, small);
             print_rows("Experiment 2 rows used for the summary", &rows);
@@ -96,6 +101,7 @@ fn main() {
                 threads: threads[0],
                 key_range: 1024,
                 mix: OperationMix::UPDATE_HEAVY,
+                distribution: KeyDistribution::Uniform,
                 duration_ms: duration,
                 prefill: true,
             };
@@ -121,6 +127,10 @@ fn main() {
             let mem = memory_footprint(duration, small);
             print_rows("Memory footprint (Figure 9 right)", &mem);
             print_rows("Experiment 3 (Figure 10)", &experiment3(&threads, duration, small));
+            print_rows(
+                "Key-distribution experiment: uniform vs. Zipfian (hash map + BST)",
+                &experiment_distribution(&threads, duration, small),
+            );
             println!("\n### Headline comparison (paper abstract)\n");
             for line in summarize(&e2) {
                 println!("  {line}");

@@ -10,17 +10,19 @@
 //! | [`experiment2_oversubscribed`] | Figure 9 (left) | as Experiment 2, with more threads than cores |
 //! | [`memory_footprint`] | Figure 9 (right) | as Experiment 2, reporting bytes allocated for records and neutralization counts |
 //! | [`experiment3`] | Figure 10 | system allocator (`malloc`) + pool |
+//! | [`experiment_distribution`] | (not in the paper) | as Experiment 2, uniform vs. Zipfian keys on the hash map and BST |
 
 use std::sync::Arc;
 
 use debra::{Allocator, Debra, DebraPlus, Reclaimer, RecordManager};
 use lockfree_ds::{BstNode, ExternalBst, SkipList, SkipNode};
 use smr_alloc::{BumpAllocator, NoPool, SystemAllocator, ThreadPool};
-use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim};
+use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
+use smr_hashmap::{HashMapNode, LockFreeHashMap};
 use smr_ibr::Ibr;
 
 use crate::harness::{run_trial, TrialResult};
-use crate::workload::{OperationMix, WorkloadConfig};
+use crate::workload::{KeyDistribution, OperationMix, WorkloadConfig};
 
 /// Which reclamation scheme a configuration uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,19 +37,22 @@ pub enum ReclaimerKind {
     HazardPointers,
     /// Classical epoch based reclamation.
     Ebr,
+    /// ThreadScan-lite (fence-free announcements, signal-driven collective scans).
+    ThreadScan,
     /// Interval-based reclamation (2GEIBR-style birth/retire-era tagging).
     Ibr,
 }
 
 impl ReclaimerKind {
-    /// All schemes compared in the BST panels of Figures 8–10 (plus IBR, this
-    /// reproduction's extra point of comparison).
-    pub const ALL: [ReclaimerKind; 6] = [
+    /// All seven implemented schemes: the five compared in the paper's figures plus the
+    /// two modern points of comparison this reproduction adds (ThreadScan, IBR).
+    pub const ALL: [ReclaimerKind; 7] = [
         ReclaimerKind::None,
         ReclaimerKind::Debra,
         ReclaimerKind::DebraPlus,
         ReclaimerKind::HazardPointers,
         ReclaimerKind::Ebr,
+        ReclaimerKind::ThreadScan,
         ReclaimerKind::Ibr,
     ];
 
@@ -59,6 +64,7 @@ impl ReclaimerKind {
             ReclaimerKind::DebraPlus => "DEBRA+",
             ReclaimerKind::HazardPointers => "HP",
             ReclaimerKind::Ebr => "EBR",
+            ReclaimerKind::ThreadScan => "ThreadScan",
             ReclaimerKind::Ibr => "IBR",
         }
     }
@@ -71,6 +77,8 @@ pub enum StructureKind {
     Bst,
     /// The lock-free skip list.
     SkipList,
+    /// The lock-free hash map (fixed bucket array of Harris–Michael lists).
+    HashMap,
 }
 
 impl StructureKind {
@@ -79,6 +87,7 @@ impl StructureKind {
         match self {
             StructureKind::Bst => "BST",
             StructureKind::SkipList => "SkipList",
+            StructureKind::HashMap => "HashMap",
         }
     }
 }
@@ -120,6 +129,8 @@ pub struct ExperimentRow {
     pub key_range: u64,
     /// Operation mix label (e.g. `"50i-50d"`).
     pub mix: String,
+    /// Key popularity distribution.
+    pub distribution: KeyDistribution,
     /// Trial measurements.
     pub result: TrialResult,
 }
@@ -128,13 +139,14 @@ impl ExperimentRow {
     /// Formats the row the way the experiment tables in `EXPERIMENTS.md` are written.
     pub fn to_table_line(&self) -> String {
         format!(
-            "| {:9} | {:7} | {:12} | {:3} | {:8} | {:8} | {:8.3} | {:10} | {:10} | {:6} |",
+            "| {:9} | {:10} | {:12} | {:3} | {:8} | {:8} | {:8} | {:8.3} | {:10} | {:10} | {:6} |",
             self.structure.name(),
             self.reclaimer.name(),
             self.allocator.name(),
             self.threads,
             self.key_range,
             self.mix,
+            self.distribution.label(),
             self.result.throughput_mops,
             self.result.reclaimer.retired,
             self.result.reclaimer.reclaimed,
@@ -145,8 +157,8 @@ impl ExperimentRow {
     /// The table header matching [`Self::to_table_line`].
     pub fn table_header() -> String {
         let mut s = String::new();
-        s.push_str("| structure | scheme  | memory       | thr | keyrange | mix      | Mops/s   | retired    | reclaimed  | neutr. |\n");
-        s.push_str("|-----------|---------|--------------|-----|----------|----------|----------|------------|------------|--------|");
+        s.push_str("| structure | scheme     | memory       | thr | keyrange | mix      | dist     | Mops/s   | retired    | reclaimed  | neutr. |\n");
+        s.push_str("|-----------|------------|--------------|-----|----------|----------|----------|----------|------------|------------|--------|");
         s
     }
 }
@@ -197,6 +209,13 @@ pub fn run_config(
                     $pool<SkipNode<u64, u64>>,
                     $alloc<SkipNode<u64, u64>>
                 ),
+                StructureKind::HashMap => run!(
+                    LockFreeHashMap,
+                    HashMapNode<u64, u64>,
+                    $recl<HashMapNode<u64, u64>>,
+                    $pool<HashMapNode<u64, u64>>,
+                    $alloc<HashMapNode<u64, u64>>
+                ),
             }
         };
     }
@@ -221,6 +240,7 @@ pub fn run_config(
         ReclaimerKind::DebraPlus => dispatch_memory!(DebraPlus),
         ReclaimerKind::HazardPointers => dispatch_memory!(HazardPointers),
         ReclaimerKind::Ebr => dispatch_memory!(ClassicEbr),
+        ReclaimerKind::ThreadScan => dispatch_memory!(ThreadScanLite),
         ReclaimerKind::Ibr => dispatch_memory!(Ibr),
     };
 
@@ -231,6 +251,7 @@ pub fn run_config(
         threads: cfg.threads,
         key_range: cfg.key_range,
         mix: cfg.mix.label(),
+        distribution: cfg.distribution,
         result,
     }
 }
@@ -246,6 +267,9 @@ pub fn paper_workloads(
         (StructureKind::Bst, true) => vec![1_024, 16_384],
         (StructureKind::SkipList, false) => vec![200_000],
         (StructureKind::SkipList, true) => vec![4_096],
+        // Not in the paper; sized so the fixed 256-bucket table sees real chains.
+        (StructureKind::HashMap, false) => vec![100_000],
+        (StructureKind::HashMap, true) => vec![4_096],
     };
     let mut out = Vec::new();
     for r in ranges {
@@ -268,8 +292,14 @@ fn sweep(
         for (key_range, mix) in paper_workloads(structure, small_keyranges) {
             for &threads in thread_counts {
                 for &reclaimer in reclaimers {
-                    let cfg =
-                        WorkloadConfig { threads, key_range, mix, duration_ms, prefill: true };
+                    let cfg = WorkloadConfig {
+                        threads,
+                        key_range,
+                        mix,
+                        distribution: KeyDistribution::Uniform,
+                        duration_ms,
+                        prefill: true,
+                    };
                     rows.push(run_config(structure, reclaimer, allocator, &cfg, 0xDEB2A));
                 }
             }
@@ -281,7 +311,7 @@ fn sweep(
 /// Experiment 1 (Figure 8, left): overhead of reclamation — bump allocator, no pool.
 pub fn experiment1(thread_counts: &[usize], duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
     sweep(
-        &[StructureKind::Bst, StructureKind::SkipList],
+        &[StructureKind::Bst, StructureKind::SkipList, StructureKind::HashMap],
         &ReclaimerKind::ALL,
         AllocatorKind::BumpNoPool,
         thread_counts,
@@ -293,7 +323,7 @@ pub fn experiment1(thread_counts: &[usize], duration_ms: u64, small: bool) -> Ve
 /// Experiment 2 (Figure 8, right): records are actually recycled — bump allocator + pool.
 pub fn experiment2(thread_counts: &[usize], duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
     sweep(
-        &[StructureKind::Bst, StructureKind::SkipList],
+        &[StructureKind::Bst, StructureKind::SkipList, StructureKind::HashMap],
         &ReclaimerKind::ALL,
         AllocatorKind::BumpWithPool,
         thread_counts,
@@ -320,13 +350,55 @@ pub fn experiment2_oversubscribed(duration_ms: u64, small: bool) -> Vec<Experime
 /// Experiment 3 (Figure 10): the system allocator replaces the bump allocator.
 pub fn experiment3(thread_counts: &[usize], duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
     sweep(
-        &[StructureKind::Bst, StructureKind::SkipList],
+        &[StructureKind::Bst, StructureKind::SkipList, StructureKind::HashMap],
         &ReclaimerKind::ALL,
         AllocatorKind::SystemWithPool,
         thread_counts,
         duration_ms,
         small,
     )
+}
+
+/// The key-distribution experiment (not in the paper): hash map and BST, every scheme,
+/// uniform vs. Zipfian keys.  Under the hot-key regime most operations funnel into a few
+/// bucket chains / tree paths, so retired-but-unreclaimable records concentrate exactly
+/// where every thread is traversing — the scenario where reclamation schemes separate.
+pub fn experiment_distribution(
+    thread_counts: &[usize],
+    duration_ms: u64,
+    small: bool,
+) -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    for structure in [StructureKind::HashMap, StructureKind::Bst] {
+        let key_range = match (structure, small) {
+            (StructureKind::HashMap, true) => 4_096,
+            (StructureKind::HashMap, false) => 100_000,
+            (_, true) => 1_024,
+            (_, false) => 10_000,
+        };
+        for distribution in [KeyDistribution::Uniform, KeyDistribution::ZIPF_DEFAULT] {
+            for &threads in thread_counts {
+                for reclaimer in ReclaimerKind::ALL {
+                    let cfg = WorkloadConfig {
+                        threads,
+                        key_range,
+                        mix: OperationMix::UPDATE_HEAVY,
+                        distribution,
+                        duration_ms,
+                        prefill: true,
+                    };
+                    rows.push(run_config(
+                        structure,
+                        reclaimer,
+                        AllocatorKind::BumpWithPool,
+                        &cfg,
+                        0x21BF,
+                    ));
+                }
+            }
+        }
+    }
+    rows
 }
 
 /// The memory-footprint experiment (Figure 9, right): BST, key range 10⁴ (paper value) or
@@ -348,6 +420,7 @@ pub fn memory_footprint(duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
                 threads,
                 key_range,
                 mix: OperationMix::UPDATE_HEAVY,
+                distribution: KeyDistribution::Uniform,
                 duration_ms,
                 prefill: true,
             };
@@ -378,12 +451,19 @@ pub fn print_rows(title: &str, rows: &[ExperimentRow]) {
 pub fn summarize(rows: &[ExperimentRow]) -> Vec<String> {
     use std::collections::HashMap;
     /// Everything that identifies a configuration except the reclaimer.
-    type ConfigKey = (StructureKind, AllocatorKind, usize, u64, String);
+    type ConfigKey = (StructureKind, AllocatorKind, usize, u64, String, String);
     // Group by everything except the reclaimer.
     let mut groups: HashMap<ConfigKey, HashMap<ReclaimerKind, f64>> = HashMap::new();
     for r in rows {
         groups
-            .entry((r.structure, r.allocator, r.threads, r.key_range, r.mix.clone()))
+            .entry((
+                r.structure,
+                r.allocator,
+                r.threads,
+                r.key_range,
+                r.mix.clone(),
+                r.distribution.label(),
+            ))
             .or_default()
             .insert(r.reclaimer, r.result.throughput_mops);
     }
@@ -454,6 +534,7 @@ mod tests {
                 threads: 2,
                 key_range: 128,
                 mix: OperationMix::UPDATE_HEAVY,
+                distribution: KeyDistribution::Uniform,
                 duration_ms: 20,
                 prefill: true,
             };
@@ -467,12 +548,43 @@ mod tests {
     }
 
     #[test]
+    fn run_config_smoke_every_reclaimer_on_hashmap_both_distributions() {
+        for distribution in [KeyDistribution::Uniform, KeyDistribution::ZIPF_DEFAULT] {
+            for reclaimer in ReclaimerKind::ALL {
+                let cfg = WorkloadConfig {
+                    threads: 2,
+                    key_range: 128,
+                    mix: OperationMix::UPDATE_HEAVY,
+                    distribution,
+                    duration_ms: 20,
+                    prefill: true,
+                };
+                let row = run_config(
+                    StructureKind::HashMap,
+                    reclaimer,
+                    AllocatorKind::BumpWithPool,
+                    &cfg,
+                    1,
+                );
+                assert!(
+                    row.result.operations > 0,
+                    "{reclaimer:?}/{distribution:?} produced no operations"
+                );
+                if reclaimer != ReclaimerKind::None {
+                    assert!(row.result.reclaimer.retired > 0, "{reclaimer:?}/{distribution:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn run_config_smoke_skiplist_and_memory_configs() {
         for allocator in [AllocatorKind::BumpNoPool, AllocatorKind::SystemWithPool] {
             let cfg = WorkloadConfig {
                 threads: 2,
                 key_range: 128,
                 mix: OperationMix::MIXED,
+                distribution: KeyDistribution::Uniform,
                 duration_ms: 20,
                 prefill: true,
             };
@@ -490,6 +602,7 @@ mod tests {
                 threads: 2,
                 key_range: 64,
                 mix: OperationMix::UPDATE_HEAVY,
+                distribution: KeyDistribution::Uniform,
                 duration_ms: 15,
                 prefill: true,
             };

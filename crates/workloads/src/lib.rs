@@ -25,5 +25,5 @@ pub mod harness;
 pub mod workload;
 
 pub use experiments::{AllocatorKind, ExperimentRow, ReclaimerKind, StructureKind};
-pub use harness::{run_trial, TrialResult};
-pub use workload::{OperationMix, WorkloadConfig};
+pub use harness::{run_trial, BenchHandle, TrialResult};
+pub use workload::{KeyDistribution, OperationMix, WorkloadConfig};

@@ -44,7 +44,8 @@ where
                     thread.begin_recovery();
                     thread.leave_qstate(&mut sink);
                 }
-                std::hint::spin_loop();
+                // Yield, don't just spin: single-core hosts need the other threads to run.
+                std::thread::yield_now();
             }
             thread.enter_qstate();
         })

@@ -10,7 +10,7 @@
 //! ```
 
 use smr_workloads::experiments::{run_config, AllocatorKind, ReclaimerKind, StructureKind};
-use smr_workloads::workload::{OperationMix, WorkloadConfig};
+use smr_workloads::workload::{KeyDistribution, OperationMix, WorkloadConfig};
 
 fn main() {
     let threads = std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(2);
@@ -18,6 +18,7 @@ fn main() {
         threads,
         key_range: 4_096,
         mix: OperationMix::UPDATE_HEAVY,
+        distribution: KeyDistribution::Uniform,
         duration_ms: 400,
         prefill: true,
     };

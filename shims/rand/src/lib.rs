@@ -105,6 +105,108 @@ pub mod rngs {
     }
 }
 
+/// Probability distributions samplable with any [`Rng`] (the `rand_distr` subset this
+/// workspace uses).
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng` as the source of randomness.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The (finite) Zipf distribution over ranks `1..=n`: `P(k) ∝ k^(-s)`.
+    ///
+    /// Sampling is by rejection-inversion (Hörmann & Derflinger, "Rejection-inversion to
+    /// generate variates from monotone discrete distributions", 1996): O(1) setup and O(1)
+    /// expected time per sample for every exponent, with no precomputed tables — the same
+    /// algorithm upstream `rand_distr::Zipf` uses.  Rank 1 is the most probable value.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Zipf {
+        n: u64,
+        s: f64,
+        /// H(0.5): the left edge of the integral transform's domain.
+        h_x1: f64,
+        /// H(n + 0.5): the right edge.
+        h_n: f64,
+        /// Rejection cut: samples with `x - k <= cut` are accepted without evaluating H.
+        cut: f64,
+    }
+
+    impl Zipf {
+        /// Creates a Zipf distribution over `1..=n` with exponent `s`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n == 0`, or if `s` is negative or not finite.
+        pub fn new(n: u64, s: f64) -> Zipf {
+            assert!(n > 0, "Zipf needs at least one element");
+            assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0, got {s}");
+            let h_x1 = h_integral(1.5, s) - 1.0;
+            let h_n = h_integral(n as f64 + 0.5, s);
+            let cut = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+            Zipf { n, s, h_x1, h_n, cut }
+        }
+
+        /// Number of elements `n`.
+        pub fn n(&self) -> u64 {
+            self.n
+        }
+
+        /// Exponent `s`.
+        pub fn s(&self) -> f64 {
+            self.s
+        }
+    }
+
+    /// H(x) = (x^(1-s) - 1) / (1-s), the antiderivative of h(x) = x^(-s); ln(x) as s → 1.
+    /// Only differences of H values are ever used, so the constant of integration is
+    /// irrelevant.
+    fn h_integral(x: f64, s: f64) -> f64 {
+        let log_x = x.ln();
+        if (s - 1.0).abs() < 1e-9 {
+            log_x
+        } else {
+            ((1.0 - s) * log_x).exp_m1() / (1.0 - s)
+        }
+    }
+
+    /// h(x) = x^(-s), the (unnormalized) density.
+    fn h(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+
+    /// Inverse of [`h_integral`].
+    fn h_integral_inverse(v: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            v.exp()
+        } else {
+            // Clamp the argument of ln so extreme exponents cannot produce NaN.
+            let t = (v * (1.0 - s)).max(-1.0 + 1e-15);
+            (t.ln_1p() / (1.0 - s)).exp()
+        }
+    }
+
+    impl Distribution<u64> for Zipf {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            if self.n == 1 {
+                return 1;
+            }
+            loop {
+                // Uniform in (H(n + 0.5), H(1.5) - 1]; 53 mantissa bits like gen_bool.
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let u = self.h_n + unit * (self.h_x1 - self.h_n);
+                let x = h_integral_inverse(u, self.s);
+                let k = x.round().clamp(1.0, self.n as f64);
+                if k - x <= self.cut || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                    return k as u64;
+                }
+            }
+        }
+    }
+}
+
 thread_local! {
     static THREAD_RNG_STATE: Cell<u64> = Cell::new({
         // Seed each thread differently from its stack address and a global counter.
@@ -160,6 +262,65 @@ mod tests {
         assert!((2_200..2_800).contains(&hits), "got {hits}");
         assert!((0..100).all(|_| !r.gen_bool(0.0)));
         assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn zipf_is_skewed_in_rank_order() {
+        use super::distributions::{Distribution, Zipf};
+        let zipf = Zipf::new(1000, 0.99);
+        let mut r = SmallRng::seed_from_u64(12345);
+        let mut counts = [0u32; 4]; // ranks 1, 2, 3, everything else
+        const DRAWS: u32 = 100_000;
+        for _ in 0..DRAWS {
+            let k = zipf.sample(&mut r);
+            assert!((1..=1000).contains(&k), "sample {k} out of range");
+            match k {
+                1 => counts[0] += 1,
+                2 => counts[1] += 1,
+                3 => counts[2] += 1,
+                _ => counts[3] += 1,
+            }
+        }
+        // Ranks must come out in decreasing frequency, rank 1 far above uniform (which
+        // would be ~100 draws per rank).
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[1] > counts[2], "{counts:?}");
+        assert!(counts[0] > 5_000, "rank 1 should be hot, got {counts:?}");
+        // Theoretical P(1) for n=1000, s=0.99 is ~0.125; allow a generous band.
+        assert!((9_000..16_000).contains(&counts[0]), "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        use super::distributions::{Distribution, Zipf};
+        let zipf = Zipf::new(10, 0.0);
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..50_000 {
+            counts[(zipf.sample(&mut r) - 1) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((4_000..6_000).contains(&c), "rank {} count {c} not ~uniform", i + 1);
+        }
+    }
+
+    #[test]
+    fn zipf_handles_exponent_one_and_single_element() {
+        use super::distributions::{Distribution, Zipf};
+        let zipf = Zipf::new(100, 1.0);
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut first = 0u32;
+        for _ in 0..10_000 {
+            let k = zipf.sample(&mut r);
+            assert!((1..=100).contains(&k));
+            if k == 1 {
+                first += 1;
+            }
+        }
+        // P(1) = 1/H_100 ≈ 0.193 for s=1.
+        assert!((1_500..2_400).contains(&first), "got {first}");
+        let one = Zipf::new(1, 0.99);
+        assert_eq!(one.sample(&mut r), 1);
     }
 
     #[test]

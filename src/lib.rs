@@ -9,5 +9,6 @@ pub use lockfree_ds;
 pub use neutralize;
 pub use smr_alloc;
 pub use smr_baselines;
+pub use smr_hashmap;
 pub use smr_ibr;
 pub use smr_workloads;

@@ -10,16 +10,22 @@ use debra_repro::lockfree_ds::{
     BstNode, ConcurrentMap, ExternalBst, HarrisMichaelList, ListNode, SkipList, SkipNode,
 };
 use debra_repro::smr_alloc::{BumpAllocator, SystemAllocator, ThreadPool};
-use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, NoReclaim};
+use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
+use debra_repro::smr_hashmap::{HashMapNode, LockFreeHashMap};
 use debra_repro::smr_ibr::Ibr;
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: u64 = 4_000;
+/// Operation count for rows that must observe non-zero *reclaimed* counts: the epoch
+/// schemes hand back whole limbo-bag blocks (256 records each, amortized O(1)), so the
+/// workload must retire a few thousand records per thread before anything can flow back.
+const OPS_PER_THREAD_RECLAIM: u64 = 20_000;
 const KEY_RANGE: u64 = 256;
 
-/// Runs a mixed workload on any map and checks that the net number of successful inserts
-/// matches the final size reported by a full traversal.
-fn stress<M>(map: Arc<M>, check_len: impl Fn(&M, usize))
+/// Runs a mixed workload (`ops_per_thread` operations on each of [`THREADS`] workers) on
+/// any map and checks that the net number of successful inserts matches the final size
+/// reported by a full traversal.
+fn stress_n<M>(map: Arc<M>, ops_per_thread: u64, check_len: impl Fn(&M, usize))
 where
     M: ConcurrentMap<u64, u64> + 'static,
 {
@@ -30,7 +36,7 @@ where
             let mut handle = map.register(tid).expect("register worker");
             let mut net: i64 = 0;
             let mut x: u64 = 0xA076_1D64_78BD_642F ^ (tid as u64) << 17;
-            for _ in 0..OPS_PER_THREAD {
+            for _ in 0..ops_per_thread {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let key = (x >> 33) % KEY_RANGE;
                 match (x >> 61) % 4 {
@@ -59,13 +65,18 @@ where
 
 macro_rules! stress_test {
     ($name:ident, $structure:ident, $node:ident, $reclaimer:ty, $pool:ident, $alloc:ident) => {
+        stress_test!($name, $structure, $node, $reclaimer, $pool, $alloc, expect_reclaim: false);
+    };
+    ($name:ident, $structure:ident, $node:ident, $reclaimer:ty, $pool:ident, $alloc:ident,
+     expect_reclaim: $expect_reclaim:expr) => {
         #[test]
         fn $name() {
             type Node = $node<u64, u64>;
             type Map = $structure<u64, u64, $reclaimer, $pool<Node>, $alloc<Node>>;
             let manager = Arc::new(RecordManager::new(THREADS + 1));
             let map: Arc<Map> = Arc::new($structure::new(Arc::clone(&manager)));
-            stress(Arc::clone(&map), |map, expected| {
+            let ops = if $expect_reclaim { OPS_PER_THREAD_RECLAIM } else { OPS_PER_THREAD };
+            stress_n(Arc::clone(&map), ops, |map, expected| {
                 let mut handle = map.register(THREADS).expect("register checker");
                 assert_eq!(map.len(&mut handle), expected, "final size must match net inserts");
             });
@@ -73,6 +84,13 @@ macro_rules! stress_test {
             // retired first.
             let stats = manager.reclaimer().stats();
             assert!(stats.reclaimed <= stats.retired);
+            if $expect_reclaim {
+                assert!(stats.retired > 0, "the workload must retire records");
+                assert!(
+                    stats.reclaimed > 0,
+                    "a reclaiming scheme must actually reclaim during the stress"
+                );
+            }
         }
     };
 }
@@ -123,12 +141,155 @@ stress_test!(
 );
 stress_test!(list_ibr, HarrisMichaelList, ListNode, Ibr<Node>, ThreadPool, SystemAllocator);
 
+stress_test!(
+    bst_threadscan,
+    ExternalBst,
+    BstNode,
+    ThreadScanLite<Node>,
+    ThreadPool,
+    SystemAllocator
+);
+stress_test!(
+    list_threadscan,
+    HarrisMichaelList,
+    ListNode,
+    ThreadScanLite<Node>,
+    ThreadPool,
+    SystemAllocator
+);
+
+// --- the hash map under every scheme (the acceptance matrix of the hashmap PR) ----------
+// Every reclaiming scheme must have a non-zero reclaimed count at the end of the stress,
+// not just consistent bookkeeping.
+stress_test!(
+    hashmap_none,
+    LockFreeHashMap,
+    HashMapNode,
+    NoReclaim<Node>,
+    ThreadPool,
+    SystemAllocator
+);
+stress_test!(
+    hashmap_debra,
+    LockFreeHashMap,
+    HashMapNode,
+    Debra<Node>,
+    ThreadPool,
+    SystemAllocator,
+    expect_reclaim: true
+);
+stress_test!(
+    hashmap_debra_plus,
+    LockFreeHashMap,
+    HashMapNode,
+    DebraPlus<Node>,
+    ThreadPool,
+    SystemAllocator,
+    expect_reclaim: true
+);
+stress_test!(
+    hashmap_hazard_pointers,
+    LockFreeHashMap,
+    HashMapNode,
+    HazardPointers<Node>,
+    ThreadPool,
+    SystemAllocator,
+    expect_reclaim: true
+);
+stress_test!(
+    hashmap_classic_ebr,
+    LockFreeHashMap,
+    HashMapNode,
+    ClassicEbr<Node>,
+    ThreadPool,
+    SystemAllocator,
+    expect_reclaim: true
+);
+stress_test!(
+    hashmap_threadscan,
+    LockFreeHashMap,
+    HashMapNode,
+    ThreadScanLite<Node>,
+    ThreadPool,
+    SystemAllocator,
+    expect_reclaim: true
+);
+stress_test!(
+    hashmap_ibr,
+    LockFreeHashMap,
+    HashMapNode,
+    Ibr<Node>,
+    ThreadPool,
+    SystemAllocator,
+    expect_reclaim: true
+);
+stress_test!(
+    hashmap_debra_bump,
+    LockFreeHashMap,
+    HashMapNode,
+    Debra<Node>,
+    ThreadPool,
+    BumpAllocator,
+    expect_reclaim: true
+);
+
 // --- the skip list under the schemes used in the paper's skip list panels ---------------
 stress_test!(skiplist_none, SkipList, SkipNode, NoReclaim<Node>, ThreadPool, SystemAllocator);
 stress_test!(skiplist_debra, SkipList, SkipNode, Debra<Node>, ThreadPool, SystemAllocator);
 stress_test!(skiplist_debra_plus, SkipList, SkipNode, DebraPlus<Node>, ThreadPool, SystemAllocator);
 stress_test!(skiplist_ebr, SkipList, SkipNode, ClassicEbr<Node>, ThreadPool, BumpAllocator);
 stress_test!(skiplist_ibr, SkipList, SkipNode, Ibr<Node>, ThreadPool, SystemAllocator);
+
+/// The 8-thread hash-map acceptance row: oversubscribed (the container has fewer cores),
+/// under DEBRA+ so the neutralization machinery is exercised while bucket chains churn.
+/// Size consistency and actual reclamation are both required.
+#[test]
+fn hashmap_debra_plus_8_threads() {
+    const WIDE: usize = 8;
+    type Node = HashMapNode<u64, u64>;
+    type Map = LockFreeHashMap<u64, u64, DebraPlus<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+    let manager = Arc::new(RecordManager::new(WIDE + 1));
+    // Few buckets relative to the key range, so chains are long and contended.
+    let map: Arc<Map> = Arc::new(LockFreeHashMap::with_buckets(Arc::clone(&manager), 32));
+
+    let mut joins = Vec::new();
+    for tid in 0..WIDE {
+        let map = Arc::clone(&map);
+        joins.push(std::thread::spawn(move || {
+            let mut handle = map.register(tid).expect("register worker");
+            let mut net: i64 = 0;
+            let mut x: u64 = 0xA076_1D64_78BD_642F ^ (tid as u64) << 17;
+            for _ in 0..OPS_PER_THREAD_RECLAIM {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let key = (x >> 33) % KEY_RANGE;
+                match (x >> 61) % 4 {
+                    0 | 1 => {
+                        if map.insert(&mut handle, key, key.wrapping_mul(3)) {
+                            net += 1;
+                        }
+                    }
+                    2 => {
+                        if map.remove(&mut handle, &key) {
+                            net -= 1;
+                        }
+                    }
+                    _ => {
+                        let _ = map.get(&mut handle, &key);
+                    }
+                }
+            }
+            net
+        }));
+    }
+    let net: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    assert!(net >= 0);
+    let mut handle = map.register(WIDE).expect("register checker");
+    assert_eq!(map.len(&mut handle), net as usize, "final size must match net inserts");
+    let stats = manager.reclaimer().stats();
+    assert!(stats.retired > 0);
+    assert!(stats.reclaimed > 0, "DEBRA+ must reclaim during an 8-thread hash-map run");
+    assert!(stats.reclaimed <= stats.retired);
+}
 
 /// The acceptance bar for IBR: the BST stress passes at 8 worker threads, and IBR must
 /// actually have reclaimed records along the way (not just parked them in limbo).

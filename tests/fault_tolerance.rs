@@ -39,7 +39,8 @@ fn run_with_staller<R: Reclaimer<u64>>(retires: u64) -> (u64, u64, u64) {
                     t.begin_recovery();
                     t.leave_qstate(&mut sink);
                 }
-                std::hint::spin_loop();
+                // Yield, don't just spin: single-core hosts need the other threads to run.
+                std::thread::yield_now();
             }
             t.enter_qstate();
         })

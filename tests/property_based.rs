@@ -7,10 +7,12 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use debra_repro::blockbag::BlockBag;
-use debra_repro::debra::{Debra, RecordManager};
+use debra_repro::debra::{Debra, DebraPlus, Reclaimer, RecordManager};
 use debra_repro::lockfree_ds::{BstNode, ConcurrentMap, ExternalBst};
 use debra_repro::neutralize::AnnounceWord;
 use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
+use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
+use debra_repro::smr_hashmap::{HashMapNode, LockFreeHashMap};
 use debra_repro::smr_ibr::Ibr;
 
 fn fake_ptr(v: usize) -> NonNull<u64> {
@@ -76,6 +78,26 @@ proptest! {
         prop_assert_eq!(map.len(&mut handle), model.len());
     }
 
+    /// The lock-free hash map behaves exactly like a `HashMap` under arbitrary sequential
+    /// operation sequences, with a bucket count small enough that chains genuinely collide.
+    #[test]
+    fn hashmap_matches_std_hashmap(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..400)) {
+        type Node = HashMapNode<u64, u64>;
+        type Map = LockFreeHashMap<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+        let manager = Arc::new(RecordManager::new(1));
+        let map: Map = LockFreeHashMap::with_buckets(manager, 8);
+        let mut handle = map.register(0).unwrap();
+        let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (op, key) in ops {
+            match op {
+                0 => prop_assert_eq!(map.insert(&mut handle, key, key * 7), model.insert(key, key * 7).is_none()),
+                1 => prop_assert_eq!(map.remove(&mut handle, &key), model.remove(&key).is_some()),
+                _ => prop_assert_eq!(map.get(&mut handle, &key), model.get(&key).copied()),
+            }
+        }
+        prop_assert_eq!(map.len(&mut handle), model.len());
+    }
+
     /// Swapping the reclaimer type parameter to IBR preserves exact map semantics — the
     /// Record Manager promise, now covering the interval-based scheme too.
     #[test]
@@ -96,3 +118,111 @@ proptest! {
         prop_assert_eq!(map.len(&mut handle), model.len());
     }
 }
+
+/// Concurrent linearizability-style oracle for the hash map: worker threads run random
+/// insert/remove/contains/get against the lock-free map *and* a striped, locked `HashMap`
+/// reference.  Each (map operation, model operation) pair executes atomically under the
+/// key's stripe lock, so per key the history is sequential and every return value has one
+/// correct answer — while operations on *different* keys (including keys sharing a bucket
+/// chain!) run genuinely concurrently, exercising traversal over nodes that other threads
+/// are concurrently unlinking and retiring.  A per-key-independent map makes this a sound
+/// oracle: an operation's result depends only on its own key's state.
+fn hashmap_striped_oracle<R>()
+where
+    R: Reclaimer<HashMapNode<u64, u64>>,
+{
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    const THREADS: usize = 3;
+    const STRIPES: usize = 16;
+    const KEYS: u64 = 64;
+    const OPS: u64 = 3_000;
+    type Node = HashMapNode<u64, u64>;
+    type Map<R> = LockFreeHashMap<u64, u64, R, ThreadPool<Node>, SystemAllocator<Node>>;
+
+    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
+        Arc::new(RecordManager::new(THREADS + 1));
+    // 8 buckets for 64 keys: every bucket chain is shared by several stripes, so oracle
+    // serialization per key does not serialize bucket traffic.
+    let map: Arc<Map<R>> = Arc::new(LockFreeHashMap::with_buckets(Arc::clone(&manager), 8));
+    let oracle: Arc<Vec<Mutex<HashMap<u64, u64>>>> =
+        Arc::new((0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect());
+
+    let mut joins = Vec::new();
+    for tid in 0..THREADS {
+        let map = Arc::clone(&map);
+        let oracle = Arc::clone(&oracle);
+        joins.push(std::thread::spawn(move || {
+            let mut handle = map.register(tid).expect("register worker");
+            let mut x: u64 = 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64) << 21);
+            for i in 0..OPS {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let key = (x >> 33) % KEYS;
+                let value = ((tid as u64) << 32) | i;
+                let mut model =
+                    oracle[(key % STRIPES as u64) as usize].lock().expect("stripe lock poisoned");
+                match (x >> 61) % 4 {
+                    0 | 1 => {
+                        // `ConcurrentMap::insert` has set semantics: it does NOT replace
+                        // the value of an existing key, so neither may the model.
+                        let was_absent = !model.contains_key(&key);
+                        if was_absent {
+                            model.insert(key, value);
+                        }
+                        assert_eq!(
+                            map.insert(&mut handle, key, value),
+                            was_absent,
+                            "insert({key}) disagreed with the oracle"
+                        );
+                    }
+                    2 => assert_eq!(
+                        map.remove(&mut handle, &key),
+                        model.remove(&key).is_some(),
+                        "remove({key}) disagreed with the oracle"
+                    ),
+                    _ => assert_eq!(
+                        map.get(&mut handle, &key),
+                        model.get(&key).copied(),
+                        "get({key}) disagreed with the oracle"
+                    ),
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // Final state must match the oracle exactly: same size, same key/value pairs.
+    let mut handle = map.register(THREADS).expect("register checker");
+    let mut expected = 0usize;
+    for stripe in oracle.iter() {
+        let model = stripe.lock().expect("stripe lock poisoned");
+        expected += model.len();
+        for (k, v) in model.iter() {
+            assert_eq!(map.get(&mut handle, k), Some(*v), "final value of key {k}");
+        }
+    }
+    assert_eq!(map.len(&mut handle), expected, "final size must match the oracle");
+    let stats = manager.reclaimer().stats();
+    assert!(stats.reclaimed <= stats.retired);
+}
+
+macro_rules! hashmap_oracle_test {
+    ($name:ident, $recl:ty) => {
+        #[test]
+        fn $name() {
+            hashmap_striped_oracle::<$recl>();
+        }
+    };
+}
+
+type HmNode = HashMapNode<u64, u64>;
+hashmap_oracle_test!(hashmap_oracle_none, NoReclaim<HmNode>);
+hashmap_oracle_test!(hashmap_oracle_ebr, ClassicEbr<HmNode>);
+hashmap_oracle_test!(hashmap_oracle_hazard_pointers, HazardPointers<HmNode>);
+hashmap_oracle_test!(hashmap_oracle_threadscan, ThreadScanLite<HmNode>);
+hashmap_oracle_test!(hashmap_oracle_debra, Debra<HmNode>);
+hashmap_oracle_test!(hashmap_oracle_debra_plus, DebraPlus<HmNode>);
+hashmap_oracle_test!(hashmap_oracle_ibr, Ibr<HmNode>);
