@@ -291,7 +291,7 @@ mod tests {
         let mut t = ClassicEbr::register(&ebr, 0).unwrap();
         let mut sink = FreeingSink { freed: 0 };
         for i in 0..100u64 {
-            t.leave_qstate(&mut sink);
+            let _ = t.leave_qstate(&mut sink);
             unsafe { t.retire(leak(i), &mut sink) };
             t.enter_qstate();
         }
@@ -315,13 +315,13 @@ mod tests {
         let mut sink = CountingSink::default();
 
         // B performs one full operation, then goes idle (announcement sticks around).
-        b.leave_qstate(&mut sink);
+        let _ = b.leave_qstate(&mut sink);
         b.enter_qstate();
         let b_epoch_at_idle = ebr.current_epoch();
 
         let mut retired = Vec::new();
         for i in 0..300u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             let r = leak(i);
             retired.push(r);
             unsafe { a.retire(r, &mut sink) };
@@ -354,23 +354,23 @@ mod tests {
         let mut sink = CountingSink::default();
 
         // B is inside an operation; A retires a record.
-        b.leave_qstate(&mut sink);
-        a.leave_qstate(&mut sink);
+        let _ = b.leave_qstate(&mut sink);
+        let _ = a.leave_qstate(&mut sink);
         let r = leak(1);
         unsafe { a.retire(r, &mut sink) };
         a.enter_qstate();
 
         for _ in 0..50 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             a.enter_qstate();
         }
         assert_eq!(sink.accepted, 0, "record must not be reclaimed while B is stuck in its op");
 
         // B keeps performing operations, so its announcement keeps up and epochs advance.
         for _ in 0..50 {
-            b.leave_qstate(&mut sink);
+            let _ = b.leave_qstate(&mut sink);
             b.enter_qstate();
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             a.enter_qstate();
         }
         assert!(sink.accepted >= 1);

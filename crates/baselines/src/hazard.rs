@@ -341,7 +341,7 @@ mod tests {
         let mut sink = CountingSink::default();
         let r = leak(1);
 
-        t.leave_qstate(&mut sink);
+        let _ = t.leave_qstate(&mut sink);
         assert!(t.protect(0, r, || true));
         assert!(t.is_protected(r));
         assert!(hp.is_protected_by_any(r));
@@ -369,10 +369,10 @@ mod tests {
         let mut reader_sink = CountingSink::default();
 
         let protected = leak(42);
-        reader.leave_qstate(&mut reader_sink);
+        let _ = reader.leave_qstate(&mut reader_sink);
         assert!(reader.protect(0, protected, || true));
 
-        victim_owner.leave_qstate(&mut sink);
+        let _ = victim_owner.leave_qstate(&mut sink);
         unsafe { victim_owner.retire(protected, &mut sink) };
         // Retire plenty more records to force several scans.
         for i in 0..200u64 {
@@ -388,7 +388,7 @@ mod tests {
 
         // Once the reader releases its hazard pointer, the record becomes reclaimable.
         reader.enter_qstate();
-        victim_owner.leave_qstate(&mut sink);
+        let _ = victim_owner.leave_qstate(&mut sink);
         for i in 0..200u64 {
             unsafe { victim_owner.retire(leak(i), &mut sink) };
         }
@@ -409,7 +409,7 @@ mod tests {
         let hp: Arc<HazardPointers<u64>> = Arc::new(HazardPointers::with_config(2, small_config()));
         let mut t = HazardPointers::register(&hp, 0).unwrap();
         let mut sink = FreeingSink { freed: Vec::new() };
-        t.leave_qstate(&mut sink);
+        let _ = t.leave_qstate(&mut sink);
         for i in 0..11u64 {
             unsafe { t.retire(leak(i), &mut sink) };
         }
@@ -432,6 +432,6 @@ mod tests {
         let hp: Arc<HazardPointers<u64>> = Arc::new(HazardPointers::with_config(1, small_config()));
         let mut t = HazardPointers::register(&hp, 0).unwrap();
         let mut b = Box::new(7u64);
-        t.protect(99, NonNull::from(&mut *b), || true);
+        let _ = t.protect(99, NonNull::from(&mut *b), || true);
     }
 }

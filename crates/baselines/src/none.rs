@@ -150,7 +150,7 @@ mod tests {
         let mut t = NoReclaim::register(&none, 0).unwrap();
         let mut sink = CountingSink::default();
         let mut boxes: Vec<Box<u64>> = (0..10).map(Box::new).collect();
-        t.leave_qstate(&mut sink);
+        let _ = t.leave_qstate(&mut sink);
         for b in &mut boxes {
             unsafe { t.retire(NonNull::from(&mut **b), &mut sink) };
         }

@@ -359,10 +359,10 @@ mod tests {
         let mut b_sink = CountingSink::default();
 
         let held = leak(999);
-        b.leave_qstate(&mut b_sink);
+        let _ = b.leave_qstate(&mut b_sink);
         assert!(b.protect(0, held, || true));
 
-        a.leave_qstate(&mut sink);
+        let _ = a.leave_qstate(&mut sink);
         unsafe { a.retire(held, &mut sink) };
         for i in 0..200u64 {
             unsafe { a.retire(leak(i), &mut sink) };
@@ -374,7 +374,7 @@ mod tests {
         assert!(ts.stats().reclaimed > 0);
 
         b.enter_qstate();
-        a.leave_qstate(&mut sink);
+        let _ = a.leave_qstate(&mut sink);
         for i in 0..100u64 {
             unsafe { a.retire(leak(1000 + i), &mut sink) };
         }

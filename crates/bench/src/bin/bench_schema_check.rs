@@ -25,6 +25,10 @@ fn expected_rows() -> Vec<(String, String)> {
         rows.push((scheme.to_string(), "protect".to_string()));
         rows.push((scheme.to_string(), "hashmap_uniform".to_string()));
         rows.push((scheme.to_string(), "hashmap_zipf".to_string()));
+        // The guard-layer overhead pair (safe Domain/Guard/Shield API vs the raw
+        // Record Manager baseline embedded in the benchmark).
+        rows.push((scheme.to_string(), "list_raw".to_string()));
+        rows.push((scheme.to_string(), "list_guard".to_string()));
     }
     for scheme in ["DEBRA", "EBR", "IBR"] {
         rows.push((scheme.to_string(), "retire".to_string()));

@@ -1,0 +1,338 @@
+//! Typed, tagged atomic pointers for the safe guard layer: [`Atomic`], [`Shared`] and
+//! [`Owned`].
+//!
+//! These are the crossbeam-epoch-shaped pointer types of the safe API (see the sibling
+//! [`guard`](crate::guard) module).  A lock-free structure stores its links as
+//! `Atomic<Node>` words; traversals read them into `Shared<'g, Node>` values whose
+//! lifetime `'g` is tied to a live [`Guard`](crate::Guard), so a pointer can never be
+//! dereferenced after the operation that protected it has ended; and not-yet-published
+//! records are carried as [`Owned`] values, which can only enter the structure through
+//! [`Atomic::compare_exchange_owned`] (publication) or leave through
+//! [`Guard::discard`](crate::Guard::discard) (recycling), so a private node can never be
+//! freed while reachable.
+//!
+//! The *mark bit* idiom of Harris-style lists is supported directly: the low bits of a
+//! record pointer (available because records are aligned) carry a caller-chosen tag, read
+//! with [`Shared::tag`] and set with [`Shared::with_tag`].
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::align_of;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The tag bits available in pointers to `T` (the alignment-low bits).
+#[inline]
+const fn low_bits<T>() -> usize {
+    align_of::<T>() - 1
+}
+
+#[inline]
+fn ptr_of<T>(word: usize) -> *mut T {
+    (word & !low_bits::<T>()) as *mut T
+}
+
+/// A pin witness: a type whose shared borrow proves the current thread is inside a data
+/// structure operation (non-quiescent), so `Shared` values derived from it are safe to
+/// hold for its lifetime.  Implemented by [`Guard`](crate::Guard); sealed so no other
+/// witness can be forged.
+pub trait Pinned: private::Sealed {}
+
+pub(crate) mod private {
+    /// Seal for [`super::Pinned`].
+    pub trait Sealed {}
+}
+
+/// An atomic, taggable pointer to a record of `T` — one link word of a lock-free data
+/// structure.
+///
+/// The null pointer (word 0) represents "no successor".  All reads hand out
+/// [`Shared<'g, T>`] values tied to a live guard; all writes go through compare-and-swap,
+/// so the type has no unsynchronized store operation to misuse.
+pub struct Atomic<T> {
+    word: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+impl<T> Atomic<T> {
+    /// Creates a null link.
+    pub const fn null() -> Self {
+        Atomic { word: AtomicUsize::new(0), _marker: PhantomData }
+    }
+
+    /// Creates a link holding the same pointer (and tag) as `shared`.
+    ///
+    /// This is how a private node's links are initialized before publication; writing a
+    /// plain snapshot is safe because the node is not reachable by other threads yet.
+    pub fn from_shared(shared: Shared<'_, T>) -> Self {
+        Atomic { word: AtomicUsize::new(shared.word), _marker: PhantomData }
+    }
+
+    /// Reads the link into a [`Shared`] tied to `guard`.
+    #[inline]
+    pub fn load<'g, G: Pinned>(&self, ord: Ordering, _guard: &'g G) -> Shared<'g, T> {
+        Shared::from_word(self.word.load(ord))
+    }
+
+    /// Reads the link's pointer (tag stripped) without a guard.
+    ///
+    /// The returned raw pointer is safe to *obtain* at any time but carries no protection;
+    /// dereferencing it is `unsafe` as usual.  Teardown code (e.g. `Drop` traversals that
+    /// hand the structure to [`Domain::free_reachable`](crate::Domain::free_reachable))
+    /// uses this to walk links with exclusive access.
+    #[inline]
+    pub fn load_ptr(&self, ord: Ordering) -> *mut T {
+        ptr_of(self.word.load(ord))
+    }
+
+    /// Raw word read (pointer and tag); crate-internal, used by the protect loop.
+    #[inline]
+    pub(crate) fn load_word(&self, ord: Ordering) -> usize {
+        self.word.load(ord)
+    }
+
+    /// Compare-and-swap from `current` to `new` (both pointer and tag participate).
+    ///
+    /// # Errors
+    ///
+    /// On failure returns the actual value of the link.
+    #[inline]
+    pub fn compare_exchange<'g, G: Pinned>(
+        &self,
+        current: Shared<'_, T>,
+        new: Shared<'_, T>,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g G,
+    ) -> Result<(), Shared<'g, T>> {
+        match self.word.compare_exchange(current.word, new.word, success, failure) {
+            Ok(_) => Ok(()),
+            Err(actual) => Err(Shared::from_word(actual)),
+        }
+    }
+
+    /// Publishes the private record `new` by compare-and-swapping the link from `current`
+    /// to it.  On success the record becomes shared (and must from then on be removed via
+    /// marking + [`Guard::retire`](crate::Guard::retire), never freed directly).
+    ///
+    /// # Errors
+    ///
+    /// On failure the still-private record is handed back so the caller can retry with it
+    /// or recycle it through [`Guard::discard`](crate::Guard::discard).
+    #[inline]
+    pub fn compare_exchange_owned<'g, G: Pinned>(
+        &self,
+        current: Shared<'_, T>,
+        new: Owned<T>,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g G,
+    ) -> Result<Shared<'g, T>, Owned<T>> {
+        let word = new.ptr.as_ptr() as usize;
+        match self.word.compare_exchange(current.word, word, success, failure) {
+            // `new` has no destructor — consuming it here is what transfers ownership of
+            // the record to the structure.
+            Ok(_) => Ok(Shared::from_word(word)),
+            Err(_) => Err(new),
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let word = self.word.load(Ordering::Relaxed);
+        f.debug_struct("Atomic")
+            .field("ptr", &ptr_of::<T>(word))
+            .field("tag", &(word & low_bits::<T>()))
+            .finish()
+    }
+}
+
+// SAFETY: an `Atomic<T>` is a word-sized atomic cell; sharing it across threads shares
+// access to records of `T`, so it is `Send`/`Sync` exactly when `T` is.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+/// A tagged record pointer valid for the lifetime `'g` of the [`Guard`](crate::Guard) (or
+/// [`Shield`](crate::Shield) protection) it was loaded under.
+///
+/// `Shared` is `Copy`; all copies carry `'g`, so the borrow checker prevents any of them
+/// from outliving the guard:
+///
+/// ```compile_fail
+/// use debra::{Atomic, Debra, Domain};
+/// use smr_alloc::{SystemAllocator, ThreadPool};
+///
+/// type D = Domain<u64, Debra<u64>, ThreadPool<u64>, SystemAllocator<u64>>;
+/// let domain: D = Domain::new(1);
+/// let link: Atomic<u64> = Atomic::null();
+/// let escaped = {
+///     let guard = domain.pin();
+///     link.load(std::sync::atomic::Ordering::Acquire, &guard)
+/// }; // ERROR: `guard` does not live long enough
+/// let _ = escaped.as_ref();
+/// ```
+pub struct Shared<'g, T> {
+    word: usize,
+    _marker: PhantomData<(&'g (), *mut T)>,
+}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer (no record).
+    pub const fn null() -> Self {
+        Shared { word: 0, _marker: PhantomData }
+    }
+
+    pub(crate) fn from_word(word: usize) -> Self {
+        Shared { word, _marker: PhantomData }
+    }
+
+    pub(crate) fn word(&self) -> usize {
+        self.word
+    }
+
+    /// `true` if the pointer (ignoring the tag) is null.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        ptr_of::<T>(self.word).is_null()
+    }
+
+    /// The tag carried in the pointer's low bits (e.g. the Harris mark bit).
+    #[inline]
+    pub fn tag(&self) -> usize {
+        self.word & low_bits::<T>()
+    }
+
+    /// The same pointer with its tag replaced by `tag`.
+    #[inline]
+    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
+        debug_assert!(tag <= low_bits::<T>(), "tag {tag} does not fit in the alignment bits");
+        Shared::from_word((self.word & !low_bits::<T>()) | tag)
+    }
+
+    /// The record pointer with the tag stripped.
+    #[inline]
+    pub fn as_ptr(&self) -> *mut T {
+        ptr_of(self.word)
+    }
+
+    /// A reference to the record, or `None` for null.
+    ///
+    /// The reference lives for `'g` — as long as the guard the pointer was loaded under —
+    /// which is what makes traversal code safe to write without `unsafe`: the record
+    /// cannot be reclaimed while the operation that protected it is still running.  A
+    /// `Shared` obtained from a *validated* [`Shield::protect`](crate::Shield::protect)
+    /// is safe under every scheme; one obtained from a bare [`Atomic::load`] is safe
+    /// under epoch-style schemes only (see the guard module docs for the discipline).
+    ///
+    /// **Soundness caveat** (the one deliberate hole in the safe layer, mirroring the
+    /// raw API's documented `len` contract): under protection-based schemes (HP,
+    /// ThreadScan, IBR) dereferencing a `Shared` that did *not* come from a validated
+    /// protect — e.g. a whole-structure diagnostic traversal racing concurrent removals —
+    /// can touch freed memory.  Such traversals must only run when no other thread is
+    /// updating the structure, as the diagnostic helpers (`len`, `bucket_histogram`)
+    /// document.
+    #[inline]
+    pub fn as_ref(&self) -> Option<&'g T> {
+        // SAFETY: non-null records reachable through a guard-scoped load are kept alive
+        // for 'g by the reclamation scheme (epoch pin or validated protection slot); see
+        // the module-level discipline discussion.
+        unsafe { ptr_of::<T>(self.word).as_ref() }
+    }
+}
+
+impl<'g, T> Clone for Shared<'g, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'g, T> Copy for Shared<'g, T> {}
+
+impl<'g, T> PartialEq for Shared<'g, T> {
+    /// Word equality: pointer *and* tag, which is exactly what link CAS operations compare.
+    fn eq(&self, other: &Self) -> bool {
+        self.word == other.word
+    }
+}
+impl<'g, T> Eq for Shared<'g, T> {}
+
+impl<'g, T> fmt::Debug for Shared<'g, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared").field("ptr", &self.as_ptr()).field("tag", &self.tag()).finish()
+    }
+}
+
+/// A record that has been allocated through the Record Manager but not yet published.
+///
+/// The only ways to consume an `Owned` are [`Atomic::compare_exchange_owned`]
+/// (publication) and [`Guard::discard`](crate::Guard::discard) (recycling a node whose
+/// insertion lost its CAS), which is what lets `discard` be a safe function: an `Owned`
+/// is always unreachable and uniquely held.  Dropping an `Owned` without consuming it
+/// leaks the record (memory-safe, but wasteful) — the type is `#[must_use]` for that
+/// reason.
+#[must_use = "an Owned record must be published (compare_exchange_owned) or recycled (Guard::discard); dropping it leaks"]
+pub struct Owned<T> {
+    ptr: NonNull<T>,
+}
+
+impl<T> Owned<T> {
+    pub(crate) fn from_ptr(ptr: NonNull<T>) -> Self {
+        Owned { ptr }
+    }
+
+    pub(crate) fn into_ptr(self) -> NonNull<T> {
+        self.ptr
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the record is uniquely held (allocated, never published).
+        unsafe { self.ptr.as_ref() }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`.
+        unsafe { self.ptr.as_mut() }
+    }
+}
+
+impl<T> fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Owned").field("ptr", &self.ptr).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_live_in_the_alignment_bits() {
+        let s: Shared<'_, u64> = Shared::null();
+        assert!(s.is_null());
+        assert_eq!(s.tag(), 0);
+        let t = s.with_tag(1);
+        assert_eq!(t.tag(), 1);
+        assert!(t.is_null(), "the tag does not make a null pointer non-null");
+        assert_ne!(s, t, "equality compares the full word, tag included");
+        assert_eq!(t.with_tag(0), s);
+    }
+
+    #[test]
+    fn atomic_null_roundtrip() {
+        let a: Atomic<u64> = Atomic::null();
+        assert!(a.load_ptr(Ordering::Relaxed).is_null());
+        assert_eq!(a.load_word(Ordering::Relaxed), 0);
+    }
+}

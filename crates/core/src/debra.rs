@@ -440,7 +440,7 @@ mod tests {
         // single thread the epoch advances every operation, so records flow to the sink
         // after at most a few operations.
         for i in 0..200u64 {
-            t.leave_qstate(&mut sink);
+            let _ = t.leave_qstate(&mut sink);
             unsafe { t.retire(leak(i), &mut sink) };
             t.enter_qstate();
         }
@@ -467,7 +467,7 @@ mod tests {
         let mut sink = CountingSink::default();
 
         // Thread B starts an operation and never finishes it.
-        b.leave_qstate(&mut sink);
+        let _ = b.leave_qstate(&mut sink);
         let b_records: Vec<NonNull<u64>> = (0..10).map(leak).collect();
         let _ = &b_records;
 
@@ -475,7 +475,7 @@ mod tests {
         // epoch, the epoch can never advance twice, so nothing is reclaimed.
         let mut retained: Vec<NonNull<u64>> = Vec::new();
         for i in 0..500u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             let r = leak(i);
             retained.push(r);
             unsafe { a.retire(r, &mut sink) };
@@ -486,7 +486,7 @@ mod tests {
         // Once B finishes its operation, A can advance the epoch and reclaim.
         b.enter_qstate();
         for _ in 0..50 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             a.enter_qstate();
         }
         assert!(sink.accepted > 0, "reclamation resumes after the stuck thread finishes");
@@ -518,7 +518,7 @@ mod tests {
 
         let mut sink = FreeingSink { freed: 0 };
         for i in 0..200u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             unsafe { a.retire(leak(i), &mut sink) };
             a.enter_qstate();
         }
@@ -545,15 +545,15 @@ mod tests {
         let mut sink = CountingSink::default();
 
         // B is inside an operation when A retires the record.
-        b.leave_qstate(&mut sink);
-        a.leave_qstate(&mut sink);
+        let _ = b.leave_qstate(&mut sink);
+        let _ = a.leave_qstate(&mut sink);
         let record = leak(7);
         unsafe { a.retire(record, &mut sink) };
         a.enter_qstate();
 
         // A performs many operations; B stays inside its operation: no reclamation.
         for _ in 0..100 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             a.enter_qstate();
         }
         assert_eq!(sink.accepted, 0);
@@ -561,7 +561,7 @@ mod tests {
         // B finishes; after A performs more operations the record is reclaimed.
         b.enter_qstate();
         for _ in 0..100 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             a.enter_qstate();
         }
         assert!(sink.accepted >= 1);
@@ -627,7 +627,7 @@ mod tests {
                 let mut t = Debra::register(&debra, tid).unwrap();
                 let mut sink = TrackingSink { freed };
                 for i in 0..per_thread_ops {
-                    t.leave_qstate(&mut sink);
+                    let _ = t.leave_qstate(&mut sink);
                     unsafe { t.retire(leak(i), &mut sink) };
                     t.enter_qstate();
                 }

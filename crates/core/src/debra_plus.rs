@@ -341,13 +341,13 @@ mod tests {
         let mut b_sink = CountingSink::default();
 
         // B starts an operation and stalls (never calls enter_qstate).
-        b.leave_qstate(&mut b_sink);
+        let _ = b.leave_qstate(&mut b_sink);
         assert!(!b.is_quiescent());
 
         // A keeps retiring records; with DEBRA this would block reclamation forever, but
         // DEBRA+ neutralizes B once A's limbo bag exceeds the suspect threshold.
         for i in 0..2_000u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             unsafe { a.retire(leak(i), &mut sink) };
             a.enter_qstate();
         }
@@ -365,7 +365,7 @@ mod tests {
         b.begin_recovery();
         assert!(!b.is_neutralized());
         assert!(b.check().is_ok());
-        b.leave_qstate(&mut b_sink);
+        let _ = b.leave_qstate(&mut b_sink);
         b.enter_qstate();
 
         drop(a);
@@ -384,11 +384,11 @@ mod tests {
         let mut b = DebraPlus::register(&plus, 1).unwrap();
         let mut sink = FreeingSink { freed: Vec::new() };
         let mut b_sink = CountingSink::default();
-        b.leave_qstate(&mut b_sink);
+        let _ = b.leave_qstate(&mut b_sink);
 
         let mut max_pending = 0u64;
         for i in 0..20_000u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             unsafe { a.retire(leak(i), &mut sink) };
             a.enter_qstate();
             max_pending = max_pending.max(plus.stats().pending);
@@ -421,13 +421,13 @@ mod tests {
         assert!(b.is_r_protected(target));
 
         let mut a_sink = CountingSink::default();
-        a.leave_qstate(&mut a_sink);
+        let _ = a.leave_qstate(&mut a_sink);
         unsafe { a.retire(target, &mut a_sink) };
         a.enter_qstate();
 
         // Drive A until plenty of reclamation has happened.
         for i in 0..2_000u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             unsafe { a.retire(leak(i), &mut sink) };
             a.enter_qstate();
         }
@@ -441,7 +441,7 @@ mod tests {
         b.r_unprotect_all();
         assert!(!b.is_r_protected(target));
         for _ in 0..2_000u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             a.enter_qstate();
         }
         assert!(
@@ -475,13 +475,13 @@ mod tests {
             std::thread::spawn(move || {
                 let mut t = DebraPlus::register(&plus, 1).unwrap();
                 let mut sink = CountingSink::default();
-                t.leave_qstate(&mut sink);
+                let _ = t.leave_qstate(&mut sink);
                 worker_started.store(true, AtomicOrdering::Release);
                 while !stop.load(AtomicOrdering::Acquire) {
                     if t.check().is_err() {
                         t.begin_recovery();
                         worker_recovered.store(true, AtomicOrdering::Release);
-                        t.leave_qstate(&mut sink);
+                        let _ = t.leave_qstate(&mut sink);
                     }
                     // Yield, don't just spin: on a single-core host a bare spin would
                     // starve the retiring thread for a whole scheduling quantum.
@@ -510,7 +510,7 @@ mod tests {
         while (sink.freed.len() < 100 || !worker_recovered.load(Ordering::Acquire))
             && std::time::Instant::now() < deadline
         {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             unsafe { a.retire(leak(i), &mut sink) };
             a.enter_qstate();
             i += 1;

@@ -1,0 +1,775 @@
+//! The safe guard layer: [`Domain`], [`DomainHandle`], [`Guard`] and [`Shield`].
+//!
+//! The Record Manager ([`RecordManager`]/[`RecordManagerThread`]) reproduces the paper's
+//! Section 6 interface faithfully — and, like the original C++, it is a raw interface:
+//! callers pick `tid` slots by hand, juggle bare `NonNull<T>`, must pair
+//! `protect`/`unprotect` themselves and must remember to re-check neutralization at every
+//! checkpoint.  This module encodes that contract in the type system so data structures
+//! can be written without `unsafe`:
+//!
+//! * [`Domain`] owns the Record Manager and **leases per-thread handles automatically**:
+//!   the first use on a thread registers the lowest free `tid` slot, and the slot is
+//!   recycled when the thread's last [`DomainHandle`]/[`Guard`] is dropped (or the thread
+//!   exits) — no manual `tid` bookkeeping, and no "already registered" dead ends.
+//! * [`Guard`] is the RAII witness of one data structure operation: [`Domain::pin`] /
+//!   [`DomainHandle::pin`] call `leave_qstate`, dropping the guard calls `enter_qstate`,
+//!   and every fallible step surfaces DEBRA+ neutralization as the typed [`Restart`]
+//!   error instead of a caller-side flag check.
+//! * [`Shield`] is a leased per-thread protection slot.  [`Shield::protect`] wraps the
+//!   validated announce-then-revalidate loop required by HP / ThreadScan / IBR in one
+//!   place (a no-op compiled to nothing under epoch schemes) and returns a
+//!   [`Shared<'g, T>`](Shared) whose lifetime ties every dereference to the live
+//!   guard.
+//!
+//! # The protection discipline, in types
+//!
+//! A [`Shared`] obtained from `Shield::protect` is safe to dereference
+//! under **every** scheme for as long as (a) the guard is alive — the `'g` lifetime
+//! enforces this — and (b) the shield has not been re-pointed at another record and the
+//! protected record has not been unlinked — which is the structure's algorithmic
+//! invariant (e.g. Michael's "validate the link you followed"), localized here instead of
+//! re-audited in every data structure.  A `Shared` obtained from a bare
+//! [`Atomic::load`] is safe under epoch-style schemes (the guard
+//! itself pins the records); protection-based schemes additionally require the
+//! `protect` validation, which is why traversal code goes through shields.
+//!
+//! # Reentrancy
+//!
+//! Guards are cheap and reentrant: pinning while already pinned on the same thread just
+//! increments a depth counter.  The one contract (checked in debug builds) is that `Drop`
+//! implementations of keys/values must not call back into the same domain — the guard
+//! layer hands the per-thread Record Manager handle out from an `UnsafeCell`, and
+//! re-entering mid-allocation would alias it.
+//!
+//! ```compile_fail
+//! use debra::{Debra, Domain};
+//! use smr_alloc::{SystemAllocator, ThreadPool};
+//!
+//! type D = Domain<u64, Debra<u64>, ThreadPool<u64>, SystemAllocator<u64>>;
+//! let domain: D = Domain::new(1);
+//! let guard = domain.pin();
+//! let shield = guard.shield();
+//! drop(guard); // ERROR: `guard` is still borrowed by `shield`
+//! let _ = &shield;
+//! ```
+
+use std::any::Any;
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ptr::NonNull;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use neutralize::Neutralized;
+
+use crate::atomic::{private::Sealed, Atomic, Owned, Pinned, Shared};
+use crate::record_manager::{RecordManager, RecordManagerThread};
+use crate::traits::{Allocator, AllocatorThread, Pool, Reclaimer, RegistrationError};
+
+/// Typed "start this operation over" error.
+///
+/// Returned by the fallible guard operations when the thread has been neutralized
+/// (DEBRA+) or a protection could not be validated (HP / ThreadScan / IBR: the link
+/// changed between the announce and the re-read, so the target may already be retired).
+/// Propagate it out of the operation body; [`Domain::run`] / [`DomainHandle::run`]
+/// perform the recovery protocol and restart the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Restart;
+
+impl fmt::Display for Restart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("operation must restart (neutralized or protection invalidated)")
+    }
+}
+
+impl std::error::Error for Restart {}
+
+impl From<Neutralized> for Restart {
+    fn from(_: Neutralized) -> Self {
+        Restart
+    }
+}
+
+/// Source of unique [`Domain`] identities (the key of the per-thread lease registry).
+static NEXT_DOMAIN_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread lease registry: domain id -> `Rc<Lease<...>>` (type-erased).  One lease
+    /// — one Record Manager `tid` slot — per (thread, domain) pair.
+    static LEASES: RefCell<HashMap<u64, Rc<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// The per-(thread, domain) state behind [`DomainHandle`] and [`Guard`]: the leased
+/// Record Manager thread handle plus the pin depth and shield slot bookkeeping.
+struct Lease<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    handle: UnsafeCell<RecordManagerThread<T, R, P, A>>,
+    /// Nesting depth of live pins; `leave_qstate` on 0 -> 1, `enter_qstate` on 1 -> 0.
+    pin_depth: Cell<usize>,
+    /// Bitmap of shield slots currently leased to live [`Shield`]s.
+    shield_slots: Cell<u32>,
+    /// Debug-only reentrancy detector for the `UnsafeCell` handle access.
+    #[cfg(debug_assertions)]
+    borrowed: Cell<bool>,
+}
+
+impl<T, R, P, A> Lease<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    /// Runs `f` with exclusive access to the leased handle.
+    ///
+    /// Soundness: the lease is thread-local (behind `Rc`), so no other thread can reach
+    /// the handle; `f` is internal guard-layer code that never calls back into user code
+    /// while the borrow is live, except where documented (value `Drop` during pool
+    /// recycling) — which the debug-only flag turns into a loud failure instead of UB.
+    #[inline]
+    fn with_handle<Out>(&self, f: impl FnOnce(&mut RecordManagerThread<T, R, P, A>) -> Out) -> Out {
+        #[cfg(debug_assertions)]
+        let _reentry = {
+            assert!(
+                !self.borrowed.replace(true),
+                "reentrant Domain access (a Drop impl of a key/value called back into the domain?)"
+            );
+            ReentryReset(&self.borrowed)
+        };
+        // SAFETY: see above.
+        f(unsafe { &mut *self.handle.get() })
+    }
+}
+
+#[cfg(debug_assertions)]
+struct ReentryReset<'a>(&'a Cell<bool>);
+
+#[cfg(debug_assertions)]
+impl Drop for ReentryReset<'_> {
+    fn drop(&mut self) {
+        self.0.set(false);
+    }
+}
+
+/// An `Rc<Lease>` wrapper shared by [`DomainHandle`] and [`Guard`] that prunes the
+/// thread-local registry entry when the *last user-held* reference drops, so the Record
+/// Manager `tid` slot is recycled promptly (not only at thread exit).
+struct LeaseRef<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    lease: ManuallyDrop<Rc<Lease<T, R, P, A>>>,
+    domain_id: u64,
+}
+
+impl<T, R, P, A> LeaseRef<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    #[inline]
+    fn lease(&self) -> &Lease<T, R, P, A> {
+        &self.lease
+    }
+
+    fn clone_ref(&self) -> Self {
+        LeaseRef { lease: self.lease.clone(), domain_id: self.domain_id }
+    }
+}
+
+impl<T, R, P, A> Drop for LeaseRef<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn drop(&mut self) {
+        // SAFETY: `lease` is taken exactly once, here; no other code path drops it.
+        let lease = unsafe { ManuallyDrop::take(&mut self.lease) };
+        // 2 == the registry's Rc plus ours: we are the last user-held reference, so the
+        // registry entry can go, deregistering the slot.  `try_with`/`try_borrow_mut`
+        // because this can run during thread teardown (registry already gone) or — in
+        // perverse cases — while the registry is borrowed; the entry then simply stays
+        // until thread exit, which is still correct.
+        if Rc::strong_count(&lease) == 2 {
+            let id = self.domain_id;
+            let _ = LEASES.try_with(|map| {
+                if let Ok(mut map) = map.try_borrow_mut() {
+                    map.remove(&id);
+                }
+            });
+        }
+    }
+}
+
+/// A reclamation domain: the safe owner of a [`RecordManager`].
+///
+/// A `Domain` is what a data structure stores instead of a bare
+/// `Arc<RecordManager<...>>`.  It adds automatic per-thread slot leasing — any thread may
+/// call [`pin`](Domain::pin) (or take a [`handle`](Domain::handle)) at any time, and slot
+/// `tid` bookkeeping happens behind the scenes with recycling — plus the guard-based
+/// operation protocol.  Cloning a `Domain` is cheap and yields a handle to the *same*
+/// domain (same slots, same records).
+///
+/// The reclamation scheme is still a compile-time choice: swapping `R` (or `P`, `A`)
+/// remains the one-line change that is the paper's headline claim, and every guard-layer
+/// call monomorphizes down to the scheme-specific code with no dynamic dispatch.
+pub struct Domain<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    manager: Arc<RecordManager<T, R, P, A>>,
+    id: u64,
+}
+
+impl<T, R, P, A> Domain<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    /// Creates a domain for up to `max_threads` concurrently active threads, constructing
+    /// the Record Manager components with their default configurations.
+    pub fn new(max_threads: usize) -> Self {
+        Self::with_manager(Arc::new(RecordManager::new(max_threads)))
+    }
+
+    /// Wraps an already-composed Record Manager in a domain.
+    pub fn with_manager(manager: Arc<RecordManager<T, R, P, A>>) -> Self {
+        Domain { manager, id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed) }
+    }
+
+    /// The underlying Record Manager (for statistics and teardown).
+    pub fn manager(&self) -> &Arc<RecordManager<T, R, P, A>> {
+        &self.manager
+    }
+
+    /// Maximum number of threads that can hold leases concurrently.
+    pub fn max_threads(&self) -> usize {
+        self.manager.max_threads()
+    }
+
+    /// Returns (creating if necessary) the calling thread's lease for this domain.
+    fn lease(&self) -> Result<LeaseRef<T, R, P, A>, RegistrationError> {
+        LEASES.with(|map| {
+            let mut map = map.borrow_mut();
+            if let Some(entry) = map.get(&self.id) {
+                let lease = Rc::clone(entry)
+                    .downcast::<Lease<T, R, P, A>>()
+                    .expect("lease registry entry has the domain's type");
+                return Ok(LeaseRef { lease: ManuallyDrop::new(lease), domain_id: self.id });
+            }
+            // First use on this thread: lease the lowest free slot.  Slots freed by
+            // dropped handles (or exited threads) are reused — see `LeaseRef::drop` and
+            // the reclaimers' handle `Drop` impls.
+            let handle = self.manager.register_auto()?;
+            let lease = Rc::new(Lease {
+                handle: UnsafeCell::new(handle),
+                pin_depth: Cell::new(0),
+                shield_slots: Cell::new(0),
+                #[cfg(debug_assertions)]
+                borrowed: Cell::new(false),
+            });
+            map.insert(self.id, Rc::clone(&lease) as Rc<dyn Any>);
+            Ok(LeaseRef { lease: ManuallyDrop::new(lease), domain_id: self.id })
+        })
+    }
+
+    /// Leases a per-thread handle, registering the calling thread on first use.
+    ///
+    /// Hold the handle for the duration of a thread's involvement with the structure:
+    /// pinning through a handle is a few nanoseconds, while a bare [`Domain::pin`] after
+    /// the thread's last handle/guard was dropped has to re-register a slot.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RegistrationError::Exhausted`] when `max_threads` other threads
+    /// currently hold leases.
+    pub fn try_handle(&self) -> Result<DomainHandle<T, R, P, A>, RegistrationError> {
+        Ok(DomainHandle { lease: self.lease()? })
+    }
+
+    /// Leases a per-thread handle; panics when the domain's thread capacity is exhausted.
+    pub fn handle(&self) -> DomainHandle<T, R, P, A> {
+        self.try_handle().expect("domain thread capacity exhausted")
+    }
+
+    /// Pins the current thread: announces the start of a data structure operation and
+    /// returns the guard that ends it when dropped.
+    ///
+    /// Panics when the domain's thread capacity is exhausted (use [`Domain::try_handle`]
+    /// to detect that case).
+    pub fn pin(&self) -> Guard<T, R, P, A> {
+        Guard::enter(self.lease().expect("domain thread capacity exhausted"))
+    }
+
+    /// Runs one whole data structure operation: pins, calls `body`, and — if the body
+    /// asks for a [`Restart`] — performs the DEBRA+ recovery protocol (release restricted
+    /// hazard pointers, acknowledge the neutralization) and retries until the body
+    /// completes.
+    pub fn run<Out>(
+        &self,
+        mut body: impl FnMut(&Guard<T, R, P, A>) -> Result<Out, Restart>,
+    ) -> Out {
+        let handle = self.handle();
+        handle.run(&mut body)
+    }
+
+    /// Frees every record in the chain starting at `root`, following `next_of`.
+    ///
+    /// Teardown helper for `Drop` implementations: walks `root`, `next_of(root)`, … until
+    /// null, returning each record's memory to the allocator.  Tag bits must already be
+    /// stripped (as [`Atomic::load_ptr`] does).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to every record in the chain (no concurrent
+    /// operation can reach them — e.g. the structure is being dropped), each record must
+    /// have been allocated through this domain's Record Manager family, and no record may
+    /// be freed twice (the chain must not alias records freed elsewhere).
+    pub unsafe fn free_reachable(&self, root: *mut T, next_of: impl Fn(&T) -> *mut T) {
+        let mut alloc = self.manager.teardown_allocator();
+        let mut cursor = root;
+        while let Some(record) = NonNull::new(cursor) {
+            // SAFETY: exclusive access per the contract; each record freed exactly once.
+            unsafe {
+                cursor = next_of(record.as_ref());
+                alloc.deallocate(record);
+            }
+        }
+    }
+}
+
+impl<T, R, P, A> Clone for Domain<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn clone(&self) -> Self {
+        Domain { manager: Arc::clone(&self.manager), id: self.id }
+    }
+}
+
+impl<T, R, P, A> fmt::Debug for Domain<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Domain").field("id", &self.id).field("manager", &self.manager).finish()
+    }
+}
+
+/// A thread's lease on a [`Domain`]: the cheap, reusable source of [`Guard`]s.
+///
+/// Obtained with [`Domain::handle`] on the thread that will use it; not sendable to other
+/// threads.  Dropping a thread's last handle (with no live guards) releases the leased
+/// Record Manager slot for reuse by other threads.
+#[must_use = "a DomainHandle holds this thread's slot lease; drop it to release the slot"]
+pub struct DomainHandle<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    lease: LeaseRef<T, R, P, A>,
+}
+
+impl<T, R, P, A> DomainHandle<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    /// Pins the current thread through this handle (no registry lookup).
+    #[inline]
+    pub fn pin(&self) -> Guard<T, R, P, A> {
+        Guard::enter(self.lease.clone_ref())
+    }
+
+    /// Runs one whole operation with restart-on-[`Restart`] recovery; see
+    /// [`Domain::run`].
+    pub fn run<Out>(
+        &self,
+        mut body: impl FnMut(&Guard<T, R, P, A>) -> Result<Out, Restart>,
+    ) -> Out {
+        loop {
+            let guard = self.pin();
+            match body(&guard) {
+                Ok(out) => return out,
+                Err(Restart) => guard.recover(),
+            }
+        }
+    }
+
+    /// The Record Manager thread slot this handle leases (diagnostics).
+    pub fn tid(&self) -> usize {
+        self.lease.lease().with_handle(|h| h.tid())
+    }
+}
+
+impl<T, R, P, A> fmt::Debug for DomainHandle<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DomainHandle").field("tid", &self.tid()).finish()
+    }
+}
+
+/// The RAII witness of one data structure operation (the paper's
+/// `leaveQstate`/`enterQstate` bracket, plus neutralization checkpoints as typed errors).
+///
+/// Created by [`Domain::pin`] or [`DomainHandle::pin`]; ends the operation when dropped.
+/// Guards are reentrant: pinning while pinned is just a depth increment, and the
+/// operation ends when the outermost guard drops.
+#[must_use = "the operation lasts exactly as long as the Guard; dropping it immediately ends the operation"]
+pub struct Guard<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    lease: LeaseRef<T, R, P, A>,
+}
+
+impl<T, R, P, A> Guard<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    #[inline]
+    fn enter(lease: LeaseRef<T, R, P, A>) -> Self {
+        {
+            let l = lease.lease();
+            let depth = l.pin_depth.get();
+            if depth == 0 {
+                let _ = l.with_handle(|h| h.leave_qstate());
+            }
+            l.pin_depth.set(depth + 1);
+        }
+        Guard { lease }
+    }
+
+    #[inline]
+    fn lease(&self) -> &Lease<T, R, P, A> {
+        self.lease.lease()
+    }
+
+    /// Checkpoint: fails with [`Restart`] if this thread has been neutralized (DEBRA+).
+    /// A no-op that always succeeds under every other scheme (compiled out).
+    #[inline]
+    pub fn check(&self) -> Result<(), Restart> {
+        // SAFETY: shared read access to the thread-local handle; no `&mut` outstanding
+        // (guard methods never hold one across user code).
+        let handle = unsafe { &*self.lease().handle.get() };
+        handle.check().map_err(Restart::from)
+    }
+
+    /// Leases a protection slot as a [`Shield`].
+    ///
+    /// Panics if more than 32 shields are alive at once on this thread (protection-based
+    /// schemes offer far fewer slots; the list/hash map traversals use two).
+    #[inline]
+    pub fn shield(&self) -> Shield<'_, T, R, P, A> {
+        let slots = self.lease().shield_slots.get();
+        let slot = slots.trailing_ones() as usize;
+        assert!(slot < 32, "too many live Shields on this thread");
+        self.lease().shield_slots.set(slots | (1 << slot));
+        Shield { guard: self, slot }
+    }
+
+    /// Allocates a record (recycling from the pool when possible) as a private
+    /// [`Owned`] value, ready to be published with
+    /// [`Atomic::compare_exchange_owned`](crate::Atomic::compare_exchange_owned).
+    pub fn alloc(&self, value: T) -> Owned<T> {
+        Owned::from_ptr(self.lease().with_handle(|h| h.allocate(value)))
+    }
+
+    /// Returns a never-published record to the pool (e.g. the node of an insert that
+    /// lost its CAS).  Safe because an [`Owned`] is by construction unreachable and
+    /// uniquely held.
+    pub fn discard(&self, record: Owned<T>) {
+        let ptr = record.into_ptr();
+        // SAFETY: `Owned` records are allocated by this domain's manager, unpublished
+        // and uniquely held, so immediate deallocation is sound.
+        self.lease().with_handle(|h| unsafe { h.deallocate(ptr) });
+    }
+
+    /// Hands a record that has been removed from the data structure to the reclaimer.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`RecordManagerThread::retire`]: `record` must have been made
+    /// unreachable from the structure's entry points (for operations that start after
+    /// this call), must be retired at most once per allocation, and must be non-null.
+    pub unsafe fn retire(&self, record: Shared<'_, T>) {
+        let ptr = NonNull::new(record.as_ptr()).expect("cannot retire a null pointer");
+        // SAFETY: forwarded caller contract.
+        self.lease().with_handle(|h| unsafe { h.retire(ptr) });
+    }
+
+    /// Performs the recovery protocol after a [`Restart`]: releases restricted hazard
+    /// pointers and acknowledges a pending neutralization (both no-ops outside DEBRA+).
+    /// [`Domain::run`]/[`DomainHandle::run`] call this automatically.
+    pub fn recover(&self) {
+        self.lease().with_handle(|h| {
+            h.r_unprotect_all();
+            if h.is_neutralized() {
+                h.begin_recovery();
+            }
+        });
+    }
+
+    /// The Record Manager thread slot backing this guard (diagnostics).
+    pub fn tid(&self) -> usize {
+        self.lease().with_handle(|h| h.tid())
+    }
+
+    /// The traversal hot path: one handle fetch, the neutralization checkpoint, and the
+    /// announce-then-validate protocol, all in one inlined unit so that epoch-based
+    /// schemes (whose `check` and `protect` are no-ops) compile it down to the raw
+    /// protocol's plain loads.
+    #[inline(always)]
+    pub(crate) fn protect_in_slot(
+        &self,
+        slot: usize,
+        link: &Atomic<T>,
+        expected: Option<usize>,
+    ) -> Result<Shared<'_, T>, Restart> {
+        let lease = self.lease.lease();
+        // SAFETY: thread-local handle, no `&mut` outstanding (see `Lease::with_handle`);
+        // the validate closure below only loads an `Atomic` of the data structure, never
+        // re-enters the guard layer.
+        let handle = unsafe { &mut *lease.handle.get() };
+        handle.check()?;
+        let word = match expected {
+            // The caller already read the link (the traversal's previous `next` load):
+            // no redundant re-read on the hot path — exactly the raw protocol's load
+            // count.  The validating re-read below still compares against the link.
+            Some(word) => word,
+            None => link.load_word(std::sync::atomic::Ordering::Acquire),
+        };
+        let loaded = Shared::<T>::from_word(word);
+        if loaded.tag() != 0 {
+            // The word is tagged: in the Harris/Michael discipline the *source* node is
+            // logically deleted, so the target may already be unlinked and retired —
+            // validating against the tagged word would wrongly succeed (the
+            // use-after-free window the raw implementations had to re-check by hand).
+            // The traversal must restart from a root.
+            return Err(Restart);
+        }
+        let Some(record) = NonNull::new(loaded.as_ptr()) else {
+            return Ok(loaded);
+        };
+        // Announce-then-validate (Michael's protocol): the protection is published, then
+        // the link is re-read; if it still holds the exact word we followed (tag
+        // included), the record cannot have been retired before the announcement became
+        // visible.  Epoch-based schemes compile all of this down to `true`.
+        let valid = handle
+            .protect(slot, record, || link.load_word(std::sync::atomic::Ordering::SeqCst) == word);
+        if valid {
+            Ok(loaded)
+        } else {
+            Err(Restart)
+        }
+    }
+
+    #[inline]
+    fn release_slot(&self, slot: usize) {
+        self.lease().with_handle(|h| h.unprotect(slot));
+        let slots = self.lease().shield_slots.get();
+        self.lease().shield_slots.set(slots & !(1 << slot));
+    }
+}
+
+impl<T, R, P, A> Sealed for Guard<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+}
+
+impl<T, R, P, A> Pinned for Guard<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+}
+
+impl<T, R, P, A> Drop for Guard<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    #[inline]
+    fn drop(&mut self) {
+        let l = self.lease.lease();
+        let depth = l.pin_depth.get();
+        l.pin_depth.set(depth - 1);
+        if depth == 1 {
+            l.with_handle(|h| h.enter_qstate());
+        }
+    }
+}
+
+impl<T, R, P, A> fmt::Debug for Guard<T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Guard").field("depth", &self.lease.lease().pin_depth.get()).finish()
+    }
+}
+
+/// A leased protection slot: the typed rendition of one hazard pointer / reference slot.
+///
+/// Create one per pointer the traversal must keep protected (two suffice for the
+/// Harris–Michael protocol: predecessor and current).  [`Shield::protect`] performs the
+/// validated announcement; advancing a traversal is `std::mem::swap` of two shields
+/// (which moves the *roles* without touching the announcements).  The slot is released
+/// when the shield drops.
+#[must_use = "a Shield protects records only while it is alive"]
+pub struct Shield<'g, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    guard: &'g Guard<T, R, P, A>,
+    slot: usize,
+}
+
+impl<'g, T, R, P, A> Shield<'g, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    /// Reads `link` and protects the record it points to, validating that `link` still
+    /// holds the same word afterwards (the announce-then-revalidate protocol required by
+    /// HP / ThreadScan / IBR; compiled to a plain load under epoch schemes).
+    ///
+    /// Returns the protected pointer on success (null passes through unprotected — there
+    /// is nothing to protect).  The returned [`Shared`] is dereferenceable for as long as
+    /// the guard lives and this shield keeps protecting it.
+    ///
+    /// # Errors
+    ///
+    /// [`Restart`] when the thread was neutralized (DEBRA+), when the link changed under
+    /// us, or when the link word carries a non-zero tag — in the Harris/Michael
+    /// discipline a tagged link means the *source* node is logically deleted, so its
+    /// successor may already be retired.  In every case the record may no longer be safe
+    /// and the traversal must restart from a root.
+    #[inline]
+    #[must_use = "an unchecked protect result may hand out an unprotected pointer"]
+    pub fn protect(&mut self, link: &Atomic<T>) -> Result<Shared<'g, T>, Restart> {
+        self.guard.protect_in_slot(self.slot, link, None).map(|s| Shared::from_word(s.word()))
+    }
+
+    /// Like [`protect`](Self::protect), but for a link whose current word the traversal
+    /// has already read (`loaded`, typically the previous node's `next` load): skips the
+    /// initial re-read — keeping the hot path at the raw protocol's exact load count —
+    /// while still performing the validating re-read of `link` after the announcement.
+    ///
+    /// # Errors
+    ///
+    /// As for [`protect`](Self::protect); additionally restarts when `loaded` is tagged.
+    #[inline]
+    #[must_use = "an unchecked protect result may hand out an unprotected pointer"]
+    pub fn protect_loaded(
+        &mut self,
+        link: &Atomic<T>,
+        loaded: Shared<'_, T>,
+    ) -> Result<Shared<'g, T>, Restart> {
+        self.guard
+            .protect_in_slot(self.slot, link, Some(loaded.word()))
+            .map(|s| Shared::from_word(s.word()))
+    }
+
+    /// Swaps the protection *roles* of two shields (e.g. "predecessor" and "current"
+    /// while advancing a traversal) without touching the announcements: the record each
+    /// slot protects stays protected, no stores are issued.
+    ///
+    /// Panics if the shields belong to different guards — swapping slot indices across
+    /// guards would corrupt both sides' slot bookkeeping (two shields of one guard could
+    /// end up sharing a slot, silently dropping a protection).
+    #[inline]
+    pub fn swap_roles(&mut self, other: &mut Shield<'g, T, R, P, A>) {
+        assert!(
+            std::ptr::eq(self.guard, other.guard),
+            "swap_roles requires shields of the same guard"
+        );
+        std::mem::swap(&mut self.slot, &mut other.slot);
+    }
+
+    /// Releases the protection announcement (keeping the slot leased for reuse).
+    pub fn release(&mut self) {
+        self.guard.lease().with_handle(|h| h.unprotect(self.slot));
+    }
+}
+
+impl<'g, T, R, P, A> Drop for Shield<'g, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn drop(&mut self) {
+        self.guard.release_slot(self.slot);
+    }
+}
+
+impl<'g, T, R, P, A> fmt::Debug for Shield<'g, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shield").field("slot", &self.slot).finish()
+    }
+}

@@ -20,6 +20,12 @@
 //!   a compile-time composition of a [`Reclaimer`], a [`Pool`] and an [`Allocator`] that a
 //!   data structure uses for all allocation, retirement and reclamation, so that the
 //!   reclamation scheme can be swapped by changing a single type parameter.
+//! * [`Domain`] / [`Guard`] / [`Shield`] — the **safe layer** over the Record Manager
+//!   (module [`guard`]): automatic per-thread slot leasing, RAII operation brackets,
+//!   typed [`Restart`] instead of caller-side neutralization checks, and
+//!   [`Atomic`]/[`Shared`]/[`Owned`] pointers (module [`atomic`]) whose lifetimes tie
+//!   every dereference to a live guard, so data structures need no `unsafe` outside
+//!   `retire`.
 //!
 //! Baseline schemes (no reclamation, classical EBR, hazard pointers, …) implementing the
 //! same traits live in the `smr-baselines` crate; allocators and pools live in `smr-alloc`;
@@ -55,9 +61,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod atomic;
 pub mod config;
 pub mod debra;
 pub mod debra_plus;
+pub mod guard;
 pub mod lifecycle;
 pub mod properties;
 pub mod record_manager;
@@ -65,9 +73,11 @@ pub mod rprotect;
 pub mod stats;
 pub mod traits;
 
+pub use crate::atomic::{Atomic, Owned, Pinned, Shared};
 pub use crate::config::{DebraConfig, DebraPlusConfig};
 pub use crate::debra::{Debra, DebraThread};
 pub use crate::debra_plus::{DebraPlus, DebraPlusThread};
+pub use crate::guard::{Domain, DomainHandle, Guard, Restart, Shield};
 pub use crate::lifecycle::RecordLifecycle;
 pub use crate::properties::{CodeModifications, SchemeProperties, Termination, TimingAssumptions};
 pub use crate::record_manager::{OpGuard, RecordManager, RecordManagerThread};

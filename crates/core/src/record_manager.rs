@@ -85,6 +85,29 @@ where
         Ok(RecordManagerThread { reclaimer, pool, alloc, tid })
     }
 
+    /// Registers the lowest currently-free thread slot and returns its per-thread handle
+    /// (no manual `tid` bookkeeping; slots freed by dropped handles are reused).
+    ///
+    /// Like [`register`](Self::register), must be called on the thread that will use the
+    /// handle.  The safe layer's [`Domain`](crate::Domain) adds thread-local caching on
+    /// top of this.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RegistrationError::Exhausted`] when all slots are taken.
+    pub fn register_auto(
+        self: &Arc<Self>,
+    ) -> Result<RecordManagerThread<T, R, P, A>, RegistrationError> {
+        for tid in 0..self.max_threads {
+            match self.register(tid) {
+                Ok(handle) => return Ok(handle),
+                Err(RegistrationError::AlreadyRegistered { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(RegistrationError::Exhausted { max_threads: self.max_threads })
+    }
+
     /// The shared reclaimer instance.
     pub fn reclaimer(&self) -> &Arc<R> {
         &self.reclaimer
@@ -221,6 +244,7 @@ where
     }
 
     /// Announces the start of a data structure operation.
+    #[must_use = "the return value reports whether the epoch announcement changed"]
     pub fn leave_qstate(&mut self) -> bool {
         self.reclaimer.leave_qstate(&mut self.pool)
     }
@@ -240,12 +264,13 @@ where
     /// The guard dereferences to the thread handle so that the operation body can keep
     /// allocating, retiring and protecting records through it.
     pub fn guard(&mut self) -> OpGuard<'_, T, R, P, A> {
-        self.leave_qstate();
+        let _ = self.leave_qstate();
         OpGuard { thread: self }
     }
 
     /// Attempts to protect `record` (hazard-pointer semantics); see
     /// [`ReclaimerThread::protect`].
+    #[must_use = "a false result means the record may already be retired and must not be accessed"]
     pub fn protect<F: FnMut() -> bool>(
         &mut self,
         slot: usize,
@@ -281,6 +306,7 @@ where
 
     /// Checkpoint: fails with [`Neutralized`] if this thread has been neutralized.
     #[inline]
+    #[must_use = "ignoring a Neutralized result defeats the DEBRA+ recovery protocol"]
     pub fn check(&self) -> Result<(), Neutralized> {
         self.reclaimer.check()
     }
@@ -359,6 +385,7 @@ where
 ///
 /// Dereferences to the underlying [`RecordManagerThread`]; calls
 /// [`enter_qstate`](RecordManagerThread::enter_qstate) when dropped.
+#[must_use = "the operation lasts exactly as long as the OpGuard; dropping it immediately ends the operation"]
 pub struct OpGuard<'a, T, R, P, A>
 where
     T: Send + 'static,

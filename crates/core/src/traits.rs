@@ -32,6 +32,12 @@ pub enum RegistrationError {
         /// The requested thread id.
         tid: usize,
     },
+    /// Every thread slot is currently leased (returned by the automatic slot leasing of
+    /// [`Domain`](crate::Domain) when `max_threads` threads are already active).
+    Exhausted {
+        /// The maximum number of threads the component was created for.
+        max_threads: usize,
+    },
 }
 
 impl std::fmt::Display for RegistrationError {
@@ -42,6 +48,9 @@ impl std::fmt::Display for RegistrationError {
             }
             RegistrationError::AlreadyRegistered { tid } => {
                 write!(f, "thread id {tid} is already registered")
+            }
+            RegistrationError::Exhausted { max_threads } => {
+                write!(f, "all {max_threads} thread slots are currently leased")
             }
         }
     }
@@ -99,7 +108,7 @@ impl<T> ReclaimSink<T> for CountingSink {
 /// which calls must be made and when — is described per scheme).
 pub trait Reclaimer<T: Send>: Send + Sync + Sized + 'static {
     /// Per-thread handle type.
-    type Thread: ReclaimerThread<T>;
+    type Thread: ReclaimerThread<T> + 'static;
 
     /// Creates shared state for up to `max_threads` threads with default configuration.
     fn new(max_threads: usize) -> Self;
@@ -160,6 +169,7 @@ pub trait ReclaimerThread<T: Send> {
     ///
     /// Returns `true` if the thread's epoch announcement changed (which is when limbo bags
     /// are rotated) — mirroring the paper's `leaveQstate` return value.
+    #[must_use = "the return value reports whether the epoch announcement changed"]
     fn leave_qstate<S: ReclaimSink<T>>(&mut self, sink: &mut S) -> bool;
 
     /// Announces that the current data structure operation has finished (the thread enters
@@ -197,6 +207,7 @@ pub trait ReclaimerThread<T: Send> {
     ///
     /// Epoch-based schemes implement this as a no-op that returns `true` (and the compiler
     /// removes the call entirely after monomorphization).
+    #[must_use = "a false result means the record may already be retired and must not be accessed"]
     fn protect<F: FnMut() -> bool>(
         &mut self,
         _slot: usize,
@@ -238,6 +249,7 @@ pub trait ReclaimerThread<T: Send> {
     /// Checkpoint: returns `Err(Neutralized)` if this thread has been neutralized since it
     /// last left a quiescent state.  Wait-free, O(1).  Data structure operation bodies call
     /// this before dereferencing shared records and before performing CAS steps.
+    #[must_use = "ignoring a Neutralized result defeats the DEBRA+ recovery protocol"]
     fn check(&self) -> Result<(), Neutralized> {
         Ok(())
     }
@@ -260,7 +272,7 @@ pub trait ReclaimerThread<T: Send> {
 /// the paper's memory-footprint experiment (Figure 9, right).
 pub trait Allocator<T>: Send + Sync + Sized + 'static {
     /// Per-thread handle type.
-    type Thread: AllocatorThread<T>;
+    type Thread: AllocatorThread<T> + 'static;
 
     /// Creates shared allocator state for up to `max_threads` threads.
     fn new(max_threads: usize) -> Self;
@@ -304,7 +316,7 @@ pub trait AllocatorThread<T> {
 /// at all in the paper's Experiment 2).
 pub trait Pool<T>: Send + Sync + Sized + 'static {
     /// Per-thread handle type.
-    type Thread: PoolThread<T>;
+    type Thread: PoolThread<T> + 'static;
 
     /// Creates shared pool state for up to `max_threads` threads.
     fn new(max_threads: usize) -> Self;

@@ -213,7 +213,7 @@ where
     A: Allocator<BstNode<K, V>>,
 {
     root: usize,
-    manager: Arc<RecordManager<BstNode<K, V>, R, P, A>>,
+    domain: debra::Domain<BstNode<K, V>, R, P, A>,
     /// The three sentinel records allocated at construction (freed on drop).
     sentinels: [usize; 3],
 }
@@ -231,23 +231,41 @@ where
 {
     /// Creates an empty tree backed by `manager`.
     pub fn new(manager: Arc<RecordManager<BstNode<K, V>, R, P, A>>) -> Self {
+        Self::in_domain(debra::Domain::with_manager(manager))
+    }
+
+    /// Creates an empty tree backed by an existing [`debra::Domain`] (the safe-layer entry
+    /// point: thread slots are leased automatically through the domain).
+    pub fn in_domain(domain: debra::Domain<BstNode<K, V>, R, P, A>) -> Self {
         // The initial EFRB configuration: a root routing node with key Inf2 whose children
         // are the two sentinel leaves Inf1 and Inf2.
-        let mut alloc = manager.teardown_allocator();
+        let mut alloc = domain.manager().teardown_allocator();
         let leaf1 = alloc.allocate(BstNode::leaf(BstKey::Inf1, None)).as_ptr() as usize;
         let leaf2 = alloc.allocate(BstNode::leaf(BstKey::Inf2, None)).as_ptr() as usize;
         let root = alloc.allocate(BstNode::internal(BstKey::Inf2, leaf1, leaf2)).as_ptr() as usize;
-        ExternalBst { root, manager, sentinels: [root, leaf1, leaf2] }
+        ExternalBst { root, domain, sentinels: [root, leaf1, leaf2] }
     }
 
     /// The Record Manager backing this tree.
     pub fn manager(&self) -> &Arc<RecordManager<BstNode<K, V>, R, P, A>> {
-        &self.manager
+        self.domain.manager()
+    }
+
+    /// The reclamation domain backing this tree (safe-layer entry point; the operation
+    /// bodies themselves still use the raw handle protocol).
+    pub fn domain(&self) -> &debra::Domain<BstNode<K, V>, R, P, A> {
+        &self.domain
     }
 
     /// Registers worker thread `tid`; see [`RecordManager::register`].
     pub fn register(&self, tid: usize) -> Result<BstHandle<K, V, R, P, A>, RegistrationError> {
-        self.manager.register(tid)
+        self.manager().register(tid)
+    }
+
+    /// Registers the lowest free thread slot (no manual `tid` bookkeeping); see
+    /// [`RecordManager::register_auto`].
+    pub fn register_auto(&self) -> Result<BstHandle<K, V, R, P, A>, RegistrationError> {
+        self.manager().register_auto()
     }
 
     #[inline]
@@ -330,10 +348,10 @@ where
                 if gp != 0 {
                     let gp_nn =
                         NonNull::new(gp as *mut BstNode<K, V>).expect("non-null grandparent");
-                    handle.protect(slots::GP, gp_nn, || true);
+                    let _ = handle.protect(slots::GP, gp_nn, || true);
                 }
                 let p_nn = NonNull::new(p as *mut BstNode<K, V>).expect("non-null parent");
-                handle.protect(slots::P, p_nn, || true);
+                let _ = handle.protect(slots::P, p_nn, || true);
                 // Hazard-pointer protection of the node we are about to descend into.  The
                 // validation must prove the child is not yet *retired*, and the parent's
                 // child pointer alone cannot: a removed parent keeps its frozen child links,
@@ -673,7 +691,7 @@ where
         mut body: impl FnMut(&Self, &mut BstHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
     ) -> Out {
         loop {
-            handle.leave_qstate();
+            let _ = handle.leave_qstate();
             match body(self, handle) {
                 Ok(out) => {
                     handle.enter_qstate();
@@ -692,7 +710,7 @@ where
 
     /// Number of keys currently in the tree (single-threaded diagnostic; walks the tree).
     pub fn len(&self, handle: &mut BstHandle<K, V, R, P, A>) -> usize {
-        handle.leave_qstate();
+        let _ = handle.leave_qstate();
         let mut count = 0;
         let mut stack = vec![self.root];
         while let Some(n) = stack.pop() {
@@ -731,7 +749,7 @@ where
     type Handle = BstHandle<K, V, R, P, A>;
 
     fn register(&self, tid: usize) -> Result<Self::Handle, RegistrationError> {
-        self.manager.register(tid)
+        self.manager().register(tid)
     }
 
     fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
@@ -765,7 +783,7 @@ where
         // two nodes).  Records parked in limbo bags / pools are freed separately by the
         // Record Manager; the two sets are disjoint because a descriptor is only retired
         // when the word referencing it is overwritten.
-        let mut alloc = self.manager.teardown_allocator();
+        let mut alloc = self.manager().teardown_allocator();
         let mut infos: HashSet<usize> = HashSet::new();
         let mut stack = vec![self.root];
         let mut nodes: Vec<usize> = Vec::new();

@@ -43,8 +43,12 @@ pub trait ConcurrentMap<K, V>: Send + Sync {
     /// Per-thread handle required by the operations.
     type Handle;
 
-    /// Registers worker thread `tid` and returns its handle.  Must be called on the thread
+    /// Registers the calling thread and returns its handle.  Must be called on the thread
     /// that will use the handle.
+    ///
+    /// Structures ported to the safe guard layer (the list, the hash map) ignore `tid`
+    /// and lease a slot automatically through their [`debra::Domain`]; raw-handle
+    /// structures still register the given slot.
     fn register(&self, tid: usize) -> Result<Self::Handle, debra::RegistrationError>;
 
     /// Inserts `key -> value`; returns `true` if the key was not present.

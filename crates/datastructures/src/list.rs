@@ -1,38 +1,36 @@
 //! A lock-free sorted linked list (Harris marking + Michael physical removal), written
-//! against the Record Manager abstraction.
+//! against the **safe guard layer** of the Record Manager abstraction.
+//!
+//! This module contains no hand-rolled protection code: every pointer the traversal
+//! dereferences is obtained through [`debra::Shield::protect`] (the validated
+//! announce-then-revalidate protocol, a no-op under epoch schemes) or a guard-scoped
+//! [`Atomic::load`], and every operation body runs under [`DomainHandle::run`], which
+//! performs the DEBRA+ recovery protocol on [`Restart`].  The only `unsafe` left is the
+//! single [`Guard::retire`] call at the unique unlink point — the one obligation the type
+//! system cannot discharge (retire-once on the removed record).
 
 use std::fmt;
-use std::ptr::NonNull;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use debra::{
-    Allocator, Neutralized, Pool, Reclaimer, RecordManager, RecordManagerThread, RegistrationError,
+    Allocator, Atomic, Domain, DomainHandle, Guard, Pool, Reclaimer, RecordManager,
+    RegistrationError, Restart, Shared, Shield,
 };
 
 use crate::ConcurrentMap;
 
-/// Mark bit stored in the least significant bit of a node's `next` word.
+/// Mark (logical deletion) tag stored in the low bit of a node's `next` link.
 const MARK: usize = 1;
-
-#[inline]
-fn ptr_of(word: usize) -> *mut u8 {
-    (word & !MARK) as *mut u8
-}
-
-#[inline]
-fn is_marked(word: usize) -> bool {
-    word & MARK != 0
-}
 
 /// A node of [`HarrisMichaelList`].
 ///
-/// `next` packs the successor pointer and the *mark* bit: a marked node has been logically
+/// `next` packs the successor pointer and the *mark* tag: a marked node has been logically
 /// deleted and will be retired by whichever thread physically unlinks it.
 pub struct ListNode<K, V> {
     key: K,
     value: V,
-    next: AtomicUsize,
+    next: Atomic<ListNode<K, V>>,
 }
 
 impl<K, V> ListNode<K, V> {
@@ -49,29 +47,19 @@ impl<K, V> ListNode<K, V> {
 
 impl<K: fmt::Debug, V> fmt::Debug for ListNode<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ListNode")
-            .field("key", &self.key)
-            .field("marked", &is_marked(self.next.load(Ordering::Relaxed)))
-            .finish()
+        f.debug_struct("ListNode").field("key", &self.key).field("next", &self.next).finish()
     }
 }
 
-/// Hazard pointer slot assignment used by list operations (3 slots suffice, as in
-/// Michael's original algorithm).
-mod slots {
-    pub const PREV: usize = 0;
-    pub const CURR: usize = 1;
-}
-
 /// A lock-free sorted linked list implementing a set/map, parameterized by the Record
-/// Manager (reclaimer `R`, pool `P`, allocator `A`).
+/// Manager (reclaimer `R`, pool `P`, allocator `A`) through a [`Domain`].
 ///
 /// The algorithm is the classic Harris / Michael list: deletion first *marks* the victim's
 /// `next` pointer (logical deletion), then any traversal that encounters a marked node
 /// attempts to physically unlink it; the thread whose unlink CAS succeeds retires the node
-/// through the Record Manager.  Searches may traverse marked — and, under epoch-based
-/// reclamation, already retired — nodes, which is precisely the access pattern discussed in
-/// Section 3 of the paper.
+/// through the guard.  Searches may traverse marked — and, under epoch-based reclamation,
+/// already retired — nodes, which is precisely the access pattern discussed in Section 3
+/// of the paper.
 pub struct HarrisMichaelList<K, V, R, P, A>
 where
     K: Ord + Clone + Send + Sync + 'static,
@@ -80,12 +68,18 @@ where
     P: Pool<ListNode<K, V>>,
     A: Allocator<ListNode<K, V>>,
 {
-    head: AtomicUsize,
-    manager: Arc<RecordManager<ListNode<K, V>, R, P, A>>,
+    head: Atomic<ListNode<K, V>>,
+    domain: Domain<ListNode<K, V>, R, P, A>,
 }
 
-/// Shorthand for the per-thread handle type used by [`HarrisMichaelList`].
-pub type ListHandle<K, V, R, P, A> = RecordManagerThread<ListNode<K, V>, R, P, A>;
+/// Shorthand for the per-thread handle type used by [`HarrisMichaelList`]: a domain lease
+/// that pins guards without per-operation registry lookups.  Obtained with
+/// [`ConcurrentMap::register`] (the `tid` argument is ignored — slots are leased
+/// automatically) and usable only on the thread that created it.
+pub type ListHandle<K, V, R, P, A> = DomainHandle<ListNode<K, V>, R, P, A>;
+
+/// Shorthand for the guard type of [`HarrisMichaelList`] operations.
+pub type ListGuard<K, V, R, P, A> = Guard<ListNode<K, V>, R, P, A>;
 
 impl<K, V, R, P, A> HarrisMichaelList<K, V, R, P, A>
 where
@@ -97,77 +91,92 @@ where
 {
     /// Creates an empty list backed by `manager`.
     pub fn new(manager: Arc<RecordManager<ListNode<K, V>, R, P, A>>) -> Self {
-        HarrisMichaelList { head: AtomicUsize::new(0), manager }
+        Self::in_domain(Domain::with_manager(manager))
+    }
+
+    /// Creates an empty list backed by an existing [`Domain`] (sharing its thread leases).
+    pub fn in_domain(domain: Domain<ListNode<K, V>, R, P, A>) -> Self {
+        HarrisMichaelList { head: Atomic::null(), domain }
     }
 
     /// The Record Manager backing this list.
     pub fn manager(&self) -> &Arc<RecordManager<ListNode<K, V>, R, P, A>> {
-        &self.manager
+        self.domain.manager()
     }
 
-    /// Registers worker thread `tid`; see [`RecordManager::register`].
-    pub fn register(&self, tid: usize) -> Result<ListHandle<K, V, R, P, A>, RegistrationError> {
-        self.manager.register(tid)
+    /// The reclamation domain backing this list.
+    pub fn domain(&self) -> &Domain<ListNode<K, V>, R, P, A> {
+        &self.domain
     }
 
-    /// Finds the first node with key >= `key`.  Returns `(prev_word_addr, prev_word, curr_word)`
-    /// conceptually; concretely `(prev, curr)` where `prev` is `None` for the head pointer.
-    /// Physically unlinks marked nodes encountered on the way (retiring them).
+    /// Leases a per-thread handle; see [`ConcurrentMap::register`] (the `tid` is ignored —
+    /// the domain leases slots automatically).
+    pub fn register(&self, _tid: usize) -> Result<ListHandle<K, V, R, P, A>, RegistrationError> {
+        self.domain.try_handle()
+    }
+
+    /// The link word holding the pointer to the traversal's current node: the
+    /// predecessor's `next` link, or the head when there is no predecessor.
+    #[inline]
+    fn link_of<'g>(&'g self, prev: Shared<'g, ListNode<K, V>>) -> &'g Atomic<ListNode<K, V>> {
+        match prev.as_ref() {
+            Some(p) => &p.next,
+            None => &self.head,
+        }
+    }
+
+    /// Finds the first node with key >= `key` (`curr`, null if none) and its
+    /// predecessor (`prev`, null when `curr` hangs off the head), physically unlinking
+    /// (and retiring) marked nodes encountered on the way.  On return both nodes are
+    /// still protected by the caller-supplied shields, so the caller may dereference
+    /// them and CAS on the predecessor's link.
     ///
-    /// Returns `Err(Neutralized)` if this thread was neutralized mid-traversal.
+    /// Returns [`Restart`] only for DEBRA+ neutralization; protection-validation
+    /// failures (HP / ThreadScan / IBR) restart the traversal internally.
     #[allow(clippy::type_complexity)]
-    fn search(
+    fn search<'g>(
         &self,
-        handle: &mut ListHandle<K, V, R, P, A>,
+        guard: &'g ListGuard<K, V, R, P, A>,
         key: &K,
-    ) -> Result<(Option<NonNull<ListNode<K, V>>>, usize), Neutralized> {
+        prev_shield: &mut Shield<'g, ListNode<K, V>, R, P, A>,
+        curr_shield: &mut Shield<'g, ListNode<K, V>, R, P, A>,
+    ) -> Result<(Shared<'g, ListNode<K, V>>, Shared<'g, ListNode<K, V>>), Restart> {
         'retry: loop {
-            handle.check()?;
-            let mut prev: Option<NonNull<ListNode<K, V>>> = None;
-            let mut curr_word = self.head.load(Ordering::Acquire);
+            guard.check()?;
+            let mut prev: Shared<'g, ListNode<K, V>> = Shared::null();
+            let mut curr_word = self.head.load(Ordering::Acquire, guard);
             loop {
-                handle.check()?;
-                let curr_ptr = ptr_of(curr_word) as *mut ListNode<K, V>;
-                let Some(curr) = NonNull::new(curr_ptr) else {
-                    return Ok((prev, curr_word));
-                };
-
-                // Hazard-pointer style protection: announce, then validate that the link we
-                // followed still leads here (no-op and always true for epoch schemes).
-                // The comparison is on the FULL word, mark bit included: `expected` is
-                // always unmarked, so a predecessor that has since been marked (it is being
-                // deleted, and `curr` may already be unlinked from the live chain and
-                // retired) fails validation and forces a restart — Michael's algorithm
-                // requires exactly this; stripping the mark here would let a stale marked
-                // link validate a freed node.
-                let prev_link = self.link_of(prev);
-                let expected = curr_word;
-                let valid = handle
-                    .protect(slots::CURR, curr, || prev_link.load(Ordering::SeqCst) == expected);
-                if !valid {
+                // Protect-and-validate the node `curr_word` points to (`protect_loaded`
+                // folds in the per-node neutralization checkpoint).  A failure means the
+                // link changed under us or is now marked — the node may already be
+                // retired: restart from the head.  The validating comparison is on the
+                // full link word, mark tag included, exactly as Michael's algorithm
+                // requires.
+                let link = self.link_of(prev);
+                let Ok(curr) = curr_shield.protect_loaded(link, curr_word) else {
                     continue 'retry;
-                }
+                };
+                let Some(curr_ref) = curr.as_ref() else {
+                    return Ok((prev, curr));
+                };
+                let next = curr_ref.next.load(Ordering::Acquire, guard);
 
-                // SAFETY: `curr` was reachable when protected; under epoch schemes the
-                // operation's non-quiescent announcement keeps it from being reclaimed, and
-                // under HP the announcement + validation above does.
-                let curr_ref = unsafe { curr.as_ref() };
-                let next_word = curr_ref.next.load(Ordering::Acquire);
-
-                if is_marked(next_word) {
+                if next.tag() == MARK {
                     // Logically deleted: try to unlink it.  Whoever wins the CAS owns the
                     // retirement of `curr`.
-                    let unlink_to = next_word & !MARK;
-                    match self.link_of(prev).compare_exchange(
-                        curr_word,
+                    let unlink_to = next.with_tag(0);
+                    match link.compare_exchange(
+                        curr,
                         unlink_to,
                         Ordering::AcqRel,
                         Ordering::Acquire,
+                        guard,
                     ) {
-                        Ok(_) => {
+                        Ok(()) => {
                             // SAFETY: `curr` was just unlinked by this thread (unique CAS
-                            // winner) and is no longer reachable from the head.
-                            unsafe { handle.retire(curr) };
+                            // winner) and is no longer reachable from the head; it is
+                            // retired exactly once, here.
+                            unsafe { guard.retire(curr) };
                             curr_word = unlink_to;
                             continue;
                         }
@@ -176,174 +185,142 @@ where
                 }
 
                 if curr_ref.key >= *key {
-                    return Ok((prev, curr_word));
+                    return Ok((prev, curr));
                 }
-                // Advance: curr becomes prev.
-                handle.protect(slots::PREV, curr, || true);
-                prev = Some(curr);
-                curr_word = next_word;
+                // Advance: `curr` becomes the predecessor.  Swapping the shield roles
+                // moves the protections without touching the announcements, so the old
+                // current-node announcement now guards the predecessor.
+                prev_shield.swap_roles(curr_shield);
+                prev = curr;
+                curr_word = next;
             }
-        }
-    }
-
-    fn link_of(&self, prev: Option<NonNull<ListNode<K, V>>>) -> &AtomicUsize {
-        match prev {
-            // SAFETY: `prev` is protected by the calling operation (epoch or HP).
-            Some(p) => unsafe { &p.as_ref().next },
-            None => &self.head,
         }
     }
 
     fn insert_body(
         &self,
-        handle: &mut ListHandle<K, V, R, P, A>,
+        guard: &ListGuard<K, V, R, P, A>,
         key: &K,
         value: &V,
-    ) -> Result<bool, Neutralized> {
+    ) -> Result<bool, Restart> {
+        let mut prev_shield = guard.shield();
+        let mut curr_shield = guard.shield();
         loop {
-            let (prev, curr_word) = self.search(handle, key)?;
-            let curr_ptr = ptr_of(curr_word) as *mut ListNode<K, V>;
-            if let Some(curr) = NonNull::new(curr_ptr) {
-                // SAFETY: protected by the search above.
-                if unsafe { &curr.as_ref().key } == key {
+            let (prev, curr) = self.search(guard, key, &mut prev_shield, &mut curr_shield)?;
+            if let Some(curr_ref) = curr.as_ref() {
+                if &curr_ref.key == key {
                     return Ok(false);
                 }
             }
-            let node = handle.allocate(ListNode {
+            let node = guard.alloc(ListNode {
                 key: key.clone(),
                 value: value.clone(),
-                next: AtomicUsize::new(curr_word),
+                next: Atomic::from_shared(curr),
             });
-            if let Err(e) = handle.check() {
+            if let Err(restart) = guard.check() {
                 // Not yet published: recycle immediately, then unwind to recovery.
-                // SAFETY: the node was never made reachable.
-                unsafe { handle.deallocate(node) };
-                return Err(e);
+                guard.discard(node);
+                return Err(restart);
             }
-            match self.link_of(prev).compare_exchange(
-                curr_word,
-                node.as_ptr() as usize,
+            match self.link_of(prev).compare_exchange_owned(
+                curr,
+                node,
                 Ordering::AcqRel,
                 Ordering::Acquire,
+                guard,
             ) {
                 Ok(_) => return Ok(true),
-                Err(_) => {
-                    // SAFETY: the node was never made reachable.
-                    unsafe { handle.deallocate(node) };
+                Err(node) => {
+                    // The node was never made reachable; recycle it and retry.
+                    guard.discard(node);
                     continue;
                 }
             }
         }
     }
 
-    fn remove_body(
-        &self,
-        handle: &mut ListHandle<K, V, R, P, A>,
-        key: &K,
-    ) -> Result<bool, Neutralized> {
+    fn remove_body(&self, guard: &ListGuard<K, V, R, P, A>, key: &K) -> Result<bool, Restart> {
+        let mut prev_shield = guard.shield();
+        let mut curr_shield = guard.shield();
         loop {
-            let (prev, curr_word) = self.search(handle, key)?;
-            let Some(curr) = NonNull::new(ptr_of(curr_word) as *mut ListNode<K, V>) else {
+            let (prev, curr) = self.search(guard, key, &mut prev_shield, &mut curr_shield)?;
+            let Some(curr_ref) = curr.as_ref() else {
                 return Ok(false);
             };
-            // SAFETY: protected by the search above.
-            let curr_ref = unsafe { curr.as_ref() };
             if &curr_ref.key != key {
                 return Ok(false);
             }
-            let next_word = curr_ref.next.load(Ordering::Acquire);
-            if is_marked(next_word) {
-                // Someone else is already deleting it; help by restarting (the next search
-                // unlinks it).
+            let next = curr_ref.next.load(Ordering::Acquire, guard);
+            if next.tag() == MARK {
+                // Someone else is already deleting it; help by restarting (the next
+                // search unlinks it).
                 continue;
             }
-            handle.check()?;
-            // Logical deletion: set the mark bit.
+            guard.check()?;
+            // Logical deletion: set the mark tag.
             if curr_ref
                 .next
-                .compare_exchange(next_word, next_word | MARK, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    next,
+                    next.with_tag(MARK),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                )
                 .is_err()
             {
                 continue;
             }
-            // Physical deletion: best effort; if it fails a later traversal will do it (and
-            // that traversal's winner retires the node).
+            // Physical deletion: best effort; if it fails a later traversal will do it
+            // (and that traversal's winner retires the node).
             if self
                 .link_of(prev)
-                .compare_exchange(curr_word, next_word & !MARK, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    curr,
+                    next.with_tag(0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                )
                 .is_ok()
             {
                 // SAFETY: unlinked by this thread; unique owner of the retirement.
-                unsafe { handle.retire(curr) };
+                unsafe { guard.retire(curr) };
             }
             return Ok(true);
         }
     }
 
-    fn get_body(
-        &self,
-        handle: &mut ListHandle<K, V, R, P, A>,
-        key: &K,
-    ) -> Result<Option<V>, Neutralized> {
-        let (_prev, curr_word) = self.search(handle, key)?;
-        if let Some(curr) = NonNull::new(ptr_of(curr_word) as *mut ListNode<K, V>) {
-            // SAFETY: protected by the search above.
-            let curr_ref = unsafe { curr.as_ref() };
-            if &curr_ref.key == key && !is_marked(curr_ref.next.load(Ordering::Acquire)) {
+    fn get_body(&self, guard: &ListGuard<K, V, R, P, A>, key: &K) -> Result<Option<V>, Restart> {
+        let mut prev_shield = guard.shield();
+        let mut curr_shield = guard.shield();
+        let (_prev, curr) = self.search(guard, key, &mut prev_shield, &mut curr_shield)?;
+        if let Some(curr_ref) = curr.as_ref() {
+            if &curr_ref.key == key && curr_ref.next.load(Ordering::Acquire, guard).tag() == 0 {
                 return Ok(Some(curr_ref.value.clone()));
             }
         }
         Ok(None)
     }
 
-    /// Runs an operation body with the standard leave/enter-quiescent-state wrapper and the
-    /// DEBRA+ recovery protocol (restart after neutralization).
-    fn run_op<Out>(
-        &self,
-        handle: &mut ListHandle<K, V, R, P, A>,
-        mut body: impl FnMut(&Self, &mut ListHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
-    ) -> Out {
-        loop {
-            handle.leave_qstate();
-            match body(self, handle) {
-                Ok(out) => {
-                    handle.enter_qstate();
-                    return out;
-                }
-                Err(Neutralized) => {
-                    // Recovery (paper, Section 5): nothing this operation published needs
-                    // helping — updates that passed their decision CAS run to completion
-                    // without checkpoints — so recovery is simply: release restricted
-                    // hazard pointers, acknowledge, retry.
-                    handle.r_unprotect_all();
-                    handle.begin_recovery();
-                }
-            }
-        }
-    }
-
-    /// Counts the elements by a full (single-threaded) traversal; test/diagnostic helper.
+    /// Counts the elements by a full traversal; test/diagnostic helper.
     ///
     /// The traversal announces no per-node protection, which only epoch-style schemes
     /// honor; under protection-based schemes (HP, ThreadScan, IBR) it must not race with
     /// concurrent removals — call it only when no other thread is updating the list.
     pub fn len(&self, handle: &mut ListHandle<K, V, R, P, A>) -> usize {
-        handle.leave_qstate();
-        let mut n = 0;
-        let mut word = self.head.load(Ordering::Acquire);
-        while let Some(node) = NonNull::new(ptr_of(word) as *mut ListNode<K, V>) {
-            // SAFETY: under epoch schemes the non-quiescent announcement keeps every node
-            // alive; under protection-based schemes the documented precondition (no
-            // concurrent updates) does.
-            let r = unsafe { node.as_ref() };
-            let next = r.next.load(Ordering::Acquire);
-            if !is_marked(next) {
-                n += 1;
+        handle.run(|guard| {
+            let mut n = 0;
+            let mut curr = self.head.load(Ordering::Acquire, guard);
+            while let Some(node) = curr.as_ref() {
+                let next = node.next.load(Ordering::Acquire, guard);
+                if next.tag() == 0 {
+                    n += 1;
+                }
+                curr = next;
             }
-            word = next;
-        }
-        handle.enter_qstate();
-        n
+            Ok(n)
+        })
     }
 
     /// Returns `true` if the list is empty (diagnostic helper).
@@ -362,24 +339,24 @@ where
 {
     type Handle = ListHandle<K, V, R, P, A>;
 
-    fn register(&self, tid: usize) -> Result<Self::Handle, RegistrationError> {
-        self.manager.register(tid)
+    fn register(&self, _tid: usize) -> Result<Self::Handle, RegistrationError> {
+        self.domain.try_handle()
     }
 
     fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
-        self.run_op(handle, |this, h| this.insert_body(h, &key, &value))
+        handle.run(|guard| self.insert_body(guard, &key, &value))
     }
 
     fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.run_op(handle, |this, h| this.remove_body(h, key))
+        handle.run(|guard| self.remove_body(guard, key))
     }
 
     fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.run_op(handle, |this, h| this.get_body(h, key)).is_some()
+        handle.run(|guard| self.get_body(guard, key)).is_some()
     }
 
     fn get(&self, handle: &mut Self::Handle, key: &K) -> Option<V> {
-        self.run_op(handle, |this, h| this.get_body(h, key))
+        handle.run(|guard| self.get_body(guard, key))
     }
 }
 
@@ -392,16 +369,12 @@ where
     A: Allocator<ListNode<K, V>>,
 {
     fn drop(&mut self) {
-        // Free every node still reachable from the head.  At this point the caller
-        // guarantees exclusive access (we have `&mut self`).
-        let mut alloc = self.manager.teardown_allocator();
-        let mut word = *self.head.get_mut();
-        while let Some(node) = NonNull::new(ptr_of(word) as *mut ListNode<K, V>) {
-            // SAFETY: exclusive access during drop; each reachable node freed exactly once.
-            unsafe {
-                word = node.as_ref().next.load(Ordering::Relaxed);
-                debra::AllocatorThread::deallocate(&mut alloc, node);
-            }
+        // SAFETY: exclusive access during drop (`&mut self`); every node still reachable
+        // from the head is freed exactly once.
+        unsafe {
+            self.domain.free_reachable(self.head.load_ptr(Ordering::Relaxed), |node| {
+                node.next.load_ptr(Ordering::Relaxed)
+            });
         }
     }
 }
@@ -417,27 +390,6 @@ where
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HarrisMichaelList").field("reclaimer", &R::name()).finish()
     }
-}
-
-// SAFETY: the list is a shared concurrent structure; all shared mutable state is accessed
-// through atomics, and nodes are `Send` because K and V are.
-unsafe impl<K, V, R, P, A> Send for HarrisMichaelList<K, V, R, P, A>
-where
-    K: Ord + Clone + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    R: Reclaimer<ListNode<K, V>>,
-    P: Pool<ListNode<K, V>>,
-    A: Allocator<ListNode<K, V>>,
-{
-}
-unsafe impl<K, V, R, P, A> Sync for HarrisMichaelList<K, V, R, P, A>
-where
-    K: Ord + Clone + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    R: Reclaimer<ListNode<K, V>>,
-    P: Pool<ListNode<K, V>>,
-    A: Allocator<ListNode<K, V>>,
-{
 }
 
 #[cfg(test)]

@@ -70,7 +70,7 @@ where
     A: Allocator<SkipNode<K, V>>,
 {
     head: usize,
-    manager: Arc<RecordManager<SkipNode<K, V>, R, P, A>>,
+    domain: debra::Domain<SkipNode<K, V>, R, P, A>,
 }
 
 /// Shorthand for the per-thread handle type used by [`SkipList`].
@@ -92,19 +92,37 @@ where
 {
     /// Creates an empty skip list backed by `manager`.
     pub fn new(manager: Arc<RecordManager<SkipNode<K, V>, R, P, A>>) -> Self {
-        let mut alloc = manager.teardown_allocator();
+        Self::in_domain(debra::Domain::with_manager(manager))
+    }
+
+    /// Creates an empty skip list backed by an existing [`debra::Domain`] (the safe-layer
+    /// entry point: thread slots are leased automatically through the domain).
+    pub fn in_domain(domain: debra::Domain<SkipNode<K, V>, R, P, A>) -> Self {
+        let mut alloc = domain.manager().teardown_allocator();
         let head = alloc.allocate(SkipNode::new(None, None, MAX_HEIGHT)).as_ptr() as usize;
-        SkipList { head, manager }
+        SkipList { head, domain }
     }
 
     /// The Record Manager backing this skip list.
     pub fn manager(&self) -> &Arc<RecordManager<SkipNode<K, V>, R, P, A>> {
-        &self.manager
+        self.domain.manager()
+    }
+
+    /// The reclamation domain backing this skip list (safe-layer entry point; the
+    /// operation bodies themselves still use the raw handle protocol).
+    pub fn domain(&self) -> &debra::Domain<SkipNode<K, V>, R, P, A> {
+        &self.domain
     }
 
     /// Registers worker thread `tid`; see [`RecordManager::register`].
     pub fn register(&self, tid: usize) -> Result<SkipHandle<K, V, R, P, A>, RegistrationError> {
-        self.manager.register(tid)
+        self.manager().register(tid)
+    }
+
+    /// Registers the lowest free thread slot (no manual `tid` bookkeeping); see
+    /// [`RecordManager::register_auto`].
+    pub fn register_auto(&self) -> Result<SkipHandle<K, V, R, P, A>, RegistrationError> {
+        self.manager().register_auto()
     }
 
     #[inline]
@@ -182,7 +200,7 @@ where
                         }
                     }
                     if self.key_less(curr, key) {
-                        handle.protect(0, curr_nn, || true);
+                        let _ = handle.protect(0, curr_nn, || true);
                         pred = curr;
                         curr_word = next_word;
                     } else {
@@ -283,6 +301,14 @@ where
                 let r2 = self.find(handle, key)?;
                 if r2.found != node_ptr {
                     break 'levels; // already removed and unlinked at the bottom
+                }
+                if r2.succs[level] == node_ptr {
+                    // Already linked at this level: we are re-running the (idempotent)
+                    // completion after a neutralization, and `find` now returns the node
+                    // as its own successor here.  Without this check the CAS below would
+                    // set `node.next[level] = node_ptr` — a self-cycle that every later
+                    // traversal of this level would spin on forever.
+                    continue 'levels;
                 }
                 if expected != r2.succs[level]
                     && node_ref.next[level]
@@ -400,7 +426,7 @@ where
                     }
                     let curr_ref = self.node(curr);
                     if self.key_less(curr, key) {
-                        handle.protect(0, curr_nn, || true);
+                        let _ = handle.protect(0, curr_nn, || true);
                         pred = curr;
                         curr = ptr_of(curr_ref.next[level].load(Ordering::Acquire));
                     } else {
@@ -436,7 +462,7 @@ where
         mut body: impl FnMut(&Self, &mut SkipHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
     ) -> Out {
         loop {
-            handle.leave_qstate();
+            let _ = handle.leave_qstate();
             match body(self, handle) {
                 Ok(out) => {
                     handle.enter_qstate();
@@ -455,7 +481,7 @@ where
 
     /// Number of keys currently in the list (single-threaded diagnostic).
     pub fn len(&self, handle: &mut SkipHandle<K, V, R, P, A>) -> usize {
-        handle.leave_qstate();
+        let _ = handle.leave_qstate();
         let mut n = 0;
         let mut curr = ptr_of(self.node(self.head).next[0].load(Ordering::Acquire));
         while curr != 0 {
@@ -486,7 +512,7 @@ where
     type Handle = SkipHandle<K, V, R, P, A>;
 
     fn register(&self, tid: usize) -> Result<Self::Handle, RegistrationError> {
-        self.manager.register(tid)
+        self.manager().register(tid)
     }
 
     fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
@@ -528,7 +554,7 @@ where
     A: Allocator<SkipNode<K, V>>,
 {
     fn drop(&mut self) {
-        let mut alloc = self.manager.teardown_allocator();
+        let mut alloc = self.manager().teardown_allocator();
         let mut curr = self.head;
         while curr != 0 {
             let next = ptr_of(self.node(curr).next[0].load(Ordering::Relaxed));

@@ -1,88 +1,79 @@
-//! A lock-free hash map written against the Record Manager abstraction.
+//! A lock-free hash map written against the **safe guard layer** of the Record Manager
+//! abstraction.
 //!
 //! The map is a **fixed-size bucket array of Harris–Michael lists**: each bucket holds the
-//! head word of a sorted lock-free linked list (mark bit in the least significant bit of
-//! every `next` word), and a key is routed to its bucket by hashing.  This is the classic
-//! lock-free hash table of Michael ("High Performance Dynamic Lock-Free Hash Tables and
-//! List-Based Sets", SPAA 2002), restricted to a fixed bucket count — no resizing — which
-//! keeps every operation strictly per-bucket.
+//! head link of a sorted lock-free linked list (mark tag in the low bit of every `next`
+//! link), and a key is routed to its bucket by hashing.  This is the classic lock-free
+//! hash table of Michael ("High Performance Dynamic Lock-Free Hash Tables and List-Based
+//! Sets", SPAA 2002), restricted to a fixed bucket count — no resizing — which keeps every
+//! operation strictly per-bucket.
 //!
-//! Like the structures in `lockfree-ds`, the map is written **once** against
-//! [`RecordManagerThread`] and is parameterized by the reclamation scheme, the pool and the
-//! allocator; swapping any of them is a one-line change of type parameters.  The map runs
+//! Like the structures in `lockfree-ds`, the map is written **once** and is parameterized
+//! by the reclamation scheme, the pool and the allocator through a
+//! [`Domain`]; swapping any of them is a one-line change of type parameters.  The map runs
 //! under every scheme in this repository (None, EBR, HP, ThreadScan, IBR, DEBRA, DEBRA+).
 //!
 //! # Protection discipline (HP / ThreadScan / IBR)
 //!
-//! A bucket traversal holds at most **two** protected records at a time, exactly like the
-//! stand-alone Harris–Michael list:
+//! A bucket traversal holds at most **two** protected records at a time — the node being
+//! inspected and its predecessor — exactly like the stand-alone Harris–Michael list, but
+//! the protocol now lives entirely inside the guard layer:
 //!
-//! * slot [`slots::CURR`] — the node about to be inspected.  It is announced *before* the
-//!   node's fields are read and then validated by re-reading the link that led to it (the
-//!   bucket head or the predecessor's `next` word).  If the link changed, the traversal
-//!   restarts from the bucket head: the node may already have been retired, so its fields
-//!   must not be touched.
-//! * slot [`slots::PREV`] — the predecessor, re-announced each time the traversal advances
-//!   so the `prev.next` word stays safe to CAS on.
+//! * [`Shield::protect`](debra::Shield::protect) announces the node *before* its fields
+//!   are read and validates by re-reading the link that led to it (bucket head or the
+//!   predecessor's `next` link, full word, mark tag included).  If the link changed, the
+//!   traversal restarts from the bucket head: the node may already have been retired, so
+//!   its fields must not be touched.
+//! * Advancing the traversal is a `std::mem::swap` of the two shields, which moves the
+//!   protection *roles* without touching the announcements.
 //!
 //! Epoch-based schemes compile both announcements down to nothing; IBR extends the
-//! thread's reservation interval inside `protect`/`check` checkpoints, so the same two
-//! calls double as its per-access era bookkeeping.
+//! thread's reservation interval inside the same protect/check checkpoints.
 //!
 //! > Note: the bucket-chain protocol below is deliberately the same algorithm as
-//! > [`lockfree_ds::list`]'s stand-alone list (per the crate's charter of implementing the
-//! > structure directly against the Record Manager traits).  The two are audit twins: a
-//! > correctness fix in either search/validate/unlink path almost certainly applies to
-//! > the other.
+//! > [`lockfree_ds::list`]'s stand-alone list.  The two are audit twins: a correctness
+//! > fix in either search/validate/unlink path almost certainly applies to the other.
 //!
 //! # Neutralization (DEBRA+)
 //!
-//! Every operation body is a sequence of checkpoints (`handle.check()` before each
-//! dereference and each CAS).  When a checkpoint reports [`Neutralized`], the operation
-//! unwinds to [`LockFreeHashMap::run_op`], which releases restricted hazard pointers,
-//! acknowledges the signal and **restarts the whole bucket operation** from the bucket
-//! head.  Nothing an interrupted operation published needs helping: an insert whose CAS
-//! has not yet succeeded recycles its private node, and one whose CAS succeeded runs no
-//! further checkpoints before returning.
+//! Every operation body is a sequence of checkpoints ([`Guard::check`](debra::Guard::check)
+//! before each dereference and each CAS, folded into `protect`).  When a checkpoint
+//! reports a [`Restart`], the operation unwinds to
+//! [`DomainHandle::run`](debra::DomainHandle::run), which releases restricted hazard
+//! pointers, acknowledges the signal and **restarts the whole bucket operation** from the
+//! bucket head.  Nothing an interrupted operation published needs helping: an insert whose
+//! CAS has not yet succeeded recycles its private node through
+//! [`Guard::discard`](debra::Guard::discard), and one whose CAS succeeded runs no further
+//! checkpoints before returning.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ptr::NonNull;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use debra::{
-    Allocator, Neutralized, Pool, Reclaimer, RecordManager, RecordManagerThread, RegistrationError,
+    Allocator, Atomic, Domain, DomainHandle, Guard, Pool, Reclaimer, RecordManager,
+    RegistrationError, Restart, Shared, Shield,
 };
 use lockfree_ds::ConcurrentMap;
 
-/// Mark bit stored in the least significant bit of a node's `next` word.
+/// Mark (logical deletion) tag stored in the low bit of a node's `next` link.
 const MARK: usize = 1;
 
 /// Default number of buckets used by [`LockFreeHashMap::new`].
 pub const DEFAULT_BUCKETS: usize = 256;
 
-#[inline]
-fn ptr_of(word: usize) -> *mut u8 {
-    (word & !MARK) as *mut u8
-}
-
-#[inline]
-fn is_marked(word: usize) -> bool {
-    word & MARK != 0
-}
-
 /// A node of [`LockFreeHashMap`]: one key/value pair in one bucket's list.
 ///
-/// `next` packs the successor pointer and the *mark* bit: a marked node has been logically
+/// `next` packs the successor pointer and the *mark* tag: a marked node has been logically
 /// deleted and will be retired by whichever thread physically unlinks it.
 pub struct HashMapNode<K, V> {
     key: K,
     value: V,
-    next: AtomicUsize,
+    next: Atomic<HashMapNode<K, V>>,
 }
 
 impl<K, V> HashMapNode<K, V> {
@@ -99,24 +90,12 @@ impl<K, V> HashMapNode<K, V> {
 
 impl<K: fmt::Debug, V> fmt::Debug for HashMapNode<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("HashMapNode")
-            .field("key", &self.key)
-            .field("marked", &is_marked(self.next.load(Ordering::Relaxed)))
-            .finish()
+        f.debug_struct("HashMapNode").field("key", &self.key).field("next", &self.next).finish()
     }
 }
 
-/// Protection slot assignment used by bucket traversals (two slots suffice, as in
-/// Michael's list algorithm).
-pub mod slots {
-    /// The traversal's predecessor node.
-    pub const PREV: usize = 0;
-    /// The node currently being inspected.
-    pub const CURR: usize = 1;
-}
-
 /// A lock-free hash map (fixed bucket array of Harris–Michael lists), parameterized by the
-/// Record Manager (reclaimer `R`, pool `P`, allocator `A`).
+/// Record Manager (reclaimer `R`, pool `P`, allocator `A`) through a [`Domain`].
 ///
 /// See the crate docs for the algorithm and the per-scheme protection discipline.
 pub struct LockFreeHashMap<K, V, R, P, A>
@@ -127,15 +106,20 @@ where
     P: Pool<HashMapNode<K, V>>,
     A: Allocator<HashMapNode<K, V>>,
 {
-    /// Head word per bucket (0 = empty bucket).  The bucket count is a power of two so
-    /// routing is a mask.
-    buckets: Box<[AtomicUsize]>,
+    /// Head link per bucket.  The bucket count is a power of two so routing is a mask.
+    buckets: Box<[Atomic<HashMapNode<K, V>>]>,
     mask: usize,
-    manager: Arc<RecordManager<HashMapNode<K, V>, R, P, A>>,
+    domain: Domain<HashMapNode<K, V>, R, P, A>,
 }
 
-/// Shorthand for the per-thread handle type used by [`LockFreeHashMap`].
-pub type HashMapHandle<K, V, R, P, A> = RecordManagerThread<HashMapNode<K, V>, R, P, A>;
+/// Shorthand for the per-thread handle type used by [`LockFreeHashMap`]: a domain lease
+/// that pins guards without per-operation registry lookups.  Obtained with
+/// [`ConcurrentMap::register`] (the `tid` argument is ignored — slots are leased
+/// automatically) and usable only on the thread that created it.
+pub type HashMapHandle<K, V, R, P, A> = DomainHandle<HashMapNode<K, V>, R, P, A>;
+
+/// Shorthand for the guard type of [`LockFreeHashMap`] operations.
+pub type HashMapGuard<K, V, R, P, A> = Guard<HashMapNode<K, V>, R, P, A>;
 
 impl<K, V, R, P, A> LockFreeHashMap<K, V, R, P, A>
 where
@@ -155,17 +139,23 @@ where
         manager: Arc<RecordManager<HashMapNode<K, V>, R, P, A>>,
         buckets: usize,
     ) -> Self {
+        Self::in_domain(Domain::with_manager(manager), buckets)
+    }
+
+    /// Creates an empty map backed by an existing [`Domain`] (sharing its thread leases).
+    pub fn in_domain(domain: Domain<HashMapNode<K, V>, R, P, A>, buckets: usize) -> Self {
         let n = buckets.max(1).next_power_of_two();
-        LockFreeHashMap {
-            buckets: (0..n).map(|_| AtomicUsize::new(0)).collect(),
-            mask: n - 1,
-            manager,
-        }
+        LockFreeHashMap { buckets: (0..n).map(|_| Atomic::null()).collect(), mask: n - 1, domain }
     }
 
     /// The Record Manager backing this map.
     pub fn manager(&self) -> &Arc<RecordManager<HashMapNode<K, V>, R, P, A>> {
-        &self.manager
+        self.domain.manager()
+    }
+
+    /// The reclamation domain backing this map.
+    pub fn domain(&self) -> &Domain<HashMapNode<K, V>, R, P, A> {
+        &self.domain
     }
 
     /// The number of buckets (a power of two, fixed at construction).
@@ -173,9 +163,10 @@ where
         self.buckets.len()
     }
 
-    /// Registers worker thread `tid`; see [`RecordManager::register`].
-    pub fn register(&self, tid: usize) -> Result<HashMapHandle<K, V, R, P, A>, RegistrationError> {
-        self.manager.register(tid)
+    /// Leases a per-thread handle; see [`ConcurrentMap::register`] (the `tid` is ignored —
+    /// the domain leases slots automatically).
+    pub fn register(&self, _tid: usize) -> Result<HashMapHandle<K, V, R, P, A>, RegistrationError> {
+        self.domain.try_handle()
     }
 
     /// Routes `key` to its bucket index.
@@ -186,75 +177,73 @@ where
         (hasher.finish() as usize) & self.mask
     }
 
-    /// The link word holding the pointer to the traversal's current node: the predecessor's
-    /// `next` word, or the bucket head when there is no predecessor.
-    fn link_of(&self, bucket: usize, prev: Option<NonNull<HashMapNode<K, V>>>) -> &AtomicUsize {
-        match prev {
-            // SAFETY: `prev` is protected by the calling operation (epoch or HP slot PREV).
-            Some(p) => unsafe { &(*p.as_ptr()).next },
+    /// The link holding the pointer to the traversal's current node: the predecessor's
+    /// `next` link, or the bucket head when there is no predecessor.
+    #[inline]
+    fn link_of<'g>(
+        &'g self,
+        bucket: usize,
+        prev: Shared<'g, HashMapNode<K, V>>,
+    ) -> &'g Atomic<HashMapNode<K, V>> {
+        match prev.as_ref() {
+            Some(p) => &p.next,
             None => &self.buckets[bucket],
         }
     }
 
-    /// Finds the first node in `key`'s bucket with key >= `key`.  Returns `(prev, curr_word)`
-    /// where `prev` is `None` when `curr` hangs off the bucket head.  Physically unlinks
-    /// marked nodes encountered on the way (retiring them).
+    /// Finds the first node in `key`'s bucket with key >= `key` (`curr`, null if none)
+    /// and its predecessor (`prev`, null when `curr` hangs off the bucket head),
+    /// physically unlinking (and retiring) marked nodes encountered on the way.  On
+    /// return both nodes are still protected by the caller-supplied shields, so the
+    /// caller may dereference them and CAS on the predecessor's link.
     ///
-    /// Returns `Err(Neutralized)` if this thread was neutralized mid-traversal.
+    /// Returns [`Restart`] only for DEBRA+ neutralization; protection-validation
+    /// failures (HP / ThreadScan / IBR) restart the traversal internally.
     #[allow(clippy::type_complexity)]
-    fn search(
+    fn search<'g>(
         &self,
-        handle: &mut HashMapHandle<K, V, R, P, A>,
+        guard: &'g HashMapGuard<K, V, R, P, A>,
         bucket: usize,
         key: &K,
-    ) -> Result<(Option<NonNull<HashMapNode<K, V>>>, usize), Neutralized> {
+        prev_shield: &mut Shield<'g, HashMapNode<K, V>, R, P, A>,
+        curr_shield: &mut Shield<'g, HashMapNode<K, V>, R, P, A>,
+    ) -> Result<(Shared<'g, HashMapNode<K, V>>, Shared<'g, HashMapNode<K, V>>), Restart> {
         'retry: loop {
-            handle.check()?;
-            let mut prev: Option<NonNull<HashMapNode<K, V>>> = None;
-            let mut curr_word = self.buckets[bucket].load(Ordering::Acquire);
+            guard.check()?;
+            let mut prev: Shared<'g, HashMapNode<K, V>> = Shared::null();
+            let mut curr_word = self.buckets[bucket].load(Ordering::Acquire, guard);
             loop {
-                handle.check()?;
-                let curr_ptr = ptr_of(curr_word) as *mut HashMapNode<K, V>;
-                let Some(curr) = NonNull::new(curr_ptr) else {
-                    return Ok((prev, curr_word));
-                };
-
-                // Hazard-pointer style protection: announce, then validate that the link we
-                // followed still leads here (no-op and always true for epoch schemes).
-                // The comparison is on the FULL word, mark bit included: `expected` is
-                // always unmarked, so a predecessor that has since been marked (it is being
-                // deleted, and `curr` may already be unlinked from the live chain and
-                // retired) fails validation and forces a restart — Michael's algorithm
-                // requires exactly this; stripping the mark here would let a stale marked
-                // link validate a freed node.
-                let prev_link = self.link_of(bucket, prev);
-                let expected = curr_word;
-                let valid = handle
-                    .protect(slots::CURR, curr, || prev_link.load(Ordering::SeqCst) == expected);
-                if !valid {
+                // Protect-and-validate the node `curr_word` points to (`protect_loaded`
+                // folds in the per-node neutralization checkpoint).  A failure means the
+                // link changed under us or is now marked — the node may already be
+                // retired: restart from the bucket head.  The validating comparison is on
+                // the full link word, mark tag included, exactly as Michael's algorithm
+                // requires.
+                let link = self.link_of(bucket, prev);
+                let Ok(curr) = curr_shield.protect_loaded(link, curr_word) else {
                     continue 'retry;
-                }
+                };
+                let Some(curr_ref) = curr.as_ref() else {
+                    return Ok((prev, curr));
+                };
+                let next = curr_ref.next.load(Ordering::Acquire, guard);
 
-                // SAFETY: `curr` was reachable when protected; under epoch schemes the
-                // operation's non-quiescent announcement keeps it from being reclaimed, and
-                // under HP/ThreadScan/IBR the announcement + validation above does.
-                let curr_ref = unsafe { curr.as_ref() };
-                let next_word = curr_ref.next.load(Ordering::Acquire);
-
-                if is_marked(next_word) {
+                if next.tag() == MARK {
                     // Logically deleted: try to unlink it.  Whoever wins the CAS owns the
                     // retirement of `curr`.
-                    let unlink_to = next_word & !MARK;
-                    match self.link_of(bucket, prev).compare_exchange(
-                        curr_word,
+                    let unlink_to = next.with_tag(0);
+                    match link.compare_exchange(
+                        curr,
                         unlink_to,
                         Ordering::AcqRel,
                         Ordering::Acquire,
+                        guard,
                     ) {
-                        Ok(_) => {
+                        Ok(()) => {
                             // SAFETY: `curr` was just unlinked by this thread (unique CAS
-                            // winner) and is no longer reachable from the bucket head.
-                            unsafe { handle.retire(curr) };
+                            // winner) and is no longer reachable from the bucket head; it
+                            // is retired exactly once, here.
+                            unsafe { guard.retire(curr) };
                             curr_word = unlink_to;
                             continue;
                         }
@@ -263,53 +252,54 @@ where
                 }
 
                 if curr_ref.key >= *key {
-                    return Ok((prev, curr_word));
+                    return Ok((prev, curr));
                 }
-                // Advance: curr becomes prev.
-                handle.protect(slots::PREV, curr, || true);
-                prev = Some(curr);
-                curr_word = next_word;
+                // Advance: `curr` becomes the predecessor (shield roles swap, no stores).
+                prev_shield.swap_roles(curr_shield);
+                prev = curr;
+                curr_word = next;
             }
         }
     }
 
     fn insert_body(
         &self,
-        handle: &mut HashMapHandle<K, V, R, P, A>,
+        guard: &HashMapGuard<K, V, R, P, A>,
         bucket: usize,
         key: &K,
         value: &V,
-    ) -> Result<bool, Neutralized> {
+    ) -> Result<bool, Restart> {
+        let mut prev_shield = guard.shield();
+        let mut curr_shield = guard.shield();
         loop {
-            let (prev, curr_word) = self.search(handle, bucket, key)?;
-            let curr_ptr = ptr_of(curr_word) as *mut HashMapNode<K, V>;
-            if let Some(curr) = NonNull::new(curr_ptr) {
-                // SAFETY: protected by the search above.
-                if unsafe { &curr.as_ref().key } == key {
+            let (prev, curr) =
+                self.search(guard, bucket, key, &mut prev_shield, &mut curr_shield)?;
+            if let Some(curr_ref) = curr.as_ref() {
+                if &curr_ref.key == key {
                     return Ok(false);
                 }
             }
-            let node = handle.allocate(HashMapNode {
+            let node = guard.alloc(HashMapNode {
                 key: key.clone(),
                 value: value.clone(),
-                next: AtomicUsize::new(curr_word),
+                next: Atomic::from_shared(curr),
             });
-            if let Err(e) = handle.check() {
+            if let Err(restart) = guard.check() {
                 // Not yet published: recycle immediately, then unwind to recovery.
-                // SAFETY: the node was never made reachable.
-                unsafe { handle.deallocate(node) };
-                return Err(e);
+                guard.discard(node);
+                return Err(restart);
             }
-            match self.link_of(bucket, prev).compare_exchange(
-                curr_word,
-                node.as_ptr() as usize,
+            match self.link_of(bucket, prev).compare_exchange_owned(
+                curr,
+                node,
                 Ordering::AcqRel,
                 Ordering::Acquire,
+                guard,
             ) {
                 Ok(_) => return Ok(true),
-                Err(_) => {
-                    // SAFETY: the node was never made reachable.
-                    unsafe { handle.deallocate(node) };
+                Err(node) => {
+                    // The node was never made reachable; recycle it and retry.
+                    guard.discard(node);
                     continue;
                 }
             }
@@ -318,44 +308,57 @@ where
 
     fn remove_body(
         &self,
-        handle: &mut HashMapHandle<K, V, R, P, A>,
+        guard: &HashMapGuard<K, V, R, P, A>,
         bucket: usize,
         key: &K,
-    ) -> Result<bool, Neutralized> {
+    ) -> Result<bool, Restart> {
+        let mut prev_shield = guard.shield();
+        let mut curr_shield = guard.shield();
         loop {
-            let (prev, curr_word) = self.search(handle, bucket, key)?;
-            let Some(curr) = NonNull::new(ptr_of(curr_word) as *mut HashMapNode<K, V>) else {
+            let (prev, curr) =
+                self.search(guard, bucket, key, &mut prev_shield, &mut curr_shield)?;
+            let Some(curr_ref) = curr.as_ref() else {
                 return Ok(false);
             };
-            // SAFETY: protected by the search above.
-            let curr_ref = unsafe { curr.as_ref() };
             if &curr_ref.key != key {
                 return Ok(false);
             }
-            let next_word = curr_ref.next.load(Ordering::Acquire);
-            if is_marked(next_word) {
-                // Someone else is already deleting it; help by restarting (the next search
-                // unlinks it).
+            let next = curr_ref.next.load(Ordering::Acquire, guard);
+            if next.tag() == MARK {
+                // Someone else is already deleting it; help by restarting (the next
+                // search unlinks it).
                 continue;
             }
-            handle.check()?;
-            // Logical deletion: set the mark bit.
+            guard.check()?;
+            // Logical deletion: set the mark tag.
             if curr_ref
                 .next
-                .compare_exchange(next_word, next_word | MARK, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    next,
+                    next.with_tag(MARK),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                )
                 .is_err()
             {
                 continue;
             }
-            // Physical deletion: best effort; if it fails a later traversal will do it (and
-            // that traversal's winner retires the node).
+            // Physical deletion: best effort; if it fails a later traversal will do it
+            // (and that traversal's winner retires the node).
             if self
                 .link_of(bucket, prev)
-                .compare_exchange(curr_word, next_word & !MARK, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    curr,
+                    next.with_tag(0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                )
                 .is_ok()
             {
                 // SAFETY: unlinked by this thread; unique owner of the retirement.
-                unsafe { handle.retire(curr) };
+                unsafe { guard.retire(curr) };
             }
             return Ok(true);
         }
@@ -363,73 +366,43 @@ where
 
     fn get_body(
         &self,
-        handle: &mut HashMapHandle<K, V, R, P, A>,
+        guard: &HashMapGuard<K, V, R, P, A>,
         bucket: usize,
         key: &K,
-    ) -> Result<Option<V>, Neutralized> {
-        let (_prev, curr_word) = self.search(handle, bucket, key)?;
-        if let Some(curr) = NonNull::new(ptr_of(curr_word) as *mut HashMapNode<K, V>) {
-            // SAFETY: protected by the search above.
-            let curr_ref = unsafe { curr.as_ref() };
-            if &curr_ref.key == key && !is_marked(curr_ref.next.load(Ordering::Acquire)) {
+    ) -> Result<Option<V>, Restart> {
+        let mut prev_shield = guard.shield();
+        let mut curr_shield = guard.shield();
+        let (_prev, curr) = self.search(guard, bucket, key, &mut prev_shield, &mut curr_shield)?;
+        if let Some(curr_ref) = curr.as_ref() {
+            if &curr_ref.key == key && curr_ref.next.load(Ordering::Acquire, guard).tag() == 0 {
                 return Ok(Some(curr_ref.value.clone()));
             }
         }
         Ok(None)
     }
 
-    /// Runs an operation body with the standard leave/enter-quiescent-state wrapper and the
-    /// DEBRA+ recovery protocol (restart the bucket operation after neutralization).
-    fn run_op<Out>(
-        &self,
-        handle: &mut HashMapHandle<K, V, R, P, A>,
-        mut body: impl FnMut(&Self, &mut HashMapHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
-    ) -> Out {
-        loop {
-            handle.leave_qstate();
-            match body(self, handle) {
-                Ok(out) => {
-                    handle.enter_qstate();
-                    return out;
-                }
-                Err(Neutralized) => {
-                    // Recovery (paper, Section 5): nothing this operation published needs
-                    // helping — updates that passed their decision CAS run to completion
-                    // without checkpoints — so recovery is simply: release restricted
-                    // hazard pointers, acknowledge, retry from the bucket head.
-                    handle.r_unprotect_all();
-                    handle.begin_recovery();
-                }
-            }
-        }
-    }
-
     /// Counts the elements by a full traversal of every bucket; test/diagnostic helper.
     ///
     /// Like its twin `HarrisMichaelList::len`, the traversal relies on the operation's
-    /// non-quiescent announcement and announces no per-node protection, which only
-    /// epoch-style schemes honor.  Under protection-based schemes (HP, ThreadScan, IBR)
-    /// it must not race with concurrent removals — call it only when no other thread is
-    /// updating the map (e.g. after workers have joined, as the test suites do).
+    /// guard and announces no per-node protection, which only epoch-style schemes honor.
+    /// Under protection-based schemes (HP, ThreadScan, IBR) it must not race with
+    /// concurrent removals — call it only when no other thread is updating the map
+    /// (e.g. after workers have joined, as the test suites do).
     pub fn len(&self, handle: &mut HashMapHandle<K, V, R, P, A>) -> usize {
-        handle.leave_qstate();
-        let mut n = 0;
-        for bucket in self.buckets.iter() {
-            let mut word = bucket.load(Ordering::Acquire);
-            while let Some(node) = NonNull::new(ptr_of(word) as *mut HashMapNode<K, V>) {
-                // SAFETY: under epoch schemes the non-quiescent announcement keeps every
-                // node alive; under protection-based schemes the documented precondition
-                // (no concurrent updates) does.
-                let r = unsafe { node.as_ref() };
-                let next = r.next.load(Ordering::Acquire);
-                if !is_marked(next) {
-                    n += 1;
+        handle.run(|guard| {
+            let mut n = 0;
+            for bucket in self.buckets.iter() {
+                let mut curr = bucket.load(Ordering::Acquire, guard);
+                while let Some(node) = curr.as_ref() {
+                    let next = node.next.load(Ordering::Acquire, guard);
+                    if next.tag() == 0 {
+                        n += 1;
+                    }
+                    curr = next;
                 }
-                word = next;
             }
-        }
-        handle.enter_qstate();
-        n
+            Ok(n)
+        })
     }
 
     /// Returns `true` if the map is empty (diagnostic helper).
@@ -440,24 +413,22 @@ where
     /// Per-bucket chain lengths (unmarked nodes only); diagnostic helper for load-factor
     /// and skew inspection.  Same concurrency precondition as [`Self::len`].
     pub fn bucket_histogram(&self, handle: &mut HashMapHandle<K, V, R, P, A>) -> Vec<usize> {
-        handle.leave_qstate();
-        let mut out = Vec::with_capacity(self.buckets.len());
-        for bucket in self.buckets.iter() {
-            let mut n = 0;
-            let mut word = bucket.load(Ordering::Acquire);
-            while let Some(node) = NonNull::new(ptr_of(word) as *mut HashMapNode<K, V>) {
-                // SAFETY: as in `len`.
-                let r = unsafe { node.as_ref() };
-                let next = r.next.load(Ordering::Acquire);
-                if !is_marked(next) {
-                    n += 1;
+        handle.run(|guard| {
+            let mut out = Vec::with_capacity(self.buckets.len());
+            for bucket in self.buckets.iter() {
+                let mut n = 0;
+                let mut curr = bucket.load(Ordering::Acquire, guard);
+                while let Some(node) = curr.as_ref() {
+                    let next = node.next.load(Ordering::Acquire, guard);
+                    if next.tag() == 0 {
+                        n += 1;
+                    }
+                    curr = next;
                 }
-                word = next;
+                out.push(n);
             }
-            out.push(n);
-        }
-        handle.enter_qstate();
-        out
+            Ok(out)
+        })
     }
 }
 
@@ -471,28 +442,28 @@ where
 {
     type Handle = HashMapHandle<K, V, R, P, A>;
 
-    fn register(&self, tid: usize) -> Result<Self::Handle, RegistrationError> {
-        self.manager.register(tid)
+    fn register(&self, _tid: usize) -> Result<Self::Handle, RegistrationError> {
+        self.domain.try_handle()
     }
 
     fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
         let bucket = self.bucket_of(&key);
-        self.run_op(handle, |this, h| this.insert_body(h, bucket, &key, &value))
+        handle.run(|guard| self.insert_body(guard, bucket, &key, &value))
     }
 
     fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
         let bucket = self.bucket_of(key);
-        self.run_op(handle, |this, h| this.remove_body(h, bucket, key))
+        handle.run(|guard| self.remove_body(guard, bucket, key))
     }
 
     fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
         let bucket = self.bucket_of(key);
-        self.run_op(handle, |this, h| this.get_body(h, bucket, key)).is_some()
+        handle.run(|guard| self.get_body(guard, bucket, key)).is_some()
     }
 
     fn get(&self, handle: &mut Self::Handle, key: &K) -> Option<V> {
         let bucket = self.bucket_of(key);
-        self.run_op(handle, |this, h| this.get_body(h, bucket, key))
+        handle.run(|guard| self.get_body(guard, bucket, key))
     }
 }
 
@@ -505,17 +476,13 @@ where
     A: Allocator<HashMapNode<K, V>>,
 {
     fn drop(&mut self) {
-        // Free every node still reachable from any bucket head.  At this point the caller
-        // guarantees exclusive access (we have `&mut self`).
-        let mut alloc = self.manager.teardown_allocator();
-        for bucket in self.buckets.iter_mut() {
-            let mut word = *bucket.get_mut();
-            while let Some(node) = NonNull::new(ptr_of(word) as *mut HashMapNode<K, V>) {
-                // SAFETY: exclusive access during drop; each reachable node freed once.
-                unsafe {
-                    word = node.as_ref().next.load(Ordering::Relaxed);
-                    debra::AllocatorThread::deallocate(&mut alloc, node);
-                }
+        for bucket in self.buckets.iter() {
+            // SAFETY: exclusive access during drop (`&mut self`); every node still
+            // reachable from a bucket head is freed exactly once (chains are disjoint).
+            unsafe {
+                self.domain.free_reachable(bucket.load_ptr(Ordering::Relaxed), |node| {
+                    node.next.load_ptr(Ordering::Relaxed)
+                });
             }
         }
     }
@@ -535,27 +502,6 @@ where
             .field("reclaimer", &R::name())
             .finish()
     }
-}
-
-// SAFETY: the map is a shared concurrent structure; all shared mutable state is accessed
-// through atomics, and nodes are `Send` because K and V are.
-unsafe impl<K, V, R, P, A> Send for LockFreeHashMap<K, V, R, P, A>
-where
-    K: Hash + Ord + Clone + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    R: Reclaimer<HashMapNode<K, V>>,
-    P: Pool<HashMapNode<K, V>>,
-    A: Allocator<HashMapNode<K, V>>,
-{
-}
-unsafe impl<K, V, R, P, A> Sync for LockFreeHashMap<K, V, R, P, A>
-where
-    K: Hash + Ord + Clone + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    R: Reclaimer<HashMapNode<K, V>>,
-    P: Pool<HashMapNode<K, V>>,
-    A: Allocator<HashMapNode<K, V>>,
-{
 }
 
 #[cfg(test)]

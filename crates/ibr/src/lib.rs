@@ -614,7 +614,7 @@ mod tests {
         let mut t = Ibr::register(&ibr, 0).unwrap();
         let mut sink = FreeingSink { freed: Vec::new() };
         for i in 0..100u64 {
-            t.leave_qstate(&mut sink);
+            let _ = t.leave_qstate(&mut sink);
             alloc_and_retire(&mut t, i, &mut sink);
             t.enter_qstate();
         }
@@ -642,14 +642,14 @@ mod tests {
         a.record_allocated(overlapping);
 
         // B opens a reservation and stalls inside its operation.
-        b.leave_qstate(&mut b_sink);
+        let _ = b.leave_qstate(&mut b_sink);
         let b_reservation = b.reservation().unwrap();
 
-        a.leave_qstate(&mut sink);
+        let _ = a.leave_qstate(&mut sink);
         unsafe { a.retire(overlapping, &mut sink) };
         a.enter_qstate();
         for i in 0..200u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             alloc_and_retire(&mut a, i, &mut sink);
             a.enter_qstate();
         }
@@ -662,7 +662,7 @@ mod tests {
         // Once B quiesces, the record becomes reclaimable.
         b.enter_qstate();
         for i in 0..50u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             alloc_and_retire(&mut a, 1000 + i, &mut sink);
             a.enter_qstate();
         }
@@ -686,11 +686,11 @@ mod tests {
         let mut b_sink = CountingSink::default();
 
         // B stalls inside an operation, holding a reservation at the current era.
-        b.leave_qstate(&mut b_sink);
+        let _ = b.leave_qstate(&mut b_sink);
 
         let mut max_pending = 0u64;
         for i in 0..20_000u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             alloc_and_retire(&mut a, i, &mut sink);
             a.enter_qstate();
             max_pending = max_pending.max(ibr.stats().pending);
@@ -725,12 +725,12 @@ mod tests {
 
         let guarded = leak(42);
         a.record_allocated(guarded);
-        b.leave_qstate(&mut b_sink); // reservation at ~u64::MAX
-        a.leave_qstate(&mut sink);
+        let _ = b.leave_qstate(&mut b_sink); // reservation at ~u64::MAX
+        let _ = a.leave_qstate(&mut sink);
         unsafe { a.retire(guarded, &mut sink) };
         a.enter_qstate();
         for i in 0..500u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             alloc_and_retire(&mut a, i, &mut sink);
             a.enter_qstate();
         }
@@ -746,7 +746,7 @@ mod tests {
         // whose retire era predates the saturation point remain reclaimable.
         b.enter_qstate();
         for i in 0..100u64 {
-            a.leave_qstate(&mut sink);
+            let _ = a.leave_qstate(&mut sink);
             alloc_and_retire(&mut a, 1000 + i, &mut sink);
             a.enter_qstate();
         }
@@ -767,14 +767,14 @@ mod tests {
         let mut b = Ibr::register(&ibr, 1).unwrap();
         let mut sink = CountingSink::default();
 
-        a.leave_qstate(&mut sink);
+        let _ = a.leave_qstate(&mut sink);
         let (lower, upper) = a.reservation().unwrap();
         assert_eq!(lower, upper);
 
         // B drives the era forward; A's checkpoint must extend its upper bound so records
         // born later are still covered while A dereferences them.
         for _ in 0..50 {
-            b.leave_qstate(&mut sink);
+            let _ = b.leave_qstate(&mut sink);
             b.enter_qstate();
         }
         assert!(ibr.current_era() > upper);
@@ -786,7 +786,7 @@ mod tests {
         // protect() is the validating read: it extends the upper bound before running the
         // validation and reports the validation's verdict so the caller can restart.
         for _ in 0..50 {
-            b.leave_qstate(&mut sink);
+            let _ = b.leave_qstate(&mut sink);
             b.enter_qstate();
         }
         let mut rec = Box::new(5u64);
@@ -817,7 +817,7 @@ mod tests {
                 let mut t = Ibr::register(&ibr, 1).unwrap();
                 let mut sink = CountingSink::default();
                 while !stop.load(Ordering::Acquire) {
-                    t.leave_qstate(&mut sink);
+                    let _ = t.leave_qstate(&mut sink);
                     let _ = t.check();
                     let (lower, upper) = t.reservation().expect("active inside op");
                     assert!(lower <= upper);
@@ -829,7 +829,7 @@ mod tests {
         let mut driver = Ibr::register(&ibr, 0).unwrap();
         let mut sink = CountingSink::default();
         for _ in 0..200 {
-            driver.leave_qstate(&mut sink);
+            let _ = driver.leave_qstate(&mut sink);
             driver.enter_qstate();
             // Scanner view: every snapshot is a well-formed interval.
             for (lower, upper) in ibr.snapshot_reservations() {
@@ -874,8 +874,8 @@ mod tests {
         let mut b_sink = CountingSink::default();
 
         // B's reservation pins A's retired records; A then exits with a loaded limbo bag.
-        b.leave_qstate(&mut b_sink);
-        a.leave_qstate(&mut a_sink);
+        let _ = b.leave_qstate(&mut b_sink);
+        let _ = a.leave_qstate(&mut a_sink);
         for i in 0..10u64 {
             let r = leak(i);
             a.record_allocated(r);

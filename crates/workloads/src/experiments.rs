@@ -171,6 +171,12 @@ pub fn run_config(
     cfg: &WorkloadConfig,
     seed: u64,
 ) -> ExperimentRow {
+    // Sweeps print their tables only when complete; on a single-core box a full sweep
+    // takes minutes, so narrate per-trial progress to stderr (tables go to stdout).
+    eprintln!(
+        "[trial] {structure:?} x {reclaimer:?} x {allocator:?} (threads={}, keys={}, {}ms)",
+        cfg.threads, cfg.key_range, cfg.duration_ms
+    );
     // The combinatorial instantiation of (structure × reclaimer × memory configuration) is
     // expanded by this macro: each arm builds the Record Manager with the right type
     // parameters (a one-line choice, which is the whole point of the abstraction) and runs

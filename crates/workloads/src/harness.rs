@@ -109,9 +109,12 @@ fn run_trial_erased<'m>(
 ) -> TrialResult {
     assert!(cfg.threads >= 1, "at least one worker thread is required");
 
-    // Prefill to half of the key range (performed by worker 0's slot, like the paper).
+    // Prefill to half of the key range (performed on the calling thread, like the paper).
     // Prefill keys are always drawn uniformly — the prefill targets a structure *size*;
-    // only the timed phase follows `cfg.distribution`.
+    // only the timed phase follows `cfg.distribution`.  Dropping the handle afterwards
+    // matters: safe-layer structures lease thread slots through their `Domain`, and the
+    // drop releases the calling thread's lease so the worker threads can use all
+    // `cfg.threads` slots (raw-handle structures deregister their `tid` the same way).
     if cfg.prefill {
         let mut handle = factory(0);
         let mut gen = OperationGenerator::new(cfg, 0, seed ^ 0xBEEF);

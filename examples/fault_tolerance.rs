@@ -36,13 +36,13 @@ where
         std::thread::spawn(move || {
             let mut thread = R::register(&global, 1).expect("register staller");
             let mut sink = CountingSink::default();
-            thread.leave_qstate(&mut sink);
+            let _ = thread.leave_qstate(&mut sink);
             started.store(true, Ordering::Release);
             while !stop.load(Ordering::Acquire) {
                 if thread.check().is_err() {
                     // Neutralized: run the (trivial) recovery protocol and start over.
                     thread.begin_recovery();
-                    thread.leave_qstate(&mut sink);
+                    let _ = thread.leave_qstate(&mut sink);
                 }
                 // Yield, don't just spin: single-core hosts need the other threads to run.
                 std::thread::yield_now();
@@ -67,7 +67,7 @@ where
     let mut sink = FreeSink;
     let mut peak_pending = 0u64;
     for i in 0..200_000u64 {
-        worker.leave_qstate(&mut sink);
+        let _ = worker.leave_qstate(&mut sink);
         let record = NonNull::from(Box::leak(Box::new(i)));
         // SAFETY: the record was never published; retiring it is trivially valid.
         unsafe { worker.retire(record, &mut sink) };

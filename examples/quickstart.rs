@@ -1,34 +1,43 @@
-//! Quickstart: a concurrent map protected by DEBRA.
+//! Quickstart: a concurrent map through the **safe guard API**, protected by DEBRA.
 //!
-//! Builds the lock-free external BST with the DEBRA reclaimer, a per-thread object pool and
-//! the system allocator, then hammers it from several threads.
+//! Builds the lock-free hash map in a reclamation [`Domain`], hammers it from several
+//! threads — no `tid` bookkeeping, no `unsafe`, no manual protect/unprotect pairs — and
+//! then shows the guard layer directly: pinning, allocation and recycling.
+//!
+//! The whole memory-management strategy is still a single type line: swap `Debra` for
+//! `HazardPointers`, `Ibr`, `ThreadScanLite`, … and nothing else changes (see
+//! `examples/reclaimer_swap.rs` for that tour).
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use debra_repro::debra::{Debra, Domain, Reclaimer};
+use debra_repro::lockfree_ds::ConcurrentMap;
+use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
+use debra_repro::smr_hashmap::{HashMapNode, LockFreeHashMap};
 use std::sync::Arc;
 
-use debra_repro::debra::{Debra, Reclaimer, RecordManager};
-use debra_repro::lockfree_ds::{BstNode, ConcurrentMap, ExternalBst};
-use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
-
-type Node = BstNode<u64, u64>;
-// The whole memory-management strategy of the data structure is this one line:
-type Manager = RecordManager<Node, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
-type Map = ExternalBst<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+type Node = HashMapNode<u64, u64>;
+// One line decides the whole memory management strategy of the data structure:
+type MapDomain = Domain<Node, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+type Map = LockFreeHashMap<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
 
 fn main() {
     let threads = 4;
-    let manager: Arc<Manager> = Arc::new(RecordManager::new(threads));
-    let map: Arc<Map> = Arc::new(ExternalBst::new(Arc::clone(&manager)));
+    // One slot per worker; the main thread never leases from this domain (statistics are
+    // read straight off the manager, and the guard demo below uses its own tiny domain).
+    let domain: MapDomain = Domain::new(threads);
+    let map: Arc<Map> = Arc::new(LockFreeHashMap::in_domain(domain.clone(), 256));
 
     std::thread::scope(|scope| {
         for tid in 0..threads {
             let map = Arc::clone(&map);
             scope.spawn(move || {
-                // Each thread registers once and reuses its handle for every operation.
-                let mut handle = map.register(tid).expect("register thread");
+                // Each thread leases a handle once (the domain picks a free slot) and
+                // reuses it for every operation; the slot is recycled when the thread
+                // exits.
+                let mut handle = map.domain().try_handle().expect("lease a thread slot");
                 let base = (tid as u64) * 10_000;
                 for i in 0..10_000u64 {
                     map.insert(&mut handle, base + i, i);
@@ -44,7 +53,17 @@ fn main() {
         }
     });
 
-    let stats = manager.reclaimer().stats();
+    // The guard layer, hands on (a scratch domain over plain `u64` records): a pin
+    // brackets one operation (leave/enter quiescent state), and allocation hands out
+    // `Owned` records that are recycled — not leaked — when they are never published.
+    let scratch: Domain<u64, Debra<u64>, ThreadPool<u64>, SystemAllocator<u64>> = Domain::new(1);
+    let guard = scratch.pin();
+    let record = guard.alloc(42u64);
+    assert_eq!(*record, 42);
+    guard.discard(record);
+    drop(guard);
+
+    let stats = map.manager().reclaimer().stats();
     println!("operations started : {}", stats.operations);
     println!("records retired    : {}", stats.retired);
     println!("records reclaimed  : {}", stats.reclaimed);

@@ -4,7 +4,7 @@
 //! `bench_function(id, |b| b.iter(...))`, [`black_box`], [`criterion_group!`] and
 //! [`criterion_main!`].  Two deliberate deviations from upstream:
 //!
-//! * measurements are a simple mean over a calibrated batch (no statistical analysis);
+//! * measurements are the median of calibrated batch samples (robust to scheduler noise on the single-core CI container, but still no full statistical analysis);
 //! * results are kept in memory and exposed through [`Criterion::results`], so bench
 //!   targets can emit machine-readable JSON (used by `reclaimer_microbench`).
 
@@ -121,7 +121,11 @@ impl Bencher {
             as u64)
             .max(1);
 
-        let mut total = Duration::ZERO;
+        // One timed sample per batch; the reported figure is the *median* of the sample
+        // means, which is robust against the scheduler stealing whole quanta mid-sample
+        // (the single-core CI container does this constantly — a global mean can be off
+        // by 20% run to run, the median is stable to a few percent).
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         let mut iters = 0u64;
         let deadline = Instant::now() + self.measurement_time;
         while Instant::now() < deadline {
@@ -129,10 +133,16 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(routine());
             }
-            total += start.elapsed();
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
             iters += batch;
         }
-        self.measured = Some((total.as_secs_f64() * 1e9 / iters.max(1) as f64, iters));
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = match samples.len() {
+            0 => f64::NAN,
+            n if n % 2 == 1 => samples[n / 2],
+            n => (samples[n / 2 - 1] + samples[n / 2]) / 2.0,
+        };
+        self.measured = Some((median, iters));
     }
 }
 

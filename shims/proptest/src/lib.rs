@@ -131,7 +131,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Strategy for `Vec<T>` with a length drawn from a range; created by [`vec`].
+    /// Strategy for `Vec<T>` with a length drawn from a range; created by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -32,12 +32,12 @@ fn run_with_staller<R: Reclaimer<u64>>(retires: u64) -> (u64, u64, u64) {
         std::thread::spawn(move || {
             let mut t = R::register(&global, 1).expect("register staller");
             let mut sink = CountingSink::default();
-            t.leave_qstate(&mut sink);
+            let _ = t.leave_qstate(&mut sink);
             started.store(true, Ordering::Release);
             while !stop.load(Ordering::Acquire) {
                 if t.check().is_err() {
                     t.begin_recovery();
-                    t.leave_qstate(&mut sink);
+                    let _ = t.leave_qstate(&mut sink);
                 }
                 // Yield, don't just spin: single-core hosts need the other threads to run.
                 std::thread::yield_now();
@@ -53,7 +53,7 @@ fn run_with_staller<R: Reclaimer<u64>>(retires: u64) -> (u64, u64, u64) {
     let mut sink = FreeSink;
     let mut peak = 0u64;
     for i in 0..retires {
-        worker.leave_qstate(&mut sink);
+        let _ = worker.leave_qstate(&mut sink);
         let record = NonNull::from(Box::leak(Box::new(i)));
         // SAFETY: never published; retired exactly once.
         unsafe { worker.retire(record, &mut sink) };

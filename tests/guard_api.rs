@@ -1,0 +1,228 @@
+//! Integration tests for the safe guard layer: `Domain` slot leasing and recycling,
+//! guard/shield semantics, and the Harris–Michael list driven purely through the safe API
+//! under every reclamation scheme.
+
+use std::sync::Arc;
+
+use debra_repro::debra::{
+    Debra, DebraPlus, Domain, Reclaimer, RecordManager, RegistrationError, Restart,
+};
+use debra_repro::lockfree_ds::{ConcurrentMap, HarrisMichaelList, ListNode, SkipList, SkipNode};
+use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
+use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
+use debra_repro::smr_ibr::Ibr;
+
+/// Satellite regression: a thread slot must be reusable after its handle is dropped —
+/// `register(tid)` must not error forever once a slot was used.  Checked for every scheme
+/// at the Record Manager level (register → drop → re-register, thrice for good measure).
+macro_rules! slot_reuse_after_drop {
+    ($name:ident, $recl:ty) => {
+        #[test]
+        fn $name() {
+            let manager: Arc<RecordManager<u64, $recl, ThreadPool<u64>, SystemAllocator<u64>>> =
+                Arc::new(RecordManager::new(2));
+            for _ in 0..3 {
+                let t0 = manager.register(0).expect("slot 0 must be registerable");
+                assert!(matches!(
+                    manager.register(0),
+                    Err(RegistrationError::AlreadyRegistered { tid: 0 })
+                ));
+                // Auto-registration skips the taken slot and leases the next one.
+                let t1 = manager.register_auto().expect("a free slot remains");
+                assert_eq!(t1.tid(), 1);
+                assert!(matches!(
+                    manager.register_auto(),
+                    Err(RegistrationError::Exhausted { max_threads: 2 })
+                ));
+                drop(t0);
+                drop(t1);
+            }
+            // After the final drops every slot is free again.
+            assert_eq!(manager.register_auto().expect("slot recycled").tid(), 0);
+        }
+    };
+}
+
+slot_reuse_after_drop!(slot_reuse_none, NoReclaim<u64>);
+slot_reuse_after_drop!(slot_reuse_debra, Debra<u64>);
+slot_reuse_after_drop!(slot_reuse_debra_plus, DebraPlus<u64>);
+slot_reuse_after_drop!(slot_reuse_hazard_pointers, HazardPointers<u64>);
+slot_reuse_after_drop!(slot_reuse_classic_ebr, ClassicEbr<u64>);
+slot_reuse_after_drop!(slot_reuse_threadscan, ThreadScanLite<u64>);
+slot_reuse_after_drop!(slot_reuse_ibr, Ibr<u64>);
+
+type DebraDomain = Domain<u64, Debra<u64>, ThreadPool<u64>, SystemAllocator<u64>>;
+
+/// Domain-level recycling: dropping a thread's last handle releases its leased slot, both
+/// on the same thread and across thread exits.
+#[test]
+fn domain_releases_slots_for_reuse() {
+    let domain: DebraDomain = Domain::new(1); // a single slot makes reuse observable
+    for _ in 0..3 {
+        let handle = domain.handle();
+        let _ = handle.tid();
+        drop(handle); // slot released here, not at thread exit
+    }
+    // Other threads can take the slot once this thread's lease is gone.
+    for _ in 0..2 {
+        let domain2 = domain.clone();
+        std::thread::spawn(move || {
+            let guard = domain2.pin();
+            let _ = guard.check();
+        })
+        .join()
+        .expect("worker with leased slot");
+    }
+    // ... and the main thread can lease it again afterwards.
+    let handle = domain.handle();
+    assert_eq!(handle.tid(), 0);
+}
+
+/// Capacity exhaustion surfaces as a typed error, and clears when a lease is released.
+#[test]
+fn domain_reports_exhaustion() {
+    let domain: DebraDomain = Domain::new(1);
+    let handle = domain.handle();
+    let domain2 = domain.clone();
+    std::thread::spawn(move || {
+        assert!(matches!(
+            domain2.try_handle(),
+            Err(RegistrationError::Exhausted { max_threads: 1 })
+        ));
+    })
+    .join()
+    .expect("exhaustion observer");
+    drop(handle);
+    let domain3 = domain.clone();
+    std::thread::spawn(move || {
+        let _ = domain3.try_handle().expect("slot free after the main thread released it");
+    })
+    .join()
+    .expect("worker after release");
+}
+
+/// Guards are reentrant on one thread and a handle's repeated pins share one lease.
+#[test]
+fn guards_are_reentrant_and_share_a_lease() {
+    let domain: DebraDomain = Domain::new(1); // one slot: any double-lease would error
+    let handle = domain.handle();
+    let outer = handle.pin();
+    let inner = domain.pin(); // nested pin through the domain: same lease, deeper pin
+    assert_eq!(outer.tid(), inner.tid());
+    assert!(outer.check().is_ok());
+    drop(inner);
+    assert!(outer.check().is_ok(), "outer guard must survive the inner one");
+}
+
+/// `Domain::run` retries the body on `Restart` (the DEBRA+ recovery loop shape).
+#[test]
+fn run_retries_on_restart() {
+    let domain: DebraDomain = Domain::new(1);
+    let mut attempts = 0;
+    let out = domain.run(|guard| {
+        attempts += 1;
+        guard.check()?;
+        if attempts < 3 {
+            Err(Restart)
+        } else {
+            Ok(attempts)
+        }
+    });
+    assert_eq!(out, 3);
+}
+
+/// Allocate-then-discard recycles through the pool without publication — entirely safe
+/// code (the `Owned` uniqueness is what makes `discard` safe).
+#[test]
+fn alloc_discard_roundtrip() {
+    let domain: DebraDomain = Domain::new(1);
+    let guard = domain.pin();
+    for i in 0..64u64 {
+        let owned = guard.alloc(i);
+        assert_eq!(*owned, i);
+        guard.discard(owned);
+    }
+}
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: u64 = 3_000;
+const KEY_RANGE: u64 = 64;
+
+/// The cross-scheme smoke test of the acceptance criteria: the list driven through only
+/// the safe API (automatic slot leasing, guard-pinned operations) under every scheme,
+/// with the usual net-inserts == final-size consistency check.
+macro_rules! safe_list_under {
+    ($name:ident, $recl:ty) => {
+        #[test]
+        fn $name() {
+            type Node = ListNode<u64, u64>;
+            type List = HarrisMichaelList<u64, u64, $recl, ThreadPool<Node>, SystemAllocator<Node>>;
+            let domain: Domain<Node, $recl, ThreadPool<Node>, SystemAllocator<Node>> =
+                Domain::new(THREADS + 1);
+            let list: Arc<List> = Arc::new(HarrisMichaelList::in_domain(domain));
+            let mut joins = Vec::new();
+            for tid in 0..THREADS {
+                let list = Arc::clone(&list);
+                joins.push(std::thread::spawn(move || {
+                    // No tid bookkeeping: the domain leases a slot for this thread.
+                    let mut handle = list.domain().try_handle().expect("lease worker slot");
+                    let mut net: i64 = 0;
+                    let mut x: u64 = 0x9E3779B97F4A7C15 ^ ((tid as u64) << 21);
+                    for _ in 0..OPS_PER_THREAD {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let key = (x >> 33) % KEY_RANGE;
+                        match (x >> 61) % 4 {
+                            0 | 1 => {
+                                if list.insert(&mut handle, key, key) {
+                                    net += 1;
+                                }
+                            }
+                            2 => {
+                                if list.remove(&mut handle, &key) {
+                                    net -= 1;
+                                }
+                            }
+                            _ => {
+                                let _ = list.get(&mut handle, &key);
+                            }
+                        }
+                    }
+                    net
+                }));
+            }
+            let net: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+            assert!(net >= 0);
+            let mut handle = list.domain().try_handle().expect("lease checker slot");
+            assert_eq!(list.len(&mut handle), net as usize, "final size must match net inserts");
+            let stats = list.manager().reclaimer().stats();
+            assert!(stats.reclaimed <= stats.retired);
+        }
+    };
+}
+
+safe_list_under!(safe_list_none, NoReclaim<ListNode<u64, u64>>);
+safe_list_under!(safe_list_debra, Debra<ListNode<u64, u64>>);
+safe_list_under!(safe_list_debra_plus, DebraPlus<ListNode<u64, u64>>);
+safe_list_under!(safe_list_hazard_pointers, HazardPointers<ListNode<u64, u64>>);
+safe_list_under!(safe_list_classic_ebr, ClassicEbr<ListNode<u64, u64>>);
+safe_list_under!(safe_list_threadscan, ThreadScanLite<ListNode<u64, u64>>);
+safe_list_under!(safe_list_ibr, Ibr<ListNode<u64, u64>>);
+
+/// The skip list's safe-layer entry points: construction in a domain and automatic slot
+/// registration (its operation bodies still speak the raw handle protocol).
+#[test]
+fn skiplist_domain_entry_points() {
+    type Node = SkipNode<u64, u64>;
+    type List = SkipList<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+    let domain: Domain<Node, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>> = Domain::new(2);
+    let list: List = SkipList::in_domain(domain);
+    let mut a = list.register_auto().expect("auto slot 0");
+    let mut b = list.register_auto().expect("auto slot 1");
+    assert_ne!(a.tid(), b.tid());
+    assert!(list.insert(&mut a, 1, 10));
+    assert!(list.contains(&mut b, &1));
+    drop(b);
+    drop(a);
+    let mut c = list.register_auto().expect("slots recycled");
+    assert!(list.remove(&mut c, &1));
+}
