@@ -186,6 +186,10 @@ impl<T: Send + 'static> ClassicEbrThread<T> {
 }
 
 impl<T: Send + 'static> ReclaimerThread<T> for ClassicEbrThread<T> {
+    // Epoch-style: records retired after an operation begins outlive the operation, so
+    // unvalidated traversal (and therefore helping) is sound.
+    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool = true;
+
     fn tid(&self) -> usize {
         self.tid
     }

@@ -102,6 +102,9 @@ pub struct NoReclaimThread<T> {
 }
 
 impl<T: Send + 'static> ReclaimerThread<T> for NoReclaimThread<T> {
+    // Nothing is ever freed, so any traversal is trivially sound.
+    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool = true;
+
     fn tid(&self) -> usize {
         self.tid
     }

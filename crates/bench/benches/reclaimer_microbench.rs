@@ -6,12 +6,16 @@
 //! Besides the primitive costs, the run measures *whole-structure* rows per scheme:
 //! single-threaded operations on the lock-free hash map under a uniform and under a
 //! Zipfian key distribution (`hashmap_uniform` / `hashmap_zipf`), so the JSON tracks a
-//! structure-level cost next to the primitive costs, and the guard-layer overhead pair
-//! `list_raw` / `list_guard` — the same Harris–Michael algorithm written directly against
-//! `RecordManagerThread` (the raw baseline lives in this file) versus the safe
-//! `Domain`/`Guard`/`Shield` port in `lockfree-ds` — quantifying what the safe API costs
-//! (acceptance bar: within 10%; both stay fully monomorphized, no `dyn` on the hot
-//! path).
+//! structure-level cost next to the primitive costs, and the guard-layer overhead pairs
+//! `list_raw` / `list_guard` and `skiplist_raw` / `skiplist_guard` — the same algorithms
+//! written directly against `RecordManagerThread` (the raw baselines live in this file)
+//! versus the safe `Domain`/`Guard`/`Shield`/`ShieldSet` ports in `lockfree-ds` —
+//! quantifying what the safe API costs (everything stays fully monomorphized, no `dyn`
+//! on the hot path; measured parity per scheme is documented in `DESIGN.md` §5 — the
+//! list pair is within ±8% everywhere, the skip-list pair within ±11% except a
+//! documented residual under the cheap-announce validating schemes).  The external BST,
+//! whose raw implementation was deleted by the port, is tracked as an absolute
+//! per-scheme row (`bst_guard`).
 //!
 //! Besides the human-readable output, the run writes a machine-readable summary to
 //! `BENCH_reclaimer.json` (override the path with the `BENCH_JSON` environment variable),
@@ -30,7 +34,9 @@ use std::sync::Arc;
 
 use criterion::Criterion;
 use debra::{CountingSink, Debra, DebraPlus, Reclaimer, ReclaimerThread, RecordManager};
-use lockfree_ds::{ConcurrentMap, HarrisMichaelList, ListNode};
+use lockfree_ds::{
+    BstNode, ConcurrentMap, ExternalBst, HarrisMichaelList, ListNode, SkipList, SkipNode,
+};
 use smr_alloc::{SystemAllocator, ThreadPool};
 use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
 use smr_hashmap::{HashMapNode, LockFreeHashMap};
@@ -340,6 +346,458 @@ mod raw_list {
     }
 }
 
+/// The raw-API lock-free skip list: the hand-rolled slot-indexed protect / `r_protect`
+/// implementation that `lockfree_ds::skiplist` used before the `ShieldSet` port, kept
+/// here (in condensed form) as the `skiplist_raw` baseline the `skiplist_guard` rows are
+/// measured against.
+mod raw_skiplist {
+    use std::ptr::NonNull;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    use debra::{
+        Allocator, AllocatorThread, Neutralized, Pool, Reclaimer, RecordManager,
+        RecordManagerThread,
+    };
+
+    pub const MAX_HEIGHT: usize = 20;
+    const MARK: usize = 1;
+
+    #[inline]
+    fn ptr_of(word: usize) -> usize {
+        word & !MARK
+    }
+
+    #[inline]
+    fn is_marked(word: usize) -> bool {
+        word & MARK != 0
+    }
+
+    pub struct RawSkipNode<K, V> {
+        key: Option<K>,
+        /// Stored for layout parity with the real node; the benchmark never reads it.
+        #[allow(dead_code)]
+        value: Option<V>,
+        height: usize,
+        next: [AtomicUsize; MAX_HEIGHT],
+    }
+
+    impl<K, V> RawSkipNode<K, V> {
+        fn new(key: Option<K>, value: Option<V>, height: usize) -> Self {
+            RawSkipNode { key, value, height, next: std::array::from_fn(|_| AtomicUsize::new(0)) }
+        }
+    }
+
+    pub struct RawSkipList<K, V, R, P, A>
+    where
+        K: Ord + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+        R: Reclaimer<RawSkipNode<K, V>>,
+        P: Pool<RawSkipNode<K, V>>,
+        A: Allocator<RawSkipNode<K, V>>,
+    {
+        head: usize,
+        height_rng: std::sync::atomic::AtomicU64,
+        manager: Arc<RecordManager<RawSkipNode<K, V>, R, P, A>>,
+    }
+
+    pub type RawHandle<K, V, R, P, A> = RecordManagerThread<RawSkipNode<K, V>, R, P, A>;
+
+    struct FindResult {
+        preds: [usize; MAX_HEIGHT],
+        succs: [usize; MAX_HEIGHT],
+        found: usize,
+    }
+
+    impl<K, V, R, P, A> RawSkipList<K, V, R, P, A>
+    where
+        K: Ord + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+        R: Reclaimer<RawSkipNode<K, V>>,
+        P: Pool<RawSkipNode<K, V>>,
+        A: Allocator<RawSkipNode<K, V>>,
+    {
+        pub fn new(manager: Arc<RecordManager<RawSkipNode<K, V>, R, P, A>>) -> Self {
+            let mut alloc = manager.teardown_allocator();
+            let head = alloc.allocate(RawSkipNode::new(None, None, MAX_HEIGHT)).as_ptr() as usize;
+            RawSkipList { head, height_rng: std::sync::atomic::AtomicU64::new(0), manager }
+        }
+
+        #[inline]
+        fn node(&self, ptr: usize) -> &RawSkipNode<K, V> {
+            debug_assert!(ptr != 0);
+            // SAFETY: pointers are only dereferenced while protected by the calling
+            // operation (epoch / hazard pointers) or during teardown.
+            unsafe { &*(ptr as *const RawSkipNode<K, V>) }
+        }
+
+        fn key_less(&self, node: usize, key: &K) -> bool {
+            match &self.node(node).key {
+                None => true,
+                Some(k) => k < key,
+            }
+        }
+
+        fn find(
+            &self,
+            handle: &mut RawHandle<K, V, R, P, A>,
+            key: &K,
+        ) -> Result<FindResult, Neutralized> {
+            'retry: loop {
+                handle.check()?;
+                let mut preds = [self.head; MAX_HEIGHT];
+                let mut succs = [0usize; MAX_HEIGHT];
+                let mut pred = self.head;
+                for level in (0..MAX_HEIGHT).rev() {
+                    let mut curr_word = self.node(pred).next[level].load(Ordering::Acquire);
+                    if is_marked(curr_word) {
+                        continue 'retry;
+                    }
+                    loop {
+                        handle.check()?;
+                        let curr = ptr_of(curr_word);
+                        if curr == 0 {
+                            break;
+                        }
+                        let curr_nn =
+                            NonNull::new(curr as *mut RawSkipNode<K, V>).expect("non-null");
+                        let pred_link = &self.node(pred).next[level];
+                        if !handle.protect(1, curr_nn, || pred_link.load(Ordering::SeqCst) == curr)
+                        {
+                            continue 'retry;
+                        }
+                        let curr_ref = self.node(curr);
+                        let next_word = curr_ref.next[level].load(Ordering::Acquire);
+                        if is_marked(next_word) {
+                            match self.node(pred).next[level].compare_exchange(
+                                curr_word,
+                                ptr_of(next_word),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            ) {
+                                Ok(_) => {
+                                    if level == 0 {
+                                        // SAFETY: unique level-0 unlink winner.
+                                        unsafe { handle.retire(curr_nn) };
+                                    }
+                                    curr_word = ptr_of(next_word);
+                                    continue;
+                                }
+                                Err(_) => continue 'retry,
+                            }
+                        }
+                        if self.key_less(curr, key) {
+                            let _ = handle.protect(0, curr_nn, || true);
+                            pred = curr;
+                            curr_word = next_word;
+                        } else {
+                            break;
+                        }
+                    }
+                    preds[level] = pred;
+                    succs[level] = ptr_of(curr_word);
+                }
+                let candidate = succs[0];
+                let found = if candidate != 0 && self.node(candidate).key.as_ref() == Some(key) {
+                    candidate
+                } else {
+                    0
+                };
+                return Ok(FindResult { preds, succs, found });
+            }
+        }
+
+        /// Deterministic tower heights, identical to the safe port's generator, so the
+        /// raw/guard pair compares identical tower shapes.
+        fn random_height(&self) -> usize {
+            let x = self.height_rng.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            1 + (z.trailing_ones() as usize).min(MAX_HEIGHT - 1)
+        }
+
+        fn insert_body(
+            &self,
+            handle: &mut RawHandle<K, V, R, P, A>,
+            key: &K,
+            value: &V,
+            published: &mut Option<(usize, usize)>,
+        ) -> Result<bool, Neutralized> {
+            loop {
+                let r = self.find(handle, key)?;
+                if r.found != 0 {
+                    return Ok(false);
+                }
+                let height = self.random_height();
+                let node = handle.allocate(RawSkipNode::new(
+                    Some(key.clone()),
+                    Some(value.clone()),
+                    height,
+                ));
+                let node_ptr = node.as_ptr() as usize;
+                {
+                    // SAFETY: private until the bottom-level CAS below publishes it.
+                    let node_ref = unsafe { node.as_ref() };
+                    for level in 0..height {
+                        node_ref.next[level].store(r.succs[level], Ordering::Relaxed);
+                    }
+                }
+                if let Err(e) = handle.check() {
+                    // SAFETY: never published.
+                    unsafe { handle.deallocate(node) };
+                    return Err(e);
+                }
+                if self.node(r.preds[0]).next[0]
+                    .compare_exchange(r.succs[0], node_ptr, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // SAFETY: never published.
+                    unsafe { handle.deallocate(node) };
+                    continue;
+                }
+                handle.r_protect(node);
+                *published = Some((node_ptr, height));
+                self.complete_insert(handle, key, node_ptr, height)?;
+                return Ok(true);
+            }
+        }
+
+        fn complete_insert(
+            &self,
+            handle: &mut RawHandle<K, V, R, P, A>,
+            key: &K,
+            node_ptr: usize,
+            height: usize,
+        ) -> Result<(), Neutralized> {
+            let node_ref = self.node(node_ptr);
+            'levels: for level in 1..height {
+                loop {
+                    let expected = node_ref.next[level].load(Ordering::Acquire);
+                    if is_marked(expected) {
+                        break 'levels;
+                    }
+                    let r2 = self.find(handle, key)?;
+                    if r2.found != node_ptr {
+                        break 'levels;
+                    }
+                    if r2.succs[level] == node_ptr {
+                        continue 'levels;
+                    }
+                    if expected != r2.succs[level]
+                        && node_ref.next[level]
+                            .compare_exchange(
+                                expected,
+                                r2.succs[level],
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_err()
+                    {
+                        continue;
+                    }
+                    if self.node(r2.preds[level]).next[level]
+                        .compare_exchange(
+                            r2.succs[level],
+                            node_ptr,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            if is_marked(node_ref.next[0].load(Ordering::Acquire)) {
+                let _ = self.find(handle, key)?;
+            }
+            handle.r_unprotect_all();
+            Ok(())
+        }
+
+        fn remove_body(
+            &self,
+            handle: &mut RawHandle<K, V, R, P, A>,
+            key: &K,
+            decided: &mut bool,
+        ) -> Result<bool, Neutralized> {
+            if *decided {
+                let _ = self.find(handle, key)?;
+                return Ok(true);
+            }
+            let r = self.find(handle, key)?;
+            if r.found == 0 {
+                return Ok(false);
+            }
+            let victim = self.node(r.found);
+            for level in (1..victim.height).rev() {
+                loop {
+                    let w = victim.next[level].load(Ordering::Acquire);
+                    if is_marked(w) {
+                        break;
+                    }
+                    if victim.next[level]
+                        .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            loop {
+                let w = victim.next[0].load(Ordering::Acquire);
+                if is_marked(w) {
+                    return Ok(false);
+                }
+                if victim.next[0]
+                    .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    *decided = true;
+                    let _ = self.find(handle, key)?;
+                    return Ok(true);
+                }
+                handle.check()?;
+            }
+        }
+
+        /// Read-only traversal (does not unlink), mirroring the original `get_body`.
+        fn contains_body(
+            &self,
+            handle: &mut RawHandle<K, V, R, P, A>,
+            key: &K,
+        ) -> Result<bool, Neutralized> {
+            'retry: loop {
+                handle.check()?;
+                let mut pred = self.head;
+                for level in (0..MAX_HEIGHT).rev() {
+                    let mut curr = ptr_of(self.node(pred).next[level].load(Ordering::Acquire));
+                    loop {
+                        handle.check()?;
+                        if curr == 0 {
+                            break;
+                        }
+                        let curr_nn =
+                            NonNull::new(curr as *mut RawSkipNode<K, V>).expect("non-null");
+                        let pred_link = &self.node(pred).next[level];
+                        if !handle.protect(1, curr_nn, || pred_link.load(Ordering::SeqCst) == curr)
+                        {
+                            continue 'retry;
+                        }
+                        let curr_ref = self.node(curr);
+                        if self.key_less(curr, key) {
+                            let _ = handle.protect(0, curr_nn, || true);
+                            pred = curr;
+                            curr = ptr_of(curr_ref.next[level].load(Ordering::Acquire));
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let candidate = ptr_of(self.node(pred).next[0].load(Ordering::Acquire));
+                if candidate != 0 {
+                    let candidate_nn =
+                        NonNull::new(candidate as *mut RawSkipNode<K, V>).expect("non-null");
+                    let pred_link = &self.node(pred).next[0];
+                    if !handle
+                        .protect(1, candidate_nn, || pred_link.load(Ordering::SeqCst) == candidate)
+                    {
+                        continue 'retry;
+                    }
+                    let node = self.node(candidate);
+                    if node.key.as_ref() == Some(key)
+                        && !is_marked(node.next[0].load(Ordering::Acquire))
+                    {
+                        return Ok(true);
+                    }
+                }
+                return Ok(false);
+            }
+        }
+
+        fn run_op<Out>(
+            &self,
+            handle: &mut RawHandle<K, V, R, P, A>,
+            mut body: impl FnMut(&Self, &mut RawHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
+        ) -> Out {
+            loop {
+                let _ = handle.leave_qstate();
+                match body(self, handle) {
+                    Ok(out) => {
+                        handle.enter_qstate();
+                        return out;
+                    }
+                    Err(Neutralized) => {
+                        handle.begin_recovery();
+                    }
+                }
+            }
+        }
+
+        pub fn insert(&self, handle: &mut RawHandle<K, V, R, P, A>, key: K, value: V) -> bool {
+            let mut published: Option<(usize, usize)> = None;
+            self.run_op(handle, |this, h| {
+                if let Some((node_ptr, height)) = published {
+                    this.complete_insert(h, &key, node_ptr, height)?;
+                    return Ok(true);
+                }
+                this.insert_body(h, &key, &value, &mut published)
+            })
+        }
+
+        pub fn remove(&self, handle: &mut RawHandle<K, V, R, P, A>, key: &K) -> bool {
+            let mut decided = false;
+            self.run_op(handle, |this, h| this.remove_body(h, key, &mut decided))
+        }
+
+        pub fn contains(&self, handle: &mut RawHandle<K, V, R, P, A>, key: &K) -> bool {
+            self.run_op(handle, |this, h| this.contains_body(h, key))
+        }
+    }
+
+    impl<K, V, R, P, A> Drop for RawSkipList<K, V, R, P, A>
+    where
+        K: Ord + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+        R: Reclaimer<RawSkipNode<K, V>>,
+        P: Pool<RawSkipNode<K, V>>,
+        A: Allocator<RawSkipNode<K, V>>,
+    {
+        fn drop(&mut self) {
+            let mut alloc = self.manager.teardown_allocator();
+            let mut curr = self.head;
+            while curr != 0 {
+                let next = ptr_of(self.node(curr).next[0].load(Ordering::Relaxed));
+                // SAFETY: exclusive access during drop.
+                unsafe { alloc.deallocate(NonNull::new_unchecked(curr as *mut RawSkipNode<K, V>)) };
+                curr = next;
+            }
+        }
+    }
+
+    // SAFETY: shared state is atomics only; nodes are Send/Sync when K and V are.
+    unsafe impl<K, V, R, P, A> Send for RawSkipList<K, V, R, P, A>
+    where
+        K: Ord + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+        R: Reclaimer<RawSkipNode<K, V>>,
+        P: Pool<RawSkipNode<K, V>>,
+        A: Allocator<RawSkipNode<K, V>>,
+    {
+    }
+    unsafe impl<K, V, R, P, A> Sync for RawSkipList<K, V, R, P, A>
+    where
+        K: Ord + Clone + Send + Sync + 'static,
+        V: Clone + Send + Sync + 'static,
+        R: Reclaimer<RawSkipNode<K, V>>,
+        P: Pool<RawSkipNode<K, V>>,
+        A: Allocator<RawSkipNode<K, V>>,
+    {
+    }
+}
+
 fn bench_scheme<R>(c: &mut Criterion, name: &str)
 where
     R: Reclaimer<u64>,
@@ -412,7 +870,7 @@ where
     let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
         Arc::new(RecordManager::new(2));
     let map = LockFreeHashMap::with_buckets(Arc::clone(&manager), 64);
-    let mut handle = map.register(0).expect("register bench thread");
+    let mut handle = map.register().expect("register bench thread");
     let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
     let target = (cfg.key_range / 2) as usize;
     let mut inserted = 0usize;
@@ -513,7 +971,7 @@ where
     let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
         Arc::new(RecordManager::new(2));
     let list = HarrisMichaelList::new(Arc::clone(&manager));
-    let mut handle = list.register(0).expect("lease bench thread slot");
+    let mut handle = list.register().expect("lease bench thread slot");
     let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
     for _ in 0..cfg.key_range * 4 {
         let _ = list.insert(&mut handle, gen.next_uniform_key(), 0);
@@ -548,6 +1006,129 @@ where
     bench_list_raw::<RRaw>(c, name);
 }
 
+/// Key range for the guard-overhead skip list / BST rows: larger than the list's (the
+/// structures are logarithmic, so per-operation fixed costs need more elements to stay
+/// visible without the traversal dominating).
+const TREE_KEY_RANGE: u64 = 1_024;
+
+/// Shared workload for the `skiplist_raw`/`skiplist_guard`/`bst_guard` rows: identical
+/// seed and operation stream for every row, prefilled by the same uniform insert pass.
+fn tree_workload() -> (WorkloadConfig, Vec<Operation>) {
+    let cfg = WorkloadConfig {
+        threads: 1,
+        key_range: TREE_KEY_RANGE,
+        distribution: KeyDistribution::Uniform,
+        ..WorkloadConfig::default()
+    };
+    let mut gen = OperationGenerator::new(&cfg, 0, 0x5EED);
+    let ops: Vec<Operation> = (0..65_536).map(|_| gen.next_op()).collect();
+    (cfg, ops)
+}
+
+/// `skiplist_raw`: the hand-rolled skip list (module [`raw_skiplist`]) driven directly
+/// through `RecordManagerThread` — the pre-`ShieldSet` baseline.
+fn bench_skiplist_raw<R>(c: &mut Criterion, name: &str)
+where
+    R: Reclaimer<raw_skiplist::RawSkipNode<u64, u64>>,
+{
+    type Node = raw_skiplist::RawSkipNode<u64, u64>;
+    let (cfg, ops) = tree_workload();
+    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
+        Arc::new(RecordManager::new(2));
+    let list = raw_skiplist::RawSkipList::new(Arc::clone(&manager));
+    let mut handle = manager.register(0).expect("register bench thread");
+    let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
+    for _ in 0..cfg.key_range * 4 {
+        let _ = list.insert(&mut handle, gen.next_uniform_key(), 0);
+    }
+
+    let mut i = 0usize;
+    c.bench_function(format!("{name}/skiplist_raw"), |b| {
+        b.iter(|| {
+            let next = ops[i & 0xFFFF];
+            i += 1;
+            match next {
+                Operation::Insert(k) => list.insert(&mut handle, k, k),
+                Operation::Delete(k) => list.remove(&mut handle, &k),
+                Operation::Search(k) => list.contains(&mut handle, &k),
+            }
+        })
+    });
+}
+
+/// `skiplist_guard`: the safe-API port in `lockfree-ds`, same algorithm, same workload.
+fn bench_skiplist_guard<R>(c: &mut Criterion, name: &str)
+where
+    R: Reclaimer<SkipNode<u64, u64>>,
+{
+    type Node = SkipNode<u64, u64>;
+    let (cfg, ops) = tree_workload();
+    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
+        Arc::new(RecordManager::new(2));
+    let list = SkipList::new(Arc::clone(&manager));
+    let mut handle = list.register().expect("lease bench thread slot");
+    let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
+    for _ in 0..cfg.key_range * 4 {
+        let _ = list.insert(&mut handle, gen.next_uniform_key(), 0);
+    }
+
+    let mut i = 0usize;
+    c.bench_function(format!("{name}/skiplist_guard"), |b| {
+        b.iter(|| {
+            let next = ops[i & 0xFFFF];
+            i += 1;
+            match next {
+                Operation::Insert(k) => list.insert(&mut handle, k, k),
+                Operation::Delete(k) => list.remove(&mut handle, &k),
+                Operation::Search(k) => list.contains(&mut handle, &k),
+            }
+        })
+    });
+}
+
+/// Both orders, best run kept — see [`bench_list_pair`].
+fn bench_skiplist_pair<RRaw, RGuard>(c: &mut Criterion, name: &str)
+where
+    RRaw: Reclaimer<raw_skiplist::RawSkipNode<u64, u64>>,
+    RGuard: Reclaimer<SkipNode<u64, u64>>,
+{
+    bench_skiplist_raw::<RRaw>(c, name);
+    bench_skiplist_guard::<RGuard>(c, name);
+    bench_skiplist_guard::<RGuard>(c, name);
+    bench_skiplist_raw::<RRaw>(c, name);
+}
+
+/// `bst_guard`: the external BST on the safe API (no raw twin is kept for the tree — the
+/// row tracks the structure's absolute cost per scheme over time).
+fn bench_bst_guard<R>(c: &mut Criterion, name: &str)
+where
+    R: Reclaimer<BstNode<u64, u64>>,
+{
+    type Node = BstNode<u64, u64>;
+    let (cfg, ops) = tree_workload();
+    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
+        Arc::new(RecordManager::new(2));
+    let bst = ExternalBst::new(Arc::clone(&manager));
+    let mut handle = bst.register().expect("lease bench thread slot");
+    let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
+    for _ in 0..cfg.key_range * 4 {
+        let _ = bst.insert(&mut handle, gen.next_uniform_key(), 0);
+    }
+
+    let mut i = 0usize;
+    c.bench_function(format!("{name}/bst_guard"), |b| {
+        b.iter(|| {
+            let next = ops[i & 0xFFFF];
+            i += 1;
+            match next {
+                Operation::Insert(k) => bst.insert(&mut handle, k, k),
+                Operation::Delete(k) => bst.remove(&mut handle, &k),
+                Operation::Search(k) => bst.contains(&mut handle, &k),
+            }
+        })
+    });
+}
+
 fn benches(c: &mut Criterion) {
     // The guard-overhead pairs run FIRST: the `None` scheme never frees, so every
     // megabyte of garbage leaked by earlier rows scatters its freshly-allocated nodes
@@ -564,6 +1145,27 @@ fn benches(c: &mut Criterion) {
         bench_list_pair::<ClassicEbr<RawNode>, ClassicEbr<GuardNode>>(c, "EBR");
         bench_list_pair::<ThreadScanLite<RawNode>, ThreadScanLite<GuardNode>>(c, "ThreadScan");
         bench_list_pair::<Ibr<RawNode>, Ibr<GuardNode>>(c, "IBR");
+    }
+    {
+        type RawNode = raw_skiplist::RawSkipNode<u64, u64>;
+        type GuardNode = SkipNode<u64, u64>;
+        bench_skiplist_pair::<NoReclaim<RawNode>, NoReclaim<GuardNode>>(c, "None");
+        bench_skiplist_pair::<Debra<RawNode>, Debra<GuardNode>>(c, "DEBRA");
+        bench_skiplist_pair::<DebraPlus<RawNode>, DebraPlus<GuardNode>>(c, "DEBRA+");
+        bench_skiplist_pair::<HazardPointers<RawNode>, HazardPointers<GuardNode>>(c, "HP");
+        bench_skiplist_pair::<ClassicEbr<RawNode>, ClassicEbr<GuardNode>>(c, "EBR");
+        bench_skiplist_pair::<ThreadScanLite<RawNode>, ThreadScanLite<GuardNode>>(c, "ThreadScan");
+        bench_skiplist_pair::<Ibr<RawNode>, Ibr<GuardNode>>(c, "IBR");
+    }
+    {
+        type Node = BstNode<u64, u64>;
+        bench_bst_guard::<NoReclaim<Node>>(c, "None");
+        bench_bst_guard::<Debra<Node>>(c, "DEBRA");
+        bench_bst_guard::<DebraPlus<Node>>(c, "DEBRA+");
+        bench_bst_guard::<HazardPointers<Node>>(c, "HP");
+        bench_bst_guard::<ClassicEbr<Node>>(c, "EBR");
+        bench_bst_guard::<ThreadScanLite<Node>>(c, "ThreadScan");
+        bench_bst_guard::<Ibr<Node>>(c, "IBR");
     }
 
     bench_scheme::<NoReclaim<u64>>(c, "None");

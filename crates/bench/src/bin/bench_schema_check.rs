@@ -25,10 +25,14 @@ fn expected_rows() -> Vec<(String, String)> {
         rows.push((scheme.to_string(), "protect".to_string()));
         rows.push((scheme.to_string(), "hashmap_uniform".to_string()));
         rows.push((scheme.to_string(), "hashmap_zipf".to_string()));
-        // The guard-layer overhead pair (safe Domain/Guard/Shield API vs the raw
-        // Record Manager baseline embedded in the benchmark).
+        // The guard-layer overhead pairs (safe Domain/Guard/Shield/ShieldSet API vs the
+        // raw Record Manager baselines embedded in the benchmark), plus the BST's
+        // absolute safe-API row (its raw implementation no longer exists).
         rows.push((scheme.to_string(), "list_raw".to_string()));
         rows.push((scheme.to_string(), "list_guard".to_string()));
+        rows.push((scheme.to_string(), "skiplist_raw".to_string()));
+        rows.push((scheme.to_string(), "skiplist_guard".to_string()));
+        rows.push((scheme.to_string(), "bst_guard".to_string()));
     }
     for scheme in ["DEBRA", "EBR", "IBR"] {
         rows.push((scheme.to_string(), "retire".to_string()));

@@ -68,6 +68,17 @@ impl<T> Atomic<T> {
         Atomic { word: AtomicUsize::new(shared.word), _marker: PhantomData }
     }
 
+    /// Creates a link that *publishes* the private record `owned` without a CAS.
+    ///
+    /// This is the construction-time publication path for sentinel records (a list head,
+    /// a tree root) that are installed while the structure is still private to the
+    /// constructing thread; once the structure is shared, publication must go through
+    /// [`Atomic::compare_exchange_owned`].  Consuming the [`Owned`] is what transfers
+    /// ownership of the record to the structure.
+    pub fn from_owned(owned: Owned<T>) -> Self {
+        Atomic { word: AtomicUsize::new(owned.into_ptr().as_ptr() as usize), _marker: PhantomData }
+    }
+
     /// Reads the link into a [`Shared`] tied to `guard`.
     #[inline]
     pub fn load<'g, G: Pinned>(&self, ord: Ordering, _guard: &'g G) -> Shared<'g, T> {
@@ -126,9 +137,31 @@ impl<T> Atomic<T> {
         new: Owned<T>,
         success: Ordering,
         failure: Ordering,
+        guard: &'g G,
+    ) -> Result<Shared<'g, T>, Owned<T>> {
+        self.compare_exchange_owned_tagged(current, new, 0, success, failure, guard)
+    }
+
+    /// Like [`compare_exchange_owned`](Self::compare_exchange_owned), but publishes the
+    /// record with `tag` in the link's low bits.  This is how descriptor-based structures
+    /// (the external BST) install a fresh descriptor together with its state flag in one
+    /// CAS (the EFRB `IFlag`/`DFlag` decision CAS).
+    ///
+    /// # Errors
+    ///
+    /// On failure the still-private record is handed back, as in `compare_exchange_owned`.
+    #[inline]
+    pub fn compare_exchange_owned_tagged<'g, G: Pinned>(
+        &self,
+        current: Shared<'_, T>,
+        new: Owned<T>,
+        tag: usize,
+        success: Ordering,
+        failure: Ordering,
         _guard: &'g G,
     ) -> Result<Shared<'g, T>, Owned<T>> {
-        let word = new.ptr.as_ptr() as usize;
+        debug_assert!(tag <= low_bits::<T>(), "tag {tag} does not fit in the alignment bits");
+        let word = (new.ptr.as_ptr() as usize) | tag;
         match self.word.compare_exchange(current.word, word, success, failure) {
             // `new` has no destructor — consuming it here is what transfers ownership of
             // the record to the structure.
@@ -288,6 +321,19 @@ impl<T> Owned<T> {
 
     pub(crate) fn into_ptr(self) -> NonNull<T> {
         self.ptr
+    }
+
+    /// A pointer view of the not-yet-published record, for wiring it into other private
+    /// records before publication (e.g. a descriptor that references the new child it
+    /// will install) or for announcing it to recovery code
+    /// ([`Recovery::protect`](crate::Recovery::protect)).
+    ///
+    /// The returned [`Shared`] borrows the `Owned`, so it cannot outlive the record's
+    /// private phase; snapshots taken from it (via [`Atomic::from_shared`]) are plain
+    /// words and stay valid for as long as the record itself.
+    #[inline]
+    pub fn shared(&self) -> Shared<'_, T> {
+        Shared::from_word(self.ptr.as_ptr() as usize)
     }
 }
 

@@ -361,6 +361,10 @@ impl<T: Send + 'static> DebraThread<T> {
 }
 
 impl<T: Send + 'static> ReclaimerThread<T> for DebraThread<T> {
+    // Epoch-style: records retired after an operation begins outlive the operation, so
+    // unvalidated traversal (and therefore helping) is sound.
+    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool = true;
+
     fn tid(&self) -> usize {
         self.tid
     }

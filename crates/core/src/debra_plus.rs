@@ -181,6 +181,8 @@ impl<T: Send + 'static> DebraPlusThread<T> {
 
 impl<T: Send + 'static> ReclaimerThread<T> for DebraPlusThread<T> {
     const SUPPORTS_CRASH_RECOVERY: bool = true;
+    // Epoch-style (see `DebraThread`): unvalidated traversal and helping are sound.
+    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool = true;
 
     fn tid(&self) -> usize {
         self.inner.tid()

@@ -20,12 +20,14 @@
 //!   a compile-time composition of a [`Reclaimer`], a [`Pool`] and an [`Allocator`] that a
 //!   data structure uses for all allocation, retirement and reclamation, so that the
 //!   reclamation scheme can be swapped by changing a single type parameter.
-//! * [`Domain`] / [`Guard`] / [`Shield`] — the **safe layer** over the Record Manager
-//!   (module [`guard`]): automatic per-thread slot leasing, RAII operation brackets,
-//!   typed [`Restart`] instead of caller-side neutralization checks, and
+//! * [`Domain`] / [`Guard`] / [`Shield`] / [`ShieldSet`] / [`Recovery`] — the **safe
+//!   layer** over the Record Manager (module [`guard`]): automatic per-thread slot
+//!   leasing, RAII operation brackets, typed [`Restart`] instead of caller-side
+//!   neutralization checks, multi-role protection windows with store-free rotation,
+//!   RAII restricted-hazard-pointer scopes for DEBRA+ completion phases, and
 //!   [`Atomic`]/[`Shared`]/[`Owned`] pointers (module [`atomic`]) whose lifetimes tie
-//!   every dereference to a live guard, so data structures need no `unsafe` outside
-//!   `retire`.
+//!   every dereference to a live guard — data structures written on it need no `unsafe`
+//!   at all (the structure crates are `#![forbid(unsafe_code)]`).
 //!
 //! Baseline schemes (no reclamation, classical EBR, hazard pointers, …) implementing the
 //! same traits live in the `smr-baselines` crate; allocators and pools live in `smr-alloc`;
@@ -77,7 +79,9 @@ pub use crate::atomic::{Atomic, Owned, Pinned, Shared};
 pub use crate::config::{DebraConfig, DebraPlusConfig};
 pub use crate::debra::{Debra, DebraThread};
 pub use crate::debra_plus::{DebraPlus, DebraPlusThread};
-pub use crate::guard::{Domain, DomainHandle, Guard, Restart, Shield};
+pub use crate::guard::{
+    Domain, DomainHandle, Guard, Protected, Recovery, Restart, Shield, ShieldSet,
+};
 pub use crate::lifecycle::RecordLifecycle;
 pub use crate::properties::{CodeModifications, SchemeProperties, Termination, TimingAssumptions};
 pub use crate::record_manager::{OpGuard, RecordManager, RecordManagerThread};

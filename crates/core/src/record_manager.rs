@@ -304,6 +304,14 @@ where
         <R::Thread as ReclaimerThread<T>>::SUPPORTS_CRASH_RECOVERY
     }
 
+    /// `true` if the chosen reclaimer permits dereferencing records without a per-access
+    /// validated protect — the epoch-style capability that makes *helping* sound; see
+    /// [`ReclaimerThread::SUPPORTS_UNPROTECTED_TRAVERSAL`].  Constant after
+    /// monomorphization, so the non-helping branch compiles out.
+    pub fn supports_unprotected_traversal(&self) -> bool {
+        <R::Thread as ReclaimerThread<T>>::SUPPORTS_UNPROTECTED_TRAVERSAL
+    }
+
     /// Checkpoint: fails with [`Neutralized`] if this thread has been neutralized.
     #[inline]
     #[must_use = "ignoring a Neutralized result defeats the DEBRA+ recovery protocol"]

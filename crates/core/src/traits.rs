@@ -161,6 +161,26 @@ pub trait ReclaimerThread<T: Send> {
     /// `true` if this scheme supports crash recovery / neutralization (DEBRA+).
     const SUPPORTS_CRASH_RECOVERY: bool = false;
 
+    /// `true` when a non-quiescent thread may dereference any record that was reachable
+    /// at some point during its operation *without* a per-access validated
+    /// [`protect`](Self::protect) — the epoch-style guarantee (no reclamation, EBR,
+    /// DEBRA, DEBRA+: nothing retired after the operation began is freed while the
+    /// thread stays non-quiescent).
+    ///
+    /// This is the capability that makes **helping** sound: completing another thread's
+    /// operation follows descriptor fields into records the helper never protected, on
+    /// which no validating read can be performed (there is no link to re-validate
+    /// against).  Schemes whose safety argument is tied to their own validated accesses
+    /// must leave this `false`: hazard pointers and ThreadScan (per-slot announcements),
+    /// and IBR — whose interval reservation covers exactly the records reached through
+    /// its *validating reads*, not the unvalidated descriptor-field loads of a helping
+    /// path.  (Leaving this `true` for IBR is how the seed's external BST corrupted
+    /// itself: a stale helper's child CAS could race record recycling and resurrect an
+    /// already-removed, marked node, permanently livelocking every validated traversal.)
+    ///
+    /// The default is the safe choice (`false`, no helping); epoch-style schemes opt in.
+    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool = false;
+
     /// The thread slot this handle was registered with.
     fn tid(&self) -> usize;
 

@@ -1,5 +1,5 @@
 //! A lock-free external (leaf-oriented) binary search tree with flag/mark descriptors and
-//! helping, written against the Record Manager abstraction.
+//! helping, written against the **safe guard layer** of the Record Manager abstraction.
 //!
 //! The algorithm follows Ellen, Fatourou, Ruppert and van Breugel's non-blocking BST
 //! (PODC 2010), which is the unbalanced ancestor of the balanced tree used in the paper's
@@ -18,51 +18,62 @@
 //! Descriptor reclamation uses a hand-off rule: the thread whose CAS replaces a node's
 //! `update` word retires the descriptor referenced by the *previous* value of the word.
 //!
+//! # The safe-layer rendition
+//!
+//! The tree contains no hand-rolled protection code:
+//!
+//! * the search descends with a six-role [`ShieldSet`] — grandparent/parent/leaf for the
+//!   path window plus three descriptor roles.  Shifting the window down one level is
+//!   [`ShieldSet::rotate`]`([GP, P, L])`: the records that stay in the window stay
+//!   continuously protected with **no re-announcement** (the property the raw code
+//!   maintained by carefully ordered `protect` calls), and only the new child is announced
+//!   and validated, via [`ShieldSet::protect_loaded_unless`] with the "parent is not
+//!   marked" invariant conjoined — a removed parent keeps its frozen child links, so the link
+//!   validation alone cannot prove the child unretired;
+//! * the packed `update` word (`descriptor pointer | state`) is an [`Atomic`] whose tag
+//!   bits carry the EFRB state; descriptors are pinned with [`ShieldSet::protect_word`],
+//!   the tagged-word protect whose validation is "the word is still installed" (the
+//!   hand-off rule guarantees an installed descriptor is unretired);
+//! * the helping policy is the safe [`Guard::helping_allowed`] hook: schemes that
+//!   validate their accesses (hazard pointers, ThreadScan, IBR) must not dereference
+//!   the helpee's records, so the tree backs off (with a yield) instead of helping —
+//!   see the hook's docs for why the seed's `protection_slots() > 0` gate (which let
+//!   IBR help) corrupted the tree;
+//! * retirement goes through the safe [`Guard::retire`] at the unique hand-off/unlink
+//!   points.
+//!
 //! # DEBRA+ integration
 //!
 //! Before an update's decision CAS, the records its completion phase will access (the
-//! affected internal nodes, the victim leaf and the descriptor) are announced with
-//! `RProtect`; after the decision CAS the operation runs to completion without
-//! neutralization checkpoints, so a neutralized thread can always finish the bounded
-//! completion phase safely (all records it touches are R-protected) and the operation's
-//! effect happens exactly once.  Neutralization observed *before* the decision CAS simply
-//! restarts the attempt.
+//! affected internal nodes, the victim leaf and the descriptor) are announced in a
+//! per-attempt [`Recovery`](debra::Recovery) scope (the RAII rendition of
+//! `RProtect`/`RUnprotectAll`); after the decision CAS the operation runs to completion
+//! without neutralization checkpoints, so a neutralized thread can always finish the
+//! bounded completion phase safely and the operation's effect happens exactly once.
+//! Neutralization observed *before* the decision CAS unwinds the attempt with
+//! [`Restart`], dropping the scope — which releases the restricted protections — and
+//! restarts.
 
-use std::collections::HashSet;
 use std::fmt;
-use std::ptr::NonNull;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use debra::{
-    Allocator, AllocatorThread, Neutralized, Pool, Reclaimer, RecordManager, RecordManagerThread,
-    RegistrationError,
+    Allocator, Atomic, Domain, DomainHandle, Guard, Pool, Reclaimer, RecordManager,
+    RegistrationError, Restart, Shared, ShieldSet,
 };
 
 use crate::ConcurrentMap;
 
-/// Update-word states (low two bits of the packed `update` field).
+/// Update-word states, carried in the tag bits of the packed `update` link
+/// (`descriptor pointer | state`).
 const CLEAN: usize = 0;
+/// See [`CLEAN`].
 const IFLAG: usize = 1;
+/// See [`CLEAN`].
 const DFLAG: usize = 2;
+/// See [`CLEAN`].
 const MARK: usize = 3;
-const STATE_MASK: usize = 3;
-
-#[inline]
-fn pack(info: usize, state: usize) -> usize {
-    debug_assert_eq!(info & STATE_MASK, 0);
-    info | state
-}
-
-#[inline]
-fn state_of(word: usize) -> usize {
-    word & STATE_MASK
-}
-
-#[inline]
-fn info_of(word: usize) -> usize {
-    word & !STATE_MASK
-}
 
 /// Routing/leaf key: finite keys plus the two infinite sentinels of the EFRB tree.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -73,6 +84,26 @@ enum BstKey<K> {
     Inf1,
     /// Second sentinel (larger than `Inf1`).
     Inf2,
+}
+
+impl<K: Ord> BstKey<K> {
+    /// `true` if the search key `key` routes left of this routing key (every finite key
+    /// is smaller than the sentinels).  By-reference: the comparison runs at every level
+    /// of every descent, and cloning the key there would put an allocation on the hot
+    /// path for heap-backed key types.
+    #[inline]
+    fn finite_less(&self, key: &K) -> bool {
+        match self {
+            BstKey::Finite(k) => key < k,
+            BstKey::Inf1 | BstKey::Inf2 => true,
+        }
+    }
+
+    /// `true` if this key is exactly the finite key `key` (sentinels never match).
+    #[inline]
+    fn is_finite(&self, key: &K) -> bool {
+        matches!(self, BstKey::Finite(k) if k == key)
+    }
 }
 
 /// What role a [`BstNode`] record currently plays.
@@ -89,37 +120,40 @@ enum NodeKind {
 /// All four roles (internal node, leaf, insert descriptor, delete descriptor) share one
 /// record type so that a single Record Manager serves the whole structure, exactly as a
 /// single C++ record manager serves all record types of one data structure in the paper's
-/// artifact.  Unused fields are simply left at their defaults for a given role.
+/// artifact.  Unused fields are simply left at their defaults for a given role.  The
+/// descriptor fields (`d_*`) are written once before the descriptor is published and never
+/// change afterwards.
 pub struct BstNode<K, V> {
     kind: NodeKind,
     key: BstKey<K>,
     value: Option<V>,
-    left: AtomicUsize,
-    right: AtomicUsize,
+    left: Atomic<BstNode<K, V>>,
+    right: Atomic<BstNode<K, V>>,
     /// Packed `(descriptor pointer | state)` word; meaningful for internal nodes.
-    update: AtomicUsize,
+    update: Atomic<BstNode<K, V>>,
     // Descriptor fields (IInfo: p, l, new_internal; DInfo: gp, p, l, pupdate).
-    d_gp: usize,
-    d_p: usize,
-    d_l: usize,
-    d_new_internal: usize,
-    d_pupdate: usize,
+    d_gp: Atomic<BstNode<K, V>>,
+    d_p: Atomic<BstNode<K, V>>,
+    d_l: Atomic<BstNode<K, V>>,
+    d_new_internal: Atomic<BstNode<K, V>>,
+    /// The parent's update word observed by the delete's search (pointer *and* state).
+    d_pupdate: Atomic<BstNode<K, V>>,
 }
 
 impl<K, V> BstNode<K, V> {
-    fn internal(key: BstKey<K>, left: usize, right: usize) -> Self {
+    fn internal(key: BstKey<K>, left: Shared<'_, Self>, right: Shared<'_, Self>) -> Self {
         BstNode {
             kind: NodeKind::Internal,
             key,
             value: None,
-            left: AtomicUsize::new(left),
-            right: AtomicUsize::new(right),
-            update: AtomicUsize::new(pack(0, CLEAN)),
-            d_gp: 0,
-            d_p: 0,
-            d_l: 0,
-            d_new_internal: 0,
-            d_pupdate: 0,
+            left: Atomic::from_shared(left),
+            right: Atomic::from_shared(right),
+            update: Atomic::null(),
+            d_gp: Atomic::null(),
+            d_p: Atomic::null(),
+            d_l: Atomic::null(),
+            d_new_internal: Atomic::null(),
+            d_pupdate: Atomic::null(),
         }
     }
 
@@ -128,46 +162,51 @@ impl<K, V> BstNode<K, V> {
             kind: NodeKind::Leaf,
             key,
             value,
-            left: AtomicUsize::new(0),
-            right: AtomicUsize::new(0),
-            update: AtomicUsize::new(pack(0, CLEAN)),
-            d_gp: 0,
-            d_p: 0,
-            d_l: 0,
-            d_new_internal: 0,
-            d_pupdate: 0,
+            left: Atomic::null(),
+            right: Atomic::null(),
+            update: Atomic::null(),
+            d_gp: Atomic::null(),
+            d_p: Atomic::null(),
+            d_l: Atomic::null(),
+            d_new_internal: Atomic::null(),
+            d_pupdate: Atomic::null(),
         }
     }
 
-    fn iinfo(p: usize, l: usize, new_internal: usize) -> Self {
+    fn iinfo(p: Shared<'_, Self>, l: Shared<'_, Self>, new_internal: Shared<'_, Self>) -> Self {
         BstNode {
             kind: NodeKind::IInfo,
             key: BstKey::Inf2,
             value: None,
-            left: AtomicUsize::new(0),
-            right: AtomicUsize::new(0),
-            update: AtomicUsize::new(pack(0, CLEAN)),
-            d_gp: 0,
-            d_p: p,
-            d_l: l,
-            d_new_internal: new_internal,
-            d_pupdate: 0,
+            left: Atomic::null(),
+            right: Atomic::null(),
+            update: Atomic::null(),
+            d_gp: Atomic::null(),
+            d_p: Atomic::from_shared(p),
+            d_l: Atomic::from_shared(l),
+            d_new_internal: Atomic::from_shared(new_internal),
+            d_pupdate: Atomic::null(),
         }
     }
 
-    fn dinfo(gp: usize, p: usize, l: usize, pupdate: usize) -> Self {
+    fn dinfo(
+        gp: Shared<'_, Self>,
+        p: Shared<'_, Self>,
+        l: Shared<'_, Self>,
+        pupdate: Shared<'_, Self>,
+    ) -> Self {
         BstNode {
             kind: NodeKind::DInfo,
             key: BstKey::Inf2,
             value: None,
-            left: AtomicUsize::new(0),
-            right: AtomicUsize::new(0),
-            update: AtomicUsize::new(pack(0, CLEAN)),
-            d_gp: gp,
-            d_p: p,
-            d_l: l,
-            d_new_internal: 0,
-            d_pupdate: pupdate,
+            left: Atomic::null(),
+            right: Atomic::null(),
+            update: Atomic::null(),
+            d_gp: Atomic::from_shared(gp),
+            d_p: Atomic::from_shared(p),
+            d_l: Atomic::from_shared(l),
+            d_new_internal: Atomic::null(),
+            d_pupdate: Atomic::from_shared(pupdate),
         }
     }
 }
@@ -178,20 +217,23 @@ impl<K: fmt::Debug, V> fmt::Debug for BstNode<K, V> {
     }
 }
 
-/// Outcome of a tree search: the grandparent, parent and leaf on the search path, plus the
-/// parent's and grandparent's update words at the time they were traversed.
-struct SearchResult {
-    gp: usize,
-    p: usize,
-    l: usize,
-    pupdate: usize,
-    gpupdate: usize,
+/// Outcome of a tree search: the grandparent, parent and leaf on the search path, plus
+/// the parent's and grandparent's update words (pointer and state tag) at the time they
+/// were traversed.  On return all three path records — and the descriptors referenced by
+/// the returned update words — are still protected by the caller-supplied [`ShieldSet`].
+struct SearchResult<'g, K, V> {
+    /// Null when the leaf hangs directly off the root's parent position.
+    gp: Shared<'g, BstNode<K, V>>,
+    p: Shared<'g, BstNode<K, V>>,
+    l: Shared<'g, BstNode<K, V>>,
+    pupdate: Shared<'g, BstNode<K, V>>,
+    gpupdate: Shared<'g, BstNode<K, V>>,
 }
 
-/// Hazard pointer slot assignment (the BST needs 3 protection slots for the search path,
-/// one for the descriptor when helping, and two pinning the descriptors referenced by the
-/// search's `pupdate`/`gpupdate` words).
-mod slots {
+/// Protection role assignment of the six-role [`ShieldSet`] (three for the search-path
+/// window, one for the descriptor when helping, and two pinning the descriptors
+/// referenced by the search's `pupdate`/`gpupdate` words).
+mod roles {
     pub const GP: usize = 0;
     pub const P: usize = 1;
     pub const L: usize = 2;
@@ -203,7 +245,7 @@ mod slots {
 }
 
 /// A lock-free external binary search tree implementing a set/map, parameterized by the
-/// Record Manager (reclaimer `R`, pool `P`, allocator `A`).
+/// Record Manager (reclaimer `R`, pool `P`, allocator `A`) through a [`Domain`].
 pub struct ExternalBst<K, V, R, P, A>
 where
     K: Ord + Clone + Send + Sync + 'static,
@@ -212,14 +254,21 @@ where
     P: Pool<BstNode<K, V>>,
     A: Allocator<BstNode<K, V>>,
 {
-    root: usize,
-    domain: debra::Domain<BstNode<K, V>, R, P, A>,
-    /// The three sentinel records allocated at construction (freed on drop).
-    sentinels: [usize; 3],
+    /// The root routing node, installed at construction and never replaced.
+    root: Atomic<BstNode<K, V>>,
+    domain: Domain<BstNode<K, V>, R, P, A>,
 }
 
-/// Shorthand for the per-thread handle type used by [`ExternalBst`].
-pub type BstHandle<K, V, R, P, A> = RecordManagerThread<BstNode<K, V>, R, P, A>;
+/// Shorthand for the per-thread handle type used by [`ExternalBst`]: a domain lease that
+/// pins guards without per-operation registry lookups.  Obtained with
+/// [`ConcurrentMap::register`] and usable only on the thread that created it.
+pub type BstHandle<K, V, R, P, A> = DomainHandle<BstNode<K, V>, R, P, A>;
+
+/// Shorthand for the guard type of [`ExternalBst`] operations.
+pub type BstGuard<K, V, R, P, A> = Guard<BstNode<K, V>, R, P, A>;
+
+/// Shorthand for the six-role shield set of a BST operation.
+type BstShields<'g, K, V, R, P, A> = ShieldSet<'g, 6, BstNode<K, V>, R, P, A>;
 
 impl<K, V, R, P, A> ExternalBst<K, V, R, P, A>
 where
@@ -231,19 +280,25 @@ where
 {
     /// Creates an empty tree backed by `manager`.
     pub fn new(manager: Arc<RecordManager<BstNode<K, V>, R, P, A>>) -> Self {
-        Self::in_domain(debra::Domain::with_manager(manager))
+        Self::in_domain(Domain::with_manager(manager))
     }
 
-    /// Creates an empty tree backed by an existing [`debra::Domain`] (the safe-layer entry
-    /// point: thread slots are leased automatically through the domain).
-    pub fn in_domain(domain: debra::Domain<BstNode<K, V>, R, P, A>) -> Self {
-        // The initial EFRB configuration: a root routing node with key Inf2 whose children
-        // are the two sentinel leaves Inf1 and Inf2.
-        let mut alloc = domain.manager().teardown_allocator();
-        let leaf1 = alloc.allocate(BstNode::leaf(BstKey::Inf1, None)).as_ptr() as usize;
-        let leaf2 = alloc.allocate(BstNode::leaf(BstKey::Inf2, None)).as_ptr() as usize;
-        let root = alloc.allocate(BstNode::internal(BstKey::Inf2, leaf1, leaf2)).as_ptr() as usize;
-        ExternalBst { root, domain, sentinels: [root, leaf1, leaf2] }
+    /// Creates an empty tree backed by an existing [`Domain`] (sharing its thread
+    /// leases).  Briefly leases a slot on the constructing thread to allocate the
+    /// initial EFRB configuration: a root routing node with key `Inf2` whose children
+    /// are the two sentinel leaves `Inf1` and `Inf2`.
+    pub fn in_domain(domain: Domain<BstNode<K, V>, R, P, A>) -> Self {
+        let root = {
+            let guard = domain.pin();
+            let leaf1 = guard.alloc(BstNode::leaf(BstKey::Inf1, None));
+            let leaf2 = guard.alloc(BstNode::leaf(BstKey::Inf2, None));
+            let root = guard.alloc(BstNode::internal(BstKey::Inf2, leaf1.shared(), leaf2.shared()));
+            // The leaves are now owned by the root's links; consuming the `Owned`s
+            // without discarding is the ownership transfer.
+            let (_, _) = (leaf1, leaf2);
+            Atomic::from_owned(root)
+        };
+        ExternalBst { root, domain }
     }
 
     /// The Record Manager backing this tree.
@@ -251,75 +306,58 @@ where
         self.domain.manager()
     }
 
-    /// The reclamation domain backing this tree (safe-layer entry point; the operation
-    /// bodies themselves still use the raw handle protocol).
-    pub fn domain(&self) -> &debra::Domain<BstNode<K, V>, R, P, A> {
+    /// The reclamation domain backing this tree.
+    pub fn domain(&self) -> &Domain<BstNode<K, V>, R, P, A> {
         &self.domain
     }
 
-    /// Registers worker thread `tid`; see [`RecordManager::register`].
-    pub fn register(&self, tid: usize) -> Result<BstHandle<K, V, R, P, A>, RegistrationError> {
-        self.manager().register(tid)
+    /// Leases a per-thread handle; see [`ConcurrentMap::register`] (slots are leased
+    /// automatically through the domain — no manual `tid` bookkeeping).
+    pub fn register(&self) -> Result<BstHandle<K, V, R, P, A>, RegistrationError> {
+        self.domain.try_handle()
     }
 
-    /// Registers the lowest free thread slot (no manual `tid` bookkeeping); see
-    /// [`RecordManager::register_auto`].
-    pub fn register_auto(&self) -> Result<BstHandle<K, V, R, P, A>, RegistrationError> {
-        self.manager().register_auto()
-    }
-
-    #[inline]
-    fn node(&self, ptr: usize) -> &BstNode<K, V> {
-        debug_assert!(ptr != 0);
-        // SAFETY: callers only pass pointers obtained from the tree while the records are
-        // protected by the calling operation (epoch / hazard pointer / RProtect), or during
-        // teardown with exclusive access.
-        unsafe { &*(ptr as *const BstNode<K, V>) }
-    }
-
-    /// EFRB `Search(k)`, restarting if hazard pointer validation fails.
-    fn search(
+    /// EFRB `Search(k)`, restarting if a protection validation fails.
+    ///
+    /// The descent keeps the grandparent → parent → child window continuously protected
+    /// by rotating the three path roles (no re-announcement) and announcing only the new
+    /// child, validated against both the parent's child link *and* the parent's
+    /// unmarked-ness — a removed parent keeps its frozen child links, and its leaf child
+    /// is retired together with it without ever being unlinked individually, so the link
+    /// check alone would validate a retired child (the restriction the paper describes
+    /// for HP-style schemes in Section 3).  At the leaf, the descriptors referenced by
+    /// the update words we return are pinned (roles `PINFO`/`GPINFO`): the caller's
+    /// decision CAS uses those words as expected values, and a reclaimed descriptor
+    /// could be recycled *as a new descriptor at the same address*, letting a stale
+    /// decision CAS succeed by ABA (a lost insert/delete).  The validation re-reads the
+    /// word: if it is still installed, the descriptor has not yet been handed off for
+    /// retirement.  All of it no-ops under epoch schemes, whose non-quiescent
+    /// announcement already pins every record.
+    fn search<'g>(
         &self,
-        handle: &mut BstHandle<K, V, R, P, A>,
+        guard: &'g BstGuard<K, V, R, P, A>,
+        set: &mut BstShields<'g, K, V, R, P, A>,
         key: &K,
-    ) -> Result<SearchResult, Neutralized> {
+    ) -> Result<SearchResult<'g, K, V>, Restart> {
         'retry: loop {
-            handle.check()?;
-            let mut gp = 0usize;
-            let mut gpupdate = pack(0, CLEAN);
-            let mut p = 0usize;
-            let mut pupdate = pack(0, CLEAN);
-            let mut l = self.root;
+            guard.check()?;
+            let mut gp: Shared<'g, BstNode<K, V>> = Shared::null();
+            let mut gpupdate: Shared<'g, BstNode<K, V>> = Shared::null();
+            let mut p: Shared<'g, BstNode<K, V>> = Shared::null();
+            let mut pupdate: Shared<'g, BstNode<K, V>> = Shared::null();
+            let mut l = self.root.load(Ordering::Acquire, guard);
             loop {
-                handle.check()?;
-                let l_ref = self.node(l);
+                let l_ref = l.as_ref().expect("path nodes are non-null");
                 if l_ref.kind != NodeKind::Internal {
-                    // Pin the descriptors referenced by the update words we return: the
-                    // caller's decision CAS uses those words as expected values, and under
-                    // a scheme that frees during our operation a reclaimed descriptor
-                    // could be recycled *as a new descriptor at the same address*, letting
-                    // a stale decision CAS succeed by ABA (a lost insert/delete).  The
-                    // validation re-reads the word: if it is still installed, the
-                    // descriptor has not yet been handed off for retirement.  No-ops under
-                    // epoch schemes, whose non-quiescent announcement already pins it.
-                    let p_info = info_of(pupdate);
-                    if p_info != 0 {
-                        let info_nn = NonNull::new(p_info as *mut BstNode<K, V>).expect("non-null");
-                        let p_ref = self.node(p);
-                        if !handle.protect(slots::PINFO, info_nn, || {
-                            p_ref.update.load(Ordering::SeqCst) == pupdate
-                        }) {
+                    if !pupdate.with_tag(0).is_null() {
+                        let p_ref = p.as_ref().expect("parent of a leaf is non-null");
+                        if set.protect_word(roles::PINFO, &p_ref.update, pupdate).is_err() {
                             continue 'retry;
                         }
                     }
-                    let gp_info = info_of(gpupdate);
-                    if gp != 0 && gp_info != 0 {
-                        let info_nn =
-                            NonNull::new(gp_info as *mut BstNode<K, V>).expect("non-null");
-                        let gp_ref = self.node(gp);
-                        if !handle.protect(slots::GPINFO, info_nn, || {
-                            gp_ref.update.load(Ordering::SeqCst) == gpupdate
-                        }) {
+                    if !gp.is_null() && !gpupdate.with_tag(0).is_null() {
+                        let gp_ref = gp.as_ref().expect("checked non-null");
+                        if set.protect_word(roles::GPINFO, &gp_ref.update, gpupdate).is_err() {
                             continue 'retry;
                         }
                     }
@@ -328,182 +366,190 @@ where
                 gp = p;
                 gpupdate = pupdate;
                 p = l;
-                pupdate = l_ref.update.load(Ordering::Acquire);
-                let go_left = BstKey::Finite(key.clone()) < l_ref.key;
-                let next = if go_left {
-                    l_ref.left.load(Ordering::Acquire)
-                } else {
-                    l_ref.right.load(Ordering::Acquire)
-                };
-                if next == 0 {
-                    // Can only happen if `l` was recycled under us (possible for a
-                    // neutralized thread between checkpoints); restart defensively.
-                    continue 'retry;
-                }
-                // Shift the protection window upward *before* announcing the next child:
-                // `gp` is still covered by slot P and `p` by slot L while they are being
-                // re-announced, so every node on the path stays continuously protected
-                // (announcing `next` first would leave `p` unprotected for a moment, which
-                // is a use-after-free window under hazard pointers).
-                if gp != 0 {
-                    let gp_nn =
-                        NonNull::new(gp as *mut BstNode<K, V>).expect("non-null grandparent");
-                    let _ = handle.protect(slots::GP, gp_nn, || true);
-                }
-                let p_nn = NonNull::new(p as *mut BstNode<K, V>).expect("non-null parent");
-                let _ = handle.protect(slots::P, p_nn, || true);
-                // Hazard-pointer protection of the node we are about to descend into.  The
-                // validation must prove the child is not yet *retired*, and the parent's
-                // child pointer alone cannot: a removed parent keeps its frozen child links,
-                // and its leaf child is retired together with it without ever being
-                // unlinked individually.  Every node is marked before it is retired, so
-                // additionally requiring the parent to be unmarked rules that out — the
-                // search restarts rather than traverse from a retired record (the
-                // restriction the paper describes for HP-style schemes in Section 3).
-                // No-op (always true) under epoch schemes.
+                pupdate = l_ref.update.load(Ordering::Acquire, guard);
+                let go_left = l_ref.key.finite_less(key);
                 let child_link = if go_left { &l_ref.left } else { &l_ref.right };
-                let next_nn = NonNull::new(next as *mut BstNode<K, V>).expect("non-null child");
-                if !handle.protect(slots::L, next_nn, || {
-                    state_of(l_ref.update.load(Ordering::SeqCst)) != MARK
-                        && child_link.load(Ordering::SeqCst) == next
-                }) {
+                let next = child_link.load(Ordering::Acquire, guard);
+                if next.is_null() {
                     continue 'retry;
                 }
+                // Shift the protection window down one level *before* announcing the
+                // child: the rotation keeps `gp` (role P's old slot) and `p` (role L's
+                // old slot) continuously protected — no moment of unprotection, no
+                // re-announcement — and hands role L the freed slot for the new child.
+                set.rotate([roles::GP, roles::P, roles::L]);
+                let Ok(next) =
+                    set.protect_loaded_unless(roles::L, child_link, next, &l_ref.update, MARK)
+                else {
+                    continue 'retry;
+                };
                 l = next;
             }
         }
     }
 
-    /// Retires the descriptor referenced by a just-replaced update word (hand-off rule).
-    fn retire_info(&self, handle: &mut BstHandle<K, V, R, P, A>, old_word: usize) {
-        let info = info_of(old_word);
-        if info != 0 {
-            // SAFETY: the caller's CAS replaced the only long-lived reference to this
-            // descriptor (see the module docs for the hand-off argument); it is retired by
-            // exactly one thread — the CAS winner.
-            unsafe { handle.retire(NonNull::new_unchecked(info as *mut BstNode<K, V>)) };
+    /// Retires the descriptor referenced by a just-replaced update word (hand-off rule):
+    /// the caller's CAS replaced the only long-lived reference to this descriptor (see
+    /// the module docs), so it is retired by exactly one thread — the CAS winner.
+    fn retire_info(&self, guard: &BstGuard<K, V, R, P, A>, old_word: Shared<'_, BstNode<K, V>>) {
+        let info = old_word.with_tag(0);
+        if !info.is_null() {
+            guard.retire(info);
         }
     }
 
     /// Helps the operation described by `word` (if any) to completion.  `holder` is the
     /// node whose `update` field the caller read `word` from; it is used to validate the
-    /// descriptor's hazard pointer announcement before the descriptor is dereferenced.
+    /// descriptor's protection announcement before the descriptor is dereferenced.
     fn help(
         &self,
-        handle: &mut BstHandle<K, V, R, P, A>,
-        word: usize,
-        holder: usize,
-    ) -> Result<(), Neutralized> {
-        handle.check()?;
-        let info = info_of(word);
-        if info == 0 || state_of(word) == CLEAN {
+        guard: &BstGuard<K, V, R, P, A>,
+        set: &mut BstShields<'_, K, V, R, P, A>,
+        word: Shared<'_, BstNode<K, V>>,
+        holder: Shared<'_, BstNode<K, V>>,
+    ) -> Result<(), Restart> {
+        guard.check()?;
+        if word.with_tag(0).is_null() || word.tag() == CLEAN {
             return Ok(());
         }
-        if handle.protection_slots() > 0 {
-            // Schemes with per-access protection (hazard pointers) cannot safely help: the
-            // completion phase dereferences the helpee's nodes (`d_p`, `d_gp`), which the
-            // helper has no protection for and which may already be reclaimed — exactly the
-            // retired-record traversal the paper says HP-style schemes cannot support
-            // (Section 3).  Under those schemes the tree does not help; the caller backs
-            // off and retries until the operation's owner completes it.  The yield keeps a
-            // starved owner schedulable on oversubscribed machines (spinning retriers can
-            // otherwise monopolize the cores for whole scheduling quanta).
+        if !guard.helping_allowed() {
+            // Schemes that validate their accesses (hazard pointers, ThreadScan, IBR)
+            // cannot safely help: the completion phase dereferences the helpee's nodes
+            // (`d_p`, `d_gp`) through descriptor fields, which the helper has no
+            // protection for, which admit no validating read, and which may already be
+            // reclaimed — exactly the retired-record traversal the paper says such
+            // schemes cannot support (Section 3).  Under those schemes the tree does
+            // not help;
+            // the caller backs off and retries until the operation's owner completes it.
+            // The yield keeps a starved owner schedulable on oversubscribed machines
+            // (spinning retriers can otherwise monopolize the cores for whole
+            // scheduling quanta).
             std::thread::yield_now();
             return Ok(());
         }
-        // Protect the descriptor before dereferencing it: valid as long as the node we read
-        // the flagged word from still carries it.
-        let info_nn = NonNull::new(info as *mut BstNode<K, V>).expect("non-null descriptor");
-        let holder_ref = self.node(holder);
-        if !handle
-            .protect(slots::INFO, info_nn, || holder_ref.update.load(Ordering::SeqCst) == word)
-        {
+        // Protect the descriptor before dereferencing it: valid as long as the node we
+        // read the flagged word from still carries it.  A failed validation means the
+        // operation moved on — nothing to help.
+        let holder_ref = holder.as_ref().expect("holder is non-null");
+        let Ok(_) = set.protect_word(roles::INFO, &holder_ref.update, word) else {
             return Ok(());
-        }
-        // Defensive re-validation: if the descriptor has been recycled under a scheme whose
-        // protection is best-effort (see the module docs on the HP restart policy), its
-        // fields may no longer describe a live operation; skip helping in that case.
-        let info_ref = self.node(info);
-        let stale = match state_of(word) {
-            IFLAG => info_ref.kind != NodeKind::IInfo || info_ref.d_p == 0 || info_ref.d_l == 0,
+        };
+        let info = word.with_tag(0);
+        // Defensive re-validation: if the descriptor has been recycled under a scheme
+        // whose protection is best-effort (see the module docs on the HP restart
+        // policy), its fields may no longer describe a live operation; skip helping in
+        // that case.
+        let info_ref = info.as_ref().expect("flagged update word references a descriptor");
+        let stale = match word.tag() {
+            IFLAG => {
+                info_ref.kind != NodeKind::IInfo
+                    || info_ref.d_p.load_ptr(Ordering::Relaxed).is_null()
+                    || info_ref.d_l.load_ptr(Ordering::Relaxed).is_null()
+            }
             DFLAG | MARK => {
                 info_ref.kind != NodeKind::DInfo
-                    || info_ref.d_p == 0
-                    || info_ref.d_gp == 0
-                    || info_ref.d_l == 0
+                    || info_ref.d_p.load_ptr(Ordering::Relaxed).is_null()
+                    || info_ref.d_gp.load_ptr(Ordering::Relaxed).is_null()
+                    || info_ref.d_l.load_ptr(Ordering::Relaxed).is_null()
             }
             _ => true,
         };
         if !stale {
-            match state_of(word) {
-                IFLAG => self.help_insert(handle, info),
+            match word.tag() {
+                IFLAG => self.help_insert(guard, info),
                 DFLAG => {
-                    let _ = self.help_delete(handle, info);
+                    let _ = self.help_delete(guard, info);
                 }
-                MARK => self.help_marked(handle, info),
+                MARK => self.help_marked(guard, info),
                 _ => {}
             }
         }
-        handle.unprotect(slots::INFO);
+        set.release(roles::INFO);
         Ok(())
     }
 
     /// EFRB `CAS-Child`: swings the child pointer of `parent` from `old` to `new`.
-    fn cas_child(&self, parent: usize, old: usize, new: usize) {
-        let parent_ref = self.node(parent);
-        if parent_ref.left.load(Ordering::Acquire) == old {
-            let _ = parent_ref.left.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire);
-        } else if parent_ref.right.load(Ordering::Acquire) == old {
-            let _ =
-                parent_ref.right.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire);
+    fn cas_child(
+        &self,
+        guard: &BstGuard<K, V, R, P, A>,
+        parent: Shared<'_, BstNode<K, V>>,
+        old: Shared<'_, BstNode<K, V>>,
+        new: Shared<'_, BstNode<K, V>>,
+    ) {
+        let parent_ref = parent.as_ref().expect("parent is non-null");
+        if parent_ref.left.load(Ordering::Acquire, guard) == old {
+            let _ = parent_ref.left.compare_exchange(
+                old,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            );
+        } else if parent_ref.right.load(Ordering::Acquire, guard) == old {
+            let _ = parent_ref.right.compare_exchange(
+                old,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            );
         }
     }
 
-    /// EFRB `HelpInsert`.
-    fn help_insert(&self, handle: &mut BstHandle<K, V, R, P, A>, op: usize) {
-        let _ = handle; // the handle is unused here but kept for signature symmetry
-        let op_ref = self.node(op);
-        self.cas_child(op_ref.d_p, op_ref.d_l, op_ref.d_new_internal);
-        let p_ref = self.node(op_ref.d_p);
+    /// EFRB `HelpInsert`.  The descriptor fields are immutable after publication, so the
+    /// relaxed loads are ordered by the acquire that read the flagged update word.
+    fn help_insert(&self, guard: &BstGuard<K, V, R, P, A>, op: Shared<'_, BstNode<K, V>>) {
+        let op_ref = op.as_ref().expect("descriptor is non-null");
+        let d_p = op_ref.d_p.load(Ordering::Relaxed, guard);
+        let d_l = op_ref.d_l.load(Ordering::Relaxed, guard);
+        let d_new_internal = op_ref.d_new_internal.load(Ordering::Relaxed, guard);
+        self.cas_child(guard, d_p, d_l, d_new_internal);
+        let p_ref = d_p.as_ref().expect("descriptor parent is non-null");
         let _ = p_ref.update.compare_exchange(
-            pack(op, IFLAG),
-            pack(op, CLEAN),
+            op.with_tag(IFLAG),
+            op.with_tag(CLEAN),
             Ordering::AcqRel,
             Ordering::Acquire,
+            guard,
         );
     }
 
     /// EFRB `HelpDelete`; returns `true` if the delete operation described by `op`
     /// succeeded (now or earlier).
-    fn help_delete(&self, handle: &mut BstHandle<K, V, R, P, A>, op: usize) -> bool {
-        let op_ref = self.node(op);
-        let p_ref = self.node(op_ref.d_p);
-        let mark_word = pack(op, MARK);
+    fn help_delete(&self, guard: &BstGuard<K, V, R, P, A>, op: Shared<'_, BstNode<K, V>>) -> bool {
+        let op_ref = op.as_ref().expect("descriptor is non-null");
+        let d_p = op_ref.d_p.load(Ordering::Relaxed, guard);
+        let d_pupdate = op_ref.d_pupdate.load(Ordering::Relaxed, guard);
+        let p_ref = d_p.as_ref().expect("descriptor parent is non-null");
+        let mark_word = op.with_tag(MARK);
         match p_ref.update.compare_exchange(
-            op_ref.d_pupdate,
+            d_pupdate,
             mark_word,
             Ordering::AcqRel,
             Ordering::Acquire,
+            guard,
         ) {
-            Ok(_) => {
-                // This thread marked p: it owns the retirement of the descriptor that was
-                // previously installed in p's update word.
-                self.retire_info(handle, op_ref.d_pupdate);
-                self.help_marked(handle, op);
+            Ok(()) => {
+                // This thread marked p: it owns the retirement of the descriptor that
+                // was previously installed in p's update word.
+                self.retire_info(guard, d_pupdate);
+                self.help_marked(guard, op);
                 true
             }
             Err(current) => {
                 if current == mark_word {
-                    self.help_marked(handle, op);
+                    self.help_marked(guard, op);
                     true
                 } else {
                     // The operation failed: back-track the grandparent's flag.
-                    let gp_ref = self.node(op_ref.d_gp);
+                    let d_gp = op_ref.d_gp.load(Ordering::Relaxed, guard);
+                    let gp_ref = d_gp.as_ref().expect("descriptor grandparent is non-null");
                     let _ = gp_ref.update.compare_exchange(
-                        pack(op, DFLAG),
-                        pack(op, CLEAN),
+                        op.with_tag(DFLAG),
+                        op.with_tag(CLEAN),
                         Ordering::AcqRel,
                         Ordering::Acquire,
+                        guard,
                     );
                     false
                 }
@@ -511,225 +557,214 @@ where
         }
     }
 
-    /// EFRB `HelpMarked`: physically removes the marked parent and unflags the grandparent.
-    fn help_marked(&self, handle: &mut BstHandle<K, V, R, P, A>, op: usize) {
-        let _ = handle;
-        let op_ref = self.node(op);
-        let p_ref = self.node(op_ref.d_p);
-        let left = p_ref.left.load(Ordering::Acquire);
-        let sibling = if left == op_ref.d_l { p_ref.right.load(Ordering::Acquire) } else { left };
-        self.cas_child(op_ref.d_gp, op_ref.d_p, sibling);
-        let gp_ref = self.node(op_ref.d_gp);
+    /// EFRB `HelpMarked`: physically removes the marked parent and unflags the
+    /// grandparent.
+    fn help_marked(&self, guard: &BstGuard<K, V, R, P, A>, op: Shared<'_, BstNode<K, V>>) {
+        let op_ref = op.as_ref().expect("descriptor is non-null");
+        let d_p = op_ref.d_p.load(Ordering::Relaxed, guard);
+        let d_l = op_ref.d_l.load(Ordering::Relaxed, guard);
+        let d_gp = op_ref.d_gp.load(Ordering::Relaxed, guard);
+        let p_ref = d_p.as_ref().expect("descriptor parent is non-null");
+        let left = p_ref.left.load(Ordering::Acquire, guard);
+        let sibling = if left == d_l { p_ref.right.load(Ordering::Acquire, guard) } else { left };
+        self.cas_child(guard, d_gp, d_p, sibling);
+        let gp_ref = d_gp.as_ref().expect("descriptor grandparent is non-null");
         let _ = gp_ref.update.compare_exchange(
-            pack(op, DFLAG),
-            pack(op, CLEAN),
+            op.with_tag(DFLAG),
+            op.with_tag(CLEAN),
             Ordering::AcqRel,
             Ordering::Acquire,
+            guard,
         );
     }
 
     fn insert_body(
         &self,
-        handle: &mut BstHandle<K, V, R, P, A>,
+        guard: &BstGuard<K, V, R, P, A>,
         key: &K,
         value: &V,
-    ) -> Result<bool, Neutralized> {
+    ) -> Result<bool, Restart> {
+        let mut set = guard.shield_set::<6>();
         loop {
-            let s = self.search(handle, key)?;
-            let l_ref = self.node(s.l);
-            if l_ref.key == BstKey::Finite(key.clone()) {
+            let s = self.search(guard, &mut set, key)?;
+            let l_ref = s.l.as_ref().expect("leaf is non-null");
+            if l_ref.key.is_finite(key) {
                 return Ok(false);
             }
-            if state_of(s.pupdate) != CLEAN {
-                self.help(handle, s.pupdate, s.p)?;
+            if s.pupdate.tag() != CLEAN {
+                self.help(guard, &mut set, s.pupdate, s.p)?;
                 continue;
             }
 
-            // Build the new leaf and the new routing node.
-            let new_leaf = handle
-                .allocate(BstNode::leaf(BstKey::Finite(key.clone()), Some(value.clone())))
-                .as_ptr() as usize;
+            // Build the new leaf and the new routing node (both private until the
+            // decision CAS publishes the descriptor that references them).
+            let new_leaf =
+                guard.alloc(BstNode::leaf(BstKey::Finite(key.clone()), Some(value.clone())));
             let new_key = BstKey::Finite(key.clone());
             let (left, right, routing_key) = if new_key < l_ref.key {
-                (new_leaf, s.l, l_ref.key.clone())
+                (new_leaf.shared(), s.l, l_ref.key.clone())
             } else {
-                (s.l, new_leaf, new_key)
+                (s.l, new_leaf.shared(), new_key)
             };
-            let new_internal =
-                handle.allocate(BstNode::internal(routing_key, left, right)).as_ptr() as usize;
-            let op = handle.allocate(BstNode::iinfo(s.p, s.l, new_internal)).as_ptr() as usize;
+            let new_internal = guard.alloc(BstNode::internal(routing_key, left, right));
+            let op = guard.alloc(BstNode::iinfo(s.p, s.l, new_internal.shared()));
 
-            // DEBRA+ : protect everything the completion phase will touch, then decide.
-            if handle.supports_crash_recovery() {
-                for r in [s.p, s.l, new_internal, op] {
-                    handle.r_protect(NonNull::new(r as *mut BstNode<K, V>).expect("non-null"));
-                }
+            // DEBRA+: protect everything the completion phase will touch, then decide.
+            // The scope's drop releases the restricted protections on every exit from
+            // this attempt (success, failed CAS, or Restart unwind); other schemes skip
+            // the scope entirely (constant after monomorphization).
+            let recovery = guard.supports_crash_recovery().then(|| guard.recovery());
+            if let Some(recovery) = &recovery {
+                recovery.protect(s.p);
+                recovery.protect(s.l);
+                recovery.protect(new_internal.shared());
+                recovery.protect(op.shared());
             }
-            if let Err(e) = handle.check() {
-                // Nothing published yet: recycle the fresh records and unwind to recovery.
-                for r in [op, new_internal, new_leaf] {
-                    // SAFETY: never made reachable.
-                    unsafe { handle.deallocate(NonNull::new_unchecked(r as *mut BstNode<K, V>)) };
-                }
-                return Err(e);
+            if let Err(restart) = guard.check() {
+                // Nothing published yet: recycle the fresh records and unwind to
+                // recovery.
+                guard.discard(op);
+                guard.discard(new_internal);
+                guard.discard(new_leaf);
+                return Err(restart);
             }
 
-            let p_ref = self.node(s.p);
-            match p_ref.update.compare_exchange(
+            let p_ref = s.p.as_ref().expect("parent is non-null");
+            match p_ref.update.compare_exchange_owned_tagged(
                 s.pupdate,
-                pack(op, IFLAG),
+                op,
+                IFLAG,
                 Ordering::AcqRel,
                 Ordering::Acquire,
+                guard,
             ) {
-                Ok(_) => {
-                    // Decision CAS won: hand off the previous descriptor, complete, done.
-                    self.retire_info(handle, s.pupdate);
-                    self.help_insert(handle, op);
-                    handle.r_unprotect_all();
+                Ok(op) => {
+                    // Decision CAS won: the descriptor — and, through it, the new leaf
+                    // and routing node — now belong to the structure (the `Owned`s are
+                    // consumed/forgotten, never freed here).  Hand off the previous
+                    // descriptor, complete, done.
+                    let (_, _) = (new_leaf, new_internal);
+                    self.retire_info(guard, s.pupdate);
+                    self.help_insert(guard, op.with_tag(0));
                     return Ok(true);
                 }
-                Err(actual) => {
-                    for r in [op, new_internal, new_leaf] {
-                        // SAFETY: never made reachable (the decision CAS failed).
-                        unsafe {
-                            handle.deallocate(NonNull::new_unchecked(r as *mut BstNode<K, V>))
-                        };
-                    }
-                    handle.r_unprotect_all();
-                    self.help(handle, actual, s.p)?;
+                Err(op) => {
+                    // Never made reachable (the decision CAS failed): recycle all three.
+                    guard.discard(op);
+                    guard.discard(new_internal);
+                    guard.discard(new_leaf);
+                    drop(recovery);
+                    let actual = p_ref.update.load(Ordering::Acquire, guard);
+                    self.help(guard, &mut set, actual, s.p)?;
                     continue;
                 }
             }
         }
     }
 
-    fn remove_body(
-        &self,
-        handle: &mut BstHandle<K, V, R, P, A>,
-        key: &K,
-    ) -> Result<bool, Neutralized> {
+    fn remove_body(&self, guard: &BstGuard<K, V, R, P, A>, key: &K) -> Result<bool, Restart> {
+        let mut set = guard.shield_set::<6>();
         loop {
-            let s = self.search(handle, key)?;
-            let l_ref = self.node(s.l);
-            if l_ref.key != BstKey::Finite(key.clone()) {
+            let s = self.search(guard, &mut set, key)?;
+            let l_ref = s.l.as_ref().expect("leaf is non-null");
+            if !l_ref.key.is_finite(key) {
                 return Ok(false);
             }
-            if state_of(s.gpupdate) != CLEAN {
-                self.help(handle, s.gpupdate, s.gp)?;
+            if s.gpupdate.tag() != CLEAN {
+                self.help(guard, &mut set, s.gpupdate, s.gp)?;
                 continue;
             }
-            if state_of(s.pupdate) != CLEAN {
-                self.help(handle, s.pupdate, s.p)?;
+            if s.pupdate.tag() != CLEAN {
+                self.help(guard, &mut set, s.pupdate, s.p)?;
                 continue;
             }
 
-            let op = handle.allocate(BstNode::dinfo(s.gp, s.p, s.l, s.pupdate)).as_ptr() as usize;
+            let op = guard.alloc(BstNode::dinfo(s.gp, s.p, s.l, s.pupdate));
 
-            if handle.supports_crash_recovery() {
-                for r in [s.gp, s.p, s.l, op] {
-                    handle.r_protect(NonNull::new(r as *mut BstNode<K, V>).expect("non-null"));
-                }
+            let recovery = guard.supports_crash_recovery().then(|| guard.recovery());
+            if let Some(recovery) = &recovery {
+                recovery.protect(s.gp);
+                recovery.protect(s.p);
+                recovery.protect(s.l);
+                recovery.protect(op.shared());
             }
-            if let Err(e) = handle.check() {
-                // SAFETY: never made reachable.
-                unsafe { handle.deallocate(NonNull::new_unchecked(op as *mut BstNode<K, V>)) };
-                return Err(e);
+            if let Err(restart) = guard.check() {
+                // Never made reachable.
+                guard.discard(op);
+                return Err(restart);
             }
 
-            let gp_ref = self.node(s.gp);
-            match gp_ref.update.compare_exchange(
+            let gp_ref = s.gp.as_ref().expect("grandparent is non-null");
+            match gp_ref.update.compare_exchange_owned_tagged(
                 s.gpupdate,
-                pack(op, DFLAG),
+                op,
+                DFLAG,
                 Ordering::AcqRel,
                 Ordering::Acquire,
+                guard,
             ) {
-                Ok(_) => {
-                    self.retire_info(handle, s.gpupdate);
-                    if self.help_delete(handle, op) {
-                        // This thread's operation removed the parent routing node and the
-                        // victim leaf: it owns their retirement (exactly once).
-                        // SAFETY: both records were unlinked by the delete that this thread
-                        // owns and can no longer be reached by operations that start later.
-                        unsafe {
-                            handle.retire(NonNull::new_unchecked(s.p as *mut BstNode<K, V>));
-                            handle.retire(NonNull::new_unchecked(s.l as *mut BstNode<K, V>));
-                        }
-                        handle.r_unprotect_all();
+                Ok(op) => {
+                    self.retire_info(guard, s.gpupdate);
+                    if self.help_delete(guard, op.with_tag(0)) {
+                        // This thread's operation removed the parent routing node and
+                        // the victim leaf: it owns their retirement (exactly once) —
+                        // both were unlinked by the delete this thread owns and can no
+                        // longer be reached by operations that start later.
+                        guard.retire(s.p);
+                        guard.retire(s.l);
                         return Ok(true);
                     }
-                    handle.r_unprotect_all();
                     continue;
                 }
-                Err(actual) => {
-                    // SAFETY: never made reachable.
-                    unsafe { handle.deallocate(NonNull::new_unchecked(op as *mut BstNode<K, V>)) };
-                    handle.r_unprotect_all();
-                    self.help(handle, actual, s.gp)?;
+                Err(op) => {
+                    // Never made reachable (the decision CAS failed).
+                    guard.discard(op);
+                    drop(recovery);
+                    let actual = gp_ref.update.load(Ordering::Acquire, guard);
+                    self.help(guard, &mut set, actual, s.gp)?;
                     continue;
                 }
             }
         }
     }
 
-    fn get_body(
-        &self,
-        handle: &mut BstHandle<K, V, R, P, A>,
-        key: &K,
-    ) -> Result<Option<V>, Neutralized> {
-        let s = self.search(handle, key)?;
-        let l_ref = self.node(s.l);
-        if l_ref.key == BstKey::Finite(key.clone()) {
+    fn get_body(&self, guard: &BstGuard<K, V, R, P, A>, key: &K) -> Result<Option<V>, Restart> {
+        let mut set = guard.shield_set::<6>();
+        let s = self.search(guard, &mut set, key)?;
+        let l_ref = s.l.as_ref().expect("leaf is non-null");
+        if l_ref.key.is_finite(key) {
             Ok(l_ref.value.clone())
         } else {
             Ok(None)
         }
     }
 
-    fn run_op<Out>(
-        &self,
-        handle: &mut BstHandle<K, V, R, P, A>,
-        mut body: impl FnMut(&Self, &mut BstHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
-    ) -> Out {
-        loop {
-            let _ = handle.leave_qstate();
-            match body(self, handle) {
-                Ok(out) => {
-                    handle.enter_qstate();
-                    return out;
-                }
-                Err(Neutralized) => {
-                    // Recovery: operations only unwind here *before* their decision CAS, so
-                    // nothing needs helping — release the restricted hazard pointers,
-                    // acknowledge the neutralization and retry.
-                    handle.r_unprotect_all();
-                    handle.begin_recovery();
-                }
-            }
-        }
-    }
-
-    /// Number of keys currently in the tree (single-threaded diagnostic; walks the tree).
+    /// Number of keys currently in the tree; test/diagnostic helper (walks the tree).
+    ///
+    /// Like the other structures' `len`, the traversal announces no per-node protection,
+    /// which only epoch-style schemes honor; call it only when no other thread is
+    /// updating the tree.
     pub fn len(&self, handle: &mut BstHandle<K, V, R, P, A>) -> usize {
-        let _ = handle.leave_qstate();
-        let mut count = 0;
-        let mut stack = vec![self.root];
-        while let Some(n) = stack.pop() {
-            let r = self.node(n);
-            match r.kind {
-                NodeKind::Internal => {
-                    stack.push(r.left.load(Ordering::Acquire));
-                    stack.push(r.right.load(Ordering::Acquire));
-                }
-                NodeKind::Leaf => {
-                    if matches!(r.key, BstKey::Finite(_)) {
-                        count += 1;
+        handle.run(|guard| {
+            let mut count = 0;
+            let mut stack = vec![self.root.load(Ordering::Acquire, guard)];
+            while let Some(n) = stack.pop() {
+                let Some(r) = n.as_ref() else { continue };
+                match r.kind {
+                    NodeKind::Internal => {
+                        stack.push(r.left.load(Ordering::Acquire, guard));
+                        stack.push(r.right.load(Ordering::Acquire, guard));
                     }
+                    NodeKind::Leaf => {
+                        if matches!(r.key, BstKey::Finite(_)) {
+                            count += 1;
+                        }
+                    }
+                    _ => {}
                 }
-                _ => {}
             }
-        }
-        handle.enter_qstate();
-        count
+            Ok(count)
+        })
     }
 
     /// Returns `true` if the tree holds no keys (diagnostic helper).
@@ -748,24 +783,24 @@ where
 {
     type Handle = BstHandle<K, V, R, P, A>;
 
-    fn register(&self, tid: usize) -> Result<Self::Handle, RegistrationError> {
-        self.manager().register(tid)
+    fn register(&self) -> Result<Self::Handle, RegistrationError> {
+        self.domain.try_handle()
     }
 
     fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
-        self.run_op(handle, |this, h| this.insert_body(h, &key, &value))
+        handle.run(|guard| self.insert_body(guard, &key, &value))
     }
 
     fn remove(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.run_op(handle, |this, h| this.remove_body(h, key))
+        handle.run(|guard| self.remove_body(guard, key))
     }
 
     fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.run_op(handle, |this, h| this.get_body(h, key)).is_some()
+        handle.run(|guard| self.get_body(guard, key)).is_some()
     }
 
     fn get(&self, handle: &mut Self::Handle, key: &K) -> Option<V> {
-        self.run_op(handle, |this, h| this.get_body(h, key))
+        handle.run(|guard| self.get_body(guard, key))
     }
 }
 
@@ -778,36 +813,20 @@ where
     A: Allocator<BstNode<K, V>>,
 {
     fn drop(&mut self) {
-        // Free every node reachable from the root, plus the descriptors still referenced by
-        // reachable update words (deduplicated: a delete descriptor can be referenced by
-        // two nodes).  Records parked in limbo bags / pools are freed separately by the
-        // Record Manager; the two sets are disjoint because a descriptor is only retired
-        // when the word referencing it is overwritten.
-        let mut alloc = self.manager().teardown_allocator();
-        let mut infos: HashSet<usize> = HashSet::new();
-        let mut stack = vec![self.root];
-        let mut nodes: Vec<usize> = Vec::new();
-        while let Some(n) = stack.pop() {
-            if n == 0 {
-                continue;
+        // Free every record reachable from the root, plus the descriptors still
+        // referenced by reachable update words.  `free_graph` deduplicates by address (a
+        // delete descriptor can be referenced by two nodes).  Records parked in limbo
+        // bags / pools are freed separately by the Record Manager; the two sets are
+        // disjoint because a descriptor is only retired when the word referencing it is
+        // overwritten.
+        self.domain.free_graph(self.root.load_ptr(Ordering::Relaxed), |record, children| {
+            if record.kind == NodeKind::Internal {
+                children.push(record.left.load_ptr(Ordering::Relaxed));
+                children.push(record.right.load_ptr(Ordering::Relaxed));
+                // `load_ptr` strips the state tag, leaving the descriptor pointer.
+                children.push(record.update.load_ptr(Ordering::Relaxed));
             }
-            nodes.push(n);
-            let r = self.node(n);
-            if r.kind == NodeKind::Internal {
-                stack.push(r.left.load(Ordering::Relaxed));
-                stack.push(r.right.load(Ordering::Relaxed));
-                let info = info_of(r.update.load(Ordering::Relaxed));
-                if info != 0 {
-                    infos.insert(info);
-                }
-            }
-        }
-        for n in nodes.into_iter().chain(infos) {
-            // SAFETY: exclusive access during drop; each record freed exactly once (tree
-            // nodes are uniquely reachable, descriptors were deduplicated above).
-            unsafe { alloc.deallocate(NonNull::new_unchecked(n as *mut BstNode<K, V>)) };
-        }
-        let _ = self.sentinels;
+        });
     }
 }
 
@@ -822,26 +841,6 @@ where
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ExternalBst").field("reclaimer", &R::name()).finish()
     }
-}
-
-// SAFETY: all shared mutable state is accessed through atomics; records are Send.
-unsafe impl<K, V, R, P, A> Send for ExternalBst<K, V, R, P, A>
-where
-    K: Ord + Clone + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    R: Reclaimer<BstNode<K, V>>,
-    P: Pool<BstNode<K, V>>,
-    A: Allocator<BstNode<K, V>>,
-{
-}
-unsafe impl<K, V, R, P, A> Sync for ExternalBst<K, V, R, P, A>
-where
-    K: Ord + Clone + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    R: Reclaimer<BstNode<K, V>>,
-    P: Pool<BstNode<K, V>>,
-    A: Allocator<BstNode<K, V>>,
-{
 }
 
 #[cfg(test)]
@@ -865,7 +864,7 @@ mod tests {
     #[test]
     fn sequential_set_semantics() {
         let bst = new_debra_bst(1);
-        let mut h = bst.register(0).unwrap();
+        let mut h = bst.register().unwrap();
         assert!(bst.is_empty(&mut h));
         assert!(bst.insert(&mut h, 10, 100));
         assert!(!bst.insert(&mut h, 10, 101));
@@ -888,7 +887,7 @@ mod tests {
     fn matches_a_sequential_model() {
         use std::collections::BTreeMap;
         let bst = new_debra_bst(1);
-        let mut h = bst.register(0).unwrap();
+        let mut h = bst.register().unwrap();
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         let mut x: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..6000 {
@@ -910,12 +909,12 @@ mod tests {
     fn concurrent_disjoint_key_ranges() {
         let threads = 4;
         let per_thread = 2_000u64;
-        let bst = Arc::new(new_debra_bst(threads));
+        let bst = Arc::new(new_debra_bst(threads + 1));
         let mut joins = Vec::new();
         for t in 0..threads as u64 {
             let bst = Arc::clone(&bst);
             joins.push(std::thread::spawn(move || {
-                let mut h = bst.register(t as usize).unwrap();
+                let mut h = bst.register().unwrap();
                 let base = t * per_thread;
                 for i in 0..per_thread {
                     assert!(bst.insert(&mut h, base + i, i));
@@ -931,7 +930,7 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
-        let mut h = bst.register(0).unwrap();
+        let mut h = bst.register().unwrap();
         assert_eq!(bst.len(&mut h), (threads as u64 * per_thread / 2) as usize);
     }
 
@@ -940,12 +939,12 @@ mod tests {
         // High contention on a small key range forces constant node turnover, exercising
         // helping, descriptor hand-off and reclamation through the pool.
         let threads = 4;
-        let bst = Arc::new(new_debra_bst(threads));
+        let bst = Arc::new(new_debra_bst(threads + 1));
         let mut joins = Vec::new();
         for t in 0..threads {
             let bst = Arc::clone(&bst);
             joins.push(std::thread::spawn(move || {
-                let mut h = bst.register(t).unwrap();
+                let mut h = bst.register().unwrap();
                 let mut net: i64 = 0;
                 let mut x: u64 = 0xABCD_0123 + t as u64;
                 for _ in 0..10_000 {
@@ -963,7 +962,7 @@ mod tests {
             }));
         }
         let net: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
-        let mut h = bst.register(0).unwrap();
+        let mut h = bst.register().unwrap();
         assert_eq!(bst.len(&mut h) as i64, net);
         let stats = bst.manager().reclaimer().stats();
         assert!(stats.retired > 0, "deletes must retire nodes");
@@ -974,13 +973,13 @@ mod tests {
     fn works_with_debra_plus_and_neutralization() {
         let threads = 3;
         let bst: Arc<DebraPlusBst> =
-            Arc::new(ExternalBst::new(Arc::new(RecordManager::new(threads))));
+            Arc::new(ExternalBst::new(Arc::new(RecordManager::new(threads + 1))));
 
         let mut joins = Vec::new();
         for t in 0..threads {
             let bst = Arc::clone(&bst);
             joins.push(std::thread::spawn(move || {
-                let mut h = bst.register(t).unwrap();
+                let mut h = bst.register().unwrap();
                 let mut x: u64 = 7 + t as u64;
                 for i in 0..8_000u64 {
                     x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
@@ -1010,12 +1009,12 @@ mod tests {
     #[test]
     fn works_with_hazard_pointers() {
         let threads = 3;
-        let bst: Arc<HpBst> = Arc::new(ExternalBst::new(Arc::new(RecordManager::new(threads))));
+        let bst: Arc<HpBst> = Arc::new(ExternalBst::new(Arc::new(RecordManager::new(threads + 1))));
         let mut joins = Vec::new();
         for t in 0..threads {
             let bst = Arc::clone(&bst);
             joins.push(std::thread::spawn(move || {
-                let mut h = bst.register(t).unwrap();
+                let mut h = bst.register().unwrap();
                 let base = (t as u64) * 1000;
                 for i in 0..1000u64 {
                     assert!(bst.insert(&mut h, base + i, i));
@@ -1031,7 +1030,7 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
-        let mut h = bst.register(0).unwrap();
+        let mut h = bst.register().unwrap();
         assert!(bst.is_empty(&mut h));
         assert!(bst.manager().reclaimer().stats().reclaimed > 0);
     }

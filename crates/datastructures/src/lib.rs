@@ -19,9 +19,14 @@
 //! * [`SkipList`] — a lock-free skip list (marking in every level's next pointer), the
 //!   second workload shape used by the paper's evaluation.
 //!
-//! All three provide the set/map interface used by the benchmark harness: `insert`, `remove`
-//! and `contains`/`get`, each taking a `&mut RecordManagerThread` handle.
+//! All three are written **entirely against the safe guard layer**
+//! ([`debra::Domain`]/[`debra::Guard`]/[`debra::Shield`]/[`debra::ShieldSet`]): this crate
+//! contains no `unsafe` code at all — enforced by `#![forbid(unsafe_code)]` — and every
+//! structure provides the set/map interface used by the benchmark harness (`insert`,
+//! `remove`, `contains`/`get`), each taking the structure's per-thread
+//! [`debra::DomainHandle`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -36,9 +41,10 @@ pub use skiplist::{SkipList, SkipNode, MAX_HEIGHT};
 /// The concurrent set/map interface shared by every structure in this crate, used by the
 /// generic benchmark driver in `smr-workloads` and by the cross-structure test suite.
 ///
-/// `Handle` is the per-thread Record Manager handle type of the concrete structure; it is
-/// obtained once per worker thread with [`ConcurrentMap::register`] and then passed to
-/// every operation, exactly as in the paper's usage model.
+/// `Handle` is the per-thread handle type of the concrete structure (a
+/// [`debra::DomainHandle`] lease for every structure in this workspace); it is obtained
+/// once per worker thread with [`ConcurrentMap::register`] and then passed to every
+/// operation, exactly as in the paper's usage model.
 pub trait ConcurrentMap<K, V>: Send + Sync {
     /// Per-thread handle required by the operations.
     type Handle;
@@ -46,10 +52,9 @@ pub trait ConcurrentMap<K, V>: Send + Sync {
     /// Registers the calling thread and returns its handle.  Must be called on the thread
     /// that will use the handle.
     ///
-    /// Structures ported to the safe guard layer (the list, the hash map) ignore `tid`
-    /// and lease a slot automatically through their [`debra::Domain`]; raw-handle
-    /// structures still register the given slot.
-    fn register(&self, tid: usize) -> Result<Self::Handle, debra::RegistrationError>;
+    /// Thread slots are leased automatically through each structure's [`debra::Domain`]
+    /// — there is no manual `tid` bookkeeping anywhere in the interface.
+    fn register(&self) -> Result<Self::Handle, debra::RegistrationError>;
 
     /// Inserts `key -> value`; returns `true` if the key was not present.
     fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool;

@@ -1,13 +1,14 @@
 //! A lock-free sorted linked list (Harris marking + Michael physical removal), written
 //! against the **safe guard layer** of the Record Manager abstraction.
 //!
-//! This module contains no hand-rolled protection code: every pointer the traversal
-//! dereferences is obtained through [`debra::Shield::protect`] (the validated
-//! announce-then-revalidate protocol, a no-op under epoch schemes) or a guard-scoped
-//! [`Atomic::load`], and every operation body runs under [`DomainHandle::run`], which
-//! performs the DEBRA+ recovery protocol on [`Restart`].  The only `unsafe` left is the
-//! single [`Guard::retire`] call at the unique unlink point — the one obligation the type
-//! system cannot discharge (retire-once on the removed record).
+//! This module contains no hand-rolled protection code (and, like the whole crate, no
+//! `unsafe` at all): every pointer the traversal dereferences is obtained through
+//! [`debra::Shield::protect`] (the validated announce-then-revalidate protocol, a no-op
+//! under epoch schemes) or a guard-scoped [`Atomic::load`], every operation body runs
+//! under [`DomainHandle::run`], which performs the DEBRA+ recovery protocol on
+//! [`Restart`], and the removed record is handed to the safe [`Guard::retire`] at the
+//! unique unlink point (retire-once-after-unlink is the guard layer's documented
+//! contract — see its docs).
 
 use std::fmt;
 use std::sync::atomic::Ordering;
@@ -74,8 +75,8 @@ where
 
 /// Shorthand for the per-thread handle type used by [`HarrisMichaelList`]: a domain lease
 /// that pins guards without per-operation registry lookups.  Obtained with
-/// [`ConcurrentMap::register`] (the `tid` argument is ignored — slots are leased
-/// automatically) and usable only on the thread that created it.
+/// [`ConcurrentMap::register`] (slots are leased automatically) and usable only on the
+/// thread that created it.
 pub type ListHandle<K, V, R, P, A> = DomainHandle<ListNode<K, V>, R, P, A>;
 
 /// Shorthand for the guard type of [`HarrisMichaelList`] operations.
@@ -109,9 +110,9 @@ where
         &self.domain
     }
 
-    /// Leases a per-thread handle; see [`ConcurrentMap::register`] (the `tid` is ignored —
-    /// the domain leases slots automatically).
-    pub fn register(&self, _tid: usize) -> Result<ListHandle<K, V, R, P, A>, RegistrationError> {
+    /// Leases a per-thread handle; see [`ConcurrentMap::register`] (the domain leases
+    /// slots automatically — no manual `tid` bookkeeping).
+    pub fn register(&self) -> Result<ListHandle<K, V, R, P, A>, RegistrationError> {
         self.domain.try_handle()
     }
 
@@ -173,10 +174,10 @@ where
                         guard,
                     ) {
                         Ok(()) => {
-                            // SAFETY: `curr` was just unlinked by this thread (unique CAS
-                            // winner) and is no longer reachable from the head; it is
-                            // retired exactly once, here.
-                            unsafe { guard.retire(curr) };
+                            // `curr` was just unlinked by this thread (unique CAS winner)
+                            // and is no longer reachable from the head; it is retired
+                            // exactly once, here (the guard's documented contract).
+                            guard.retire(curr);
                             curr_word = unlink_to;
                             continue;
                         }
@@ -284,8 +285,8 @@ where
                 )
                 .is_ok()
             {
-                // SAFETY: unlinked by this thread; unique owner of the retirement.
-                unsafe { guard.retire(curr) };
+                // Unlinked by this thread: unique owner of the retirement.
+                guard.retire(curr);
             }
             return Ok(true);
         }
@@ -339,7 +340,7 @@ where
 {
     type Handle = ListHandle<K, V, R, P, A>;
 
-    fn register(&self, _tid: usize) -> Result<Self::Handle, RegistrationError> {
+    fn register(&self) -> Result<Self::Handle, RegistrationError> {
         self.domain.try_handle()
     }
 
@@ -369,13 +370,11 @@ where
     A: Allocator<ListNode<K, V>>,
 {
     fn drop(&mut self) {
-        // SAFETY: exclusive access during drop (`&mut self`); every node still reachable
-        // from the head is freed exactly once.
-        unsafe {
-            self.domain.free_reachable(self.head.load_ptr(Ordering::Relaxed), |node| {
-                node.next.load_ptr(Ordering::Relaxed)
-            });
-        }
+        // Exclusive access during drop (`&mut self`); every node still reachable from
+        // the head is freed exactly once.
+        self.domain.free_reachable(self.head.load_ptr(Ordering::Relaxed), |node| {
+            node.next.load_ptr(Ordering::Relaxed)
+        });
     }
 }
 
@@ -414,7 +413,7 @@ mod tests {
     #[test]
     fn sequential_set_semantics() {
         let list = new_list(1);
-        let mut h = list.register(0).unwrap();
+        let mut h = list.register().unwrap();
         assert!(!list.contains(&mut h, &5));
         assert!(list.insert(&mut h, 5, 50));
         assert!(!list.insert(&mut h, 5, 51), "duplicate insert must fail");
@@ -429,7 +428,7 @@ mod tests {
     #[test]
     fn keeps_sorted_order_and_all_elements() {
         let list = new_list(1);
-        let mut h = list.register(0).unwrap();
+        let mut h = list.register().unwrap();
         let keys = [9u64, 1, 7, 3, 5, 2, 8, 0, 6, 4];
         for &k in &keys {
             assert!(list.insert(&mut h, k, k * 10));
@@ -448,7 +447,7 @@ mod tests {
     fn matches_a_sequential_model() {
         use std::collections::BTreeMap;
         let list = new_list(1);
-        let mut h = list.register(0).unwrap();
+        let mut h = list.register().unwrap();
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         // Deterministic pseudo-random operation sequence.
         let mut x: u64 = 0x243F6A8885A308D3;
@@ -473,7 +472,7 @@ mod tests {
         for t in 0..threads as u64 {
             let list = Arc::clone(&list);
             joins.push(std::thread::spawn(move || {
-                let mut h = list.register(t as usize).unwrap();
+                let mut h = list.register().unwrap();
                 for i in 0..per_thread {
                     let k = t * per_thread + i;
                     assert!(list.insert(&mut h, k, k));
@@ -491,7 +490,7 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
-        let mut h = list.register(0).unwrap();
+        let mut h = list.register().unwrap();
         assert_eq!(list.len(&mut h), (threads as u64 * per_thread / 2) as usize);
         drop(h);
     }
@@ -505,7 +504,7 @@ mod tests {
         for t in 0..threads {
             let list = Arc::clone(&list);
             joins.push(std::thread::spawn(move || {
-                let mut h = list.register(t).unwrap();
+                let mut h = list.register().unwrap();
                 let mut net: i64 = 0;
                 for i in 0..5_000u64 {
                     let k = i % 8;
@@ -521,7 +520,7 @@ mod tests {
             }));
         }
         let net_total: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
-        let mut h = list.register(0).unwrap();
+        let mut h = list.register().unwrap();
         assert_eq!(
             list.len(&mut h) as i64,
             net_total,

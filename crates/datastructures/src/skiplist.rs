@@ -1,56 +1,110 @@
-//! A lock-free skip list written against the Record Manager abstraction.
+//! A lock-free skip list written against the **safe guard layer** of the Record Manager
+//! abstraction.
 //!
 //! The algorithm is the classic lock-free skip list (Fraser / Herlihy–Shavit style): every
 //! level's `next` pointer carries a mark bit; removal marks a node's pointers from the top
 //! level down and the node is physically unlinked level by level by subsequent traversals.
-//! The thread whose bottom-level unlink CAS succeeds retires the node through the Record
-//! Manager.  It plays the role of the skip list used in the paper's Experiments 1–3
-//! (keyrange 2·10⁵ panels).
+//! The thread whose bottom-level unlink CAS succeeds retires the node through the guard.
+//! It plays the role of the skip list used in the paper's Experiments 1–3 (keyrange 2·10⁵
+//! panels).
+//!
+//! Like the list and the hash map, the skip list contains no hand-rolled protection code:
+//! each level is traversed with a two-role [`ShieldSet`] (predecessor/current, advanced by
+//! [`ShieldSet::rotate`] — a store-free role rotation), every protect is the validated
+//! announce-then-revalidate protocol of [`ShieldSet::protect_loaded`] (a no-op compiled to
+//! nothing under epoch schemes), and retirement goes through the safe [`Guard::retire`]
+//! at the unique bottom-level unlink point.
+//!
+//! # DEBRA+ completion phases
+//!
+//! An insert is *decided* by its bottom-level publication CAS; linking the upper levels is
+//! a resumable completion phase.  The published node is announced in a
+//! [`Recovery`](debra::Recovery) scope opened on the operation's
+//! [`DomainHandle`], so a neutralized thread keeps the node's memory valid across the
+//! recovery gap (a concurrent remove may retire it meanwhile) and re-enters the idempotent
+//! completion phase in a fresh guard; the restricted protection is released when the scope
+//! drops at the end of the whole operation.  A remove is decided by its bottom-level mark
+//! CAS; after a neutralization only the physical unlink (a `find`) remains.
 
 use std::fmt;
-use std::ptr::NonNull;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use debra::{
-    Allocator, AllocatorThread, Neutralized, Pool, Reclaimer, RecordManager, RecordManagerThread,
-    RegistrationError,
+    Allocator, Atomic, Domain, DomainHandle, Guard, Pool, Protected, Reclaimer, RecordManager,
+    RegistrationError, Restart, Shared, ShieldSet,
 };
-use rand::Rng;
 
 use crate::ConcurrentMap;
 
 /// Maximum tower height of a skip list node.
 pub const MAX_HEIGHT: usize = 20;
 
+/// Mark (logical deletion) tag stored in the low bit of every level's `next` link.
 const MARK: usize = 1;
 
-#[inline]
-fn ptr_of(word: usize) -> usize {
-    word & !MARK
-}
-
-#[inline]
-fn is_marked(word: usize) -> bool {
-    word & MARK != 0
-}
+/// The two window roles of a level traversal.
+const PRED: usize = 0;
+/// See [`PRED`].
+const CURR: usize = 1;
+/// Insert-only role: the new node, announced *before* its publication CAS (sound because
+/// a private record cannot be retired) so the completion phase may keep dereferencing it
+/// under per-access schemes even after a concurrent remove retires it.
+const NODE: usize = 2;
+/// Insert-only role: the target level's predecessor, duplicated out of the rotating
+/// window so the completion phase's upper-level link CAS targets a protected record.
+const TPRED: usize = 3;
 
 /// A node of [`SkipList`]; `key == None` marks the head sentinel (smaller than every key).
 pub struct SkipNode<K, V> {
     key: Option<K>,
     value: Option<V>,
     height: usize,
-    next: [AtomicUsize; MAX_HEIGHT],
+    next: [Atomic<SkipNode<K, V>>; MAX_HEIGHT],
 }
 
 impl<K, V> SkipNode<K, V> {
-    fn new(key: Option<K>, value: Option<V>, height: usize) -> Self {
-        SkipNode { key, value, height, next: std::array::from_fn(|_| AtomicUsize::new(0)) }
+    /// The head sentinel: no key, full height, all links null.
+    fn sentinel() -> Self {
+        SkipNode {
+            key: None,
+            value: None,
+            height: MAX_HEIGHT,
+            next: std::array::from_fn(|_| Atomic::null()),
+        }
+    }
+
+    /// A private key node whose links up to `height` are pre-wired to `succs` (the
+    /// snapshot a `find` returned); published by the bottom-level CAS.
+    fn new(key: K, value: V, height: usize, succs: &[Shared<'_, Self>; MAX_HEIGHT]) -> Self {
+        SkipNode {
+            key: Some(key),
+            value: Some(value),
+            height,
+            next: std::array::from_fn(|level| {
+                if level < height {
+                    Atomic::from_shared(succs[level])
+                } else {
+                    Atomic::null()
+                }
+            }),
+        }
     }
 
     /// The node's tower height.
     pub fn height(&self) -> usize {
         self.height
+    }
+
+    /// `true` if this node's key is less than `key` (the sentinel is less than all keys).
+    fn key_less(&self, key: &K) -> bool
+    where
+        K: Ord,
+    {
+        match &self.key {
+            None => true, // head sentinel
+            Some(k) => k < key,
+        }
     }
 }
 
@@ -60,7 +114,8 @@ impl<K: fmt::Debug, V> fmt::Debug for SkipNode<K, V> {
     }
 }
 
-/// A lock-free skip list implementing a set/map, parameterized by the Record Manager.
+/// A lock-free skip list implementing a set/map, parameterized by the Record Manager
+/// (reclaimer `R`, pool `P`, allocator `A`) through a [`Domain`].
 pub struct SkipList<K, V, R, P, A>
 where
     K: Ord + Clone + Send + Sync + 'static,
@@ -69,17 +124,37 @@ where
     P: Pool<SkipNode<K, V>>,
     A: Allocator<SkipNode<K, V>>,
 {
-    head: usize,
-    domain: debra::Domain<SkipNode<K, V>, R, P, A>,
+    /// The head sentinel, installed at construction and only replaced at teardown.
+    head: Atomic<SkipNode<K, V>>,
+    /// State of the deterministic tower-height generator (see [`Self::random_height`]).
+    height_rng: AtomicU64,
+    domain: Domain<SkipNode<K, V>, R, P, A>,
 }
 
-/// Shorthand for the per-thread handle type used by [`SkipList`].
-pub type SkipHandle<K, V, R, P, A> = RecordManagerThread<SkipNode<K, V>, R, P, A>;
+/// Shorthand for the per-thread handle type used by [`SkipList`]: a domain lease that
+/// pins guards without per-operation registry lookups.  Obtained with
+/// [`ConcurrentMap::register`] and usable only on the thread that created it.
+pub type SkipHandle<K, V, R, P, A> = DomainHandle<SkipNode<K, V>, R, P, A>;
 
-struct FindResult {
-    preds: [usize; MAX_HEIGHT],
-    succs: [usize; MAX_HEIGHT],
-    found: usize, // 0 if not found
+/// Shorthand for the guard type of [`SkipList`] operations.
+pub type SkipGuard<K, V, R, P, A> = Guard<SkipNode<K, V>, R, P, A>;
+
+/// Shorthand for the shield set of a traversal: two window roles (predecessor/current)
+/// plus, for inserts (`N = 4`), the [`NODE`] and [`TPRED`] roles.
+type SkipShields<'g, const N: usize, K, V, R, P, A> = ShieldSet<'g, N, SkipNode<K, V>, R, P, A>;
+
+/// A published insert's resumption state: the recovery token for the node (present only
+/// under crash-recovery schemes — no other scheme restarts past the decision point) and
+/// its tower height.
+type PublishedInsert<'r, K, V> = (Option<Protected<'r, SkipNode<K, V>>>, usize);
+
+/// Outcome of a [`SkipList::find`]: per-level predecessors and successors plus the node
+/// holding the key, if present (null otherwise).  On return `preds[0]`/`succs[0]` are
+/// still protected by the traversal's shields.
+struct FindResult<'g, K, V> {
+    preds: [Shared<'g, SkipNode<K, V>>; MAX_HEIGHT],
+    succs: [Shared<'g, SkipNode<K, V>>; MAX_HEIGHT],
+    found: Shared<'g, SkipNode<K, V>>,
 }
 
 impl<K, V, R, P, A> SkipList<K, V, R, P, A>
@@ -92,15 +167,18 @@ where
 {
     /// Creates an empty skip list backed by `manager`.
     pub fn new(manager: Arc<RecordManager<SkipNode<K, V>, R, P, A>>) -> Self {
-        Self::in_domain(debra::Domain::with_manager(manager))
+        Self::in_domain(Domain::with_manager(manager))
     }
 
-    /// Creates an empty skip list backed by an existing [`debra::Domain`] (the safe-layer
-    /// entry point: thread slots are leased automatically through the domain).
-    pub fn in_domain(domain: debra::Domain<SkipNode<K, V>, R, P, A>) -> Self {
-        let mut alloc = domain.manager().teardown_allocator();
-        let head = alloc.allocate(SkipNode::new(None, None, MAX_HEIGHT)).as_ptr() as usize;
-        SkipList { head, domain }
+    /// Creates an empty skip list backed by an existing [`Domain`] (sharing its thread
+    /// leases).  Briefly leases a slot on the constructing thread to allocate the head
+    /// sentinel.
+    pub fn in_domain(domain: Domain<SkipNode<K, V>, R, P, A>) -> Self {
+        let head = {
+            let guard = domain.pin();
+            Atomic::from_owned(guard.alloc(SkipNode::sentinel()))
+        };
+        SkipList { head, height_rng: AtomicU64::new(0), domain }
     }
 
     /// The Record Manager backing this skip list.
@@ -108,173 +186,122 @@ where
         self.domain.manager()
     }
 
-    /// The reclamation domain backing this skip list (safe-layer entry point; the
-    /// operation bodies themselves still use the raw handle protocol).
-    pub fn domain(&self) -> &debra::Domain<SkipNode<K, V>, R, P, A> {
+    /// The reclamation domain backing this skip list.
+    pub fn domain(&self) -> &Domain<SkipNode<K, V>, R, P, A> {
         &self.domain
     }
 
-    /// Registers worker thread `tid`; see [`RecordManager::register`].
-    pub fn register(&self, tid: usize) -> Result<SkipHandle<K, V, R, P, A>, RegistrationError> {
-        self.manager().register(tid)
-    }
-
-    /// Registers the lowest free thread slot (no manual `tid` bookkeeping); see
-    /// [`RecordManager::register_auto`].
-    pub fn register_auto(&self) -> Result<SkipHandle<K, V, R, P, A>, RegistrationError> {
-        self.manager().register_auto()
-    }
-
-    #[inline]
-    fn node(&self, ptr: usize) -> &SkipNode<K, V> {
-        debug_assert!(ptr != 0);
-        // SAFETY: pointers are only dereferenced while protected by the calling operation
-        // (epoch / hazard pointers) or during teardown with exclusive access.
-        unsafe { &*(ptr as *const SkipNode<K, V>) }
-    }
-
-    fn key_less(&self, node: usize, key: &K) -> bool {
-        match &self.node(node).key {
-            None => true, // head sentinel
-            Some(k) => k < key,
-        }
+    /// Leases a per-thread handle; see [`ConcurrentMap::register`] (slots are leased
+    /// automatically through the domain — no manual `tid` bookkeeping).
+    pub fn register(&self) -> Result<SkipHandle<K, V, R, P, A>, RegistrationError> {
+        self.domain.try_handle()
     }
 
     /// Finds predecessors and successors of `key` at every level, physically unlinking
-    /// marked nodes on the way (the unlinker at level 0 retires the node).
-    fn find(
+    /// marked nodes on the way (the unlinker at level 0 retires the node).  On return
+    /// the bottom-level predecessor and successor are still protected by `set`, and — if
+    /// `keep_pred_level` is given (insert completion, which requires the 4-role set) —
+    /// the predecessor found at that level additionally stays protected in [`TPRED`]
+    /// while the descent reuses the window roles below it.
+    ///
+    /// A tagged predecessor link fails the shield's protect and restarts from the head:
+    /// a marked `pred` is being removed, its successors can no longer be trusted, and an
+    /// unlink CAS whose expected value carried the mark would *clear* it, resurrecting
+    /// the half-removed predecessor (a double-retire in waiting).
+    fn find<'g, const N: usize>(
         &self,
-        handle: &mut SkipHandle<K, V, R, P, A>,
+        guard: &'g SkipGuard<K, V, R, P, A>,
+        set: &mut SkipShields<'g, N, K, V, R, P, A>,
         key: &K,
-    ) -> Result<FindResult, Neutralized> {
+        keep_pred_level: Option<usize>,
+    ) -> Result<FindResult<'g, K, V>, Restart> {
         'retry: loop {
-            handle.check()?;
-            let mut preds = [self.head; MAX_HEIGHT];
-            let mut succs = [0usize; MAX_HEIGHT];
-            let mut pred = self.head;
+            guard.check()?;
+            let head = self.head.load(Ordering::Acquire, guard);
+            let mut preds = [head; MAX_HEIGHT];
+            let mut succs = [Shared::null(); MAX_HEIGHT];
+            let mut pred = head;
+            // Cached dereference of `pred` (kept in lock-step with it): the traversal's
+            // hot path touches the predecessor's links on every step, and re-checking
+            // the pointer each time would pay for a branch the raw code never had.
+            let mut pred_ref = pred.as_ref().expect("head is non-null");
             for level in (0..MAX_HEIGHT).rev() {
-                let mut curr_word = self.node(pred).next[level].load(Ordering::Acquire);
-                if is_marked(curr_word) {
-                    // `pred` is being removed: its successors at this level can no longer
-                    // be trusted, and an unlink CAS whose expected value carried the mark
-                    // would *clear* it, resurrecting the half-removed predecessor (a
-                    // double-retire in waiting).  Restart from the head.
-                    continue 'retry;
-                }
-                loop {
-                    handle.check()?;
-                    let curr = ptr_of(curr_word);
-                    if curr == 0 {
-                        break;
-                    }
-                    let curr_nn = NonNull::new(curr as *mut SkipNode<K, V>).expect("non-null");
-                    let pred_link = &self.node(pred).next[level];
-                    // Full-word validation (`curr` is unmarked here): a predecessor whose
-                    // link has since been *marked* must fail and restart — under HP-style
-                    // schemes `curr` may already be unlinked and retired, and a stripped
-                    // comparison would validate it anyway.
-                    if !handle.protect(1, curr_nn, || pred_link.load(Ordering::SeqCst) == curr) {
+                let mut curr_word = pred_ref.next[level].load(Ordering::Acquire, guard);
+                let curr = loop {
+                    // Protect-and-validate the node `curr_word` points to (the protect
+                    // folds in the per-node neutralization checkpoint).  A failure means
+                    // the link changed under us or is now marked — the node may already
+                    // be retired: restart from the head.  The validating comparison is
+                    // on the full link word, mark tag included.
+                    let link = &pred_ref.next[level];
+                    let Ok(curr) = set.protect_loaded(CURR, link, curr_word) else {
                         continue 'retry;
-                    }
-                    let curr_ref = self.node(curr);
-                    let next_word = curr_ref.next[level].load(Ordering::Acquire);
-                    if is_marked(next_word) {
+                    };
+                    let Some(curr_ref) = curr.as_ref() else {
+                        break curr;
+                    };
+                    let next = curr_ref.next[level].load(Ordering::Acquire, guard);
+                    if next.tag() == MARK {
                         // Unlink the marked node at this level.
-                        match self.node(pred).next[level].compare_exchange(
-                            curr_word,
-                            ptr_of(next_word),
+                        let unlink_to = next.with_tag(0);
+                        match link.compare_exchange(
+                            curr,
+                            unlink_to,
                             Ordering::AcqRel,
                             Ordering::Acquire,
+                            guard,
                         ) {
-                            Ok(_) => {
+                            Ok(()) => {
                                 if level == 0 {
-                                    // Fully unlinked: this thread owns the retirement.
-                                    // SAFETY: unique level-0 unlink winner; unreachable for
-                                    // operations that start later.
-                                    unsafe { handle.retire(curr_nn) };
+                                    // Fully unlinked: this thread is the unique level-0
+                                    // unlink winner and owns the retirement.
+                                    guard.retire(curr);
                                 }
-                                curr_word = ptr_of(next_word);
+                                curr_word = unlink_to;
                                 continue;
                             }
                             Err(_) => continue 'retry,
                         }
                     }
-                    if self.key_less(curr, key) {
-                        let _ = handle.protect(0, curr_nn, || true);
+                    if curr_ref.key_less(key) {
+                        // Advance: `curr` becomes the predecessor.  Rotating the roles
+                        // moves the protection without touching the announcements.
+                        set.rotate([PRED, CURR]);
                         pred = curr;
-                        curr_word = next_word;
+                        pred_ref = curr_ref;
+                        curr_word = next;
                     } else {
-                        break;
+                        break curr;
                     }
-                }
+                };
                 preds[level] = pred;
-                succs[level] = ptr_of(curr_word);
+                succs[level] = curr;
+                if keep_pred_level == Some(level) && pred != head {
+                    // Pin this level's predecessor beyond the rotating window: the
+                    // insert completion CASes on its link after the descent finishes.
+                    // (The head sentinel is never retired and needs no announcement.)
+                    set.duplicate(PRED, TPRED, pred);
+                }
             }
-            let candidate = succs[0];
-            let found = if candidate != 0 && self.node(candidate).key.as_ref() == Some(key) {
-                candidate
-            } else {
-                0
+            let found = match succs[0].as_ref() {
+                Some(candidate) if candidate.key.as_ref() == Some(key) => succs[0],
+                _ => Shared::null(),
             };
             return Ok(FindResult { preds, succs, found });
         }
     }
 
+    /// Geometric(1/2) tower height from a deterministic SplitMix64 stream: one relaxed
+    /// `fetch_add` per insert (concurrent inserters draw distinct values), reproducible
+    /// across runs — which is what makes the `skiplist_raw` / `skiplist_guard` benchmark
+    /// pair compare identical tower shapes instead of per-run RNG luck.
     fn random_height(&self) -> usize {
-        let mut rng = rand::thread_rng();
-        let mut h = 1;
-        while h < MAX_HEIGHT && rng.gen_bool(0.5) {
-            h += 1;
-        }
-        h
-    }
-
-    fn insert_body(
-        &self,
-        handle: &mut SkipHandle<K, V, R, P, A>,
-        key: &K,
-        value: &V,
-        published: &mut Option<(usize, usize)>,
-    ) -> Result<bool, Neutralized> {
-        loop {
-            let r = self.find(handle, key)?;
-            if r.found != 0 {
-                return Ok(false);
-            }
-            let height = self.random_height();
-            let node =
-                handle.allocate(SkipNode::new(Some(key.clone()), Some(value.clone()), height));
-            let node_ptr = node.as_ptr() as usize;
-            {
-                // SAFETY: the node is private until the bottom-level CAS below publishes it.
-                let node_ref = unsafe { node.as_ref() };
-                for level in 0..height {
-                    node_ref.next[level].store(r.succs[level], Ordering::Relaxed);
-                }
-            }
-            if let Err(e) = handle.check() {
-                // SAFETY: never published.
-                unsafe { handle.deallocate(node) };
-                return Err(e);
-            }
-            // Publish at the bottom level: the operation's linearization point.
-            if self.node(r.preds[0]).next[0]
-                .compare_exchange(r.succs[0], node_ptr, Ordering::AcqRel, Ordering::Acquire)
-                .is_err()
-            {
-                // SAFETY: never published.
-                unsafe { handle.deallocate(node) };
-                continue;
-            }
-            // From here on the operation must report success; completion work is resumable
-            // across a neutralization (see `complete_insert`).  The restricted hazard
-            // pointer keeps the node's memory valid across a recovery gap, during which a
-            // concurrent remove may retire it.
-            handle.r_protect(node);
-            *published = Some((node_ptr, height));
-            self.complete_insert(handle, key, node_ptr, height)?;
-            return Ok(true);
-        }
+        let x = self.height_rng.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        1 + (z.trailing_ones() as usize).min(MAX_HEIGHT - 1)
     }
 
     /// Completion phase of an already-published insert: links the upper levels and, if a
@@ -283,30 +310,32 @@ where
     /// inserting operation, or it could be freed while other threads can still step onto
     /// it through an upper-level link).
     ///
-    /// Idempotent: on neutralization the caller re-runs it inside a fresh operation.
-    fn complete_insert(
+    /// Idempotent: on neutralization the caller re-runs it inside a fresh guard, with
+    /// `node` re-derived from its [`Protected`] recovery token.
+    fn complete_insert<'g>(
         &self,
-        handle: &mut SkipHandle<K, V, R, P, A>,
+        guard: &'g SkipGuard<K, V, R, P, A>,
+        set: &mut SkipShields<'g, 4, K, V, R, P, A>,
         key: &K,
-        node_ptr: usize,
+        node: Shared<'g, SkipNode<K, V>>,
         height: usize,
-    ) -> Result<(), Neutralized> {
-        let node_ref = self.node(node_ptr);
+    ) -> Result<(), Restart> {
+        let node_ref = node.as_ref().expect("published node is non-null");
         'levels: for level in 1..height {
             loop {
-                let expected = node_ref.next[level].load(Ordering::Acquire);
-                if is_marked(expected) {
+                let expected = node_ref.next[level].load(Ordering::Acquire, guard);
+                if expected.tag() == MARK {
                     break 'levels; // concurrently removed; stop climbing
                 }
-                let r2 = self.find(handle, key)?;
-                if r2.found != node_ptr {
+                let r2 = self.find(guard, set, key, Some(level))?;
+                if r2.found != node {
                     break 'levels; // already removed and unlinked at the bottom
                 }
-                if r2.succs[level] == node_ptr {
+                if r2.succs[level] == node {
                     // Already linked at this level: we are re-running the (idempotent)
                     // completion after a neutralization, and `find` now returns the node
                     // as its own successor here.  Without this check the CAS below would
-                    // set `node.next[level] = node_ptr` — a self-cycle that every later
+                    // set `node.next[level] = node` — a self-cycle that every later
                     // traversal of this level would spin on forever.
                     continue 'levels;
                 }
@@ -317,17 +346,19 @@ where
                             r2.succs[level],
                             Ordering::AcqRel,
                             Ordering::Acquire,
+                            guard,
                         )
                         .is_err()
                 {
                     continue;
                 }
-                if self.node(r2.preds[level]).next[level]
+                if r2.preds[level].as_ref().expect("preds are non-null").next[level]
                     .compare_exchange(
                         r2.succs[level],
-                        node_ptr,
+                        node,
                         Ordering::AcqRel,
                         Ordering::Acquire,
+                        guard,
                     )
                     .is_ok()
                 {
@@ -335,41 +366,46 @@ where
                 }
             }
         }
-        if is_marked(node_ref.next[0].load(Ordering::Acquire)) {
+        if node_ref.next[0].load(Ordering::Acquire, guard).tag() == MARK {
             // A concurrent remove won while we were climbing: unlink everywhere (the
             // level-0 unlink winner performs the retirement).
-            let _ = self.find(handle, key)?;
+            let _ = self.find(guard, set, key, None)?;
         }
-        handle.r_unprotect_all();
         Ok(())
     }
 
     fn remove_body(
         &self,
-        handle: &mut SkipHandle<K, V, R, P, A>,
+        guard: &SkipGuard<K, V, R, P, A>,
         key: &K,
         decided: &mut bool,
-    ) -> Result<bool, Neutralized> {
+    ) -> Result<bool, Restart> {
+        let mut set = guard.shield_set::<2>();
         if *decided {
             // The bottom-level mark CAS already succeeded in an attempt that was then
             // interrupted by neutralization; only the physical unlink remains.
-            let _ = self.find(handle, key)?;
+            let _ = self.find(guard, &mut set, key, None)?;
             return Ok(true);
         }
-        let r = self.find(handle, key)?;
-        if r.found == 0 {
+        let r = self.find(guard, &mut set, key, None)?;
+        let Some(victim) = r.found.as_ref() else {
             return Ok(false);
-        }
-        let victim = self.node(r.found);
+        };
         // Mark the upper levels (top-down).
         for level in (1..victim.height).rev() {
             loop {
-                let w = victim.next[level].load(Ordering::Acquire);
-                if is_marked(w) {
+                let w = victim.next[level].load(Ordering::Acquire, guard);
+                if w.tag() == MARK {
                     break;
                 }
                 if victim.next[level]
-                    .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
+                    .compare_exchange(
+                        w,
+                        w.with_tag(MARK),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    )
                     .is_ok()
                 {
                     break;
@@ -379,75 +415,63 @@ where
         // Mark the bottom level; only one remover succeeds.  The successful CAS is the
         // linearization point: everything after it must not unwind the decision.
         loop {
-            let w = victim.next[0].load(Ordering::Acquire);
-            if is_marked(w) {
+            let w = victim.next[0].load(Ordering::Acquire, guard);
+            if w.tag() == MARK {
                 return Ok(false); // another remover won
             }
             if victim.next[0]
-                .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(w, w.with_tag(MARK), Ordering::AcqRel, Ordering::Acquire, guard)
                 .is_ok()
             {
                 *decided = true;
                 // Physically unlink (and let the unlink winner retire) via find.
-                let _ = self.find(handle, key)?;
+                let _ = self.find(guard, &mut set, key, None)?;
                 return Ok(true);
             }
-            handle.check()?;
+            guard.check()?;
         }
     }
 
-    fn get_body(
-        &self,
-        handle: &mut SkipHandle<K, V, R, P, A>,
-        key: &K,
-    ) -> Result<Option<V>, Neutralized> {
+    fn get_body(&self, guard: &SkipGuard<K, V, R, P, A>, key: &K) -> Result<Option<V>, Restart> {
         // Read-only traversal (does not unlink).  Every step onto a node goes through a
-        // validated `protect` so that schemes with real per-access protection (hazard
-        // pointers, IBR's validating read) cover the record before it is dereferenced;
-        // epoch schemes compile this to a plain `true`.
+        // validated protect, so schemes with real per-access protection cover the record
+        // before it is dereferenced; the loaded words are tag-stripped first, so under
+        // epoch schemes (whose validation compiles to nothing) the traversal keeps
+        // walking through marked — and possibly retired — nodes, exactly the Section 3
+        // access pattern, while under HP-style schemes a marked predecessor link fails
+        // the exact-word validation and restarts.
+        let mut set = guard.shield_set::<2>();
         'retry: loop {
-            handle.check()?;
-            let mut pred = self.head;
+            guard.check()?;
+            let pred = self.head.load(Ordering::Acquire, guard);
+            let mut pred_ref = pred.as_ref().expect("head is non-null");
             for level in (0..MAX_HEIGHT).rev() {
-                let mut curr = ptr_of(self.node(pred).next[level].load(Ordering::Acquire));
+                let mut curr_word = pred_ref.next[level].load(Ordering::Acquire, guard).with_tag(0);
                 loop {
-                    handle.check()?;
-                    if curr == 0 {
-                        break;
-                    }
-                    let curr_nn = NonNull::new(curr as *mut SkipNode<K, V>).expect("non-null");
-                    let pred_link = &self.node(pred).next[level];
-                    // Full-word validation: the link must still be the *unmarked* pointer
-                    // to `curr`.  A marked predecessor link means `curr` may already be
-                    // unlinked and retired; only epoch schemes (which never run this
-                    // closure) may keep traversing through marked nodes.
-                    if !handle.protect(1, curr_nn, || pred_link.load(Ordering::SeqCst) == curr) {
+                    let link = &pred_ref.next[level];
+                    let Ok(curr) = set.protect_loaded(CURR, link, curr_word) else {
                         continue 'retry;
-                    }
-                    let curr_ref = self.node(curr);
-                    if self.key_less(curr, key) {
-                        let _ = handle.protect(0, curr_nn, || true);
-                        pred = curr;
-                        curr = ptr_of(curr_ref.next[level].load(Ordering::Acquire));
+                    };
+                    let Some(curr_ref) = curr.as_ref() else {
+                        break;
+                    };
+                    if curr_ref.key_less(key) {
+                        set.rotate([PRED, CURR]);
+                        pred_ref = curr_ref;
+                        curr_word = curr_ref.next[level].load(Ordering::Acquire, guard).with_tag(0);
                     } else {
                         break;
                     }
                 }
             }
-            let candidate = ptr_of(self.node(pred).next[0].load(Ordering::Acquire));
-            if candidate != 0 {
-                let candidate_nn =
-                    NonNull::new(candidate as *mut SkipNode<K, V>).expect("non-null");
-                let pred_link = &self.node(pred).next[0];
-                // Full-word validation, as above: a marked link must not validate.
-                if !handle
-                    .protect(1, candidate_nn, || pred_link.load(Ordering::SeqCst) == candidate)
-                {
+            let candidate = pred_ref.next[0].load(Ordering::Acquire, guard).with_tag(0);
+            if !candidate.is_null() {
+                let Ok(candidate) = set.protect_loaded(CURR, &pred_ref.next[0], candidate) else {
                     continue 'retry;
-                }
-                let node = self.node(candidate);
+                };
+                let node = candidate.as_ref().expect("candidate is non-null");
                 if node.key.as_ref() == Some(key)
-                    && !is_marked(node.next[0].load(Ordering::Acquire))
+                    && node.next[0].load(Ordering::Acquire, guard).tag() == 0
                 {
                     return Ok(node.value.clone());
                 }
@@ -456,43 +480,26 @@ where
         }
     }
 
-    fn run_op<Out>(
-        &self,
-        handle: &mut SkipHandle<K, V, R, P, A>,
-        mut body: impl FnMut(&Self, &mut SkipHandle<K, V, R, P, A>) -> Result<Out, Neutralized>,
-    ) -> Out {
-        loop {
-            let _ = handle.leave_qstate();
-            match body(self, handle) {
-                Ok(out) => {
-                    handle.enter_qstate();
-                    return out;
-                }
-                Err(Neutralized) => {
-                    // Recovery: acknowledge and retry the body.  Restricted hazard pointers
-                    // are deliberately *kept*: an insert whose decision CAS already
-                    // succeeded holds its new node R-protected across the recovery gap and
-                    // releases it when its completion phase finishes.
-                    handle.begin_recovery();
-                }
-            }
-        }
-    }
-
-    /// Number of keys currently in the list (single-threaded diagnostic).
+    /// Number of keys currently in the list; test/diagnostic helper.
+    ///
+    /// The traversal announces no per-node protection, which only epoch-style schemes
+    /// honor; under protection-based schemes (HP, ThreadScan, IBR) it must not race with
+    /// concurrent removals — call it only when no other thread is updating the list.
     pub fn len(&self, handle: &mut SkipHandle<K, V, R, P, A>) -> usize {
-        let _ = handle.leave_qstate();
-        let mut n = 0;
-        let mut curr = ptr_of(self.node(self.head).next[0].load(Ordering::Acquire));
-        while curr != 0 {
-            let r = self.node(curr);
-            if !is_marked(r.next[0].load(Ordering::Acquire)) {
-                n += 1;
+        handle.run(|guard| {
+            let mut n = 0;
+            let head = self.head.load(Ordering::Acquire, guard);
+            let mut curr =
+                head.as_ref().expect("head is non-null").next[0].load(Ordering::Acquire, guard);
+            while let Some(node) = curr.as_ref() {
+                let next = node.next[0].load(Ordering::Acquire, guard);
+                if next.tag() == 0 {
+                    n += 1;
+                }
+                curr = next;
             }
-            curr = ptr_of(r.next[0].load(Ordering::Acquire));
-        }
-        handle.enter_qstate();
-        n
+            Ok(n)
+        })
     }
 
     /// Returns `true` if the skip list holds no keys (diagnostic helper).
@@ -511,21 +518,81 @@ where
 {
     type Handle = SkipHandle<K, V, R, P, A>;
 
-    fn register(&self, tid: usize) -> Result<Self::Handle, RegistrationError> {
-        self.manager().register(tid)
+    fn register(&self) -> Result<Self::Handle, RegistrationError> {
+        self.domain.try_handle()
     }
 
     fn insert(&self, handle: &mut Self::Handle, key: K, value: V) -> bool {
         // `published` survives neutralization-induced retries: once the bottom-level CAS
         // has succeeded, only the (idempotent) completion phase is re-run, so the insert
-        // takes effect exactly once.
-        let mut published: Option<(usize, usize)> = None;
-        self.run_op(handle, |this, h| {
-            if let Some((node_ptr, height)) = published {
-                this.complete_insert(h, &key, node_ptr, height)?;
+        // takes effect exactly once.  The recovery scope keeps the published node
+        // R-protected across the recovery gap — a concurrent remove may retire it while
+        // this thread is between attempts — and releases the protection when the whole
+        // operation (completion phase included) is done.  Only DEBRA+ restarts a body
+        // past its decision point, so other schemes skip the scope (and its token)
+        // entirely — the branch is constant after monomorphization.
+        let recovery = handle.supports_crash_recovery().then(|| handle.recovery());
+        let mut published: Option<PublishedInsert<'_, K, V>> = None;
+        handle.run(|guard| {
+            let mut set = guard.shield_set::<4>();
+            if let Some((token, height)) = &published {
+                // Resuming an interrupted completion phase: only crash-recovery schemes
+                // can get here (the Restart that unwinds a decided insert is a DEBRA+
+                // neutralization), so the token always exists.
+                let node = token.expect("resumed completion implies crash recovery").get(guard);
+                self.complete_insert(guard, &mut set, &key, node, *height)?;
                 return Ok(true);
             }
-            this.insert_body(h, &key, &value, &mut published)
+            loop {
+                let r = self.find(guard, &mut set, &key, None)?;
+                if !r.found.is_null() {
+                    return Ok(false);
+                }
+                let height = self.random_height();
+                let node = guard.alloc(SkipNode::new(key.clone(), value.clone(), height, &r.succs));
+                // Announce the still-private node *before* publication — sound because a
+                // private record cannot be retired, and required by both protections
+                // that must already cover the node when the CAS makes it retirable: the
+                // shield keeps it dereferenceable under per-access schemes through the
+                // completion phase (a concurrent remove may mark and retire it), and the
+                // restricted hazard pointer keeps it valid across a DEBRA+ recovery gap
+                // (a neutralization can land on the very instruction after the CAS).
+                set.protect_private(NODE, &node);
+                let token = recovery.as_ref().map(|r| r.protect(node.shared()));
+                if let Err(restart) = guard.check() {
+                    // Not yet published: recycle immediately and drop this attempt's
+                    // restricted announcement, then unwind to recovery.
+                    guard.discard(node);
+                    if let Some(r) = &recovery {
+                        r.clear();
+                    }
+                    return Err(restart);
+                }
+                // Publish at the bottom level: the operation's linearization point.
+                match r.preds[0].as_ref().expect("preds are non-null").next[0]
+                    .compare_exchange_owned(
+                        r.succs[0],
+                        node,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    ) {
+                    Ok(node) => {
+                        published = Some((token, height));
+                        self.complete_insert(guard, &mut set, &key, node, height)?;
+                        return Ok(true);
+                    }
+                    Err(node) => {
+                        // The node was never made reachable; recycle it, drop its
+                        // restricted announcement, and retry.
+                        guard.discard(node);
+                        if let Some(r) = &recovery {
+                            r.clear();
+                        }
+                        continue;
+                    }
+                }
+            }
         })
     }
 
@@ -533,15 +600,15 @@ where
         // Same decision/completion split as `insert`: a remove whose bottom-level mark CAS
         // has succeeded reports success even if its physical unlink is interrupted.
         let mut decided = false;
-        self.run_op(handle, |this, h| this.remove_body(h, key, &mut decided))
+        handle.run(|guard| self.remove_body(guard, key, &mut decided))
     }
 
     fn contains(&self, handle: &mut Self::Handle, key: &K) -> bool {
-        self.run_op(handle, |this, h| this.get_body(h, key)).is_some()
+        handle.run(|guard| self.get_body(guard, key)).is_some()
     }
 
     fn get(&self, handle: &mut Self::Handle, key: &K) -> Option<V> {
-        self.run_op(handle, |this, h| this.get_body(h, key))
+        handle.run(|guard| self.get_body(guard, key))
     }
 }
 
@@ -554,14 +621,11 @@ where
     A: Allocator<SkipNode<K, V>>,
 {
     fn drop(&mut self) {
-        let mut alloc = self.manager().teardown_allocator();
-        let mut curr = self.head;
-        while curr != 0 {
-            let next = ptr_of(self.node(curr).next[0].load(Ordering::Relaxed));
-            // SAFETY: exclusive access during drop; bottom-level walk visits each node once.
-            unsafe { alloc.deallocate(NonNull::new_unchecked(curr as *mut SkipNode<K, V>)) };
-            curr = next;
-        }
+        // Exclusive access during drop (`&mut self`): the bottom-level chain visits every
+        // node (head sentinel included) exactly once.
+        self.domain.free_reachable(self.head.load_ptr(Ordering::Relaxed), |node| {
+            node.next[0].load_ptr(Ordering::Relaxed)
+        });
     }
 }
 
@@ -576,26 +640,6 @@ where
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SkipList").field("reclaimer", &R::name()).finish()
     }
-}
-
-// SAFETY: all shared mutable state is accessed through atomics; records are Send.
-unsafe impl<K, V, R, P, A> Send for SkipList<K, V, R, P, A>
-where
-    K: Ord + Clone + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    R: Reclaimer<SkipNode<K, V>>,
-    P: Pool<SkipNode<K, V>>,
-    A: Allocator<SkipNode<K, V>>,
-{
-}
-unsafe impl<K, V, R, P, A> Sync for SkipList<K, V, R, P, A>
-where
-    K: Ord + Clone + Send + Sync + 'static,
-    V: Clone + Send + Sync + 'static,
-    R: Reclaimer<SkipNode<K, V>>,
-    P: Pool<SkipNode<K, V>>,
-    A: Allocator<SkipNode<K, V>>,
-{
 }
 
 #[cfg(test)]
@@ -614,7 +658,7 @@ mod tests {
     #[test]
     fn sequential_set_semantics() {
         let s = new_skip(1);
-        let mut h = s.register(0).unwrap();
+        let mut h = s.register().unwrap();
         assert!(s.insert(&mut h, 3, 30));
         assert!(s.insert(&mut h, 1, 10));
         assert!(s.insert(&mut h, 2, 20));
@@ -631,7 +675,7 @@ mod tests {
     fn matches_a_sequential_model() {
         use std::collections::BTreeMap;
         let s = new_skip(1);
-        let mut h = s.register(0).unwrap();
+        let mut h = s.register().unwrap();
         let mut model = BTreeMap::new();
         let mut x: u64 = 0xDEADBEEFCAFEF00D;
         for _ in 0..4000 {
@@ -649,12 +693,12 @@ mod tests {
     #[test]
     fn concurrent_mixed_workload_is_consistent() {
         let threads = 4;
-        let s = Arc::new(new_skip(threads));
+        let s = Arc::new(new_skip(threads + 1));
         let mut joins = Vec::new();
         for t in 0..threads {
             let s = Arc::clone(&s);
             joins.push(std::thread::spawn(move || {
-                let mut h = s.register(t).unwrap();
+                let mut h = s.register().unwrap();
                 let mut net: i64 = 0;
                 let mut x: u64 = 0x1234_5678 + t as u64;
                 for _ in 0..5_000 {
@@ -672,7 +716,7 @@ mod tests {
             }));
         }
         let net: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
-        let mut h = s.register(0).unwrap();
+        let mut h = s.register().unwrap();
         assert_eq!(s.len(&mut h) as i64, net);
         assert!(s.manager().reclaimer().stats().retired > 0);
     }

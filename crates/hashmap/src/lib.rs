@@ -46,6 +46,7 @@
 //! [`Guard::discard`](debra::Guard::discard), and one whose CAS succeeded runs no further
 //! checkpoints before returning.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -114,8 +115,8 @@ where
 
 /// Shorthand for the per-thread handle type used by [`LockFreeHashMap`]: a domain lease
 /// that pins guards without per-operation registry lookups.  Obtained with
-/// [`ConcurrentMap::register`] (the `tid` argument is ignored — slots are leased
-/// automatically) and usable only on the thread that created it.
+/// [`ConcurrentMap::register`] (slots are leased automatically) and usable only on the
+/// thread that created it.
 pub type HashMapHandle<K, V, R, P, A> = DomainHandle<HashMapNode<K, V>, R, P, A>;
 
 /// Shorthand for the guard type of [`LockFreeHashMap`] operations.
@@ -163,9 +164,9 @@ where
         self.buckets.len()
     }
 
-    /// Leases a per-thread handle; see [`ConcurrentMap::register`] (the `tid` is ignored —
-    /// the domain leases slots automatically).
-    pub fn register(&self, _tid: usize) -> Result<HashMapHandle<K, V, R, P, A>, RegistrationError> {
+    /// Leases a per-thread handle; see [`ConcurrentMap::register`] (the domain leases
+    /// slots automatically — no manual `tid` bookkeeping).
+    pub fn register(&self) -> Result<HashMapHandle<K, V, R, P, A>, RegistrationError> {
         self.domain.try_handle()
     }
 
@@ -240,10 +241,11 @@ where
                         guard,
                     ) {
                         Ok(()) => {
-                            // SAFETY: `curr` was just unlinked by this thread (unique CAS
-                            // winner) and is no longer reachable from the bucket head; it
-                            // is retired exactly once, here.
-                            unsafe { guard.retire(curr) };
+                            // `curr` was just unlinked by this thread (unique CAS winner)
+                            // and is no longer reachable from the bucket head; it is
+                            // retired exactly once, here (the guard's documented
+                            // contract).
+                            guard.retire(curr);
                             curr_word = unlink_to;
                             continue;
                         }
@@ -357,8 +359,8 @@ where
                 )
                 .is_ok()
             {
-                // SAFETY: unlinked by this thread; unique owner of the retirement.
-                unsafe { guard.retire(curr) };
+                // Unlinked by this thread: unique owner of the retirement.
+                guard.retire(curr);
             }
             return Ok(true);
         }
@@ -442,7 +444,7 @@ where
 {
     type Handle = HashMapHandle<K, V, R, P, A>;
 
-    fn register(&self, _tid: usize) -> Result<Self::Handle, RegistrationError> {
+    fn register(&self) -> Result<Self::Handle, RegistrationError> {
         self.domain.try_handle()
     }
 
@@ -477,13 +479,11 @@ where
 {
     fn drop(&mut self) {
         for bucket in self.buckets.iter() {
-            // SAFETY: exclusive access during drop (`&mut self`); every node still
-            // reachable from a bucket head is freed exactly once (chains are disjoint).
-            unsafe {
-                self.domain.free_reachable(bucket.load_ptr(Ordering::Relaxed), |node| {
-                    node.next.load_ptr(Ordering::Relaxed)
-                });
-            }
+            // Exclusive access during drop (`&mut self`); every node still reachable
+            // from a bucket head is freed exactly once (chains are disjoint).
+            self.domain.free_reachable(bucket.load_ptr(Ordering::Relaxed), |node| {
+                node.next.load_ptr(Ordering::Relaxed)
+            });
         }
     }
 }
@@ -523,7 +523,7 @@ mod tests {
     #[test]
     fn sequential_map_semantics() {
         let map = new_map(1, 16);
-        let mut h = map.register(0).unwrap();
+        let mut h = map.register().unwrap();
         assert!(!map.contains(&mut h, &5));
         assert!(map.insert(&mut h, 5, 50));
         assert!(!map.insert(&mut h, 5, 51), "duplicate insert must fail");
@@ -547,7 +547,7 @@ mod tests {
     fn single_bucket_degrades_to_a_sorted_list() {
         // Every key collides: the map must still be a correct set.
         let map = new_map(1, 1);
-        let mut h = map.register(0).unwrap();
+        let mut h = map.register().unwrap();
         let keys = [9u64, 1, 7, 3, 5, 2, 8, 0, 6, 4];
         for &k in &keys {
             assert!(map.insert(&mut h, k, k * 10));
@@ -568,7 +568,7 @@ mod tests {
     fn matches_a_sequential_model() {
         use std::collections::HashMap;
         let map = new_map(1, 8); // few buckets => long chains, real collisions
-        let mut h = map.register(0).unwrap();
+        let mut h = map.register().unwrap();
         let mut model: HashMap<u64, u64> = HashMap::new();
         let mut x: u64 = 0x243F6A8885A308D3;
         for _ in 0..4000 {
@@ -595,7 +595,7 @@ mod tests {
         for t in 0..threads as u64 {
             let map = Arc::clone(&map);
             joins.push(std::thread::spawn(move || {
-                let mut h = map.register(t as usize).unwrap();
+                let mut h = map.register().unwrap();
                 for i in 0..per_thread {
                     let k = t * per_thread + i;
                     assert!(map.insert(&mut h, k, k));
@@ -613,7 +613,7 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
-        let mut h = map.register(0).unwrap();
+        let mut h = map.register().unwrap();
         assert_eq!(map.len(&mut h), (threads as u64 * per_thread / 2) as usize);
     }
 
@@ -632,7 +632,7 @@ mod tests {
                 for t in 0..threads {
                     let map = Arc::clone(&map);
                     joins.push(std::thread::spawn(move || {
-                        let mut h = map.register(t).unwrap();
+                        let mut h = map.register().unwrap();
                         let mut net: i64 = 0;
                         for i in 0..5_000u64 {
                             let k = i % 16;
@@ -648,7 +648,7 @@ mod tests {
                     }));
                 }
                 let net_total: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
-                let mut h = map.register(threads).unwrap();
+                let mut h = map.register().unwrap();
                 assert_eq!(
                     map.len(&mut h) as i64,
                     net_total,

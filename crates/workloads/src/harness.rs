@@ -93,8 +93,10 @@ where
     M::Handle: 'm,
 {
     // Everything below this adapter is monomorphization-free (see the module docs).
-    let factory = |tid: usize| -> Box<dyn BenchHandle + 'm> {
-        Box::new(MapHandle { map, handle: map.register(tid).expect("register worker thread") })
+    // The `tid` parameter only seeds each worker's operation generator; thread slots are
+    // leased automatically through each structure's `Domain`.
+    let factory = |_tid: usize| -> Box<dyn BenchHandle + 'm> {
+        Box::new(MapHandle { map, handle: map.register().expect("register worker thread") })
     };
     run_trial_erased(&factory, cfg, seed, &reclaimer_stats, &allocator_stats)
 }

@@ -29,7 +29,7 @@ fn run<R: Reclaimer<Node>>(label: &str) {
         for tid in 0..threads {
             let list = Arc::clone(&list);
             scope.spawn(move || {
-                let mut handle = list.register(tid).expect("register");
+                let mut handle = list.register().expect("register");
                 let mut x = 0x9E3779B97F4A7C15u64 ^ tid as u64;
                 for _ in 0..40_000u64 {
                     x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);

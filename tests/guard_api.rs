@@ -2,10 +2,11 @@
 //! guard/shield semantics, and the Harris–Michael list driven purely through the safe API
 //! under every reclamation scheme.
 
+use std::ptr::NonNull;
 use std::sync::Arc;
 
 use debra_repro::debra::{
-    Debra, DebraPlus, Domain, Reclaimer, RecordManager, RegistrationError, Restart,
+    Atomic, Debra, DebraPlus, Domain, Reclaimer, RecordManager, RegistrationError, Restart,
 };
 use debra_repro::lockfree_ds::{ConcurrentMap, HarrisMichaelList, ListNode, SkipList, SkipNode};
 use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
@@ -208,21 +209,186 @@ safe_list_under!(safe_list_classic_ebr, ClassicEbr<ListNode<u64, u64>>);
 safe_list_under!(safe_list_threadscan, ThreadScanLite<ListNode<u64, u64>>);
 safe_list_under!(safe_list_ibr, Ibr<ListNode<u64, u64>>);
 
+type HpDomain = Domain<u64, HazardPointers<u64>, ThreadPool<u64>, SystemAllocator<u64>>;
+type DebraPlusDomain = Domain<u64, DebraPlus<u64>, ThreadPool<u64>, SystemAllocator<u64>>;
+
+/// `ShieldSet::rotate` permutes *roles*, not announcements: every record that stays in
+/// the window stays protected across the rotation (observed through the hazard-pointer
+/// scheme's global announcement scan), and a subsequent protect into the role that
+/// received the freed slot overwrites the stale announcement — releasing exactly the
+/// record that left the window, nothing else.
+#[test]
+fn shield_set_rotation_keeps_window_protected() {
+    let domain: HpDomain = Domain::new(1);
+    let hp = Arc::clone(domain.manager().reclaimer());
+    let link_a = Atomic::null();
+    let link_b = Atomic::null();
+    let link_c = Atomic::null();
+    let guard = domain.pin();
+    for (link, v) in [(&link_a, 1u64), (&link_b, 2), (&link_c, 3)] {
+        let owned = guard.alloc(v);
+        assert!(link
+            .compare_exchange_owned(
+                debra_repro::debra::Shared::null(),
+                owned,
+                std::sync::atomic::Ordering::AcqRel,
+                std::sync::atomic::Ordering::Acquire,
+                &guard,
+            )
+            .is_ok());
+    }
+    let nn = |s: debra_repro::debra::Shared<'_, u64>| NonNull::new(s.as_ptr()).unwrap();
+
+    let mut set = set_of(&guard);
+    let a = set.protect(0, &link_a).expect("protect a");
+    let b = set.protect(1, &link_b).expect("protect b");
+    assert!(hp.is_protected_by_any(nn(a)));
+    assert!(hp.is_protected_by_any(nn(b)));
+
+    // Rotate the three roles: a and b stay protected (their slots never move).
+    set.rotate([0, 1, 2]);
+    assert!(hp.is_protected_by_any(nn(a)), "rotation must not drop a's announcement");
+    assert!(hp.is_protected_by_any(nn(b)), "rotation must not drop b's announcement");
+
+    // After rotate([0,1,2]), role 2 holds role 0's old slot — the one announcing `a`.
+    // Protecting c there overwrites exactly that announcement.
+    let c = set.protect(2, &link_c).expect("protect c");
+    assert!(!hp.is_protected_by_any(nn(a)), "a left the window");
+    assert!(hp.is_protected_by_any(nn(b)));
+    assert!(hp.is_protected_by_any(nn(c)));
+
+    // Dropping the set releases every slot.
+    drop(set);
+    for s in [a, b, c] {
+        assert!(!hp.is_protected_by_any(nn(s)));
+    }
+    drop(guard);
+    for link in [link_a, link_b, link_c] {
+        domain.free_reachable(link.load_ptr(std::sync::atomic::Ordering::Relaxed), |_| {
+            std::ptr::null_mut()
+        });
+    }
+}
+
+/// Helper pinning the set size used by the rotation test (type inference aid).
+fn set_of<'g>(
+    guard: &'g debra_repro::debra::Guard<
+        u64,
+        HazardPointers<u64>,
+        ThreadPool<u64>,
+        SystemAllocator<u64>,
+    >,
+) -> debra_repro::debra::ShieldSet<
+    'g,
+    3,
+    u64,
+    HazardPointers<u64>,
+    ThreadPool<u64>,
+    SystemAllocator<u64>,
+> {
+    guard.shield_set::<3>()
+}
+
+/// The per-thread shield-slot pool is finite: leasing more than 32 slots at once panics
+/// rather than silently sharing a slot (which would drop a protection).
+#[test]
+#[should_panic(expected = "too many live Shields")]
+fn shield_set_exhaustion_panics() {
+    let domain: HpDomain = Domain::new(1);
+    let guard = domain.pin();
+    let _set = guard.shield_set::<33>();
+}
+
+/// The `Recovery` scope is the RAII bracket of DEBRA+'s restricted hazard pointers: a
+/// protection announced in the scope survives a [`Restart`] recovery cycle (the
+/// completion-phase protocol — `Guard::recover` must *not* release it) and is released
+/// when the scope drops.
+#[test]
+fn recovery_scope_survives_restart_and_releases_on_drop() {
+    let domain: DebraPlusDomain = Domain::new(2);
+    let handle = domain.handle();
+    let guard = domain.pin();
+    let owned = guard.alloc(7u64);
+
+    let recovery = handle.recovery();
+    let token = recovery.protect(owned.shared());
+    assert!(recovery.is_protected(owned.shared()));
+
+    let mut attempts = 0;
+    handle.run(|g| {
+        attempts += 1;
+        if attempts == 1 {
+            // Unwinding with Restart runs the recovery protocol; the restricted
+            // protection must survive it (an interrupted insert still needs its
+            // published record covered in the next attempt).
+            return Err(Restart);
+        }
+        let shared = token.get(g);
+        assert!(recovery.is_protected(shared), "restricted HP must survive the restart");
+        Ok(())
+    });
+    assert_eq!(attempts, 2);
+
+    drop(recovery);
+    // A fresh scope observes that the drop released everything (RUnprotectAll).
+    let fresh = handle.recovery();
+    assert!(!fresh.is_protected(owned.shared()));
+    drop(fresh);
+    guard.discard(owned);
+}
+
+/// Pins the helping policy per scheme: helping (unvalidated traversal of another
+/// operation's records) is an epoch-style capability.  Schemes whose safety argument is
+/// tied to their own validated accesses — hazard pointers, ThreadScan, **and IBR** —
+/// must refuse it.  Regression for the seed's external-BST livelock: the old
+/// `protection_slots() > 0` gate let IBR help, and a stale helper's child CAS racing
+/// record recycling could resurrect an already-removed marked node, permanently wedging
+/// every IBR-validated traversal through it.
+#[test]
+fn helping_policy_matches_the_scheme_taxonomy() {
+    fn helping<R: Reclaimer<u64>>() -> bool {
+        let domain: Domain<u64, R, ThreadPool<u64>, SystemAllocator<u64>> = Domain::new(1);
+        let guard = domain.pin();
+        guard.helping_allowed()
+    }
+    assert!(helping::<NoReclaim<u64>>());
+    assert!(helping::<Debra<u64>>());
+    assert!(helping::<DebraPlus<u64>>());
+    assert!(helping::<ClassicEbr<u64>>());
+    assert!(!helping::<HazardPointers<u64>>());
+    assert!(!helping::<ThreadScanLite<u64>>());
+    assert!(
+        !helping::<Ibr<u64>>(),
+        "IBR must not help: its reservation covers only validated reads"
+    );
+}
+
+/// Two live `Recovery` scopes on one thread would let the inner drop release the outer
+/// scope's protections (`RUnprotectAll` is all-or-nothing), so nesting panics.
+#[test]
+#[should_panic(expected = "Recovery scopes must not nest")]
+fn recovery_scopes_do_not_nest() {
+    let domain: DebraDomain = Domain::new(1);
+    let handle = domain.handle();
+    let _outer = handle.recovery();
+    let _inner = handle.recovery();
+}
+
 /// The skip list's safe-layer entry points: construction in a domain and automatic slot
-/// registration (its operation bodies still speak the raw handle protocol).
+/// leasing through it (the operation bodies run fully on the guard API).
 #[test]
 fn skiplist_domain_entry_points() {
     type Node = SkipNode<u64, u64>;
     type List = SkipList<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
     let domain: Domain<Node, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>> = Domain::new(2);
     let list: List = SkipList::in_domain(domain);
-    let mut a = list.register_auto().expect("auto slot 0");
-    let mut b = list.register_auto().expect("auto slot 1");
-    assert_ne!(a.tid(), b.tid());
+    let mut a = list.register().expect("auto slot 0");
+    let b = list.register().expect("same thread shares the lease");
+    assert_eq!(a.tid(), b.tid(), "one lease per (thread, domain) pair");
     assert!(list.insert(&mut a, 1, 10));
-    assert!(list.contains(&mut b, &1));
+    assert!(list.contains(&mut a, &1));
     drop(b);
     drop(a);
-    let mut c = list.register_auto().expect("slots recycled");
+    let mut c = list.register().expect("slots recycled");
     assert!(list.remove(&mut c, &1));
 }

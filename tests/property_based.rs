@@ -66,7 +66,7 @@ proptest! {
         type Map = ExternalBst<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
         let manager = Arc::new(RecordManager::new(1));
         let map: Map = ExternalBst::new(manager);
-        let mut handle = map.register(0).unwrap();
+        let mut handle = map.register().unwrap();
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         for (op, key) in ops {
             match op {
@@ -86,7 +86,7 @@ proptest! {
         type Map = LockFreeHashMap<u64, u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
         let manager = Arc::new(RecordManager::new(1));
         let map: Map = LockFreeHashMap::with_buckets(manager, 8);
-        let mut handle = map.register(0).unwrap();
+        let mut handle = map.register().unwrap();
         let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         for (op, key) in ops {
             match op {
@@ -106,7 +106,7 @@ proptest! {
         type Map = ExternalBst<u64, u64, Ibr<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
         let manager = Arc::new(RecordManager::new(1));
         let map: Map = ExternalBst::new(manager);
-        let mut handle = map.register(0).unwrap();
+        let mut handle = map.register().unwrap();
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         for (op, key) in ops {
             match op {
@@ -154,7 +154,7 @@ where
         let map = Arc::clone(&map);
         let oracle = Arc::clone(&oracle);
         joins.push(std::thread::spawn(move || {
-            let mut handle = map.register(tid).expect("register worker");
+            let mut handle = map.register().expect("register worker");
             let mut x: u64 = 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64) << 21);
             for i in 0..OPS {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
@@ -195,7 +195,7 @@ where
     }
 
     // Final state must match the oracle exactly: same size, same key/value pairs.
-    let mut handle = map.register(THREADS).expect("register checker");
+    let mut handle = map.register().expect("register checker");
     let mut expected = 0usize;
     for stripe in oracle.iter() {
         let model = stripe.lock().expect("stripe lock poisoned");
