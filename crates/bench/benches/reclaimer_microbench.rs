@@ -15,7 +15,10 @@
 //! list pair is within ±8% everywhere, the skip-list pair within ±11% except a
 //! documented residual under the cheap-announce validating schemes).  The external BST,
 //! whose raw implementation was deleted by the port, is tracked as an absolute
-//! per-scheme row (`bst_guard`).
+//! per-scheme row (`bst_guard`), and the bag-shaped structures contribute
+//! `queue_guard`/`stack_guard` rows (alternating push/pop, so half the measured
+//! operations exercise the scheme's full retire pipeline — the per-op reclamation cost
+//! no map mix reaches).
 //!
 //! Besides the human-readable output, the run writes a machine-readable summary to
 //! `BENCH_reclaimer.json` (override the path with the `BENCH_JSON` environment variable),
@@ -41,6 +44,7 @@ use smr_alloc::{SystemAllocator, ThreadPool};
 use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
 use smr_hashmap::{HashMapNode, LockFreeHashMap};
 use smr_ibr::Ibr;
+use smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
 use smr_workloads::workload::{KeyDistribution, Operation, OperationGenerator, WorkloadConfig};
 
 /// The raw-API Harris–Michael list: the hand-rolled protect/validate/check implementation
@@ -1129,6 +1133,87 @@ where
     });
 }
 
+/// Number of values in the bag before (and, in expectation, throughout) the measured
+/// phase of the `queue_guard`/`stack_guard` rows.
+const BAG_PREFILL: u64 = 256;
+
+/// `queue_guard`/`stack_guard`: single-threaded alternating push/pop on the bag-shaped
+/// safe-API structures.  Every second operation is a successful pop and therefore a
+/// *retire*, so — unlike any map row at any mix — half the measured operations run the
+/// scheme's full retire pipeline: this is the per-operation reclamation cost the
+/// producer/consumer workloads stress at scale.
+fn bench_bag<H>(
+    c: &mut Criterion,
+    name: &str,
+    op: &str,
+    mut push: impl FnMut(&mut H, u64),
+    mut pop: impl FnMut(&mut H) -> Option<u64>,
+    handle: &mut H,
+) {
+    for i in 0..BAG_PREFILL {
+        push(handle, i);
+    }
+    let mut i = 0u64;
+    c.bench_function(format!("{name}/{op}"), |b| {
+        b.iter(|| {
+            i += 1;
+            if i & 1 == 0 {
+                push(handle, i);
+                true
+            } else {
+                criterion::black_box(pop(handle)).is_some()
+            }
+        })
+    });
+}
+
+fn bench_queue_guard<R>(c: &mut Criterion, name: &str)
+where
+    R: Reclaimer<QueueNode<u64>>,
+{
+    type Node = QueueNode<u64>;
+    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
+        Arc::new(RecordManager::new(2));
+    let queue = MsQueue::new(Arc::clone(&manager));
+    let mut handle = queue.register().expect("lease bench thread slot");
+    bench_bag(
+        c,
+        name,
+        "queue_guard",
+        |h, v| lockfree_ds::ConcurrentBag::push(&queue, h, v),
+        |h| lockfree_ds::ConcurrentBag::pop(&queue, h),
+        &mut handle,
+    );
+}
+
+fn bench_stack_guard<R>(c: &mut Criterion, name: &str)
+where
+    R: Reclaimer<StackNode<u64>>,
+{
+    type Node = StackNode<u64>;
+    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
+        Arc::new(RecordManager::new(2));
+    let stack = TreiberStack::new(Arc::clone(&manager));
+    let mut handle = stack.register().expect("lease bench thread slot");
+    bench_bag(
+        c,
+        name,
+        "stack_guard",
+        |h, v| lockfree_ds::ConcurrentBag::push(&stack, h, v),
+        |h| lockfree_ds::ConcurrentBag::pop(&stack, h),
+        &mut handle,
+    );
+}
+
+fn bench_bags<R1, R2>(c: &mut Criterion, name: &str)
+where
+    R1: Reclaimer<QueueNode<u64>>,
+    R2: Reclaimer<StackNode<u64>>,
+{
+    bench_queue_guard::<R1>(c, name);
+    bench_stack_guard::<R2>(c, name);
+}
+
 fn benches(c: &mut Criterion) {
     // The guard-overhead pairs run FIRST: the `None` scheme never frees, so every
     // megabyte of garbage leaked by earlier rows scatters its freshly-allocated nodes
@@ -1185,6 +1270,23 @@ fn benches(c: &mut Criterion) {
     bench_hashmap_both::<ClassicEbr<HashMapNode<u64, u64>>>(c, "EBR");
     bench_hashmap_both::<ThreadScanLite<HashMapNode<u64, u64>>>(c, "ThreadScan");
     bench_hashmap_both::<Ibr<HashMapNode<u64, u64>>>(c, "IBR");
+    // The bag rows run LAST: their `None` rows leak one node per pop for the whole
+    // sample, and every row before them would otherwise inherit the fragmented heap
+    // (the same ordering rule that puts the raw/guard pairs first — see the comment at
+    // the top of this function).  Being absolute per-scheme rows with no paired
+    // baseline, the bags only need to be consistent with *themselves* across runs,
+    // which last place preserves.
+    {
+        type QNode = QueueNode<u64>;
+        type SNode = StackNode<u64>;
+        bench_bags::<NoReclaim<QNode>, NoReclaim<SNode>>(c, "None");
+        bench_bags::<Debra<QNode>, Debra<SNode>>(c, "DEBRA");
+        bench_bags::<DebraPlus<QNode>, DebraPlus<SNode>>(c, "DEBRA+");
+        bench_bags::<HazardPointers<QNode>, HazardPointers<SNode>>(c, "HP");
+        bench_bags::<ClassicEbr<QNode>, ClassicEbr<SNode>>(c, "EBR");
+        bench_bags::<ThreadScanLite<QNode>, ThreadScanLite<SNode>>(c, "ThreadScan");
+        bench_bags::<Ibr<QNode>, Ibr<SNode>>(c, "IBR");
+    }
 }
 
 /// Serializes the collected results as JSON (schema: `{"benchmarks": [{"name", "scheme",

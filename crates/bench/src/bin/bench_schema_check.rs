@@ -33,6 +33,9 @@ fn expected_rows() -> Vec<(String, String)> {
         rows.push((scheme.to_string(), "skiplist_raw".to_string()));
         rows.push((scheme.to_string(), "skiplist_guard".to_string()));
         rows.push((scheme.to_string(), "bst_guard".to_string()));
+        // The bag-shaped structures (smr-queue): alternating push/pop per scheme.
+        rows.push((scheme.to_string(), "queue_guard".to_string()));
+        rows.push((scheme.to_string(), "stack_guard".to_string()));
     }
     for scheme in ["DEBRA", "EBR", "IBR"] {
         rows.push((scheme.to_string(), "retire".to_string()));

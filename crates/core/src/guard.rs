@@ -749,6 +749,36 @@ where
         }
     }
 
+    /// The anchored variant of the protect hot path: announces `record` and validates by
+    /// re-reading `anchor` — a *different* link than the one `record` was loaded from —
+    /// against `expected`.  See [`Shield::protect_anchored`] for the protocol and its
+    /// soundness contract.
+    #[inline(always)]
+    pub(crate) fn protect_anchored_in_slot(
+        &self,
+        slot: usize,
+        record_word: usize,
+        anchor: &Atomic<T>,
+        expected_word: usize,
+    ) -> Result<Shared<'_, T>, Restart> {
+        // SAFETY: as in `protect_in_slot` — thread-local handle, no `&mut` outstanding,
+        // and the validate closure only loads an `Atomic` of the data structure.
+        let handle = unsafe { &mut *self.handle.as_ptr() };
+        handle.check()?;
+        let loaded = Shared::<T>::from_word(record_word);
+        let Some(record) = NonNull::new(loaded.as_ptr()) else {
+            return Ok(loaded);
+        };
+        let valid = handle.protect(slot, record, || {
+            anchor.load_word(std::sync::atomic::Ordering::SeqCst) == expected_word
+        });
+        if valid {
+            Ok(loaded)
+        } else {
+            Err(Restart)
+        }
+    }
+
     #[inline]
     fn release_slot(&self, slot: usize) {
         self.lease().with_handle(|h| h.unprotect(slot));
@@ -871,6 +901,47 @@ where
     ) -> Result<Shared<'g, T>, Restart> {
         self.guard
             .protect_in_slot(self.slot, link, Some(loaded.word()), false, || true)
+            .map(|s| Shared::from_word(s.word()))
+    }
+
+    /// Protects `record` — already loaded by the caller — validating that the *anchor*
+    /// link still holds exactly `expected` after the announcement, where `anchor` is a
+    /// **different** link than the one `record` was read from.
+    ///
+    /// This is the protection shape of Michael–Scott-style queues, which
+    /// [`protect`](Self::protect)/[`protect_loaded`](Self::protect_loaded) cannot
+    /// express: the dequeuer reads `next = head.next`, but validating `head.next` would
+    /// be worthless — `next` links are written once at link-in and never change, so the
+    /// re-read still matches long after the successor has been dequeued and retired.
+    /// The sound validation (Michael's 2004 hazard-pointer queue protocol) is that the
+    /// **head link itself** has not moved: as long as `head` still points at the node we
+    /// protect with the other shield, its successor cannot yet have been retired
+    /// (retirement of the successor requires the head to first advance onto it).
+    ///
+    /// # Contract (not checked by the type system)
+    ///
+    /// The caller must guarantee two algorithmic invariants, on pain of a
+    /// use-after-free: (a) `anchor == expected` must imply that `record` has not been
+    /// retired (for the queue: the head must advance past a node before that node's
+    /// successor can be retired), and (b) the record `expected` points to must itself be
+    /// continuously protected by another shield of this guard for the whole call — that
+    /// is what rules out an ABA re-installation of the same `expected` word while we
+    /// announce (the anchored node cannot be freed and recycled while protected).
+    ///
+    /// # Errors
+    ///
+    /// [`Restart`] when the thread was neutralized (DEBRA+) or `anchor` no longer holds
+    /// `expected` — the record may already be retired and the operation must restart.
+    #[inline]
+    #[must_use = "an unchecked protect result may hand out an unprotected pointer"]
+    pub fn protect_anchored(
+        &mut self,
+        record: Shared<'_, T>,
+        anchor: &Atomic<T>,
+        expected: Shared<'_, T>,
+    ) -> Result<Shared<'g, T>, Restart> {
+        self.guard
+            .protect_anchored_in_slot(self.slot, record.word(), anchor, expected.word())
             .map(|s| Shared::from_word(s.word()))
     }
 

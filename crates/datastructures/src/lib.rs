@@ -68,3 +68,38 @@ pub trait ConcurrentMap<K, V>: Send + Sync {
     /// Returns the value associated with `key`, if any.
     fn get(&self, handle: &mut Self::Handle, key: &K) -> Option<V>;
 }
+
+/// The concurrent *bag* interface: unordered-in-the-interface containers of values —
+/// queues, stacks, pools — whose operations are `push`/`pop` rather than keyed
+/// insert/remove/search.
+///
+/// This is the abstraction the producer/consumer workload family drives, the sibling of
+/// [`ConcurrentMap`] for the structures the paper's evaluation never touches (every
+/// figure is map-shaped).  The interface deliberately does not promise an ordering —
+/// FIFO (Michael–Scott queue) and LIFO (Treiber stack) are properties of the concrete
+/// structure, asserted by its own tests — because the harness only needs transfer
+/// semantics: every pushed value is popped at most once, and pops return `None` only
+/// when the bag may linearizably be empty.
+///
+/// Bags are the worst-case *limbo pressure* workload for a reclamation scheme: every
+/// successful `pop` retires a record, so garbage generation is proportional to raw
+/// throughput instead of to an update ratio — there is no read-mostly regime to hide in.
+///
+/// `Handle` is the per-thread handle type, obtained once per worker thread with
+/// [`ConcurrentBag::register`] (a [`debra::DomainHandle`] lease for the structures in
+/// this workspace), exactly as for [`ConcurrentMap`].
+pub trait ConcurrentBag<T>: Send + Sync {
+    /// Per-thread handle required by the operations.
+    type Handle;
+
+    /// Registers the calling thread and returns its handle.  Must be called on the thread
+    /// that will use the handle.
+    fn register(&self) -> Result<Self::Handle, debra::RegistrationError>;
+
+    /// Adds `value` to the bag.  Lock-free and total: a push never fails.
+    fn push(&self, handle: &mut Self::Handle, value: T);
+
+    /// Removes and returns a value, or `None` if the bag appeared empty at some point
+    /// during the call (the linearization point of an empty pop).
+    fn pop(&self, handle: &mut Self::Handle) -> Option<T>;
+}

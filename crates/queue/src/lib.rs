@@ -1,0 +1,732 @@
+//! Lock-free FIFO and LIFO containers written against the **safe guard layer** of the
+//! Record Manager abstraction: the Michael–Scott MPMC queue ([`MsQueue`]) and the Treiber
+//! stack ([`TreiberStack`]).
+//!
+//! These are the repository's first **non-map** structures: the paper's evaluation (and
+//! every structure in `lockfree-ds`/`smr-hashmap`) is map-shaped, where garbage
+//! generation scales with the *update ratio* of the operation mix.  A queue has no such
+//! regime — **every successful dequeue retires a node** — so limbo pressure is
+//! proportional to raw throughput, which is what makes queues the canonical stress case
+//! for a reclamation scheme (Cohen's "Every Data Structure Deserves Lock-Free Memory
+//! Reclamation" uses exactly this argument).  Both structures implement
+//! [`lockfree_ds::ConcurrentBag`], run under all seven schemes of this workspace, and —
+//! like the whole crate — contain no `unsafe` code at all, enforced by
+//! `#![forbid(unsafe_code)]`.
+//!
+//! # The dequeue protection window (HP / ThreadScan / IBR)
+//!
+//! The queue's traversal-free hot path needs only a **two-shield window**: the sentinel
+//! head and its successor.  The successor's protection cannot use the validated
+//! [`Shield::protect`](debra::Shield::protect) protocol, because the link it was read
+//! from — the head node's `next` — is written exactly once and never changes: re-reading
+//! it validates nothing (it still matches long after the successor has been dequeued,
+//! retired and freed).  The sound protocol (Michael 2004) validates **the head link
+//! itself**: as long as `head` still points at our shield-protected sentinel, the
+//! successor cannot yet have been retired, because retiring it requires the head to
+//! first advance onto it.  That cross-link validation is the guard layer's
+//! [`Shield::protect_anchored`](debra::Shield::protect_anchored) primitive, added for
+//! this structure (no map-shaped traversal needs it: maps always re-validate the link
+//! they followed).
+//!
+//! The Treiber stack is simpler still: one shield on the top node, validated against the
+//! `top` link it was read from — plain [`Shield::protect_loaded`](debra::Shield::protect_loaded).
+//! In both structures the winner of the unlink CAS is the unique retirer (the guard
+//! layer's documented retire-once contract), and ABA on the unlink CAS is ruled out by
+//! the protection itself: the compared node is protected for the whole window, so it
+//! cannot be freed and recycled into a new head/top with the same address.
+//!
+//! # Neutralization (DEBRA+)
+//!
+//! Operation bodies run under [`DomainHandle::run`](debra::DomainHandle::run) and
+//! surface every checkpoint as the typed [`Restart`]: a dequeue neutralized between
+//! protecting its window and its head CAS unwinds, recovers and restarts — the cloned
+//! value of the failed attempt is dropped, so no value is ever delivered twice.  After
+//! the decision CAS of an operation succeeds there are **no further checkpoints**, so a
+//! successful push/pop is never re-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use debra::{
+    Allocator, Atomic, Domain, DomainHandle, Guard, Pool, Reclaimer, RecordManager,
+    RegistrationError, Restart, Shared,
+};
+use lockfree_ds::ConcurrentBag;
+
+// ---------------------------------------------------------------------------------------
+// Michael–Scott queue
+
+/// A node of [`MsQueue`].
+///
+/// The queue always holds one *sentinel* node: the node `head` points to carries no
+/// value (`None` only for the initial sentinel; a dequeued node keeps its value until
+/// the node is recycled, which is harmless — the value was already delivered from the
+/// successor position).  `next` is written exactly once, by the enqueue that links the
+/// successor in, and never changes afterwards.
+pub struct QueueNode<V> {
+    value: Option<V>,
+    next: Atomic<QueueNode<V>>,
+}
+
+impl<V: fmt::Debug> fmt::Debug for QueueNode<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueueNode").field("value", &self.value).finish()
+    }
+}
+
+/// A lock-free MPMC FIFO queue (Michael & Scott, PODC 1996), parameterized by the Record
+/// Manager (reclaimer `R`, pool `P`, allocator `A`) through a [`Domain`].
+///
+/// `head` points at the current sentinel; the first real element is the sentinel's
+/// successor.  A dequeue advances `head` onto the successor (which becomes the new
+/// sentinel) and retires the old sentinel; an enqueue links a node after `tail` and then
+/// swings `tail` (lagging `tail` is helped forward by both operations — the help is a
+/// plain CAS on the `tail` word and dereferences nothing, so it is sound under every
+/// scheme, unlike descriptor helping).
+pub struct MsQueue<V, R, P, A>
+where
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<QueueNode<V>>,
+    P: Pool<QueueNode<V>>,
+    A: Allocator<QueueNode<V>>,
+{
+    head: Atomic<QueueNode<V>>,
+    tail: Atomic<QueueNode<V>>,
+    domain: Domain<QueueNode<V>, R, P, A>,
+}
+
+/// Shorthand for the per-thread handle type used by [`MsQueue`].
+pub type QueueHandle<V, R, P, A> = DomainHandle<QueueNode<V>, R, P, A>;
+
+/// Shorthand for the guard type of [`MsQueue`] operations.
+pub type QueueGuard<V, R, P, A> = Guard<QueueNode<V>, R, P, A>;
+
+impl<V, R, P, A> MsQueue<V, R, P, A>
+where
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<QueueNode<V>>,
+    P: Pool<QueueNode<V>>,
+    A: Allocator<QueueNode<V>>,
+{
+    /// Creates an empty queue backed by `manager`.
+    pub fn new(manager: Arc<RecordManager<QueueNode<V>, R, P, A>>) -> Self {
+        Self::in_domain(Domain::with_manager(manager))
+    }
+
+    /// Creates an empty queue backed by an existing [`Domain`] (sharing its thread
+    /// leases).
+    pub fn in_domain(domain: Domain<QueueNode<V>, R, P, A>) -> Self {
+        // The initial sentinel is published at construction time, while the structure is
+        // still private to this thread; `head` and `tail` both point at it.
+        let guard = domain.pin();
+        let sentinel = guard.alloc(QueueNode { value: None, next: Atomic::null() });
+        let tail = Atomic::from_shared(sentinel.shared());
+        let head = Atomic::from_owned(sentinel);
+        drop(guard);
+        MsQueue { head, tail, domain }
+    }
+
+    /// The Record Manager backing this queue.
+    pub fn manager(&self) -> &Arc<RecordManager<QueueNode<V>, R, P, A>> {
+        self.domain.manager()
+    }
+
+    /// The reclamation domain backing this queue.
+    pub fn domain(&self) -> &Domain<QueueNode<V>, R, P, A> {
+        &self.domain
+    }
+
+    /// Leases a per-thread handle; see [`ConcurrentBag::register`].
+    pub fn register(&self) -> Result<QueueHandle<V, R, P, A>, RegistrationError> {
+        self.domain.try_handle()
+    }
+
+    fn enqueue_body(&self, guard: &QueueGuard<V, R, P, A>, value: &V) -> Result<(), Restart> {
+        let mut tail_shield = guard.shield();
+        // The node is allocated once per operation; a lost link CAS recycles it through
+        // `discard` and retries with a fresh allocation inside the loop below.
+        loop {
+            guard.check()?;
+            let tail_word = self.tail.load(Ordering::Acquire, guard);
+            // Announce-and-validate the tail node against the tail link (the tail never
+            // lags behind the head: a dequeuer whose sentinel equals the tail swings the
+            // tail before advancing the head, so a validated tail is never retired).
+            let Ok(tail) = tail_shield.protect_loaded(&self.tail, tail_word) else {
+                continue;
+            };
+            let tail_ref = tail.as_ref().expect("the queue always holds a sentinel node");
+            let next = tail_ref.next.load(Ordering::Acquire, guard);
+            if !next.is_null() {
+                // The tail lags: help it forward.  A plain word CAS — nothing is
+                // dereferenced — so this help is sound under every scheme.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                );
+                continue;
+            }
+            let node = guard.alloc(QueueNode { value: Some(value.clone()), next: Atomic::null() });
+            if let Err(restart) = guard.check() {
+                // Not yet published: recycle immediately, then unwind to recovery.
+                guard.discard(node);
+                return Err(restart);
+            }
+            match tail_ref.next.compare_exchange_owned(
+                Shared::null(),
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            ) {
+                Ok(published) => {
+                    // Linearized: swing the tail (best effort; failures mean someone
+                    // helped already).  No checkpoint may run between the successful
+                    // link CAS and returning, or a neutralization would re-enqueue.
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        published,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    );
+                    return Ok(());
+                }
+                Err(node) => {
+                    // Another enqueue won the race; recycle and retry.
+                    guard.discard(node);
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn dequeue_body(&self, guard: &QueueGuard<V, R, P, A>) -> Result<Option<V>, Restart> {
+        let mut head_shield = guard.shield();
+        let mut next_shield = guard.shield();
+        loop {
+            guard.check()?;
+            let head_word = self.head.load(Ordering::Acquire, guard);
+            // Shield 1: the sentinel, validated against the head link it was read from.
+            let Ok(head) = head_shield.protect_loaded(&self.head, head_word) else {
+                continue;
+            };
+            let head_ref = head.as_ref().expect("the queue always holds a sentinel node");
+            let tail = self.tail.load(Ordering::Acquire, guard);
+            let next_word = head_ref.next.load(Ordering::Acquire, guard);
+            // Shield 2: the successor — anchored to the *head link* (see the module
+            // docs: re-validating `head_ref.next` would be worthless, since next links
+            // never change; "the head has not moved off our protected sentinel" is what
+            // proves the successor is not yet retired).
+            let Ok(next) = next_shield.protect_anchored(next_word, &self.head, head) else {
+                continue;
+            };
+            if head == tail {
+                let Some(next_ref) = next.as_ref() else {
+                    // head == tail and no successor: linearizably empty.
+                    return Ok(None);
+                };
+                let _ = next_ref; // the successor exists: the tail lags — help it.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                );
+                continue;
+            }
+            let Some(next_ref) = next.as_ref() else {
+                // Transient inconsistency (head advanced between our head and next
+                // reads); restart the window.
+                continue;
+            };
+            // Read the value out of the successor *before* the head CAS (after the CAS
+            // this thread must not fail another checkpoint, and other threads may
+            // recycle the old sentinel the moment we retire it).
+            let value =
+                next_ref.value.clone().expect("every node behind the sentinel carries a value");
+            if let Err(restart) = guard.check() {
+                // Neutralized mid-dequeue, before the decision CAS: drop the cloned
+                // value and restart — nothing was linearized.
+                drop(value);
+                return Err(restart);
+            }
+            match self.head.compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire, guard)
+            {
+                Ok(()) => {
+                    // The old sentinel was unlinked by this thread (unique CAS winner)
+                    // and is retired exactly once, here.
+                    guard.retire(head);
+                    return Ok(Some(value));
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Counts the elements by a full traversal; test/diagnostic helper.
+    ///
+    /// The traversal announces no per-node protection, which only epoch-style schemes
+    /// honor; under protection-based schemes (HP, ThreadScan, IBR) call it only when no
+    /// other thread is updating the queue.
+    pub fn len(&self, handle: &mut QueueHandle<V, R, P, A>) -> usize {
+        handle.run(|guard| {
+            let mut n = 0;
+            // The sentinel carries no element: start counting at its successor.
+            let mut curr = self.head.load(Ordering::Acquire, guard);
+            while let Some(node) = curr.as_ref() {
+                let next = node.next.load(Ordering::Acquire, guard);
+                if !next.is_null() {
+                    n += 1;
+                }
+                curr = next;
+            }
+            Ok(n)
+        })
+    }
+
+    /// Returns `true` if the queue is empty (diagnostic helper; see [`MsQueue::len`]).
+    pub fn is_empty(&self, handle: &mut QueueHandle<V, R, P, A>) -> bool {
+        self.len(handle) == 0
+    }
+}
+
+impl<V, R, P, A> ConcurrentBag<V> for MsQueue<V, R, P, A>
+where
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<QueueNode<V>>,
+    P: Pool<QueueNode<V>>,
+    A: Allocator<QueueNode<V>>,
+{
+    type Handle = QueueHandle<V, R, P, A>;
+
+    fn register(&self) -> Result<Self::Handle, RegistrationError> {
+        self.domain.try_handle()
+    }
+
+    fn push(&self, handle: &mut Self::Handle, value: V) {
+        handle.run(|guard| self.enqueue_body(guard, &value))
+    }
+
+    fn pop(&self, handle: &mut Self::Handle) -> Option<V> {
+        handle.run(|guard| self.dequeue_body(guard))
+    }
+}
+
+impl<V, R, P, A> Drop for MsQueue<V, R, P, A>
+where
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<QueueNode<V>>,
+    P: Pool<QueueNode<V>>,
+    A: Allocator<QueueNode<V>>,
+{
+    fn drop(&mut self) {
+        // Exclusive access during drop (`&mut self`); the chain from the sentinel covers
+        // every live node exactly once.
+        self.domain.free_reachable(self.head.load_ptr(Ordering::Relaxed), |node| {
+            node.next.load_ptr(Ordering::Relaxed)
+        });
+    }
+}
+
+impl<V, R, P, A> fmt::Debug for MsQueue<V, R, P, A>
+where
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<QueueNode<V>>,
+    P: Pool<QueueNode<V>>,
+    A: Allocator<QueueNode<V>>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MsQueue").field("reclaimer", &R::name()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Treiber stack
+
+/// A node of [`TreiberStack`].
+pub struct StackNode<V> {
+    value: V,
+    next: Atomic<StackNode<V>>,
+}
+
+impl<V: fmt::Debug> fmt::Debug for StackNode<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StackNode").field("value", &self.value).finish()
+    }
+}
+
+/// A lock-free LIFO stack (Treiber, 1986), parameterized by the Record Manager through a
+/// [`Domain`].
+///
+/// Pushes CAS a private node onto `top`; pops protect the top node (one shield,
+/// validated against the `top` link), CAS `top` to its successor, and the winner retires
+/// the popped node.  The protection doubles as the ABA defense: the compared node cannot
+/// be freed and recycled into a new top with the same address while announced.
+pub struct TreiberStack<V, R, P, A>
+where
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<StackNode<V>>,
+    P: Pool<StackNode<V>>,
+    A: Allocator<StackNode<V>>,
+{
+    top: Atomic<StackNode<V>>,
+    domain: Domain<StackNode<V>, R, P, A>,
+}
+
+/// Shorthand for the per-thread handle type used by [`TreiberStack`].
+pub type StackHandle<V, R, P, A> = DomainHandle<StackNode<V>, R, P, A>;
+
+/// Shorthand for the guard type of [`TreiberStack`] operations.
+pub type StackGuard<V, R, P, A> = Guard<StackNode<V>, R, P, A>;
+
+impl<V, R, P, A> TreiberStack<V, R, P, A>
+where
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<StackNode<V>>,
+    P: Pool<StackNode<V>>,
+    A: Allocator<StackNode<V>>,
+{
+    /// Creates an empty stack backed by `manager`.
+    pub fn new(manager: Arc<RecordManager<StackNode<V>, R, P, A>>) -> Self {
+        Self::in_domain(Domain::with_manager(manager))
+    }
+
+    /// Creates an empty stack backed by an existing [`Domain`] (sharing its thread
+    /// leases).
+    pub fn in_domain(domain: Domain<StackNode<V>, R, P, A>) -> Self {
+        TreiberStack { top: Atomic::null(), domain }
+    }
+
+    /// The Record Manager backing this stack.
+    pub fn manager(&self) -> &Arc<RecordManager<StackNode<V>, R, P, A>> {
+        self.domain.manager()
+    }
+
+    /// The reclamation domain backing this stack.
+    pub fn domain(&self) -> &Domain<StackNode<V>, R, P, A> {
+        &self.domain
+    }
+
+    /// Leases a per-thread handle; see [`ConcurrentBag::register`].
+    pub fn register(&self) -> Result<StackHandle<V, R, P, A>, RegistrationError> {
+        self.domain.try_handle()
+    }
+
+    fn push_body(&self, guard: &StackGuard<V, R, P, A>, value: &V) -> Result<(), Restart> {
+        loop {
+            guard.check()?;
+            let top = self.top.load(Ordering::Acquire, guard);
+            // The top is only *compared*, never dereferenced, on the push path — no
+            // shield needed.
+            let node =
+                guard.alloc(StackNode { value: value.clone(), next: Atomic::from_shared(top) });
+            if let Err(restart) = guard.check() {
+                guard.discard(node);
+                return Err(restart);
+            }
+            match self.top.compare_exchange_owned(
+                top,
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(node) => {
+                    guard.discard(node);
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn pop_body(&self, guard: &StackGuard<V, R, P, A>) -> Result<Option<V>, Restart> {
+        let mut top_shield = guard.shield();
+        loop {
+            guard.check()?;
+            let top_word = self.top.load(Ordering::Acquire, guard);
+            if top_word.is_null() {
+                return Ok(None);
+            }
+            let Ok(top) = top_shield.protect_loaded(&self.top, top_word) else {
+                continue;
+            };
+            let top_ref = top.as_ref().expect("checked non-null above");
+            let next = top_ref.next.load(Ordering::Acquire, guard);
+            // Clone before the decision CAS (no checkpoint may run after it).
+            let value = top_ref.value.clone();
+            if let Err(restart) = guard.check() {
+                drop(value);
+                return Err(restart);
+            }
+            match self.top.compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire, guard) {
+                Ok(()) => {
+                    // Unlinked by this thread (unique CAS winner): retired exactly once.
+                    guard.retire(top);
+                    return Ok(Some(value));
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Counts the elements by a full traversal; test/diagnostic helper (same epoch-only
+    /// caveat as [`MsQueue::len`]).
+    pub fn len(&self, handle: &mut StackHandle<V, R, P, A>) -> usize {
+        handle.run(|guard| {
+            let mut n = 0;
+            let mut curr = self.top.load(Ordering::Acquire, guard);
+            while let Some(node) = curr.as_ref() {
+                n += 1;
+                curr = node.next.load(Ordering::Acquire, guard);
+            }
+            Ok(n)
+        })
+    }
+
+    /// Returns `true` if the stack is empty (diagnostic helper).
+    pub fn is_empty(&self, handle: &mut StackHandle<V, R, P, A>) -> bool {
+        self.len(handle) == 0
+    }
+}
+
+impl<V, R, P, A> ConcurrentBag<V> for TreiberStack<V, R, P, A>
+where
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<StackNode<V>>,
+    P: Pool<StackNode<V>>,
+    A: Allocator<StackNode<V>>,
+{
+    type Handle = StackHandle<V, R, P, A>;
+
+    fn register(&self) -> Result<Self::Handle, RegistrationError> {
+        self.domain.try_handle()
+    }
+
+    fn push(&self, handle: &mut Self::Handle, value: V) {
+        handle.run(|guard| self.push_body(guard, &value))
+    }
+
+    fn pop(&self, handle: &mut Self::Handle) -> Option<V> {
+        handle.run(|guard| self.pop_body(guard))
+    }
+}
+
+impl<V, R, P, A> Drop for TreiberStack<V, R, P, A>
+where
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<StackNode<V>>,
+    P: Pool<StackNode<V>>,
+    A: Allocator<StackNode<V>>,
+{
+    fn drop(&mut self) {
+        self.domain.free_reachable(self.top.load_ptr(Ordering::Relaxed), |node| {
+            node.next.load_ptr(Ordering::Relaxed)
+        });
+    }
+}
+
+impl<V, R, P, A> fmt::Debug for TreiberStack<V, R, P, A>
+where
+    V: Clone + Send + Sync + 'static,
+    R: Reclaimer<StackNode<V>>,
+    P: Pool<StackNode<V>>,
+    A: Allocator<StackNode<V>>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TreiberStack").field("reclaimer", &R::name()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debra::Debra;
+    use smr_alloc::{SystemAllocator, ThreadPool};
+
+    type QNode = QueueNode<u64>;
+    type TestQueue = MsQueue<u64, Debra<QNode>, ThreadPool<QNode>, SystemAllocator<QNode>>;
+    type SNode = StackNode<u64>;
+    type TestStack = TreiberStack<u64, Debra<SNode>, ThreadPool<SNode>, SystemAllocator<SNode>>;
+
+    fn new_queue(threads: usize) -> TestQueue {
+        MsQueue::new(Arc::new(RecordManager::new(threads)))
+    }
+
+    fn new_stack(threads: usize) -> TestStack {
+        TreiberStack::new(Arc::new(RecordManager::new(threads)))
+    }
+
+    #[test]
+    fn queue_is_fifo_sequentially() {
+        let q = new_queue(1);
+        let mut h = q.register().unwrap();
+        assert_eq!(q.pop(&mut h), None);
+        for i in 0..100u64 {
+            q.push(&mut h, i);
+        }
+        assert_eq!(q.len(&mut h), 100);
+        for i in 0..100u64 {
+            assert_eq!(q.pop(&mut h), Some(i), "FIFO order");
+        }
+        assert_eq!(q.pop(&mut h), None);
+        assert!(q.is_empty(&mut h));
+    }
+
+    #[test]
+    fn stack_is_lifo_sequentially() {
+        let s = new_stack(1);
+        let mut h = s.register().unwrap();
+        assert_eq!(s.pop(&mut h), None);
+        for i in 0..100u64 {
+            s.push(&mut h, i);
+        }
+        assert_eq!(s.len(&mut h), 100);
+        for i in (0..100u64).rev() {
+            assert_eq!(s.pop(&mut h), Some(i), "LIFO order");
+        }
+        assert_eq!(s.pop(&mut h), None);
+        assert!(s.is_empty(&mut h));
+    }
+
+    #[test]
+    fn queue_interleaved_push_pop_keeps_order() {
+        let q = new_queue(1);
+        let mut h = q.register().unwrap();
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        // Deterministic interleaving: pushes run ahead of pops by a varying amount.
+        for round in 0..200u64 {
+            for _ in 0..(round % 5) + 1 {
+                q.push(&mut h, next_push);
+                next_push += 1;
+            }
+            for _ in 0..(round % 3) + 1 {
+                if next_pop < next_push {
+                    assert_eq!(q.pop(&mut h), Some(next_pop));
+                    next_pop += 1;
+                } else {
+                    assert_eq!(q.pop(&mut h), None);
+                }
+            }
+        }
+        while next_pop < next_push {
+            assert_eq!(q.pop(&mut h), Some(next_pop));
+            next_pop += 1;
+        }
+        assert_eq!(q.pop(&mut h), None);
+    }
+
+    /// MPMC transfer: every pushed value is popped exactly once, and each producer's
+    /// values come out in FIFO order relative to each other.
+    #[test]
+    fn queue_concurrent_transfer_is_lossless_and_per_producer_fifo() {
+        const PRODUCERS: usize = 2;
+        const CONSUMERS: usize = 2;
+        const PER_PRODUCER: u64 = 5_000;
+        let q = Arc::new(new_queue(PRODUCERS + CONSUMERS + 1));
+        let mut joins = Vec::new();
+        for p in 0..PRODUCERS as u64 {
+            let q = Arc::clone(&q);
+            joins.push(std::thread::spawn(move || {
+                let mut h = q.register().unwrap();
+                for i in 0..PER_PRODUCER {
+                    q.push(&mut h, (p << 32) | i);
+                }
+                Vec::new()
+            }));
+        }
+        let total = PRODUCERS as u64 * PER_PRODUCER;
+        let popped = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        for _ in 0..CONSUMERS {
+            let q = Arc::clone(&q);
+            let popped = Arc::clone(&popped);
+            joins.push(std::thread::spawn(move || {
+                let mut h = q.register().unwrap();
+                let mut got = Vec::new();
+                while popped.load(std::sync::atomic::Ordering::Relaxed) < total {
+                    match q.pop(&mut h) {
+                        Some(v) => {
+                            got.push(v);
+                            popped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = Vec::new();
+        let mut per_consumer: Vec<Vec<u64>> = Vec::new();
+        for j in joins {
+            let got = j.join().unwrap();
+            if !got.is_empty() {
+                per_consumer.push(got.clone());
+                all.extend(got);
+            }
+        }
+        // Lossless, no duplicates.
+        assert_eq!(all.len() as u64, total);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, total, "no value may be delivered twice");
+        // Per-producer FIFO: within one consumer's stream, any two values of the same
+        // producer appear in increasing sequence order.
+        for stream in &per_consumer {
+            let mut last = [None::<u64>; PRODUCERS];
+            for v in stream {
+                let (p, seq) = ((v >> 32) as usize, v & 0xFFFF_FFFF);
+                if let Some(prev) = last[p] {
+                    assert!(seq > prev, "producer {p} order violated: {seq} after {prev}");
+                }
+                last[p] = Some(seq);
+            }
+        }
+    }
+
+    #[test]
+    fn stack_concurrent_transfer_is_lossless() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 5_000;
+        let s = Arc::new(new_stack(THREADS + 1));
+        let mut joins = Vec::new();
+        for t in 0..THREADS as u64 {
+            let s = Arc::clone(&s);
+            joins.push(std::thread::spawn(move || {
+                let mut h = s.register().unwrap();
+                let mut got = Vec::new();
+                for i in 0..PER_THREAD {
+                    s.push(&mut h, (t << 32) | i);
+                    if i % 2 == 0 {
+                        if let Some(v) = s.pop(&mut h) {
+                            got.push(v);
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = Vec::new();
+        for j in joins {
+            all.extend(j.join().unwrap());
+        }
+        // Drain the rest.
+        let mut h = s.register().unwrap();
+        while let Some(v) = s.pop(&mut h) {
+            all.push(v);
+        }
+        assert_eq!(all.len() as u64, THREADS as u64 * PER_THREAD);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, THREADS as u64 * PER_THREAD, "no duplicates");
+    }
+}

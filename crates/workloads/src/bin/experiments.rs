@@ -11,6 +11,7 @@
 //!   memory       memory allocated for records + neutralizations (Figure 9 right)
 //!   e3           Experiment 3: malloc allocator (Figure 10)
 //!   zipf         uniform vs. Zipfian keys on the hash map and BST (not in the paper)
+//!   pc           producer/consumer: queue + stack, symmetric and bursty scenarios
 //!   summary      headline ratios from the abstract (DEBRA vs None vs HP)
 //!   all          everything above
 //!
@@ -23,7 +24,8 @@
 
 use smr_workloads::experiments::{
     self, experiment1, experiment2, experiment2_oversubscribed, experiment3,
-    experiment_distribution, memory_footprint, print_rows, summarize, ReclaimerKind, StructureKind,
+    experiment_distribution, experiment_producer_consumer, memory_footprint, print_pc_rows,
+    print_rows, summarize, ReclaimerKind, StructureKind,
 };
 use smr_workloads::figure2;
 use smr_workloads::workload::{KeyDistribution, OperationMix, WorkloadConfig};
@@ -87,6 +89,10 @@ fn main() {
             "Key-distribution experiment: uniform vs. Zipfian (hash map + BST)",
             &experiment_distribution(&threads, duration, small),
         ),
+        "pc" => print_pc_rows(
+            "Producer/consumer experiment: queue + stack, every scheme (not in the paper)",
+            &experiment_producer_consumer(&threads, duration),
+        ),
         "summary" => {
             let rows = experiment2(&threads, duration, small);
             print_rows("Experiment 2 rows used for the summary", &rows);
@@ -130,6 +136,10 @@ fn main() {
             print_rows(
                 "Key-distribution experiment: uniform vs. Zipfian (hash map + BST)",
                 &experiment_distribution(&threads, duration, small),
+            );
+            print_pc_rows(
+                "Producer/consumer experiment: queue + stack, every scheme (not in the paper)",
+                &experiment_producer_consumer(&threads, duration),
             );
             println!("\n### Headline comparison (paper abstract)\n");
             for line in summarize(&e2) {

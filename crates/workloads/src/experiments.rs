@@ -20,8 +20,10 @@ use smr_alloc::{BumpAllocator, NoPool, SystemAllocator, ThreadPool};
 use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
 use smr_hashmap::{HashMapNode, LockFreeHashMap};
 use smr_ibr::Ibr;
+use smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
 
 use crate::harness::{run_trial, TrialResult};
+use crate::pc::{run_pc_trial, PcConfig, PcScenario, PcTrialResult};
 use crate::workload::{KeyDistribution, OperationMix, WorkloadConfig};
 
 /// Which reclamation scheme a configuration uses.
@@ -79,6 +81,11 @@ pub enum StructureKind {
     SkipList,
     /// The lock-free hash map (fixed bucket array of Harris–Michael lists).
     HashMap,
+    /// The Michael–Scott MPMC queue (a [`lockfree_ds::ConcurrentBag`], driven by the
+    /// producer/consumer harness instead of the keyed-map harness).
+    Queue,
+    /// The Treiber stack (also bag-shaped; producer/consumer harness).
+    Stack,
 }
 
 impl StructureKind {
@@ -88,7 +95,15 @@ impl StructureKind {
             StructureKind::Bst => "BST",
             StructureKind::SkipList => "SkipList",
             StructureKind::HashMap => "HashMap",
+            StructureKind::Queue => "Queue",
+            StructureKind::Stack => "Stack",
         }
+    }
+
+    /// `true` for the bag-shaped structures (queue, stack), whose trials run through the
+    /// producer/consumer harness ([`crate::pc`]) rather than the keyed-map harness.
+    pub fn is_bag(&self) -> bool {
+        matches!(self, StructureKind::Queue | StructureKind::Stack)
     }
 }
 
@@ -164,6 +179,11 @@ impl ExperimentRow {
 }
 
 /// Runs one fully specified configuration and returns its row.
+///
+/// Bag-shaped structures (queue, stack) are routed through the producer/consumer harness
+/// with a symmetric scenario whose enqueue share is the mix's insert percentage
+/// (normalized against the delete share; searches have no bag analogue) — so the map
+/// sweeps' `(structure, mix)` vocabulary extends to bags without a second entry point.
 pub fn run_config(
     structure: StructureKind,
     reclaimer: ReclaimerKind,
@@ -171,6 +191,27 @@ pub fn run_config(
     cfg: &WorkloadConfig,
     seed: u64,
 ) -> ExperimentRow {
+    if structure.is_bag() {
+        let updates = (cfg.mix.insert_pct as u64 + cfg.mix.delete_pct as u64).max(1);
+        let pc_cfg = PcConfig {
+            threads: cfg.threads,
+            scenario: PcScenario::Symmetric,
+            enqueue_pct: (cfg.mix.insert_pct as u64 * 100 / updates) as u8,
+            prefill: if cfg.prefill { cfg.key_range / 2 } else { 0 },
+            duration_ms: cfg.duration_ms,
+        };
+        let row = run_pc_config(structure, reclaimer, allocator, &pc_cfg, seed);
+        return ExperimentRow {
+            structure,
+            reclaimer,
+            allocator,
+            threads: cfg.threads,
+            key_range: cfg.key_range,
+            mix: row.mix,
+            distribution: cfg.distribution,
+            result: row.result.trial,
+        };
+    }
     // Sweeps print their tables only when complete; on a single-core box a full sweep
     // takes minutes, so narrate per-trial progress to stderr (tables go to stdout).
     eprintln!(
@@ -222,6 +263,10 @@ pub fn run_config(
                     $pool<HashMapNode<u64, u64>>,
                     $alloc<HashMapNode<u64, u64>>
                 ),
+                // Bags were routed to the producer/consumer harness above.
+                StructureKind::Queue | StructureKind::Stack => unreachable!(
+                    "bag structures run through run_pc_config (see the is_bag() branch)"
+                ),
             }
         };
     }
@@ -262,6 +307,174 @@ pub fn run_config(
     }
 }
 
+/// One row of a producer/consumer experiment's output table: like [`ExperimentRow`] but
+/// keeping the full [`PcTrialResult`] (pair rate, enqueue/dequeue/empty counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcRow {
+    /// Data structure ([`StructureKind::Queue`] or [`StructureKind::Stack`]).
+    pub structure: StructureKind,
+    /// Reclamation scheme.
+    pub reclaimer: ReclaimerKind,
+    /// Memory configuration.
+    pub allocator: AllocatorKind,
+    /// Thread count.
+    pub threads: usize,
+    /// Scenario/mix label (e.g. `"50e-50d/sym"`, `"burst128"`).
+    pub mix: String,
+    /// Trial measurements.
+    pub result: PcTrialResult,
+}
+
+impl PcRow {
+    /// Formats the row for the producer/consumer tables.
+    pub fn to_table_line(&self) -> String {
+        format!(
+            "| {:9} | {:10} | {:12} | {:3} | {:12} | {:8.3} | {:8.3} | {:10} | {:10} | {:10} | {:10} |",
+            self.structure.name(),
+            self.reclaimer.name(),
+            self.allocator.name(),
+            self.threads,
+            self.mix,
+            self.result.pair_rate_mpairs,
+            self.result.trial.throughput_mops,
+            self.result.enqueues,
+            self.result.dequeues,
+            self.result.empty_dequeues,
+            self.result.trial.reclaimer.reclaimed,
+        )
+    }
+
+    /// The table header matching [`Self::to_table_line`].
+    pub fn table_header() -> String {
+        let mut s = String::new();
+        s.push_str("| structure | scheme     | memory       | thr | scenario     | Mpairs/s | Mops/s   | enqueues   | dequeues   | empty      | reclaimed  |\n");
+        s.push_str("|-----------|------------|--------------|-----|--------------|----------|----------|------------|------------|------------|------------|");
+        s
+    }
+}
+
+/// Runs one fully specified producer/consumer configuration (queue or stack) and returns
+/// its row.  This is the bag-shaped sibling of [`run_config`], with scenario control the
+/// map-shaped entry point cannot express.
+///
+/// # Panics
+///
+/// Panics when `structure` is not a bag (use [`run_config`] for maps).
+pub fn run_pc_config(
+    structure: StructureKind,
+    reclaimer: ReclaimerKind,
+    allocator: AllocatorKind,
+    cfg: &PcConfig,
+    seed: u64,
+) -> PcRow {
+    assert!(structure.is_bag(), "run_pc_config drives bag structures (Queue, Stack)");
+    eprintln!(
+        "[trial] {structure:?} x {reclaimer:?} x {allocator:?} (threads={}, {}, {}ms)",
+        cfg.threads,
+        cfg.label(),
+        cfg.duration_ms
+    );
+    macro_rules! run_bag {
+        ($ds:ident, $node:ty, $recl:ty, $pool:ty, $alloc:ty) => {{
+            let threads = cfg.threads + 1; // +1 slot for the prefill handle
+            let manager: Arc<RecordManager<$node, $recl, $pool, $alloc>> =
+                Arc::new(RecordManager::new(threads));
+            let bag = $ds::new(Arc::clone(&manager));
+            run_pc_trial(
+                &bag,
+                cfg,
+                seed,
+                || manager.reclaimer().stats(),
+                || (manager.allocator().allocated_bytes(), manager.allocator().allocated_records()),
+            )
+        }};
+    }
+
+    macro_rules! dispatch_bag_structure {
+        ($recl:ident, $pool:ident, $alloc:ident) => {
+            match structure {
+                StructureKind::Queue => run_bag!(
+                    MsQueue,
+                    QueueNode<u64>,
+                    $recl<QueueNode<u64>>,
+                    $pool<QueueNode<u64>>,
+                    $alloc<QueueNode<u64>>
+                ),
+                StructureKind::Stack => run_bag!(
+                    TreiberStack,
+                    StackNode<u64>,
+                    $recl<StackNode<u64>>,
+                    $pool<StackNode<u64>>,
+                    $alloc<StackNode<u64>>
+                ),
+                _ => unreachable!("asserted bag-shaped above"),
+            }
+        };
+    }
+
+    macro_rules! dispatch_bag_memory {
+        ($recl:ident) => {
+            match allocator {
+                AllocatorKind::BumpNoPool => dispatch_bag_structure!($recl, NoPool, BumpAllocator),
+                AllocatorKind::BumpWithPool => {
+                    dispatch_bag_structure!($recl, ThreadPool, BumpAllocator)
+                }
+                AllocatorKind::SystemWithPool => {
+                    dispatch_bag_structure!($recl, ThreadPool, SystemAllocator)
+                }
+            }
+        };
+    }
+
+    let result = match reclaimer {
+        ReclaimerKind::None => dispatch_bag_memory!(NoReclaim),
+        ReclaimerKind::Debra => dispatch_bag_memory!(Debra),
+        ReclaimerKind::DebraPlus => dispatch_bag_memory!(DebraPlus),
+        ReclaimerKind::HazardPointers => dispatch_bag_memory!(HazardPointers),
+        ReclaimerKind::Ebr => dispatch_bag_memory!(ClassicEbr),
+        ReclaimerKind::ThreadScan => dispatch_bag_memory!(ThreadScanLite),
+        ReclaimerKind::Ibr => dispatch_bag_memory!(Ibr),
+    };
+
+    PcRow { structure, reclaimer, allocator, threads: cfg.threads, mix: cfg.label(), result }
+}
+
+/// The producer/consumer experiment (not in the paper — the paper's evaluation is
+/// entirely map-shaped): queue and stack under every scheme, symmetric (pairwise
+/// 50e-50d) and bursty-producer scenarios, bump allocator + pool.  Every successful
+/// dequeue retires a record, so limbo pressure here is proportional to raw throughput —
+/// the worst-case garbage regime, which no operation mix on a map reaches.
+pub fn experiment_producer_consumer(thread_counts: &[usize], duration_ms: u64) -> Vec<PcRow> {
+    let mut rows = Vec::new();
+    for structure in [StructureKind::Queue, StructureKind::Stack] {
+        for scenario in [PcScenario::Symmetric, PcScenario::BurstyProducer { burst: 128 }] {
+            for &threads in thread_counts {
+                for reclaimer in ReclaimerKind::ALL {
+                    let cfg =
+                        PcConfig { threads, scenario, enqueue_pct: 50, prefill: 256, duration_ms };
+                    rows.push(run_pc_config(
+                        structure,
+                        reclaimer,
+                        AllocatorKind::BumpWithPool,
+                        &cfg,
+                        0xBA6,
+                    ));
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Prints a set of producer/consumer rows as a markdown table.
+pub fn print_pc_rows(title: &str, rows: &[PcRow]) {
+    println!("\n### {title}\n");
+    println!("{}", PcRow::table_header());
+    for row in rows {
+        println!("{}", row.to_table_line());
+    }
+}
+
 /// The grid of workload shapes used by the paper's figures (two operation mixes × the
 /// per-structure key ranges).
 pub fn paper_workloads(
@@ -276,6 +489,10 @@ pub fn paper_workloads(
         // Not in the paper; sized so the fixed 256-bucket table sees real chains.
         (StructureKind::HashMap, false) => vec![100_000],
         (StructureKind::HashMap, true) => vec![4_096],
+        // Bags have no key range; the value doubles as the prefill budget (half of it
+        // is pushed before timing, mirroring the map harness's half-range prefill).
+        (StructureKind::Queue | StructureKind::Stack, false) => vec![4_096],
+        (StructureKind::Queue | StructureKind::Stack, true) => vec![512],
     };
     let mut out = Vec::new();
     for r in ranges {
@@ -598,6 +815,56 @@ mod tests {
             assert!(row.result.operations > 0);
             assert!(row.result.allocated_records > 0);
         }
+    }
+
+    #[test]
+    fn run_pc_config_smoke_queue_and_stack() {
+        for structure in [StructureKind::Queue, StructureKind::Stack] {
+            for scenario in [PcScenario::Symmetric, PcScenario::BurstyProducer { burst: 32 }] {
+                let cfg = PcConfig {
+                    threads: 2,
+                    scenario,
+                    enqueue_pct: 50,
+                    prefill: 64,
+                    duration_ms: 20,
+                };
+                let row = run_pc_config(
+                    structure,
+                    ReclaimerKind::Debra,
+                    AllocatorKind::BumpWithPool,
+                    &cfg,
+                    9,
+                );
+                assert!(row.result.enqueues > 0, "{structure:?}/{scenario:?} enqueued nothing");
+                assert!(row.result.dequeues > 0, "{structure:?}/{scenario:?} dequeued nothing");
+                assert!(
+                    row.result.trial.reclaimer.retired > 0,
+                    "every successful dequeue must retire"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_config_routes_bags_through_the_pc_harness() {
+        let cfg = WorkloadConfig {
+            threads: 2,
+            key_range: 128,
+            mix: OperationMix::UPDATE_HEAVY,
+            distribution: KeyDistribution::Uniform,
+            duration_ms: 20,
+            prefill: true,
+        };
+        let row = run_config(
+            StructureKind::Queue,
+            ReclaimerKind::Ebr,
+            AllocatorKind::BumpWithPool,
+            &cfg,
+            4,
+        );
+        assert!(row.result.operations > 0);
+        assert_eq!(row.mix, "50e-50d/sym", "the map mix maps onto the symmetric scenario");
+        assert!(row.result.reclaimer.retired > 0);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!
 //! * [`workload`] — operation mixes, key ranges and the per-thread operation generator.
 //! * [`harness`] — the generic timed-trial driver over any [`lockfree_ds::ConcurrentMap`].
+//! * [`pc`] — the producer/consumer trial family over any [`lockfree_ds::ConcurrentBag`]
+//!   (queue, stack): symmetric and bursty-producer scenarios, pair-rate metric.
 //! * [`experiments`] — one driver per paper experiment (Experiment 1, 2, 2-oversubscribed,
 //!   3, the memory-footprint figure and the headline summary), each parameterized over
 //!   data structure × reclaimer × pool × allocator.
@@ -22,8 +24,10 @@
 pub mod experiments;
 pub mod figure2;
 pub mod harness;
+pub mod pc;
 pub mod workload;
 
 pub use experiments::{AllocatorKind, ExperimentRow, ReclaimerKind, StructureKind};
 pub use harness::{run_trial, BenchHandle, TrialResult};
+pub use pc::{run_pc_trial, BagBenchHandle, PcConfig, PcScenario, PcTrialResult};
 pub use workload::{KeyDistribution, OperationMix, WorkloadConfig};

@@ -1,0 +1,410 @@
+//! The producer/consumer workload family: timed trials over [`ConcurrentBag`]
+//! structures (queue, stack).
+//!
+//! Map trials ([`crate::harness`]) draw keyed operations from a mix; bag trials have no
+//! keys — the knobs are the **role split** and the **rhythm**:
+//!
+//! * [`PcScenario::Symmetric`] — every worker draws enqueue-vs-dequeue from the
+//!   configured percentage (the `xe-yd` mix).  At 50e-50d this is the classic pairwise
+//!   benchmark; skewing it toward enqueues grows the structure during the trial, toward
+//!   dequeues drains it.
+//! * [`PcScenario::BurstyProducer`] — dedicated roles: half the workers are producers
+//!   that enqueue in bursts (a burst of `burst` pushes, then a yield — the arrival
+//!   pattern of a batching upstream), the other half are consumers that dequeue
+//!   continuously and yield on empty.  This is the shape that piles garbage onto the
+//!   reclaimer: consumers retire one record per successful pop at the full drain rate.
+//!
+//! The headline metric is the **pair rate**: `min(enqueues, successful dequeues)` per
+//! second — a value must go in *and* come out to count, so neither a producer-storm nor
+//! a spin of empty pops can inflate it.  Raw operation throughput, the empty-pop count
+//! and the reclaimer statistics are reported alongside, in a [`TrialResult`] so the
+//! experiment tables can treat map and bag rows uniformly.
+//!
+//! Like the map harness, the trial body is **type-erased** ([`BagBenchHandle`]) and
+//! compiles once; only the thin per-structure adapters monomorphize.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use debra::ReclaimerStats;
+use lockfree_ds::ConcurrentBag;
+
+use crate::harness::TrialResult;
+
+/// How worker threads split into producer/consumer roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcScenario {
+    /// Every worker draws enqueue-vs-dequeue per operation from
+    /// [`PcConfig::enqueue_pct`].
+    Symmetric,
+    /// Dedicated roles: `threads / 2` (rounded up) producers enqueue in bursts of
+    /// `burst`, yielding between bursts; the remaining workers consume continuously,
+    /// yielding on empty pops.  A single worker alternates burst-and-drain itself.
+    BurstyProducer {
+        /// Number of enqueues per burst.
+        burst: u32,
+    },
+}
+
+impl PcScenario {
+    /// Short label used in experiment tables (e.g. `"sym"`, `"burst128"`).
+    pub fn label(&self) -> String {
+        match self {
+            PcScenario::Symmetric => "sym".to_string(),
+            PcScenario::BurstyProducer { burst } => format!("burst{burst}"),
+        }
+    }
+}
+
+/// One producer/consumer trial configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcConfig {
+    /// Total number of worker threads.
+    pub threads: usize,
+    /// Role split / rhythm.
+    pub scenario: PcScenario,
+    /// Percentage of enqueues under [`PcScenario::Symmetric`] (0–100; ignored by
+    /// dedicated-role scenarios).
+    pub enqueue_pct: u8,
+    /// Number of values pushed before timing starts (a warm structure, like the map
+    /// harness's prefill).
+    pub prefill: u64,
+    /// Trial duration in milliseconds.
+    pub duration_ms: u64,
+}
+
+impl Default for PcConfig {
+    fn default() -> Self {
+        PcConfig {
+            threads: 4,
+            scenario: PcScenario::Symmetric,
+            enqueue_pct: 50,
+            prefill: 256,
+            duration_ms: 200,
+        }
+    }
+}
+
+impl PcConfig {
+    /// The mix label in the map tables' style, e.g. `"50e-50d/sym"`.
+    pub fn label(&self) -> String {
+        match self.scenario {
+            PcScenario::Symmetric => format!(
+                "{}e-{}d/{}",
+                self.enqueue_pct,
+                100 - self.enqueue_pct,
+                self.scenario.label()
+            ),
+            PcScenario::BurstyProducer { .. } => self.scenario.label(),
+        }
+    }
+}
+
+/// The outcome of one producer/consumer trial.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PcTrialResult {
+    /// Total completed enqueues.
+    pub enqueues: u64,
+    /// Total successful dequeues (each one retired a record).
+    pub dequeues: u64,
+    /// Dequeues that found the bag empty.
+    pub empty_dequeues: u64,
+    /// The pair rate in million transferred values per second:
+    /// `min(enqueues, dequeues) / duration / 1e6`.
+    pub pair_rate_mpairs: f64,
+    /// The trial in the map tables' units (`operations` counts enqueues + successful
+    /// dequeues; empty pops are excluded — they do no transfer work).
+    pub trial: TrialResult,
+}
+
+/// Object-safe per-thread view of a bag under test (the type-erasure seam; see
+/// [`crate::harness::BenchHandle`] for why the trial body compiles once).
+pub trait BagBenchHandle {
+    /// Pushes `value`.
+    fn push(&mut self, value: u64);
+    /// Pops a value, `None` when the bag appeared empty.
+    fn pop(&mut self) -> Option<u64>;
+}
+
+/// The blanket [`BagBenchHandle`] adapter: a bag reference plus its registered handle.
+struct BagHandle<'b, B: ConcurrentBag<u64>> {
+    bag: &'b B,
+    handle: B::Handle,
+}
+
+impl<'b, B: ConcurrentBag<u64>> BagBenchHandle for BagHandle<'b, B> {
+    #[inline]
+    fn push(&mut self, value: u64) {
+        self.bag.push(&mut self.handle, value)
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u64> {
+        self.bag.pop(&mut self.handle)
+    }
+}
+
+/// Runs one timed producer/consumer trial of `cfg` against `bag`.
+///
+/// `reclaimer_stats` and `allocator_stats` are read at the end of the trial, as in
+/// [`crate::harness::run_trial`].
+pub fn run_pc_trial<'b, B>(
+    bag: &'b B,
+    cfg: &PcConfig,
+    seed: u64,
+    reclaimer_stats: impl Fn() -> ReclaimerStats,
+    allocator_stats: impl Fn() -> (u64, u64),
+) -> PcTrialResult
+where
+    B: ConcurrentBag<u64>,
+    B::Handle: 'b,
+{
+    let factory = |_tid: usize| -> Box<dyn BagBenchHandle + 'b> {
+        Box::new(BagHandle { bag, handle: bag.register().expect("register worker thread") })
+    };
+    run_pc_trial_erased(&factory, cfg, seed, &reclaimer_stats, &allocator_stats)
+}
+
+/// A splitmix64 step: the per-worker operation-choice stream (no keys are needed, so the
+/// full [`crate::workload::OperationGenerator`] machinery would be overkill here).
+#[inline]
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The type-erased trial body; compiled once.
+fn run_pc_trial_erased<'b>(
+    factory: &(dyn Fn(usize) -> Box<dyn BagBenchHandle + 'b> + Sync),
+    cfg: &PcConfig,
+    seed: u64,
+    reclaimer_stats: &dyn Fn() -> ReclaimerStats,
+    allocator_stats: &dyn Fn() -> (u64, u64),
+) -> PcTrialResult {
+    assert!(cfg.threads >= 1, "at least one worker thread is required");
+
+    // Prefill on the calling thread; the handle is dropped afterwards so its domain
+    // lease frees the slot for the workers (see the map harness for why this matters).
+    {
+        let mut handle = factory(0);
+        for i in 0..cfg.prefill {
+            handle.push(u64::MAX - i);
+        }
+        drop(handle);
+    }
+
+    let stop = AtomicBool::new(false);
+    let started = AtomicU64::new(0);
+    let start_gate = AtomicBool::new(false);
+    let total_enq = AtomicU64::new(0);
+    let total_deq = AtomicU64::new(0);
+    let total_empty = AtomicU64::new(0);
+
+    // Under BurstyProducer the first ceil(threads/2) workers produce, the rest consume;
+    // a single worker alternates burst-and-drain itself (there is no one else on either
+    // side — the `solo` branch below).
+    let producers = match cfg.scenario {
+        PcScenario::Symmetric => 0,
+        PcScenario::BurstyProducer { .. } => cfg.threads.div_ceil(2),
+    };
+
+    let timed = std::thread::scope(|scope| {
+        for tid in 0..cfg.threads {
+            let stop = &stop;
+            let started = &started;
+            let start_gate = &start_gate;
+            let total_enq = &total_enq;
+            let total_deq = &total_deq;
+            let total_empty = &total_empty;
+            let cfg = *cfg;
+            scope.spawn(move || {
+                let mut handle = factory(tid);
+                let mut rng = seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                started.fetch_add(1, Ordering::SeqCst);
+                while !start_gate.load(Ordering::Acquire) {
+                    // Yield, don't spin: on the single-core CI container a bare spin
+                    // burns the quantum the main thread needs to flip the gate.
+                    std::thread::yield_now();
+                }
+                let (mut enq, mut deq, mut empty) = (0u64, 0u64, 0u64);
+                match cfg.scenario {
+                    PcScenario::Symmetric => {
+                        while !stop.load(Ordering::Relaxed) {
+                            if (splitmix(&mut rng) % 100) < cfg.enqueue_pct as u64 {
+                                handle.push(((tid as u64) << 48) | enq);
+                                enq += 1;
+                            } else if handle.pop().is_some() {
+                                deq += 1;
+                            } else {
+                                empty += 1;
+                            }
+                        }
+                    }
+                    PcScenario::BurstyProducer { burst } => {
+                        let is_producer = tid < producers;
+                        let solo = cfg.threads == 1;
+                        while !stop.load(Ordering::Relaxed) {
+                            if solo {
+                                // Both halves of the pipeline on one thread: push a
+                                // burst, then drain it.
+                                for _ in 0..burst {
+                                    handle.push(((tid as u64) << 48) | enq);
+                                    enq += 1;
+                                }
+                                while let Some(_v) = handle.pop() {
+                                    deq += 1;
+                                }
+                                empty += 1; // the drain's terminating empty pop
+                            } else if is_producer {
+                                for _ in 0..burst {
+                                    handle.push(((tid as u64) << 48) | enq);
+                                    enq += 1;
+                                }
+                                // The inter-burst pause: hand the core to the consumers
+                                // (a sleep would oversleep whole quanta on 1 core).
+                                std::thread::yield_now();
+                            } else if handle.pop().is_some() {
+                                deq += 1;
+                            } else {
+                                empty += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+                total_enq.fetch_add(enq, Ordering::SeqCst);
+                total_deq.fetch_add(deq, Ordering::SeqCst);
+                total_empty.fetch_add(empty, Ordering::SeqCst);
+            });
+        }
+
+        while started.load(Ordering::SeqCst) < cfg.threads as u64 {
+            std::thread::yield_now();
+        }
+        let begin = Instant::now();
+        start_gate.store(true, Ordering::Release);
+        std::thread::sleep(Duration::from_millis(cfg.duration_ms));
+        stop.store(true, Ordering::SeqCst);
+        begin.elapsed()
+        // scope joins all workers here
+    });
+
+    let enqueues = total_enq.load(Ordering::SeqCst);
+    let dequeues = total_deq.load(Ordering::SeqCst);
+    let empty_dequeues = total_empty.load(Ordering::SeqCst);
+    let duration_secs = timed.as_secs_f64();
+    let operations = enqueues + dequeues;
+    let (allocated_bytes, allocated_records) = allocator_stats();
+    PcTrialResult {
+        enqueues,
+        dequeues,
+        empty_dequeues,
+        pair_rate_mpairs: enqueues.min(dequeues) as f64 / duration_secs / 1.0e6,
+        trial: TrialResult {
+            operations,
+            throughput_mops: operations as f64 / duration_secs / 1.0e6,
+            duration_secs,
+            reclaimer: reclaimer_stats(),
+            allocated_bytes,
+            allocated_records,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debra::{Debra, Reclaimer, RecordManager};
+    use smr_alloc::{SystemAllocator, ThreadPool};
+    use smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
+    use std::sync::Arc;
+
+    type QNode = QueueNode<u64>;
+    type Queue = MsQueue<u64, Debra<QNode>, ThreadPool<QNode>, SystemAllocator<QNode>>;
+    type SNode = StackNode<u64>;
+    type Stack = TreiberStack<u64, Debra<SNode>, ThreadPool<SNode>, SystemAllocator<SNode>>;
+
+    #[test]
+    fn symmetric_trial_produces_sensible_numbers() {
+        let manager = Arc::new(RecordManager::new(3));
+        let queue: Queue = MsQueue::new(Arc::clone(&manager));
+        let cfg = PcConfig { threads: 2, duration_ms: 50, ..PcConfig::default() };
+        let r = run_pc_trial(
+            &queue,
+            &cfg,
+            1,
+            || manager.reclaimer().stats(),
+            || {
+                use debra::Allocator;
+                (manager.allocator().allocated_bytes(), manager.allocator().allocated_records())
+            },
+        );
+        assert!(r.enqueues > 0, "workers must enqueue");
+        assert!(r.dequeues > 0, "workers must dequeue");
+        assert!(r.pair_rate_mpairs > 0.0);
+        assert!(r.trial.operations == r.enqueues + r.dequeues);
+        assert!(r.trial.reclaimer.retired > 0, "every successful dequeue retires");
+    }
+
+    #[test]
+    fn bursty_trial_splits_roles() {
+        let manager = Arc::new(RecordManager::new(3));
+        let stack: Stack = TreiberStack::new(Arc::clone(&manager));
+        let cfg = PcConfig {
+            threads: 2,
+            scenario: PcScenario::BurstyProducer { burst: 64 },
+            duration_ms: 50,
+            ..PcConfig::default()
+        };
+        let r = run_pc_trial(
+            &stack,
+            &cfg,
+            2,
+            || manager.reclaimer().stats(),
+            || {
+                use debra::Allocator;
+                (manager.allocator().allocated_bytes(), manager.allocator().allocated_records())
+            },
+        );
+        assert!(r.enqueues > 0 && r.dequeues > 0);
+        // With a dedicated producer bursting, enqueues should not trail dequeues by
+        // much; the pair rate is bounded by the slower side.
+        assert!(r.pair_rate_mpairs <= r.trial.throughput_mops);
+    }
+
+    #[test]
+    fn solo_bursty_worker_produces_and_consumes() {
+        let manager = Arc::new(RecordManager::new(2));
+        let queue: Queue = MsQueue::new(Arc::clone(&manager));
+        let cfg = PcConfig {
+            threads: 1,
+            scenario: PcScenario::BurstyProducer { burst: 32 },
+            duration_ms: 40,
+            ..PcConfig::default()
+        };
+        let r = run_pc_trial(
+            &queue,
+            &cfg,
+            3,
+            || manager.reclaimer().stats(),
+            || {
+                use debra::Allocator;
+                (manager.allocator().allocated_bytes(), manager.allocator().allocated_records())
+            },
+        );
+        assert!(r.enqueues > 0, "a solo bursty worker must still enqueue");
+        assert!(r.dequeues > 0, "a solo bursty worker must drain its own bursts");
+        assert!(r.pair_rate_mpairs > 0.0, "solo bursty rows must not be degenerate");
+    }
+
+    #[test]
+    fn scenario_labels_are_stable() {
+        assert_eq!(PcScenario::Symmetric.label(), "sym");
+        assert_eq!(PcScenario::BurstyProducer { burst: 128 }.label(), "burst128");
+        let cfg = PcConfig { enqueue_pct: 70, ..PcConfig::default() };
+        assert_eq!(cfg.label(), "70e-30d/sym");
+    }
+}

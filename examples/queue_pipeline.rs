@@ -1,0 +1,88 @@
+//! A producer/consumer pipeline over the lock-free Michael–Scott queue, protected by
+//! DEBRA+ — the repository's first **non-map** workload on the safe guard API.
+//!
+//! Producers push tagged work items; consumers pop and check them.  Every successful
+//! pop retires the queue's old sentinel node, so — unlike any map mix — garbage
+//! generation tracks raw throughput: this is the workload shape that stresses a
+//! reclamation scheme hardest, and the stats printed at the end show the retire →
+//! reclaim pipeline keeping up.
+//!
+//! As everywhere in this workspace, the memory-management strategy is one type line:
+//! swap `DebraPlus` for `HazardPointers` (the dequeue's anchored two-shield window is
+//! what makes that sound — see `smr-queue`'s crate docs), `Ibr`, `Debra`, … and nothing
+//! else changes.
+//!
+//! ```text
+//! cargo run --release --example queue_pipeline
+//! ```
+
+use debra_repro::debra::{DebraPlus, Domain, Reclaimer};
+use debra_repro::lockfree_ds::ConcurrentBag;
+use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
+use debra_repro::smr_queue::{MsQueue, QueueNode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type Node = QueueNode<u64>;
+// One line decides the whole memory management strategy of the queue:
+type QueueDomain = Domain<Node, DebraPlus<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+type Queue = MsQueue<u64, DebraPlus<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+
+const PRODUCERS: usize = 2;
+const CONSUMERS: usize = 2;
+const ITEMS_PER_PRODUCER: u64 = 50_000;
+
+fn main() {
+    let domain: QueueDomain = Domain::new(PRODUCERS + CONSUMERS);
+    let queue: Arc<Queue> = Arc::new(MsQueue::in_domain(domain));
+    let consumed = Arc::new(AtomicU64::new(0));
+    let total = PRODUCERS as u64 * ITEMS_PER_PRODUCER;
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS as u64 {
+            let queue = Arc::clone(&queue);
+            scope.spawn(move || {
+                let mut handle = queue.register().expect("lease a producer slot");
+                for i in 0..ITEMS_PER_PRODUCER {
+                    queue.push(&mut handle, (p << 32) | i);
+                }
+            });
+        }
+        for _ in 0..CONSUMERS {
+            let queue = Arc::clone(&queue);
+            let consumed = Arc::clone(&consumed);
+            scope.spawn(move || {
+                let mut handle = queue.register().expect("lease a consumer slot");
+                // Per-producer FIFO check: within this consumer's stream, each
+                // producer's sequence numbers must only increase.
+                let mut last_seq = [None::<u64>; PRODUCERS];
+                while consumed.load(Ordering::Relaxed) < total {
+                    match queue.pop(&mut handle) {
+                        Some(item) => {
+                            let (p, seq) = ((item >> 32) as usize, item & 0xFFFF_FFFF);
+                            if let Some(prev) = last_seq[p] {
+                                assert!(seq > prev, "FIFO violated for producer {p}");
+                            }
+                            last_seq[p] = Some(seq);
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    assert_eq!(consumed.load(Ordering::SeqCst), total, "every item consumed exactly once");
+    let stats = queue.manager().reclaimer().stats();
+    println!("pipeline transferred {total} items in {:.3}s", elapsed.as_secs_f64());
+    println!("pair rate           : {:.3} M items/s", total as f64 / elapsed.as_secs_f64() / 1.0e6);
+    println!("records retired     : {}", stats.retired);
+    println!("records reclaimed   : {}", stats.reclaimed);
+    println!("records in limbo    : {}", stats.pending);
+    println!("neutralizations     : {}", stats.neutralized);
+    assert!(stats.retired >= total, "every successful pop retires a sentinel");
+    println!("queue_pipeline finished: per-producer FIFO held across {CONSUMERS} consumers");
+}

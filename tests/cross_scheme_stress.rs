@@ -7,12 +7,14 @@ use std::sync::Arc;
 
 use debra_repro::debra::{Debra, DebraPlus, Reclaimer, RecordManager};
 use debra_repro::lockfree_ds::{
-    BstNode, ConcurrentMap, ExternalBst, HarrisMichaelList, ListNode, SkipList, SkipNode,
+    BstNode, ConcurrentBag, ConcurrentMap, ExternalBst, HarrisMichaelList, ListNode, SkipList,
+    SkipNode,
 };
 use debra_repro::smr_alloc::{BumpAllocator, SystemAllocator, ThreadPool};
 use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
 use debra_repro::smr_hashmap::{HashMapNode, LockFreeHashMap};
 use debra_repro::smr_ibr::Ibr;
+use debra_repro::smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: u64 = 4_000;
@@ -397,6 +399,305 @@ fn hashmap_debra_plus_8_threads() {
     let stats = manager.reclaimer().stats();
     assert!(stats.retired > 0);
     assert!(stats.reclaimed > 0, "DEBRA+ must reclaim during an 8-thread hash-map run");
+    assert!(stats.reclaimed <= stats.retired);
+}
+
+// --- the bag-shaped structures (smr-queue) under every scheme ---------------------------
+// Queues are the worst-case limbo workload: every successful pop retires a record, so
+// garbage generation tracks raw throughput instead of an update ratio.  Every reclaiming
+// scheme must show a non-zero reclaimed count; additionally the transfer must be
+// lossless (popped ∪ drained == pushed, as multisets) and — for the queue — FIFO per
+// producer within each consumer's stream.
+
+/// Runs `ops_per_thread` interleaved pushes/pops on each of [`THREADS`] workers, then
+/// drains the bag and checks transfer losslessness.  Pushed values are tagged
+/// `(tid << 32) | seq` so duplicates and per-producer order are checkable.
+fn bag_stress_n<B>(bag: Arc<B>, ops_per_thread: u64, check_per_producer_fifo: bool)
+where
+    B: ConcurrentBag<u64> + 'static,
+{
+    let mut joins = Vec::new();
+    for tid in 0..THREADS {
+        let bag = Arc::clone(&bag);
+        joins.push(std::thread::spawn(move || {
+            let mut handle = bag.register().expect("register worker");
+            let mut pushed = 0u64;
+            let mut popped = Vec::new();
+            let mut x: u64 = 0xA076_1D64_78BD_642F ^ (tid as u64) << 17;
+            for _ in 0..ops_per_thread {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                // 5/9 pushes: the bag grows over the run, so pops rarely hit empty and
+                // the retire pressure (one per successful pop) stays high.
+                if (x >> 61) % 9 < 5 {
+                    bag.push(&mut handle, ((tid as u64) << 32) | pushed);
+                    pushed += 1;
+                } else if let Some(v) = bag.pop(&mut handle) {
+                    popped.push(v);
+                }
+            }
+            (pushed, popped)
+        }));
+    }
+    let mut pushed_per_thread = [0u64; THREADS];
+    let mut all_popped: Vec<u64> = Vec::new();
+    let mut streams: Vec<Vec<u64>> = Vec::new();
+    for (tid, j) in joins.into_iter().enumerate() {
+        let (pushed, popped) = j.join().unwrap();
+        pushed_per_thread[tid] = pushed;
+        streams.push(popped.clone());
+        all_popped.extend(popped);
+    }
+    // Drain the remainder on a fresh handle.
+    let mut handle = bag.register().expect("register drainer");
+    while let Some(v) = bag.pop(&mut handle) {
+        all_popped.push(v);
+    }
+    // Multiset equality with the pushed values: every value out exactly once.
+    let total_pushed: u64 = pushed_per_thread.iter().sum();
+    assert_eq!(all_popped.len() as u64, total_pushed, "pushed and popped counts must match");
+    all_popped.sort_unstable();
+    for (tid, &pushed) in pushed_per_thread.iter().enumerate() {
+        for seq in 0..pushed {
+            let v = ((tid as u64) << 32) | seq;
+            assert!(
+                all_popped.binary_search(&v).is_ok(),
+                "value {v:#x} (producer {tid}, seq {seq}) was lost"
+            );
+        }
+    }
+    // Multiset sizes match and every expected value is present => no duplicates either.
+    if check_per_producer_fifo {
+        for stream in &streams {
+            let mut last = [None::<u64>; THREADS];
+            for v in stream {
+                let (p, seq) = ((v >> 32) as usize, v & 0xFFFF_FFFF);
+                if let Some(prev) = last[p] {
+                    assert!(seq > prev, "FIFO violated for producer {p}: {seq} after {prev}");
+                }
+                last[p] = Some(seq);
+            }
+        }
+    }
+}
+
+macro_rules! bag_stress_test {
+    ($name:ident, $structure:ident, $node:ident, $reclaimer:ty, $pool:ident, $alloc:ident,
+     fifo: $fifo:expr) => {
+        bag_stress_test!($name, $structure, $node, $reclaimer, $pool, $alloc,
+            fifo: $fifo, expect_reclaim: false, ops: OPS_PER_THREAD);
+    };
+    ($name:ident, $structure:ident, $node:ident, $reclaimer:ty, $pool:ident, $alloc:ident,
+     fifo: $fifo:expr, expect_reclaim: $expect_reclaim:expr) => {
+        bag_stress_test!($name, $structure, $node, $reclaimer, $pool, $alloc,
+            fifo: $fifo, expect_reclaim: $expect_reclaim, ops: OPS_PER_THREAD_RECLAIM);
+    };
+    ($name:ident, $structure:ident, $node:ident, $reclaimer:ty, $pool:ident, $alloc:ident,
+     fifo: $fifo:expr, expect_reclaim: $expect_reclaim:expr, ops: $ops:expr) => {
+        #[test]
+        fn $name() {
+            type Node = $node<u64>;
+            type Bag = $structure<u64, $reclaimer, $pool<Node>, $alloc<Node>>;
+            let manager = Arc::new(RecordManager::new(THREADS + 1));
+            let bag: Arc<Bag> = Arc::new($structure::new(Arc::clone(&manager)));
+            bag_stress_n(Arc::clone(&bag), $ops, $fifo);
+            let stats = manager.reclaimer().stats();
+            assert!(stats.reclaimed <= stats.retired);
+            if $expect_reclaim {
+                assert!(stats.retired > 0, "pops must retire records");
+                assert!(
+                    stats.reclaimed > 0,
+                    "a reclaiming scheme must actually reclaim during the stress"
+                );
+            }
+        }
+    };
+}
+
+bag_stress_test!(queue_none, MsQueue, QueueNode, NoReclaim<Node>, ThreadPool, SystemAllocator,
+    fifo: true);
+bag_stress_test!(queue_debra, MsQueue, QueueNode, Debra<Node>, ThreadPool, SystemAllocator,
+    fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_debra_plus, MsQueue, QueueNode, DebraPlus<Node>, ThreadPool,
+    SystemAllocator, fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_hazard_pointers, MsQueue, QueueNode, HazardPointers<Node>, ThreadPool,
+    SystemAllocator, fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_classic_ebr, MsQueue, QueueNode, ClassicEbr<Node>, ThreadPool,
+    SystemAllocator, fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_threadscan, MsQueue, QueueNode, ThreadScanLite<Node>, ThreadPool,
+    SystemAllocator, fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_ibr, MsQueue, QueueNode, Ibr<Node>, ThreadPool, SystemAllocator,
+    fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_debra_bump, MsQueue, QueueNode, Debra<Node>, ThreadPool, BumpAllocator,
+    fifo: true, expect_reclaim: true);
+
+bag_stress_test!(stack_none, TreiberStack, StackNode, NoReclaim<Node>, ThreadPool,
+    SystemAllocator, fifo: false);
+bag_stress_test!(stack_debra, TreiberStack, StackNode, Debra<Node>, ThreadPool,
+    SystemAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_debra_plus, TreiberStack, StackNode, DebraPlus<Node>, ThreadPool,
+    SystemAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_hazard_pointers, TreiberStack, StackNode, HazardPointers<Node>,
+    ThreadPool, SystemAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_classic_ebr, TreiberStack, StackNode, ClassicEbr<Node>, ThreadPool,
+    SystemAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_threadscan, TreiberStack, StackNode, ThreadScanLite<Node>, ThreadPool,
+    SystemAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_ibr, TreiberStack, StackNode, Ibr<Node>, ThreadPool, SystemAllocator,
+    fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_ebr_bump, TreiberStack, StackNode, ClassicEbr<Node>, ThreadPool,
+    BumpAllocator, fifo: false, expect_reclaim: true);
+
+/// The 8-thread queue acceptance row: oversubscribed (the container has fewer cores),
+/// under DEBRA+ so neutralizations fire while the head churns at full drain rate.
+/// Lossless transfer and actual reclamation are both required.
+#[test]
+fn queue_debra_plus_8_threads() {
+    const WIDE: usize = 8;
+    type Node = QueueNode<u64>;
+    type Queue = MsQueue<u64, DebraPlus<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+    let manager = Arc::new(RecordManager::new(WIDE + 1));
+    let queue: Arc<Queue> = Arc::new(MsQueue::new(Arc::clone(&manager)));
+
+    let mut joins = Vec::new();
+    for tid in 0..WIDE {
+        let queue = Arc::clone(&queue);
+        joins.push(std::thread::spawn(move || {
+            let mut handle = queue.register().expect("register worker");
+            let mut pushed = 0u64;
+            let mut popped = 0u64;
+            let mut x: u64 = 0xA076_1D64_78BD_642F ^ (tid as u64) << 17;
+            for _ in 0..OPS_PER_THREAD_RECLAIM {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (x >> 61).is_multiple_of(2) {
+                    queue.push(&mut handle, ((tid as u64) << 32) | pushed);
+                    pushed += 1;
+                } else if queue.pop(&mut handle).is_some() {
+                    popped += 1;
+                }
+            }
+            (pushed, popped)
+        }));
+    }
+    let (mut pushed, mut popped) = (0u64, 0u64);
+    for j in joins {
+        let (p, q) = j.join().unwrap();
+        pushed += p;
+        popped += q;
+    }
+    let mut handle = queue.register().expect("register drainer");
+    let mut drained = 0u64;
+    while queue.pop(&mut handle).is_some() {
+        drained += 1;
+    }
+    assert_eq!(pushed, popped + drained, "every pushed value must come out exactly once");
+    let stats = manager.reclaimer().stats();
+    assert!(stats.retired > 0);
+    assert!(stats.reclaimed > 0, "DEBRA+ must reclaim during an 8-thread queue run");
+    assert!(stats.reclaimed <= stats.retired);
+}
+
+/// DEBRA+ neutralization-mid-dequeue recovery: with an aggressive configuration (16-record
+/// limbo blocks, suspicion after one block) and a laggard thread that blocks the epoch by
+/// holding a pinned guard, churn workers neutralize the laggard — and, since real POSIX
+/// signals land at arbitrary points, each other — between a dequeue's protection window
+/// and its decision CAS.  The recovery path (unwind with `Restart`, drop the cloned
+/// value, acknowledge, restart the body) must deliver every value exactly once.
+#[test]
+fn queue_debra_plus_neutralization_mid_dequeue_recovers() {
+    use debra_repro::debra::{Allocator as _, DebraConfig, DebraPlusConfig, Pool as _};
+    use debra_repro::neutralize::SignalDriver;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const WORKERS: usize = 3;
+    type Node = QueueNode<u64>;
+    type Queue = MsQueue<u64, DebraPlus<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+
+    let config = DebraPlusConfig {
+        debra: DebraConfig { check_threshold: 1, increment_threshold: 1, block_capacity: 16 },
+        suspect_threshold_blocks: 1,
+        scan_threshold_blocks: 1,
+        rprotect_slots: 16,
+    };
+    let reclaimer =
+        Arc::new(DebraPlus::with_config(WORKERS + 2, config, SignalDriver::best_available()));
+    let pool = Arc::new(ThreadPool::new(WORKERS + 2));
+    let alloc = Arc::new(SystemAllocator::new(WORKERS + 2));
+    let manager = Arc::new(RecordManager::from_parts(reclaimer, pool, alloc));
+    let queue: Arc<Queue> = Arc::new(MsQueue::new(Arc::clone(&manager)));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // The laggard: repeatedly holds a pinned guard (blocking the epoch) without checking
+    // for neutralization, then runs dequeues — its first checkpoint after being
+    // neutralized observes the flag and takes the recovery path into a fresh dequeue.
+    let laggard = {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut handle = queue.register().expect("register laggard");
+            let mut popped = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                {
+                    let _pin = handle.pin();
+                    for _ in 0..50 {
+                        std::thread::yield_now();
+                    }
+                }
+                for _ in 0..20 {
+                    if queue.pop(&mut handle).is_some() {
+                        popped += 1;
+                    }
+                }
+            }
+            (0u64, popped)
+        })
+    };
+
+    let mut joins = Vec::new();
+    for tid in 0..WORKERS {
+        let queue = Arc::clone(&queue);
+        joins.push(std::thread::spawn(move || {
+            let mut handle = queue.register().expect("register worker");
+            let mut pushed = 0u64;
+            let mut popped = 0u64;
+            let mut x: u64 = 0x9E37_79B9_7F4A_7C15 ^ (tid as u64) << 21;
+            for _ in 0..OPS_PER_THREAD_RECLAIM {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (x >> 61).is_multiple_of(2) {
+                    queue.push(&mut handle, ((tid as u64 + 1) << 32) | pushed);
+                    pushed += 1;
+                } else if queue.pop(&mut handle).is_some() {
+                    popped += 1;
+                }
+            }
+            (pushed, popped)
+        }));
+    }
+    let (mut pushed, mut popped) = (0u64, 0u64);
+    for j in joins {
+        let (p, q) = j.join().unwrap();
+        pushed += p;
+        popped += q;
+    }
+    stop.store(true, Ordering::Release);
+    let (_, laggard_popped) = laggard.join().unwrap();
+    popped += laggard_popped;
+
+    let mut handle = queue.register().expect("register drainer");
+    let mut drained = 0u64;
+    while queue.pop(&mut handle).is_some() {
+        drained += 1;
+    }
+    assert_eq!(
+        pushed,
+        popped + drained,
+        "neutralization-interrupted dequeues must neither lose nor duplicate values"
+    );
+    let stats = manager.reclaimer().stats();
+    assert!(
+        stats.neutralized > 0,
+        "the aggressive configuration must neutralize at least once (laggard blocks the epoch)"
+    );
+    assert!(stats.reclaimed > 0, "DEBRA+ must reclaim past the neutralized laggard");
     assert!(stats.reclaimed <= stats.retired);
 }
 

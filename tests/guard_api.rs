@@ -212,6 +212,74 @@ safe_list_under!(safe_list_ibr, Ibr<ListNode<u64, u64>>);
 type HpDomain = Domain<u64, HazardPointers<u64>, ThreadPool<u64>, SystemAllocator<u64>>;
 type DebraPlusDomain = Domain<u64, DebraPlus<u64>, ThreadPool<u64>, SystemAllocator<u64>>;
 
+/// `Shield::protect_anchored` announces the given record while validating a *different*
+/// link (the MS-queue head/next window): the announcement must be observable through
+/// the hazard-pointer scan on success, null must pass through unprotected, and a moved
+/// anchor must fail with `Restart` (the record may already be retired).
+#[test]
+fn protect_anchored_validates_the_anchor_link() {
+    let domain: HpDomain = Domain::new(1);
+    let hp = Arc::clone(domain.manager().reclaimer());
+    let anchor = Atomic::null();
+    let guard = domain.pin();
+    let sentinel = guard.alloc(7u64);
+    assert!(anchor
+        .compare_exchange_owned(
+            debra_repro::debra::Shared::null(),
+            sentinel,
+            std::sync::atomic::Ordering::AcqRel,
+            std::sync::atomic::Ordering::Acquire,
+            &guard,
+        )
+        .is_ok());
+    let anchored = anchor.load(std::sync::atomic::Ordering::Acquire, &guard);
+    // A standalone record playing the successor role (kept as an un-published Owned so
+    // the test can discard it safely at the end).
+    let successor = guard.alloc(8u64);
+    let successor_shared = successor.shared();
+    let nn = |s: debra_repro::debra::Shared<'_, u64>| NonNull::new(s.as_ptr()).unwrap();
+
+    let mut shield = guard.shield();
+    // Anchor holds the expected word: the protect succeeds and announces the record.
+    let protected = shield
+        .protect_anchored(successor_shared, &anchor, anchored)
+        .expect("anchor unchanged: protect must succeed");
+    assert_eq!(protected.as_ptr(), successor_shared.as_ptr());
+    assert!(hp.is_protected_by_any(nn(successor_shared)));
+
+    // Null passes through without an announcement (nothing to protect).
+    let mut null_shield = guard.shield();
+    let null = null_shield
+        .protect_anchored(debra_repro::debra::Shared::null(), &anchor, anchored)
+        .expect("null passes through");
+    assert!(null.is_null());
+
+    // Move the anchor (clear it): the same protect now fails with Restart.
+    let sentinel_ptr = anchored.as_ptr();
+    assert!(anchor
+        .compare_exchange(
+            anchored,
+            debra_repro::debra::Shared::null(),
+            std::sync::atomic::Ordering::AcqRel,
+            std::sync::atomic::Ordering::Acquire,
+            &guard,
+        )
+        .is_ok());
+    assert_eq!(
+        shield.protect_anchored(successor_shared, &anchor, anchored),
+        Err(Restart),
+        "a moved anchor must refuse the protection"
+    );
+
+    drop(shield);
+    drop(null_shield);
+    assert!(!hp.is_protected_by_any(nn(successor_shared)), "dropping the shield releases");
+    guard.discard(successor);
+    drop(guard);
+    // Teardown: the record the anchor used to hold is freed with exclusive access.
+    domain.free_reachable(sentinel_ptr, |_| std::ptr::null_mut());
+}
+
 /// `ShieldSet::rotate` permutes *roles*, not announcements: every record that stays in
 /// the window stays protected across the rotation (observed through the hazard-pointer
 /// scheme's global announcement scan), and a subsequent protect into the role that

@@ -8,12 +8,13 @@ use proptest::prelude::*;
 
 use debra_repro::blockbag::BlockBag;
 use debra_repro::debra::{Debra, DebraPlus, Reclaimer, RecordManager};
-use debra_repro::lockfree_ds::{BstNode, ConcurrentMap, ExternalBst};
+use debra_repro::lockfree_ds::{BstNode, ConcurrentBag, ConcurrentMap, ExternalBst};
 use debra_repro::neutralize::AnnounceWord;
 use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
 use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
 use debra_repro::smr_hashmap::{HashMapNode, LockFreeHashMap};
 use debra_repro::smr_ibr::Ibr;
+use debra_repro::smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
 
 fn fake_ptr(v: usize) -> NonNull<u64> {
     NonNull::new(((v + 1) * 8) as *mut u64).unwrap()
@@ -96,6 +97,85 @@ proptest! {
             }
         }
         prop_assert_eq!(map.len(&mut handle), model.len());
+    }
+
+    /// The MS queue behaves exactly like a `VecDeque` under arbitrary sequential
+    /// push/pop sequences (the sequential-consistency oracle of the bag interface, with
+    /// reclamation running underneath — every pop retires the old sentinel).
+    #[test]
+    fn queue_matches_vecdeque(ops in proptest::collection::vec((any::<bool>(), 0u64..1024), 1..400)) {
+        use std::collections::VecDeque;
+        type Node = QueueNode<u64>;
+        type Queue = MsQueue<u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+        let manager = Arc::new(RecordManager::new(1));
+        let queue: Queue = MsQueue::new(manager);
+        let mut handle = queue.register().unwrap();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for (is_push, v) in ops {
+            if is_push {
+                queue.push(&mut handle, v);
+                model.push_back(v);
+            } else {
+                prop_assert_eq!(queue.pop(&mut handle), model.pop_front());
+            }
+        }
+        prop_assert_eq!(queue.len(&mut handle), model.len());
+        // Drain in FIFO order.
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(queue.pop(&mut handle), Some(expected));
+        }
+        prop_assert_eq!(queue.pop(&mut handle), None);
+    }
+
+    /// The Treiber stack behaves exactly like a `Vec` under arbitrary sequential
+    /// push/pop sequences.
+    #[test]
+    fn stack_matches_vec(ops in proptest::collection::vec((any::<bool>(), 0u64..1024), 1..400)) {
+        type Node = StackNode<u64>;
+        type Stack = TreiberStack<u64, Debra<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+        let manager = Arc::new(RecordManager::new(1));
+        let stack: Stack = TreiberStack::new(manager);
+        let mut handle = stack.register().unwrap();
+        let mut model: Vec<u64> = Vec::new();
+        for (is_push, v) in ops {
+            if is_push {
+                stack.push(&mut handle, v);
+                model.push(v);
+            } else {
+                prop_assert_eq!(stack.pop(&mut handle), model.pop());
+            }
+        }
+        prop_assert_eq!(stack.len(&mut handle), model.len());
+        while let Some(expected) = model.pop() {
+            prop_assert_eq!(stack.pop(&mut handle), Some(expected));
+        }
+        prop_assert_eq!(stack.pop(&mut handle), None);
+    }
+
+    /// Swapping the queue's reclaimer to hazard pointers preserves exact FIFO semantics —
+    /// the dequeue's anchored two-shield window (`protect_anchored`) under the scheme
+    /// that actually validates it.
+    #[test]
+    fn queue_matches_vecdeque_under_hp(ops in proptest::collection::vec((any::<bool>(), 0u64..1024), 1..400)) {
+        use std::collections::VecDeque;
+        type Node = QueueNode<u64>;
+        type Queue = MsQueue<u64, HazardPointers<Node>, ThreadPool<Node>, SystemAllocator<Node>>;
+        let manager = Arc::new(RecordManager::new(1));
+        let queue: Queue = MsQueue::new(manager);
+        let mut handle = queue.register().unwrap();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for (is_push, v) in ops {
+            if is_push {
+                queue.push(&mut handle, v);
+                model.push_back(v);
+            } else {
+                prop_assert_eq!(queue.pop(&mut handle), model.pop_front());
+            }
+        }
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(queue.pop(&mut handle), Some(expected));
+        }
+        prop_assert_eq!(queue.pop(&mut handle), None);
     }
 
     /// Swapping the reclaimer type parameter to IBR preserves exact map semantics — the
@@ -217,6 +297,87 @@ macro_rules! hashmap_oracle_test {
         }
     };
 }
+
+/// Concurrent sequential-consistency oracle for the queue: every (queue operation,
+/// `Mutex<VecDeque>` operation) pair executes atomically under one lock, so the global
+/// history is sequential and every pop has exactly one correct answer.  Unlike the
+/// striped map oracle this serializes the queue itself — a queue has a single
+/// linearization point, there is no per-key independence to exploit — but the
+/// *reclamation* machinery still runs fully concurrently: handles on three threads,
+/// cross-thread retirement of sentinels popped by other threads' pushes, epoch/HP/IBR
+/// scans racing the lock-free window.  What it proves is hand-off correctness per
+/// scheme: the value delivered is always the model's front, under every reclaimer.
+fn queue_locked_oracle<R>()
+where
+    R: Reclaimer<QueueNode<u64>>,
+{
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    const THREADS: usize = 3;
+    const OPS: u64 = 3_000;
+    type Node = QueueNode<u64>;
+    type Queue<R> = MsQueue<u64, R, ThreadPool<Node>, SystemAllocator<Node>>;
+
+    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
+        Arc::new(RecordManager::new(THREADS + 1));
+    let queue: Arc<Queue<R>> = Arc::new(MsQueue::new(Arc::clone(&manager)));
+    let oracle: Arc<Mutex<VecDeque<u64>>> = Arc::new(Mutex::new(VecDeque::new()));
+
+    let mut joins = Vec::new();
+    for tid in 0..THREADS {
+        let queue = Arc::clone(&queue);
+        let oracle = Arc::clone(&oracle);
+        joins.push(std::thread::spawn(move || {
+            let mut handle = queue.register().expect("register worker");
+            let mut x: u64 = 0x9E37_79B9_7F4A_7C15 ^ ((tid as u64) << 21);
+            for i in 0..OPS {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let mut model = oracle.lock().expect("oracle lock poisoned");
+                if (x >> 61).is_multiple_of(2) {
+                    let v = ((tid as u64) << 32) | i;
+                    queue.push(&mut handle, v);
+                    model.push_back(v);
+                } else {
+                    assert_eq!(
+                        queue.pop(&mut handle),
+                        model.pop_front(),
+                        "pop disagreed with the sequential model"
+                    );
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let mut handle = queue.register().expect("register checker");
+    let mut model = oracle.lock().expect("oracle lock poisoned");
+    while let Some(expected) = model.pop_front() {
+        assert_eq!(queue.pop(&mut handle), Some(expected), "drain must stay FIFO");
+    }
+    assert_eq!(queue.pop(&mut handle), None);
+    let stats = manager.reclaimer().stats();
+    assert!(stats.reclaimed <= stats.retired);
+}
+
+macro_rules! queue_oracle_test {
+    ($name:ident, $recl:ty) => {
+        #[test]
+        fn $name() {
+            queue_locked_oracle::<$recl>();
+        }
+    };
+}
+
+type QoNode = QueueNode<u64>;
+queue_oracle_test!(queue_oracle_none, NoReclaim<QoNode>);
+queue_oracle_test!(queue_oracle_ebr, ClassicEbr<QoNode>);
+queue_oracle_test!(queue_oracle_hazard_pointers, HazardPointers<QoNode>);
+queue_oracle_test!(queue_oracle_threadscan, ThreadScanLite<QoNode>);
+queue_oracle_test!(queue_oracle_debra, Debra<QoNode>);
+queue_oracle_test!(queue_oracle_debra_plus, DebraPlus<QoNode>);
+queue_oracle_test!(queue_oracle_ibr, Ibr<QoNode>);
 
 type HmNode = HashMapNode<u64, u64>;
 hashmap_oracle_test!(hashmap_oracle_none, NoReclaim<HmNode>);
