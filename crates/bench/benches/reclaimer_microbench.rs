@@ -18,7 +18,19 @@
 //! per-scheme row (`bst_guard`), and the bag-shaped structures contribute
 //! `queue_guard`/`stack_guard` rows (alternating push/pop, so half the measured
 //! operations exercise the scheme's full retire pipeline — the per-op reclamation cost
-//! no map mix reaches).
+//! no map mix reaches; these rows run `NoPool` + `SystemAllocator`, i.e. every retire
+//! really reaches `free` and every push really reaches `malloc`).  The
+//! allocation-pipeline comparison adds `list_guard_pagepool`, `queue_guard_pagepool` and
+//! `stack_guard_pagepool`: the same workloads composed with `smr-pagepool` (type-stable
+//! pages + per-thread magazines) instead of malloc, so the JSON tracks what killing
+//! malloc on the retire→free path buys per scheme.
+//!
+//! Every (family × scheme) cell of the matrix runs in its *own child process*
+//! (`BENCH_GROUP=family:scheme`, spawned automatically by the parent run): a fresh heap,
+//! empty page stores and zeroed thread registries per cell, so no row's number depends
+//! on which rows ran before it.  Earlier revisions ran everything in one process and
+//! could only mitigate that bias by careful row ordering; the ordering comments on the
+//! pair benchmarks now matter only for the spawn-impossible in-process fallback.
 //!
 //! Besides the human-readable output, the run writes a machine-readable summary to
 //! `BENCH_reclaimer.json` (override the path with the `BENCH_JSON` environment variable),
@@ -36,14 +48,17 @@ use std::ptr::NonNull;
 use std::sync::Arc;
 
 use criterion::Criterion;
-use debra::{CountingSink, Debra, DebraPlus, Reclaimer, ReclaimerThread, RecordManager};
+use debra::{
+    Allocator, CountingSink, Debra, DebraPlus, Pool, Reclaimer, ReclaimerThread, RecordManager,
+};
 use lockfree_ds::{
     BstNode, ConcurrentMap, ExternalBst, HarrisMichaelList, ListNode, SkipList, SkipNode,
 };
-use smr_alloc::{SystemAllocator, ThreadPool};
+use smr_alloc::{NoPool, SystemAllocator, ThreadPool};
 use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
 use smr_hashmap::{HashMapNode, LockFreeHashMap};
 use smr_ibr::Ibr;
+use smr_pagepool::{PageAllocator, PagePool};
 use smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
 use smr_workloads::workload::{KeyDistribution, Operation, OperationGenerator, WorkloadConfig};
 
@@ -966,14 +981,17 @@ where
 }
 
 /// `list_guard`: the safe-API port in `lockfree-ds`, same algorithm, same workload.
-fn bench_list_guard<R>(c: &mut Criterion, name: &str)
+/// Generic over the memory configuration so the same workload also produces the
+/// `list_guard_pagepool` row (the type-stable page allocator instead of malloc).
+fn bench_list_guard_as<R, P, A>(c: &mut Criterion, name: &str, op: &str)
 where
     R: Reclaimer<ListNode<u64, u64>>,
+    P: Pool<ListNode<u64, u64>>,
+    A: Allocator<ListNode<u64, u64>>,
 {
     type Node = ListNode<u64, u64>;
     let (cfg, ops) = list_workload();
-    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
-        Arc::new(RecordManager::new(2));
+    let manager: Arc<RecordManager<Node, R, P, A>> = Arc::new(RecordManager::new(2));
     let list = HarrisMichaelList::new(Arc::clone(&manager));
     let mut handle = list.register().expect("lease bench thread slot");
     let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
@@ -982,7 +1000,7 @@ where
     }
 
     let mut i = 0usize;
-    c.bench_function(format!("{name}/list_guard"), |b| {
+    c.bench_function(format!("{name}/{op}"), |b| {
         b.iter(|| {
             let next = ops[i & 0xFFFF];
             i += 1;
@@ -993,6 +1011,25 @@ where
             }
         })
     });
+}
+
+fn bench_list_guard<R>(c: &mut Criterion, name: &str)
+where
+    R: Reclaimer<ListNode<u64, u64>>,
+{
+    type Node = ListNode<u64, u64>;
+    bench_list_guard_as::<R, ThreadPool<Node>, SystemAllocator<Node>>(c, name, "list_guard");
+}
+
+/// `list_guard_pagepool`: the same list workload composed with the page-pool allocation
+/// pipeline (`smr-pagepool`) instead of malloc — compared against `list_guard` it shows
+/// what type-stable slot recycling buys a traversal-heavy structure.
+fn bench_list_guard_pagepool<R>(c: &mut Criterion, name: &str)
+where
+    R: Reclaimer<ListNode<u64, u64>>,
+{
+    type Node = ListNode<u64, u64>;
+    bench_list_guard_as::<R, PagePool<Node>, PageAllocator<Node>>(c, name, "list_guard_pagepool");
 }
 
 /// Measures the pair in *both orders*.  Schemes that never free (None) grow the heap
@@ -1167,147 +1204,221 @@ fn bench_bag<H>(
     });
 }
 
-fn bench_queue_guard<R>(c: &mut Criterion, name: &str)
+/// Generic over the memory configuration so the same alternating-push/pop workload also
+/// produces the `queue_guard_pagepool` row: every pop retires a node and every push
+/// allocates one, so these rows are where the allocation pipeline (malloc vs the
+/// type-stable page pool) dominates the measurement.
+fn bench_queue_guard_as<R, P, A>(c: &mut Criterion, name: &str, op: &str)
 where
     R: Reclaimer<QueueNode<u64>>,
+    P: Pool<QueueNode<u64>>,
+    A: Allocator<QueueNode<u64>>,
 {
     type Node = QueueNode<u64>;
-    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
-        Arc::new(RecordManager::new(2));
+    let manager: Arc<RecordManager<Node, R, P, A>> = Arc::new(RecordManager::new(2));
     let queue = MsQueue::new(Arc::clone(&manager));
     let mut handle = queue.register().expect("lease bench thread slot");
     bench_bag(
         c,
         name,
-        "queue_guard",
+        op,
         |h, v| lockfree_ds::ConcurrentBag::push(&queue, h, v),
         |h| lockfree_ds::ConcurrentBag::pop(&queue, h),
         &mut handle,
     );
 }
 
-fn bench_stack_guard<R>(c: &mut Criterion, name: &str)
+fn bench_stack_guard_as<R, P, A>(c: &mut Criterion, name: &str, op: &str)
 where
     R: Reclaimer<StackNode<u64>>,
+    P: Pool<StackNode<u64>>,
+    A: Allocator<StackNode<u64>>,
 {
     type Node = StackNode<u64>;
-    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
-        Arc::new(RecordManager::new(2));
+    let manager: Arc<RecordManager<Node, R, P, A>> = Arc::new(RecordManager::new(2));
     let stack = TreiberStack::new(Arc::clone(&manager));
     let mut handle = stack.register().expect("lease bench thread slot");
     bench_bag(
         c,
         name,
-        "stack_guard",
+        op,
         |h, v| lockfree_ds::ConcurrentBag::push(&stack, h, v),
         |h| lockfree_ds::ConcurrentBag::pop(&stack, h),
         &mut handle,
     );
 }
 
+// The baseline bag rows deliberately run `NoPool`, not `ThreadPool`: with a pool in
+// front, `deallocate` never reaches the allocator and the row measures pool recycling,
+// not the system allocation pipeline.  `queue_guard`/`stack_guard` are the malloc
+// retire→free baseline that the `*_pagepool` twins are compared against.
 fn bench_bags<R1, R2>(c: &mut Criterion, name: &str)
 where
     R1: Reclaimer<QueueNode<u64>>,
     R2: Reclaimer<StackNode<u64>>,
 {
-    bench_queue_guard::<R1>(c, name);
-    bench_stack_guard::<R2>(c, name);
+    type QNode = QueueNode<u64>;
+    type SNode = StackNode<u64>;
+    bench_queue_guard_as::<R1, NoPool<QNode>, SystemAllocator<QNode>>(c, name, "queue_guard");
+    bench_stack_guard_as::<R2, NoPool<SNode>, SystemAllocator<SNode>>(c, name, "stack_guard");
 }
 
-fn benches(c: &mut Criterion) {
-    // The guard-overhead pairs run FIRST: the `None` scheme never frees, so every
-    // megabyte of garbage leaked by earlier rows scatters its freshly-allocated nodes
-    // across a fragmented heap and inflates whichever row is measured later — measuring
-    // the pairs on the young heap (and in both orders, see `bench_list_pair`) keeps the
-    // raw-vs-guard comparison about the API, not about allocator history.
-    {
-        type RawNode = raw_list::RawNode<u64, u64>;
-        type GuardNode = ListNode<u64, u64>;
-        bench_list_pair::<NoReclaim<RawNode>, NoReclaim<GuardNode>>(c, "None");
-        bench_list_pair::<Debra<RawNode>, Debra<GuardNode>>(c, "DEBRA");
-        bench_list_pair::<DebraPlus<RawNode>, DebraPlus<GuardNode>>(c, "DEBRA+");
-        bench_list_pair::<HazardPointers<RawNode>, HazardPointers<GuardNode>>(c, "HP");
-        bench_list_pair::<ClassicEbr<RawNode>, ClassicEbr<GuardNode>>(c, "EBR");
-        bench_list_pair::<ThreadScanLite<RawNode>, ThreadScanLite<GuardNode>>(c, "ThreadScan");
-        bench_list_pair::<Ibr<RawNode>, Ibr<GuardNode>>(c, "IBR");
-    }
-    {
-        type RawNode = raw_skiplist::RawSkipNode<u64, u64>;
-        type GuardNode = SkipNode<u64, u64>;
-        bench_skiplist_pair::<NoReclaim<RawNode>, NoReclaim<GuardNode>>(c, "None");
-        bench_skiplist_pair::<Debra<RawNode>, Debra<GuardNode>>(c, "DEBRA");
-        bench_skiplist_pair::<DebraPlus<RawNode>, DebraPlus<GuardNode>>(c, "DEBRA+");
-        bench_skiplist_pair::<HazardPointers<RawNode>, HazardPointers<GuardNode>>(c, "HP");
-        bench_skiplist_pair::<ClassicEbr<RawNode>, ClassicEbr<GuardNode>>(c, "EBR");
-        bench_skiplist_pair::<ThreadScanLite<RawNode>, ThreadScanLite<GuardNode>>(c, "ThreadScan");
-        bench_skiplist_pair::<Ibr<RawNode>, Ibr<GuardNode>>(c, "IBR");
-    }
-    {
-        type Node = BstNode<u64, u64>;
-        bench_bst_guard::<NoReclaim<Node>>(c, "None");
-        bench_bst_guard::<Debra<Node>>(c, "DEBRA");
-        bench_bst_guard::<DebraPlus<Node>>(c, "DEBRA+");
-        bench_bst_guard::<HazardPointers<Node>>(c, "HP");
-        bench_bst_guard::<ClassicEbr<Node>>(c, "EBR");
-        bench_bst_guard::<ThreadScanLite<Node>>(c, "ThreadScan");
-        bench_bst_guard::<Ibr<Node>>(c, "IBR");
-    }
+fn bench_bags_pagepool<R1, R2>(c: &mut Criterion, name: &str)
+where
+    R1: Reclaimer<QueueNode<u64>>,
+    R2: Reclaimer<StackNode<u64>>,
+{
+    type QNode = QueueNode<u64>;
+    type SNode = StackNode<u64>;
+    bench_queue_guard_as::<R1, PagePool<QNode>, PageAllocator<QNode>>(
+        c,
+        name,
+        "queue_guard_pagepool",
+    );
+    bench_stack_guard_as::<R2, PagePool<SNode>, PageAllocator<SNode>>(
+        c,
+        name,
+        "stack_guard_pagepool",
+    );
+}
 
-    bench_scheme::<NoReclaim<u64>>(c, "None");
-    bench_scheme::<Debra<u64>>(c, "DEBRA");
-    bench_scheme::<DebraPlus<u64>>(c, "DEBRA+");
-    bench_scheme::<HazardPointers<u64>>(c, "HP");
-    bench_scheme::<ClassicEbr<u64>>(c, "EBR");
-    bench_scheme::<ThreadScanLite<u64>>(c, "ThreadScan");
-    bench_scheme::<Ibr<u64>>(c, "IBR");
-    bench_retire::<Debra<u64>>(c, "DEBRA");
-    bench_retire::<ClassicEbr<u64>>(c, "EBR");
-    bench_retire::<Ibr<u64>>(c, "IBR");
-    bench_hashmap_both::<NoReclaim<HashMapNode<u64, u64>>>(c, "None");
-    bench_hashmap_both::<Debra<HashMapNode<u64, u64>>>(c, "DEBRA");
-    bench_hashmap_both::<DebraPlus<HashMapNode<u64, u64>>>(c, "DEBRA+");
-    bench_hashmap_both::<HazardPointers<HashMapNode<u64, u64>>>(c, "HP");
-    bench_hashmap_both::<ClassicEbr<HashMapNode<u64, u64>>>(c, "EBR");
-    bench_hashmap_both::<ThreadScanLite<HashMapNode<u64, u64>>>(c, "ThreadScan");
-    bench_hashmap_both::<Ibr<HashMapNode<u64, u64>>>(c, "IBR");
-    // The bag rows run LAST: their `None` rows leak one node per pop for the whole
-    // sample, and every row before them would otherwise inherit the fragmented heap
-    // (the same ordering rule that puts the raw/guard pairs first — see the comment at
-    // the top of this function).  Being absolute per-scheme rows with no paired
-    // baseline, the bags only need to be consistent with *themselves* across runs,
-    // which last place preserves.
-    {
-        type QNode = QueueNode<u64>;
-        type SNode = StackNode<u64>;
-        bench_bags::<NoReclaim<QNode>, NoReclaim<SNode>>(c, "None");
-        bench_bags::<Debra<QNode>, Debra<SNode>>(c, "DEBRA");
-        bench_bags::<DebraPlus<QNode>, DebraPlus<SNode>>(c, "DEBRA+");
-        bench_bags::<HazardPointers<QNode>, HazardPointers<SNode>>(c, "HP");
-        bench_bags::<ClassicEbr<QNode>, ClassicEbr<SNode>>(c, "EBR");
-        bench_bags::<ThreadScanLite<QNode>, ThreadScanLite<SNode>>(c, "ThreadScan");
-        bench_bags::<Ibr<QNode>, Ibr<SNode>>(c, "IBR");
+/// The seven schemes, in the order the rows appear in the JSON.
+const SCHEMES: [&str; 7] = ["None", "DEBRA", "DEBRA+", "HP", "EBR", "ThreadScan", "IBR"];
+
+/// Benchmark families, each of which runs in its *own child process* per scheme (see
+/// `main`).  Ordering within the list only matters for the in-process fallback, where it
+/// preserves the old young-heap-first rationale: the raw/guard comparison pairs run
+/// before the leak-heavy absolute rows.
+const FAMILIES: [&str; 8] =
+    ["list", "list_pp", "skiplist", "bst", "prim", "hashmap", "bags", "bags_pp"];
+
+/// Expands `$go!(ReclaimerTypeCtor)` for the reclaimer named by `$scheme`.
+macro_rules! dispatch_scheme {
+    ($scheme:expr, $go:ident) => {
+        match $scheme {
+            "None" => $go!(NoReclaim),
+            "DEBRA" => $go!(Debra),
+            "DEBRA+" => $go!(DebraPlus),
+            "HP" => $go!(HazardPointers),
+            "EBR" => $go!(ClassicEbr),
+            "ThreadScan" => $go!(ThreadScanLite),
+            "IBR" => $go!(Ibr),
+            other => panic!("unknown scheme `{other}` (expected one of {SCHEMES:?})"),
+        }
+    };
+}
+
+/// Runs one (family × scheme) cell of the benchmark matrix.
+fn run_group(c: &mut Criterion, family: &str, scheme: &str) {
+    match family {
+        "list" => {
+            type RawNode = raw_list::RawNode<u64, u64>;
+            type GuardNode = ListNode<u64, u64>;
+            macro_rules! go {
+                ($r:ident) => {
+                    bench_list_pair::<$r<RawNode>, $r<GuardNode>>(c, scheme)
+                };
+            }
+            dispatch_scheme!(scheme, go);
+        }
+        "list_pp" => {
+            macro_rules! go {
+                ($r:ident) => {
+                    bench_list_guard_pagepool::<$r<ListNode<u64, u64>>>(c, scheme)
+                };
+            }
+            dispatch_scheme!(scheme, go);
+        }
+        "skiplist" => {
+            type RawNode = raw_skiplist::RawSkipNode<u64, u64>;
+            type GuardNode = SkipNode<u64, u64>;
+            macro_rules! go {
+                ($r:ident) => {
+                    bench_skiplist_pair::<$r<RawNode>, $r<GuardNode>>(c, scheme)
+                };
+            }
+            dispatch_scheme!(scheme, go);
+        }
+        "bst" => {
+            macro_rules! go {
+                ($r:ident) => {
+                    bench_bst_guard::<$r<BstNode<u64, u64>>>(c, scheme)
+                };
+            }
+            dispatch_scheme!(scheme, go);
+        }
+        "prim" => {
+            macro_rules! go {
+                ($r:ident) => {
+                    bench_scheme::<$r<u64>>(c, scheme)
+                };
+            }
+            dispatch_scheme!(scheme, go);
+            // The retire row exists only for the bag-based epoch schemes.
+            match scheme {
+                "DEBRA" => bench_retire::<Debra<u64>>(c, scheme),
+                "EBR" => bench_retire::<ClassicEbr<u64>>(c, scheme),
+                "IBR" => bench_retire::<Ibr<u64>>(c, scheme),
+                _ => {}
+            }
+        }
+        "hashmap" => {
+            macro_rules! go {
+                ($r:ident) => {
+                    bench_hashmap_both::<$r<HashMapNode<u64, u64>>>(c, scheme)
+                };
+            }
+            dispatch_scheme!(scheme, go);
+        }
+        "bags" => {
+            macro_rules! go {
+                ($r:ident) => {
+                    bench_bags::<$r<QueueNode<u64>>, $r<StackNode<u64>>>(c, scheme)
+                };
+            }
+            dispatch_scheme!(scheme, go);
+        }
+        "bags_pp" => {
+            macro_rules! go {
+                ($r:ident) => {
+                    bench_bags_pagepool::<$r<QueueNode<u64>>, $r<StackNode<u64>>>(c, scheme)
+                };
+            }
+            dispatch_scheme!(scheme, go);
+        }
+        other => panic!("unknown bench family `{other}` (expected one of {FAMILIES:?})"),
     }
 }
 
-/// Serializes the collected results as JSON (schema: `{"benchmarks": [{"name", "scheme",
-/// "op", "ns_per_iter", "iters"}]}`), written without a JSON dependency on purpose.
-fn write_json(c: &Criterion, path: &str) -> std::io::Result<()> {
-    let mut out = String::from("{\n  \"benchmarks\": [\n");
-    // Rows measured more than once (the order-alternated list pairs) keep their best
-    // run: the repeated measurements exist to cancel heap-growth ordering bias, not to
-    // report it.
-    let mut results: Vec<criterion::BenchResult> = Vec::new();
-    for r in c.results() {
-        match results.iter_mut().find(|kept| kept.name == r.name) {
+/// One JSON row, independent of where it was measured (this process or a child).
+#[derive(Clone)]
+struct Row {
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Merges rows into `rows`, keeping the best (lowest ns) run per name.  Rows measured
+/// more than once (the order-alternated raw/guard pairs) exist to cancel heap-growth
+/// ordering bias, not to report it.
+fn merge_best(rows: &mut Vec<Row>, incoming: impl IntoIterator<Item = Row>) {
+    for r in incoming {
+        match rows.iter_mut().find(|kept| kept.name == r.name) {
             Some(kept) => {
                 if r.ns_per_iter < kept.ns_per_iter {
-                    *kept = r.clone();
+                    *kept = r;
                 }
             }
-            None => results.push(r.clone()),
+            None => rows.push(r),
         }
     }
-    for (i, r) in results.iter().enumerate() {
+}
+
+/// Serializes the rows as JSON (schema: `{"benchmarks": [{"name", "scheme", "op",
+/// "ns_per_iter", "iters"}]}`), written without a JSON dependency on purpose.
+fn write_json(rows: &[Row], path: &str) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
         let (scheme, op) = r.name.split_once('/').unwrap_or((r.name.as_str(), ""));
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"scheme\": \"{}\", \"op\": \"{}\", \
@@ -1317,7 +1428,7 @@ fn write_json(c: &Criterion, path: &str) -> std::io::Result<()> {
             op,
             r.ns_per_iter,
             r.iters,
-            if i + 1 < results.len() { "," } else { "" }
+            if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1325,23 +1436,133 @@ fn write_json(c: &Criterion, path: &str) -> std::io::Result<()> {
     f.write_all(out.as_bytes())
 }
 
-fn main() {
-    // Smoke mode (CI): every benchmark still runs — so the JSON schema is complete — but
-    // with a minimal time budget.  The numbers are only good enough to be non-NaN.
-    let smoke = std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+/// Parses the one-row-per-line JSON `write_json` produces back into rows (the parent
+/// reads each child's output file with this; same minimal scan as `bench_schema_check`).
+fn parse_json(text: &str) -> Vec<Row> {
+    fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+        let tag = format!("\"{name}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        if let Some(stripped) = rest.strip_prefix('"') {
+            let end = stripped.find('"')?;
+            Some(&stripped[..end])
+        } else {
+            let end = rest
+                .find(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == 'e'))
+                .unwrap_or(rest.len());
+            Some(&rest[..end])
+        }
+    }
+    text.lines()
+        .filter(|l| l.contains("\"name\""))
+        .filter_map(|line| {
+            Some(Row {
+                name: field(line, "name")?.to_string(),
+                ns_per_iter: field(line, "ns_per_iter")?.parse().ok()?,
+                iters: field(line, "iters")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+fn drain_criterion(c: &Criterion) -> Vec<Row> {
+    c.results()
+        .iter()
+        .map(|r| Row { name: r.name.clone(), ns_per_iter: r.ns_per_iter, iters: r.iters })
+        .collect()
+}
+
+fn make_criterion(smoke: bool) -> Criterion {
     let (sample, measure_ms, warmup_ms) = if smoke { (5, 40, 10) } else { (20, 1000, 300) };
-    let mut criterion = Criterion::default()
+    Criterion::default()
         .sample_size(sample)
         .measurement_time(std::time::Duration::from_millis(measure_ms))
         .warm_up_time(std::time::Duration::from_millis(warmup_ms))
-        .configure_from_args();
-    benches(&mut criterion);
+        .configure_from_args()
+}
+
+/// Spawns one child process per (family × scheme) cell — `BENCH_GROUP=family:scheme` —
+/// and merges their JSON outputs.  Fresh child state per cell is the point: every cell
+/// starts on a young heap, empty page stores and zeroed thread registries, so no row's
+/// number depends on which rows ran before it (the cross-row bias the in-process run
+/// could only mitigate by careful ordering).  Returns `Err` only if children cannot be
+/// spawned at all; a cell that *runs* and fails aborts the whole run instead.
+fn run_isolated(json_path: &str) -> std::io::Result<Vec<Row>> {
+    let exe = std::env::current_exe()?;
+    let mut rows: Vec<Row> = Vec::new();
+    for (i, family) in FAMILIES.iter().enumerate() {
+        for (j, scheme) in SCHEMES.iter().enumerate() {
+            let group = format!("{family}:{scheme}");
+            let tmp = std::env::temp_dir().join(format!(
+                "bench_group_{}_{}_{}.json",
+                std::process::id(),
+                i,
+                j
+            ));
+            println!("--- {group} (fresh process) ---");
+            let status = std::process::Command::new(&exe)
+                .env("BENCH_GROUP", &group)
+                .env("BENCH_JSON", &tmp)
+                .status()?;
+            if !status.success() {
+                eprintln!("bench group {group} failed ({status}); aborting");
+                let _ = std::fs::remove_file(&tmp);
+                std::process::exit(1);
+            }
+            let text = std::fs::read_to_string(&tmp)?;
+            let _ = std::fs::remove_file(&tmp);
+            merge_best(&mut rows, parse_json(&text));
+        }
+    }
+    let _ = json_path;
+    Ok(rows)
+}
+
+fn main() {
+    // Smoke mode (CI): every benchmark still runs — so the JSON schema is complete — but
+    // with a minimal time budget.  The numbers are only good enough to be non-NaN.
+    // Children inherit the variable from the parent's environment.
+    let smoke = std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
     // Default to the workspace root (cargo bench runs with the package as cwd).
     let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reclaimer.json").into()
     });
-    match write_json(&criterion, &path) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("failed to write {path}: {e}"),
+
+    // Child mode: run exactly one (family × scheme) cell and write its rows.
+    if let Ok(group) = std::env::var("BENCH_GROUP") {
+        let (family, scheme) = group
+            .split_once(':')
+            .unwrap_or_else(|| panic!("BENCH_GROUP must be `family:scheme`, got `{group}`"));
+        let mut criterion = make_criterion(smoke);
+        run_group(&mut criterion, family, scheme);
+        let mut rows = Vec::new();
+        merge_best(&mut rows, drain_criterion(&criterion));
+        if let Err(e) = write_json(&rows, &path) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Parent mode: one fresh child process per cell; fall back to a single in-process
+    // sweep only where spawning is impossible.
+    let rows = run_isolated(&path).unwrap_or_else(|e| {
+        eprintln!("child-process isolation unavailable ({e}); running in-process");
+        let mut criterion = make_criterion(smoke);
+        for family in FAMILIES {
+            for scheme in SCHEMES {
+                run_group(&mut criterion, family, scheme);
+            }
+        }
+        let mut rows = Vec::new();
+        merge_best(&mut rows, drain_criterion(&criterion));
+        rows
+    });
+    match write_json(&rows, &path) {
+        Ok(()) => println!("\nwrote {path} ({} rows)", rows.len()),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -36,6 +36,11 @@ fn expected_rows() -> Vec<(String, String)> {
         // The bag-shaped structures (smr-queue): alternating push/pop per scheme.
         rows.push((scheme.to_string(), "queue_guard".to_string()));
         rows.push((scheme.to_string(), "stack_guard".to_string()));
+        // The allocation-pipeline comparison: the same list/bag workloads composed with
+        // the type-stable page-pool allocator (smr-pagepool) instead of malloc.
+        rows.push((scheme.to_string(), "list_guard_pagepool".to_string()));
+        rows.push((scheme.to_string(), "queue_guard_pagepool".to_string()));
+        rows.push((scheme.to_string(), "stack_guard_pagepool".to_string()));
     }
     for scheme in ["DEBRA", "EBR", "IBR"] {
         rows.push((scheme.to_string(), "retire".to_string()));

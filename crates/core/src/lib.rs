@@ -86,7 +86,7 @@ pub use crate::lifecycle::RecordLifecycle;
 pub use crate::properties::{CodeModifications, SchemeProperties, Termination, TimingAssumptions};
 pub use crate::record_manager::{OpGuard, RecordManager, RecordManagerThread};
 pub use crate::rprotect::RProtectArray;
-pub use crate::stats::{ReclaimerStats, ThreadStatsSlot};
+pub use crate::stats::{PoolStats, ReclaimerStats, ThreadStatsSlot};
 pub use crate::traits::{
     Allocator, AllocatorThread, CountingSink, Pool, PoolThread, ReclaimSink, Reclaimer,
     ReclaimerThread, RegistrationError,

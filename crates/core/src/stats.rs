@@ -57,6 +57,60 @@ impl ThreadStatsSlot {
     }
 }
 
+/// Aggregated allocation-pipeline statistics of a [`Pool`](crate::Pool) instance.
+///
+/// The counters describe the retire→free pipeline below the reclaimer: how often an
+/// allocation was served from the per-thread magazine versus falling through to the
+/// allocator, and — for page-backed pools ([`smr-pagepool`]) — how much page memory the
+/// backing store has mapped.  Pools without counters report the all-zero default.
+///
+/// The gauges (`pages_mapped`, `slots_live`, `slots_free`) are *approximate*: free-slot
+/// accounting happens at block granularity (the hot paths must not touch shared
+/// counters), so slots cached in per-thread magazines and allocator-local blocks count
+/// as live.
+///
+/// [`smr-pagepool`]: https://docs.rs/smr-pagepool
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Allocations served by a per-thread magazine (or a refill from the shared
+    /// overflow pool) without touching the allocator.
+    pub magazine_hits: u64,
+    /// Allocations that fell through to the allocator because no recycled record was
+    /// available.
+    pub magazine_misses: u64,
+    /// Pages the backing page store has mapped so far (never unmapped; 0 for pools
+    /// without a page store).
+    pub pages_mapped: u64,
+    /// Carved slots currently in circulation: handed out, cached in a magazine, or
+    /// parked in an allocator thread's local block.
+    pub slots_live: u64,
+    /// Carved slots sitting in the page store's global free list.
+    pub slots_free: u64,
+}
+
+impl PoolStats {
+    /// Magazine hit rate in percent (`NaN`-free: returns 0 when nothing was allocated).
+    pub fn hit_rate_pct(&self) -> f64 {
+        let total = self.magazine_hits + self.magazine_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.magazine_hits as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Adds another snapshot's counters into this one (used when summarizing rows).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.magazine_hits += other.magazine_hits;
+        self.magazine_misses += other.magazine_misses;
+        // The gauges describe one shared page store; keep the maximum rather than
+        // summing the same store's figure once per row.
+        self.pages_mapped = self.pages_mapped.max(other.pages_mapped);
+        self.slots_live = self.slots_live.max(other.slots_live);
+        self.slots_free = self.slots_free.max(other.slots_free);
+    }
+}
+
 /// Aggregates the per-thread slots of a reclaimer into a [`ReclaimerStats`] snapshot.
 pub(crate) fn aggregate(slots: &[CachePadded<ThreadStatsSlot>]) -> ReclaimerStats {
     let mut agg = ReclaimerStats::default();

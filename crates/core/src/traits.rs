@@ -15,7 +15,7 @@ use blockbag::Block;
 use neutralize::Neutralized;
 
 use crate::properties::SchemeProperties;
-use crate::stats::ReclaimerStats;
+use crate::stats::{PoolStats, ReclaimerStats};
 
 /// Error returned when registering a thread with a shared component fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -350,6 +350,12 @@ pub trait Pool<T>: Send + Sync + Sized + 'static {
     /// Removes and returns every record currently cached in shared pool structures.
     /// Called during teardown so the Record Manager can free them.
     fn drain_shared(&self) -> Vec<NonNull<T>>;
+
+    /// Aggregated allocation-pipeline statistics (magazine hits/misses, page store
+    /// gauges).  Pools that do not keep counters return the all-zero default.
+    fn stats(&self) -> PoolStats {
+        PoolStats::default()
+    }
 }
 
 /// Per-thread handle of a [`Pool`].

@@ -1,0 +1,219 @@
+//! The [`Allocator`] face of the page store.
+
+use std::fmt;
+use std::mem::size_of;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use blockbag::{Block, BlockBag, DEFAULT_BLOCK_CAPACITY};
+use crossbeam_utils::CachePadded;
+use debra::{Allocator, AllocatorThread};
+
+use crate::store::{store_for, PageStore};
+
+/// Blocks of free slots a thread parks locally before returning whole blocks to the
+/// store.  Two blocks give alternating allocate/deallocate runs hysteresis: a thread
+/// oscillating around a block boundary does not ping-pong blocks through the shared
+/// free list.
+const LOCAL_FREE_MAX_BLOCKS: usize = 2;
+
+#[derive(Debug, Default)]
+struct Counters {
+    bytes: AtomicU64,
+    records: AtomicU64,
+}
+
+/// A never-unmapping, type-stable page allocator (the [`Allocator`] face of the
+/// process-global [`PageStore`] for `T`).
+///
+/// * [`allocate`](AllocatorThread::allocate) pops a slot from a thread-local block of
+///   free slots, refilling block-at-a-time from the store (which carves a fresh page
+///   only when its free list is empty).
+/// * [`deallocate`](AllocatorThread::deallocate) drops the record's value and pushes
+///   the slot back onto the local block; surplus blocks return to the store, so slots
+///   freed at teardown (e.g. `Domain::free_reachable`) go back to their pages instead
+///   of to `free(3)`.
+///
+/// The `allocated_bytes`/`allocated_records` counters report total demand reaching the
+/// allocator (like the other allocators in `smr-alloc`): every `allocate` call counts,
+/// whether it was served from a cached slot or a fresh page.
+pub struct PageAllocator<T> {
+    store: Arc<PageStore<T>>,
+    counters: Box<[CachePadded<Counters>]>,
+}
+
+impl<T: Send + 'static> Allocator<T> for PageAllocator<T> {
+    type Thread = PageAllocatorThread<T>;
+
+    fn new(max_threads: usize) -> Self {
+        PageAllocator {
+            store: store_for::<T>(),
+            counters: (0..max_threads.max(1))
+                .map(|_| CachePadded::new(Counters::default()))
+                .collect(),
+        }
+    }
+
+    fn register(this: &Arc<Self>, tid: usize) -> Self::Thread {
+        PageAllocatorThread {
+            global: Arc::clone(this),
+            tid,
+            free: BlockBag::with_block_capacity(DEFAULT_BLOCK_CAPACITY),
+        }
+    }
+
+    fn name() -> &'static str {
+        "pagepool"
+    }
+
+    fn allocated_bytes(&self) -> u64 {
+        self.counters.iter().map(|c| c.bytes.load(Ordering::Relaxed)).sum()
+    }
+
+    fn allocated_records(&self) -> u64 {
+        self.counters.iter().map(|c| c.records.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl<T: Send + 'static> PageAllocator<T> {
+    /// The process-global page store backing this allocator.
+    pub fn store(&self) -> &Arc<PageStore<T>> {
+        &self.store
+    }
+
+    fn counter(&self, tid: usize) -> &Counters {
+        // Clamp like `SystemAllocator`: teardown handles may register past max_threads.
+        &self.counters[tid.min(self.counters.len() - 1)]
+    }
+}
+
+impl<T> fmt::Debug for PageAllocator<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PageAllocator").field("threads", &self.counters.len()).finish()
+    }
+}
+
+/// Per-thread handle of [`PageAllocator`].
+pub struct PageAllocatorThread<T> {
+    global: Arc<PageAllocator<T>>,
+    tid: usize,
+    /// Local cache of free slots (no live values), at most [`LOCAL_FREE_MAX_BLOCKS`]
+    /// blocks before surplus full blocks return to the store.
+    free: BlockBag<T>,
+}
+
+impl<T: Send + 'static> AllocatorThread<T> for PageAllocatorThread<T> {
+    fn allocate(&mut self, value: T) -> NonNull<T> {
+        let c = self.global.counter(self.tid);
+        c.records.fetch_add(1, Ordering::Relaxed);
+        c.bytes.fetch_add(size_of::<T>() as u64, Ordering::Relaxed);
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.free.push_block(self.global.store.take_block());
+                self.free.pop().expect("blocks from the store are never empty")
+            }
+        };
+        // SAFETY: a free slot holds no live value (its previous value, if any, was
+        // dropped in `deallocate`), so a plain write — not a drop-then-write — is
+        // correct; the slot is exclusively ours until handed out.
+        unsafe { std::ptr::write(slot.as_ptr(), value) };
+        slot
+    }
+
+    unsafe fn deallocate(&mut self, record: NonNull<T>) {
+        // SAFETY: the caller guarantees exclusive access and that the record came from
+        // this allocator family, so it holds a live value exactly once droppable here.
+        unsafe { std::ptr::drop_in_place(record.as_ptr()) };
+        self.free.push(record);
+        if self.free.size_in_blocks() > LOCAL_FREE_MAX_BLOCKS {
+            for block in self.free.take_full_blocks() {
+                self.global.store.return_block(block);
+            }
+        }
+    }
+}
+
+impl<T> Drop for PageAllocatorThread<T> {
+    fn drop(&mut self) {
+        // Return every locally parked slot so short-lived handles (teardown handles
+        // register, free, and drop) never strand slots.
+        for block in self.free.take_full_blocks() {
+            self.global.store.return_block(block);
+        }
+        if !self.free.is_empty() {
+            let mut block = Block::with_capacity(self.free.len().max(1));
+            while let Some(slot) = self.free.pop() {
+                let pushed = block.push(slot);
+                debug_assert!(pushed);
+            }
+            self.global.store.return_block(block);
+        }
+    }
+}
+
+impl<T> fmt::Debug for PageAllocatorThread<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PageAllocatorThread")
+            .field("tid", &self.tid)
+            .field("cached_slots", &self.free.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    struct Dropper(#[allow(dead_code)] u64);
+    impl Drop for Dropper {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn allocate_writes_value_and_deallocate_drops_it_once() {
+        let alloc: Arc<PageAllocator<Dropper>> = Arc::new(PageAllocator::new(1));
+        let mut t = PageAllocator::register(&alloc, 0);
+        let before = DROPS.load(Ordering::SeqCst);
+        let r = t.allocate(Dropper(7));
+        assert_eq!(unsafe { r.as_ref() }.0, 7);
+        assert_eq!(alloc.allocated_records(), 1);
+        assert_eq!(alloc.allocated_bytes(), size_of::<Dropper>() as u64);
+        unsafe { t.deallocate(r) };
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1, "exactly one drop");
+    }
+
+    #[test]
+    fn freed_slot_is_recycled_lifo_for_the_same_type() {
+        struct RecycleProbe(#[allow(dead_code)] u64);
+        let alloc: Arc<PageAllocator<RecycleProbe>> = Arc::new(PageAllocator::new(1));
+        let mut t = PageAllocator::register(&alloc, 0);
+        let a = t.allocate(RecycleProbe(1));
+        unsafe { t.deallocate(a) };
+        let b = t.allocate(RecycleProbe(2));
+        assert_eq!(a, b, "the just-freed slot is reused first");
+        assert!(alloc.store().owns(b));
+        unsafe { t.deallocate(b) };
+    }
+
+    #[test]
+    fn dropped_handle_returns_slots_to_the_store() {
+        struct HandleProbe(#[allow(dead_code)] u64);
+        let alloc: Arc<PageAllocator<HandleProbe>> = Arc::new(PageAllocator::new(1));
+        let store = Arc::clone(alloc.store());
+        let mut t = PageAllocator::register(&alloc, 0);
+        let records: Vec<_> = (0..10).map(|i| t.allocate(HandleProbe(i))).collect();
+        for r in records {
+            unsafe { t.deallocate(r) };
+        }
+        let free_before = store.slots_free();
+        drop(t);
+        assert!(store.slots_free() > free_before, "local slots flushed on drop");
+    }
+}

@@ -1,0 +1,55 @@
+//! Type-stable page-backed allocation for the Record Manager: the FreeAccess-style
+//! allocation pipeline (Cohen, *"Every Data Structure Deserves Lock-Free Memory
+//! Reclamation"*, OOPSLA 2018) as a drop-in [`Allocator`](debra::Allocator) /
+//! [`Pool`](debra::Pool) pair.
+//!
+//! The subsystem has three layers:
+//!
+//! * **Page store** ([`PageStore`], one per record type per process) — a global list of
+//!   mapped pages carved into fixed-size typed slots, plus a lock-free shared free list
+//!   of carved slots.  Pages are **never unmapped**.
+//! * **Page allocator** ([`PageAllocator`]) — the [`Allocator`](debra::Allocator) face
+//!   of the store: a
+//!   thread takes whole blocks of free slots from the store, serves allocations from a
+//!   small local block cache, and returns freed slots block-at-a-time.
+//! * **Magazine pool** ([`PagePool`]) — the [`Pool`](debra::Pool) face: every thread
+//!   holds two
+//!   bounded magazines of *recycled records* (records the reclaimer has proven
+//!   unreachable, values still in place); overflow drains to a lock-free global pool so
+//!   a thread that retires more than it allocates cannot hoard memory.
+//!
+//! Composed as `RecordManager<T, R, PagePool<T>, PageAllocator<T>>`, the retire→free
+//! hot path touches no system allocator call: reclaimed records recycle thread-locally
+//! through the magazines, magazine overflow flows through the shared pool, and even
+//! records freed at teardown return to their page's free list instead of `free(3)`.
+//!
+//! # The type-stability contract
+//!
+//! **A slot address handed out for a type `T` is only ever reused for `T`, for the
+//! lifetime of the process.**
+//!
+//! This holds structurally: the page store for `T` is a process-global keyed by
+//! [`TypeId`](core::any::TypeId) (see [`store_for`]), every slot is carved from a page
+//! owned by that store,
+//! pages are never unmapped, and freed slots return to the same store they were carved
+//! from.  Distinct `PageAllocator<T>` / `PagePool<T>` instances (across Record
+//! Managers, `Domain`s, trials and tests) share one store per type, so recycling works
+//! process-wide and repeated trials reuse pages instead of growing the heap.
+//!
+//! The contract is what optimistic-access schemes build on: VBR (version-based
+//! reclamation) reads possibly-freed memory and validates afterwards, which is only
+//! sound if the address still holds a record of the expected type and layout; automatic
+//! reclamation similarly requires that a stale pointer dereference lands on typed
+//! memory.  `DESIGN.md` §7 documents the design; `tests/pagepool.rs` property-tests the
+//! contract.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod alloc;
+mod pool;
+mod store;
+
+pub use crate::alloc::{PageAllocator, PageAllocatorThread};
+pub use crate::pool::{PagePool, PagePoolThread};
+pub use crate::store::{store_for, PageStore, PAGE_BYTES};

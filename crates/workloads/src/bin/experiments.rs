@@ -20,6 +20,8 @@
 //!   THREADS       comma-separated thread counts (default "1,2,4,8")
 //!   FULL_KEYRANGE set to 1 to use the paper's key ranges (10^4 / 10^6 / 2*10^5);
 //!                 the default uses smaller ranges so a full sweep finishes quickly
+//!   ALLOCATOR     override each experiment's memory configuration: bump-no-pool,
+//!                 bump, system (malloc), or pagepool (the type-stable page allocator)
 //! ```
 
 use smr_workloads::experiments::{
@@ -110,14 +112,9 @@ fn main() {
                 distribution: KeyDistribution::Uniform,
                 duration_ms: duration,
                 prefill: true,
+                allocator: experiments::allocator_from_env(AllocatorKind::BumpWithPool),
             };
-            let row = experiments::run_config(
-                StructureKind::Bst,
-                ReclaimerKind::Debra,
-                AllocatorKind::BumpWithPool,
-                &cfg,
-                1,
-            );
+            let row = experiments::run_config(StructureKind::Bst, ReclaimerKind::Debra, &cfg, 1);
             print_rows("Quick check", &[row]);
         }
         "all" => {

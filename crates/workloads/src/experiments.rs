@@ -14,12 +14,13 @@
 
 use std::sync::Arc;
 
-use debra::{Allocator, Debra, DebraPlus, Reclaimer, RecordManager};
+use debra::{Allocator, Debra, DebraPlus, Pool, PoolStats, Reclaimer, RecordManager};
 use lockfree_ds::{BstNode, ExternalBst, SkipList, SkipNode};
 use smr_alloc::{BumpAllocator, NoPool, SystemAllocator, ThreadPool};
 use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
 use smr_hashmap::{HashMapNode, LockFreeHashMap};
 use smr_ibr::Ibr;
+use smr_pagepool::{PageAllocator, PagePool};
 use smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
 
 use crate::harness::{run_trial, TrialResult};
@@ -116,16 +117,49 @@ pub enum AllocatorKind {
     BumpWithPool,
     /// System allocator (`malloc`) + per-thread pool — Experiment 3.
     SystemWithPool,
+    /// Type-stable page allocator + magazine pool (`smr-pagepool`): the retire→free hot
+    /// path never touches the system allocator, and freed records return to their pages.
+    PagePool,
 }
 
 impl AllocatorKind {
+    /// Every memory configuration, in the order the experiments sweep them.
+    pub const ALL: [AllocatorKind; 4] = [
+        AllocatorKind::BumpNoPool,
+        AllocatorKind::BumpWithPool,
+        AllocatorKind::SystemWithPool,
+        AllocatorKind::PagePool,
+    ];
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {
             AllocatorKind::BumpNoPool => "bump/no-pool",
             AllocatorKind::BumpWithPool => "bump/pool",
             AllocatorKind::SystemWithPool => "malloc/pool",
+            AllocatorKind::PagePool => "pagepool",
         }
+    }
+}
+
+/// Resolves the memory configuration for an experiment driver: the `ALLOCATOR`
+/// environment variable when set (`bump-no-pool`, `bump`, `system`/`malloc`,
+/// `pagepool`), otherwise `default` (each experiment's paper configuration).
+///
+/// # Panics
+///
+/// Panics on an unrecognized `ALLOCATOR` value — a misconfigured sweep should fail
+/// loudly, not silently measure the wrong memory configuration.
+pub fn allocator_from_env(default: AllocatorKind) -> AllocatorKind {
+    match std::env::var("ALLOCATOR").ok().as_deref() {
+        None | Some("") => default,
+        Some("bump-no-pool" | "no-pool") => AllocatorKind::BumpNoPool,
+        Some("bump" | "bump-pool") => AllocatorKind::BumpWithPool,
+        Some("system" | "malloc") => AllocatorKind::SystemWithPool,
+        Some("pagepool" | "page-pool") => AllocatorKind::PagePool,
+        Some(other) => panic!(
+            "unrecognized ALLOCATOR={other:?} (expected bump-no-pool, bump, system, or pagepool)"
+        ),
     }
 }
 
@@ -154,7 +188,7 @@ impl ExperimentRow {
     /// Formats the row the way the experiment tables in `EXPERIMENTS.md` are written.
     pub fn to_table_line(&self) -> String {
         format!(
-            "| {:9} | {:10} | {:12} | {:3} | {:8} | {:8} | {:8} | {:8.3} | {:10} | {:10} | {:6} |",
+            "| {:9} | {:10} | {:12} | {:3} | {:8} | {:8} | {:8} | {:8.3} | {:10} | {:10} | {:6} | {:7.1} | {:5} |",
             self.structure.name(),
             self.reclaimer.name(),
             self.allocator.name(),
@@ -166,19 +200,22 @@ impl ExperimentRow {
             self.result.reclaimer.retired,
             self.result.reclaimer.reclaimed,
             self.result.reclaimer.neutralized,
+            self.result.pool.hit_rate_pct(),
+            self.result.pool.pages_mapped,
         )
     }
 
     /// The table header matching [`Self::to_table_line`].
     pub fn table_header() -> String {
         let mut s = String::new();
-        s.push_str("| structure | scheme     | memory       | thr | keyrange | mix      | dist     | Mops/s   | retired    | reclaimed  | neutr. |\n");
-        s.push_str("|-----------|------------|--------------|-----|----------|----------|----------|----------|------------|------------|--------|");
+        s.push_str("| structure | scheme     | memory       | thr | keyrange | mix      | dist     | Mops/s   | retired    | reclaimed  | neutr. | mag-hit | pages |\n");
+        s.push_str("|-----------|------------|--------------|-----|----------|----------|----------|----------|------------|------------|--------|---------|-------|");
         s
     }
 }
 
-/// Runs one fully specified configuration and returns its row.
+/// Runs one fully specified configuration and returns its row.  The memory configuration
+/// (allocator + pool) comes from [`WorkloadConfig::allocator`].
 ///
 /// Bag-shaped structures (queue, stack) are routed through the producer/consumer harness
 /// with a symmetric scenario whose enqueue share is the mix's insert percentage
@@ -187,10 +224,10 @@ impl ExperimentRow {
 pub fn run_config(
     structure: StructureKind,
     reclaimer: ReclaimerKind,
-    allocator: AllocatorKind,
     cfg: &WorkloadConfig,
     seed: u64,
 ) -> ExperimentRow {
+    let allocator = cfg.allocator;
     if structure.is_bag() {
         let updates = (cfg.mix.insert_pct as u64 + cfg.mix.delete_pct as u64).max(1);
         let pc_cfg = PcConfig {
@@ -199,8 +236,9 @@ pub fn run_config(
             enqueue_pct: (cfg.mix.insert_pct as u64 * 100 / updates) as u8,
             prefill: if cfg.prefill { cfg.key_range / 2 } else { 0 },
             duration_ms: cfg.duration_ms,
+            allocator,
         };
-        let row = run_pc_config(structure, reclaimer, allocator, &pc_cfg, seed);
+        let row = run_pc_config(structure, reclaimer, &pc_cfg, seed);
         return ExperimentRow {
             structure,
             reclaimer,
@@ -234,6 +272,7 @@ pub fn run_config(
                 seed,
                 || manager.reclaimer().stats(),
                 || (manager.allocator().allocated_bytes(), manager.allocator().allocated_records()),
+                || manager.pool().stats(),
             );
             result
         }};
@@ -281,6 +320,7 @@ pub fn run_config(
                 AllocatorKind::SystemWithPool => {
                     dispatch_structure!($recl, ThreadPool, SystemAllocator)
                 }
+                AllocatorKind::PagePool => dispatch_structure!($recl, PagePool, PageAllocator),
             }
         };
     }
@@ -355,7 +395,8 @@ impl PcRow {
 
 /// Runs one fully specified producer/consumer configuration (queue or stack) and returns
 /// its row.  This is the bag-shaped sibling of [`run_config`], with scenario control the
-/// map-shaped entry point cannot express.
+/// map-shaped entry point cannot express.  The memory configuration comes from
+/// [`PcConfig::allocator`].
 ///
 /// # Panics
 ///
@@ -363,10 +404,10 @@ impl PcRow {
 pub fn run_pc_config(
     structure: StructureKind,
     reclaimer: ReclaimerKind,
-    allocator: AllocatorKind,
     cfg: &PcConfig,
     seed: u64,
 ) -> PcRow {
+    let allocator = cfg.allocator;
     assert!(structure.is_bag(), "run_pc_config drives bag structures (Queue, Stack)");
     eprintln!(
         "[trial] {structure:?} x {reclaimer:?} x {allocator:?} (threads={}, {}, {}ms)",
@@ -386,6 +427,7 @@ pub fn run_pc_config(
                 seed,
                 || manager.reclaimer().stats(),
                 || (manager.allocator().allocated_bytes(), manager.allocator().allocated_records()),
+                || manager.pool().stats(),
             )
         }};
     }
@@ -422,6 +464,9 @@ pub fn run_pc_config(
                 AllocatorKind::SystemWithPool => {
                     dispatch_bag_structure!($recl, ThreadPool, SystemAllocator)
                 }
+                AllocatorKind::PagePool => {
+                    dispatch_bag_structure!($recl, PagePool, PageAllocator)
+                }
             }
         };
     }
@@ -445,20 +490,21 @@ pub fn run_pc_config(
 /// dequeue retires a record, so limbo pressure here is proportional to raw throughput —
 /// the worst-case garbage regime, which no operation mix on a map reaches.
 pub fn experiment_producer_consumer(thread_counts: &[usize], duration_ms: u64) -> Vec<PcRow> {
+    let allocator = allocator_from_env(AllocatorKind::BumpWithPool);
     let mut rows = Vec::new();
     for structure in [StructureKind::Queue, StructureKind::Stack] {
         for scenario in [PcScenario::Symmetric, PcScenario::BurstyProducer { burst: 128 }] {
             for &threads in thread_counts {
                 for reclaimer in ReclaimerKind::ALL {
-                    let cfg =
-                        PcConfig { threads, scenario, enqueue_pct: 50, prefill: 256, duration_ms };
-                    rows.push(run_pc_config(
-                        structure,
-                        reclaimer,
-                        AllocatorKind::BumpWithPool,
-                        &cfg,
-                        0xBA6,
-                    ));
+                    let cfg = PcConfig {
+                        threads,
+                        scenario,
+                        enqueue_pct: 50,
+                        prefill: 256,
+                        duration_ms,
+                        allocator,
+                    };
+                    rows.push(run_pc_config(structure, reclaimer, &cfg, 0xBA6));
                 }
             }
         }
@@ -522,8 +568,9 @@ fn sweep(
                         distribution: KeyDistribution::Uniform,
                         duration_ms,
                         prefill: true,
+                        allocator,
                     };
-                    rows.push(run_config(structure, reclaimer, allocator, &cfg, 0xDEB2A));
+                    rows.push(run_config(structure, reclaimer, &cfg, 0xDEB2A));
                 }
             }
         }
@@ -536,7 +583,7 @@ pub fn experiment1(thread_counts: &[usize], duration_ms: u64, small: bool) -> Ve
     sweep(
         &[StructureKind::Bst, StructureKind::SkipList, StructureKind::HashMap],
         &ReclaimerKind::ALL,
-        AllocatorKind::BumpNoPool,
+        allocator_from_env(AllocatorKind::BumpNoPool),
         thread_counts,
         duration_ms,
         small,
@@ -548,7 +595,7 @@ pub fn experiment2(thread_counts: &[usize], duration_ms: u64, small: bool) -> Ve
     sweep(
         &[StructureKind::Bst, StructureKind::SkipList, StructureKind::HashMap],
         &ReclaimerKind::ALL,
-        AllocatorKind::BumpWithPool,
+        allocator_from_env(AllocatorKind::BumpWithPool),
         thread_counts,
         duration_ms,
         small,
@@ -563,7 +610,7 @@ pub fn experiment2_oversubscribed(duration_ms: u64, small: bool) -> Vec<Experime
     sweep(
         &[StructureKind::Bst],
         &ReclaimerKind::ALL,
-        AllocatorKind::BumpWithPool,
+        allocator_from_env(AllocatorKind::BumpWithPool),
         &counts,
         duration_ms,
         small,
@@ -575,7 +622,7 @@ pub fn experiment3(thread_counts: &[usize], duration_ms: u64, small: bool) -> Ve
     sweep(
         &[StructureKind::Bst, StructureKind::SkipList, StructureKind::HashMap],
         &ReclaimerKind::ALL,
-        AllocatorKind::SystemWithPool,
+        allocator_from_env(AllocatorKind::SystemWithPool),
         thread_counts,
         duration_ms,
         small,
@@ -591,6 +638,7 @@ pub fn experiment_distribution(
     duration_ms: u64,
     small: bool,
 ) -> Vec<ExperimentRow> {
+    let allocator = allocator_from_env(AllocatorKind::BumpWithPool);
     let mut rows = Vec::new();
     for structure in [StructureKind::HashMap, StructureKind::Bst] {
         let key_range = match (structure, small) {
@@ -609,14 +657,9 @@ pub fn experiment_distribution(
                         distribution,
                         duration_ms,
                         prefill: true,
+                        allocator,
                     };
-                    rows.push(run_config(
-                        structure,
-                        reclaimer,
-                        AllocatorKind::BumpWithPool,
-                        &cfg,
-                        0x21BF,
-                    ));
+                    rows.push(run_config(structure, reclaimer, &cfg, 0x21BF));
                 }
             }
         }
@@ -631,6 +674,7 @@ pub fn memory_footprint(duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let counts = [1, cores.max(2), cores * 2, cores * 4];
     let key_range = if small { 1_024 } else { 10_000 };
+    let allocator = allocator_from_env(AllocatorKind::BumpWithPool);
     let mut rows = Vec::new();
     for &threads in &counts {
         for reclaimer in [
@@ -646,14 +690,9 @@ pub fn memory_footprint(duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
                 distribution: KeyDistribution::Uniform,
                 duration_ms,
                 prefill: true,
+                allocator,
             };
-            rows.push(run_config(
-                StructureKind::Bst,
-                reclaimer,
-                AllocatorKind::BumpWithPool,
-                &cfg,
-                7,
-            ));
+            rows.push(run_config(StructureKind::Bst, reclaimer, &cfg, 7));
         }
     }
     rows
@@ -730,6 +769,10 @@ pub fn summarize(rows: &[ExperimentRow]) -> Vec<String> {
         }
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut pool = PoolStats::default();
+    for r in rows {
+        pool.merge(&r.result.pool);
+    }
     vec![
         format!(
             "DEBRA throughput relative to None (paper: ~0.88–0.96x): {:.2}x",
@@ -743,6 +786,15 @@ pub fn summarize(rows: &[ExperimentRow]) -> Vec<String> {
         format!("DEBRA+ speedup over HP (paper: ~1.70–1.83x): {:.2}x", avg(&debra_plus_vs_hp)),
         format!("IBR throughput relative to None (not in the paper): {:.2}x", avg(&ibr_vs_none)),
         format!("IBR relative to HP (not in the paper): {:.2}x", avg(&ibr_vs_hp)),
+        format!(
+            "Allocation pipeline: {:.1}% magazine hit rate ({} hits / {} misses), {} pages mapped, {} slots live, {} slots free",
+            pool.hit_rate_pct(),
+            pool.magazine_hits,
+            pool.magazine_misses,
+            pool.pages_mapped,
+            pool.slots_live,
+            pool.slots_free,
+        ),
     ]
 }
 
@@ -760,9 +812,9 @@ mod tests {
                 distribution: KeyDistribution::Uniform,
                 duration_ms: 20,
                 prefill: true,
+                allocator: AllocatorKind::BumpWithPool,
             };
-            let row =
-                run_config(StructureKind::Bst, reclaimer, AllocatorKind::BumpWithPool, &cfg, 1);
+            let row = run_config(StructureKind::Bst, reclaimer, &cfg, 1);
             assert!(row.result.operations > 0, "{reclaimer:?} produced no operations");
             if reclaimer != ReclaimerKind::None {
                 assert!(row.result.reclaimer.retired > 0);
@@ -781,14 +833,9 @@ mod tests {
                     distribution,
                     duration_ms: 20,
                     prefill: true,
+                    allocator: AllocatorKind::BumpWithPool,
                 };
-                let row = run_config(
-                    StructureKind::HashMap,
-                    reclaimer,
-                    AllocatorKind::BumpWithPool,
-                    &cfg,
-                    1,
-                );
+                let row = run_config(StructureKind::HashMap, reclaimer, &cfg, 1);
                 assert!(
                     row.result.operations > 0,
                     "{reclaimer:?}/{distribution:?} produced no operations"
@@ -802,7 +849,9 @@ mod tests {
 
     #[test]
     fn run_config_smoke_skiplist_and_memory_configs() {
-        for allocator in [AllocatorKind::BumpNoPool, AllocatorKind::SystemWithPool] {
+        for allocator in
+            [AllocatorKind::BumpNoPool, AllocatorKind::SystemWithPool, AllocatorKind::PagePool]
+        {
             let cfg = WorkloadConfig {
                 threads: 2,
                 key_range: 128,
@@ -810,10 +859,14 @@ mod tests {
                 distribution: KeyDistribution::Uniform,
                 duration_ms: 20,
                 prefill: true,
+                allocator,
             };
-            let row = run_config(StructureKind::SkipList, ReclaimerKind::Debra, allocator, &cfg, 3);
+            let row = run_config(StructureKind::SkipList, ReclaimerKind::Debra, &cfg, 3);
             assert!(row.result.operations > 0);
             assert!(row.result.allocated_records > 0);
+            if allocator == AllocatorKind::PagePool {
+                assert!(row.result.pool.pages_mapped > 0, "pagepool rows must map pages");
+            }
         }
     }
 
@@ -827,14 +880,9 @@ mod tests {
                     enqueue_pct: 50,
                     prefill: 64,
                     duration_ms: 20,
+                    allocator: AllocatorKind::BumpWithPool,
                 };
-                let row = run_pc_config(
-                    structure,
-                    ReclaimerKind::Debra,
-                    AllocatorKind::BumpWithPool,
-                    &cfg,
-                    9,
-                );
+                let row = run_pc_config(structure, ReclaimerKind::Debra, &cfg, 9);
                 assert!(row.result.enqueues > 0, "{structure:?}/{scenario:?} enqueued nothing");
                 assert!(row.result.dequeues > 0, "{structure:?}/{scenario:?} dequeued nothing");
                 assert!(
@@ -854,14 +902,9 @@ mod tests {
             distribution: KeyDistribution::Uniform,
             duration_ms: 20,
             prefill: true,
+            allocator: AllocatorKind::BumpWithPool,
         };
-        let row = run_config(
-            StructureKind::Queue,
-            ReclaimerKind::Ebr,
-            AllocatorKind::BumpWithPool,
-            &cfg,
-            4,
-        );
+        let row = run_config(StructureKind::Queue, ReclaimerKind::Ebr, &cfg, 4);
         assert!(row.result.operations > 0);
         assert_eq!(row.mix, "50e-50d/sym", "the map mix maps onto the symmetric scenario");
         assert!(row.result.reclaimer.retired > 0);
@@ -878,18 +921,14 @@ mod tests {
                 distribution: KeyDistribution::Uniform,
                 duration_ms: 15,
                 prefill: true,
+                allocator: AllocatorKind::BumpWithPool,
             };
-            rows.push(run_config(
-                StructureKind::Bst,
-                reclaimer,
-                AllocatorKind::BumpWithPool,
-                &cfg,
-                5,
-            ));
+            rows.push(run_config(StructureKind::Bst, reclaimer, &cfg, 5));
         }
         let summary = summarize(&rows);
-        assert_eq!(summary.len(), 6);
+        assert_eq!(summary.len(), 7);
         assert!(summary[0].contains("DEBRA"));
         assert!(summary.iter().any(|l| l.contains("IBR")));
+        assert!(summary[6].contains("Allocation pipeline"));
     }
 }

@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use debra::ReclaimerStats;
+use debra::{PoolStats, ReclaimerStats};
 use lockfree_ds::ConcurrentMap;
 
 use crate::workload::{Operation, OperationGenerator, WorkloadConfig};
@@ -39,6 +39,9 @@ pub struct TrialResult {
     pub allocated_bytes: u64,
     /// Total records requested from the allocator.
     pub allocated_records: u64,
+    /// Allocation-pipeline statistics (magazine hits/misses, page store gauges) at the
+    /// end of the trial; all-zero for pools that keep no counters.
+    pub pool: PoolStats,
 }
 
 /// Object-safe per-thread view of a map under test: one registered worker handle bound to
@@ -87,6 +90,7 @@ pub fn run_trial<'m, M>(
     seed: u64,
     reclaimer_stats: impl Fn() -> ReclaimerStats,
     allocator_stats: impl Fn() -> (u64, u64),
+    pool_stats: impl Fn() -> PoolStats,
 ) -> TrialResult
 where
     M: ConcurrentMap<u64, u64>,
@@ -98,7 +102,7 @@ where
     let factory = |_tid: usize| -> Box<dyn BenchHandle + 'm> {
         Box::new(MapHandle { map, handle: map.register().expect("register worker thread") })
     };
-    run_trial_erased(&factory, cfg, seed, &reclaimer_stats, &allocator_stats)
+    run_trial_erased(&factory, cfg, seed, &reclaimer_stats, &allocator_stats, &pool_stats)
 }
 
 /// The type-erased trial body; compiled once (see the module docs for why).
@@ -108,6 +112,7 @@ fn run_trial_erased<'m>(
     seed: u64,
     reclaimer_stats: &dyn Fn() -> ReclaimerStats,
     allocator_stats: &dyn Fn() -> (u64, u64),
+    pool_stats: &dyn Fn() -> PoolStats,
 ) -> TrialResult {
     assert!(cfg.threads >= 1, "at least one worker thread is required");
 
@@ -195,6 +200,7 @@ fn run_trial_erased<'m>(
         reclaimer: reclaimer_stats(),
         allocated_bytes,
         allocated_records,
+        pool: pool_stats(),
     }
 }
 
@@ -221,6 +227,7 @@ mod tests {
             distribution: KeyDistribution::Uniform,
             duration_ms: 50,
             prefill: true,
+            allocator: crate::experiments::AllocatorKind::SystemWithPool,
         };
         // Worker threads use tids 0..threads; prefill reuses tid 0 before workers start.
         let result = run_trial(
@@ -231,6 +238,10 @@ mod tests {
             || {
                 use debra::Allocator;
                 (manager.allocator().allocated_bytes(), manager.allocator().allocated_records())
+            },
+            || {
+                use debra::Pool;
+                manager.pool().stats()
             },
         );
         assert!(result.operations > 0);
@@ -251,6 +262,7 @@ mod tests {
             distribution: KeyDistribution::ZIPF_DEFAULT,
             duration_ms: 40,
             prefill: true,
+            allocator: crate::experiments::AllocatorKind::SystemWithPool,
         };
         let result = run_trial(
             &list,
@@ -260,6 +272,10 @@ mod tests {
             || {
                 use debra::Allocator;
                 (manager.allocator().allocated_bytes(), manager.allocator().allocated_records())
+            },
+            || {
+                use debra::Pool;
+                manager.pool().stats()
             },
         );
         assert!(result.operations > 0);

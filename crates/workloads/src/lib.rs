@@ -27,7 +27,9 @@ pub mod harness;
 pub mod pc;
 pub mod workload;
 
-pub use experiments::{AllocatorKind, ExperimentRow, ReclaimerKind, StructureKind};
+pub use experiments::{
+    allocator_from_env, AllocatorKind, ExperimentRow, ReclaimerKind, StructureKind,
+};
 pub use harness::{run_trial, BenchHandle, TrialResult};
 pub use pc::{run_pc_trial, BagBenchHandle, PcConfig, PcScenario, PcTrialResult};
 pub use workload::{KeyDistribution, OperationMix, WorkloadConfig};

@@ -26,9 +26,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use debra::ReclaimerStats;
+use debra::{PoolStats, ReclaimerStats};
 use lockfree_ds::ConcurrentBag;
 
+use crate::experiments::AllocatorKind;
 use crate::harness::TrialResult;
 
 /// How worker threads split into producer/consumer roles.
@@ -71,6 +72,8 @@ pub struct PcConfig {
     pub prefill: u64,
     /// Trial duration in milliseconds.
     pub duration_ms: u64,
+    /// Memory configuration (allocator + pool) the Record Manager is composed with.
+    pub allocator: AllocatorKind,
 }
 
 impl Default for PcConfig {
@@ -81,6 +84,7 @@ impl Default for PcConfig {
             enqueue_pct: 50,
             prefill: 256,
             duration_ms: 200,
+            allocator: AllocatorKind::BumpWithPool,
         }
     }
 }
@@ -154,6 +158,7 @@ pub fn run_pc_trial<'b, B>(
     seed: u64,
     reclaimer_stats: impl Fn() -> ReclaimerStats,
     allocator_stats: impl Fn() -> (u64, u64),
+    pool_stats: impl Fn() -> PoolStats,
 ) -> PcTrialResult
 where
     B: ConcurrentBag<u64>,
@@ -162,7 +167,7 @@ where
     let factory = |_tid: usize| -> Box<dyn BagBenchHandle + 'b> {
         Box::new(BagHandle { bag, handle: bag.register().expect("register worker thread") })
     };
-    run_pc_trial_erased(&factory, cfg, seed, &reclaimer_stats, &allocator_stats)
+    run_pc_trial_erased(&factory, cfg, seed, &reclaimer_stats, &allocator_stats, &pool_stats)
 }
 
 /// A splitmix64 step: the per-worker operation-choice stream (no keys are needed, so the
@@ -183,6 +188,7 @@ fn run_pc_trial_erased<'b>(
     seed: u64,
     reclaimer_stats: &dyn Fn() -> ReclaimerStats,
     allocator_stats: &dyn Fn() -> (u64, u64),
+    pool_stats: &dyn Fn() -> PoolStats,
 ) -> PcTrialResult {
     assert!(cfg.threads >= 1, "at least one worker thread is required");
 
@@ -310,6 +316,7 @@ fn run_pc_trial_erased<'b>(
             reclaimer: reclaimer_stats(),
             allocated_bytes,
             allocated_records,
+            pool: pool_stats(),
         },
     }
 }
@@ -341,6 +348,10 @@ mod tests {
                 use debra::Allocator;
                 (manager.allocator().allocated_bytes(), manager.allocator().allocated_records())
             },
+            || {
+                use debra::Pool;
+                manager.pool().stats()
+            },
         );
         assert!(r.enqueues > 0, "workers must enqueue");
         assert!(r.dequeues > 0, "workers must dequeue");
@@ -368,6 +379,10 @@ mod tests {
                 use debra::Allocator;
                 (manager.allocator().allocated_bytes(), manager.allocator().allocated_records())
             },
+            || {
+                use debra::Pool;
+                manager.pool().stats()
+            },
         );
         assert!(r.enqueues > 0 && r.dequeues > 0);
         // With a dedicated producer bursting, enqueues should not trail dequeues by
@@ -393,6 +408,10 @@ mod tests {
             || {
                 use debra::Allocator;
                 (manager.allocator().allocated_bytes(), manager.allocator().allocated_records())
+            },
+            || {
+                use debra::Pool;
+                manager.pool().stats()
             },
         );
         assert!(r.enqueues > 0, "a solo bursty worker must still enqueue");

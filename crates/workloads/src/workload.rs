@@ -4,6 +4,8 @@ use rand::distributions::{Distribution, Zipf};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::experiments::AllocatorKind;
+
 /// An operation mix, written the way the paper writes it: `xi-yd` means x% inserts,
 /// y% deletes and the remainder searches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +84,8 @@ pub struct WorkloadConfig {
     pub duration_ms: u64,
     /// Whether to prefill the structure to half the key range before timing.
     pub prefill: bool,
+    /// Memory configuration (allocator + pool) the Record Manager is composed with.
+    pub allocator: AllocatorKind,
 }
 
 impl Default for WorkloadConfig {
@@ -93,6 +97,7 @@ impl Default for WorkloadConfig {
             distribution: KeyDistribution::Uniform,
             duration_ms: 200,
             prefill: true,
+            allocator: AllocatorKind::BumpWithPool,
         }
     }
 }

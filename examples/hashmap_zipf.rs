@@ -34,14 +34,9 @@ fn main() {
                 distribution,
                 duration_ms: 300,
                 prefill: true,
+                allocator: AllocatorKind::BumpWithPool,
             };
-            let row = run_config(
-                StructureKind::HashMap,
-                reclaimer,
-                AllocatorKind::BumpWithPool,
-                &cfg,
-                0x5EED,
-            );
+            let row = run_config(StructureKind::HashMap, reclaimer, &cfg, 0x5EED);
             println!(
                 "{:10} | {:8} | {:8.3} | {:10} | {:10} | {:10}",
                 reclaimer.name(),

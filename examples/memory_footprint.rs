@@ -21,6 +21,7 @@ fn main() {
         distribution: KeyDistribution::Uniform,
         duration_ms: 400,
         prefill: true,
+        allocator: AllocatorKind::BumpWithPool,
     };
     println!(
         "BST, {} threads, keyrange {}, {} for {} ms (bump allocator + pool)\n",
@@ -37,7 +38,7 @@ fn main() {
         ReclaimerKind::Debra,
         ReclaimerKind::DebraPlus,
     ] {
-        let row = run_config(StructureKind::Bst, reclaimer, AllocatorKind::BumpWithPool, &cfg, 99);
+        let row = run_config(StructureKind::Bst, reclaimer, &cfg, 99);
         println!(
             "{:7} | {:19.3} | {:27} | {:17}",
             reclaimer.name(),

@@ -11,5 +11,6 @@ pub use smr_alloc;
 pub use smr_baselines;
 pub use smr_hashmap;
 pub use smr_ibr;
+pub use smr_pagepool;
 pub use smr_queue;
 pub use smr_workloads;

@@ -14,6 +14,7 @@ use debra_repro::smr_alloc::{BumpAllocator, SystemAllocator, ThreadPool};
 use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
 use debra_repro::smr_hashmap::{HashMapNode, LockFreeHashMap};
 use debra_repro::smr_ibr::Ibr;
+use debra_repro::smr_pagepool::{PageAllocator, PagePool};
 use debra_repro::smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
 
 const THREADS: usize = 4;
@@ -530,6 +531,26 @@ bag_stress_test!(queue_ibr, MsQueue, QueueNode, Ibr<Node>, ThreadPool, SystemAll
 bag_stress_test!(queue_debra_bump, MsQueue, QueueNode, Debra<Node>, ThreadPool, BumpAllocator,
     fifo: true, expect_reclaim: true);
 
+// --- the queue under every scheme on the page-pool allocation pipeline -----------------
+// Same workload and invariants as the rows above, but composed with `smr-pagepool`
+// (type-stable pages + per-thread magazines + global overflow) instead of malloc: the
+// retire → pool → magazine → reuse cycle runs at full stress concurrency, and every
+// reclaiming scheme must still show `reclaimed > 0` — records flow all the way back.
+bag_stress_test!(queue_none_pagepool, MsQueue, QueueNode, NoReclaim<Node>, PagePool,
+    PageAllocator, fifo: true);
+bag_stress_test!(queue_debra_pagepool, MsQueue, QueueNode, Debra<Node>, PagePool,
+    PageAllocator, fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_debra_plus_pagepool, MsQueue, QueueNode, DebraPlus<Node>, PagePool,
+    PageAllocator, fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_hazard_pointers_pagepool, MsQueue, QueueNode, HazardPointers<Node>,
+    PagePool, PageAllocator, fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_classic_ebr_pagepool, MsQueue, QueueNode, ClassicEbr<Node>, PagePool,
+    PageAllocator, fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_threadscan_pagepool, MsQueue, QueueNode, ThreadScanLite<Node>, PagePool,
+    PageAllocator, fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_ibr_pagepool, MsQueue, QueueNode, Ibr<Node>, PagePool, PageAllocator,
+    fifo: true, expect_reclaim: true);
+
 bag_stress_test!(stack_none, TreiberStack, StackNode, NoReclaim<Node>, ThreadPool,
     SystemAllocator, fifo: false);
 bag_stress_test!(stack_debra, TreiberStack, StackNode, Debra<Node>, ThreadPool,
@@ -546,6 +567,22 @@ bag_stress_test!(stack_ibr, TreiberStack, StackNode, Ibr<Node>, ThreadPool, Syst
     fifo: false, expect_reclaim: true);
 bag_stress_test!(stack_ebr_bump, TreiberStack, StackNode, ClassicEbr<Node>, ThreadPool,
     BumpAllocator, fifo: false, expect_reclaim: true);
+
+// --- the stack under every scheme on the page-pool allocation pipeline -----------------
+bag_stress_test!(stack_none_pagepool, TreiberStack, StackNode, NoReclaim<Node>, PagePool,
+    PageAllocator, fifo: false);
+bag_stress_test!(stack_debra_pagepool, TreiberStack, StackNode, Debra<Node>, PagePool,
+    PageAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_debra_plus_pagepool, TreiberStack, StackNode, DebraPlus<Node>, PagePool,
+    PageAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_hazard_pointers_pagepool, TreiberStack, StackNode, HazardPointers<Node>,
+    PagePool, PageAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_classic_ebr_pagepool, TreiberStack, StackNode, ClassicEbr<Node>, PagePool,
+    PageAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_threadscan_pagepool, TreiberStack, StackNode, ThreadScanLite<Node>,
+    PagePool, PageAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_ibr_pagepool, TreiberStack, StackNode, Ibr<Node>, PagePool,
+    PageAllocator, fifo: false, expect_reclaim: true);
 
 /// The 8-thread queue acceptance row: oversubscribed (the container has fewer cores),
 /// under DEBRA+ so neutralizations fire while the head churns at full drain rate.

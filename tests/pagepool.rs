@@ -1,0 +1,197 @@
+//! Integration tests for the type-stable page-pool allocation subsystem (`smr-pagepool`).
+//!
+//! The load-bearing property is the **type-stability contract** (DESIGN.md §7): a slot
+//! address handed out for a type `T` is only ever reused for `T`, for the lifetime of
+//! the process — pages are never unmapped and never re-carved for another type.  This is
+//! the guarantee optimistic schemes (VBR, automatic reclamation à la FreeAccess) build
+//! on: a stale pointer may observe a *recycled* record, but never a record of a
+//! different type or unmapped memory.  The property tests below drive the public
+//! `Allocator`/`Pool` traits the Record Manager composes and check the contract from
+//! the outside; the flow tests check the magazine → overflow → cross-handle refill
+//! plumbing the per-thread hot path relies on.
+//!
+//! Each test uses its own private payload types: page stores are process-global and
+//! shared per `TypeId`, so address-set assertions must not race with other tests'
+//! allocations of the same type.
+
+use std::collections::HashSet;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use debra_repro::blockbag::DEFAULT_BLOCK_CAPACITY;
+use debra_repro::debra::{Allocator, AllocatorThread, Pool, PoolThread};
+use debra_repro::smr_pagepool::{store_for, PageAllocator, PagePool};
+
+/// Two payload types with *identical* layout: if the allocator distinguished types by
+/// size/alignment instead of by `TypeId`, these would share slots and the disjointness
+/// assertions below would catch it.
+#[derive(Debug)]
+struct PayloadA(#[allow(dead_code)] [u64; 4]);
+#[derive(Debug)]
+struct PayloadB(#[allow(dead_code)] [u64; 4]);
+
+proptest! {
+    /// The type-stability contract: addresses handed out for `PayloadA` and addresses
+    /// handed out for the layout-identical `PayloadB` are disjoint — even after every
+    /// `PayloadA` slot has been freed, reallocated and freed again.  Every address stays
+    /// owned by its type's page store and is never owned by the other store.
+    #[test]
+    fn recycled_addresses_only_ever_carry_the_same_type(
+        n_a in 1usize..400,
+        n_b in 1usize..400,
+        recycle in 1usize..200,
+    ) {
+        let store_a = store_for::<PayloadA>();
+        let store_b = store_for::<PayloadB>();
+        let alloc_a: Arc<PageAllocator<PayloadA>> = Arc::new(PageAllocator::new(1));
+        let alloc_b: Arc<PageAllocator<PayloadB>> = Arc::new(PageAllocator::new(1));
+        let mut ha = PageAllocator::register(&alloc_a, 0);
+        let mut hb = PageAllocator::register(&alloc_b, 0);
+
+        let a_records: Vec<NonNull<PayloadA>> =
+            (0..n_a).map(|i| ha.allocate(PayloadA([i as u64; 4]))).collect();
+        let b_records: Vec<NonNull<PayloadB>> =
+            (0..n_b).map(|i| hb.allocate(PayloadB([i as u64; 4]))).collect();
+
+        let a_addrs: HashSet<usize> = a_records.iter().map(|p| p.as_ptr() as usize).collect();
+        let b_addrs: HashSet<usize> = b_records.iter().map(|p| p.as_ptr() as usize).collect();
+        prop_assert_eq!(a_addrs.len(), n_a, "live PayloadA addresses must be distinct");
+        prop_assert_eq!(b_addrs.len(), n_b, "live PayloadB addresses must be distinct");
+        prop_assert!(a_addrs.is_disjoint(&b_addrs), "typed slot regions must never overlap");
+        for p in &a_records {
+            prop_assert!(store_a.owns(*p), "PayloadA slots live in PayloadA's store");
+            prop_assert!(
+                !store_b.owns(NonNull::new(p.as_ptr() as *mut PayloadB).unwrap()),
+                "a PayloadA slot must never belong to PayloadB's page store"
+            );
+        }
+
+        // Free everything, then reallocate: recycled slots still come from the same
+        // store, still never from the other type's store.
+        for p in a_records {
+            // SAFETY: allocated above, never published, freed exactly once.
+            unsafe { ha.deallocate(p) };
+        }
+        for _ in 0..recycle.min(n_a) {
+            let p = ha.allocate(PayloadA([7; 4]));
+            prop_assert!(store_a.owns(p), "recycled slots stay inside the type's pages");
+            prop_assert!(
+                !store_b.owns(NonNull::new(p.as_ptr() as *mut PayloadB).unwrap()),
+                "recycling must never cross the type boundary"
+            );
+            // SAFETY: just allocated, never published.
+            unsafe { ha.deallocate(p) };
+        }
+        for p in b_records {
+            // SAFETY: allocated above, never published, freed exactly once.
+            unsafe { hb.deallocate(p) };
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PoolRec(#[allow(dead_code)] u64);
+
+proptest! {
+    /// The cross-thread flow path: a producer handle that frees more records than its
+    /// two bounded magazines hold (2 × 256) spills full blocks into the global overflow
+    /// pool, and a *different* handle refills its magazine from there — returning
+    /// exactly the addresses the producer freed, each at most once.
+    #[test]
+    fn magazine_overflow_refills_another_handle(extra in 1usize..256, takes in 1usize..512) {
+        let n = 3 * DEFAULT_BLOCK_CAPACITY + extra;
+        let pool: Arc<PagePool<PoolRec>> = Arc::new(PagePool::new(2));
+        let alloc: Arc<PageAllocator<PoolRec>> = Arc::new(PageAllocator::new(2));
+        let mut producer_alloc = PageAllocator::register(&alloc, 0);
+        let mut consumer_alloc = PageAllocator::register(&alloc, 1);
+        let mut producer = PagePool::register(&pool, 0);
+        let mut consumer = PagePool::register(&pool, 1);
+
+        let records: Vec<NonNull<PoolRec>> =
+            (0..n).map(|i| producer_alloc.allocate(PoolRec(i as u64))).collect();
+        let freed: HashSet<usize> = records.iter().map(|p| p.as_ptr() as usize).collect();
+        for p in records {
+            // SAFETY: allocated above, never published; the pool caches it (the record
+            // keeps its live value) instead of freeing the slot.
+            unsafe { producer.deallocate(p, &mut producer_alloc) };
+        }
+        // Two bounded magazines cap the handle's cache; the rest must have spilled.
+        prop_assert!(
+            producer.cached() <= 2 * DEFAULT_BLOCK_CAPACITY,
+            "magazines are bounded at two blocks ({} cached)",
+            producer.cached()
+        );
+
+        // A different handle refills from the global overflow: every record it takes is
+        // one the producer freed, and no address is handed out twice.
+        let mut seen = HashSet::new();
+        let mut got = 0usize;
+        for _ in 0..takes {
+            let Some(p) = consumer.try_take() else { break };
+            let addr = p.as_ptr() as usize;
+            prop_assert!(freed.contains(&addr), "refilled records come from the producer");
+            prop_assert!(seen.insert(addr), "no record is handed out twice");
+            got += 1;
+            // SAFETY: ownership was transferred by `try_take`; free the slot for real.
+            unsafe { consumer_alloc.deallocate(p) };
+        }
+        let spilled = n - producer.cached();
+        prop_assert_eq!(
+            got,
+            takes.min(spilled),
+            "the consumer drains exactly what overflowed (wanted {}, {} spilled)",
+            takes,
+            spilled
+        );
+
+        let stats = Pool::stats(&*pool);
+        prop_assert!(stats.pages_mapped > 0, "slots live on mapped pages");
+    }
+}
+
+#[derive(Debug)]
+struct ReuseRec(#[allow(dead_code)] u64);
+
+/// Pages are process-global per type: a second allocator instance of the same `T` shares
+/// the first one's page store (same `Arc`), and reallocating after the first instance is
+/// gone reuses its slots instead of mapping new pages — the never-unmap half of the
+/// type-stability contract.
+#[test]
+fn same_type_allocators_share_one_store_and_reuse_its_pages() {
+    const N: usize = 600;
+    let first: Arc<PageAllocator<ReuseRec>> = Arc::new(PageAllocator::new(1));
+    let store = Arc::clone(first.store());
+    let mut handle = PageAllocator::register(&first, 0);
+    let records: Vec<NonNull<ReuseRec>> =
+        (0..N).map(|i| handle.allocate(ReuseRec(i as u64))).collect();
+    for p in records {
+        // SAFETY: allocated above, never published, freed exactly once.
+        unsafe { handle.deallocate(p) };
+    }
+    drop(handle);
+    drop(first);
+
+    let pages_before = store.pages_mapped();
+    assert!(pages_before > 0);
+    assert!(store.slots_free() >= N as u64, "freed slots survive their allocator");
+
+    let second: Arc<PageAllocator<ReuseRec>> = Arc::new(PageAllocator::new(1));
+    assert!(Arc::ptr_eq(second.store(), &store), "same type, same process-global store");
+    let mut handle = PageAllocator::register(&second, 0);
+    let records: Vec<NonNull<ReuseRec>> =
+        (0..N).map(|i| handle.allocate(ReuseRec(i as u64))).collect();
+    assert_eq!(
+        store.pages_mapped(),
+        pages_before,
+        "reallocating within the freed capacity must not map new pages"
+    );
+    for p in &records {
+        assert!(store.owns(*p));
+    }
+    for p in records {
+        // SAFETY: allocated above, never published, freed exactly once.
+        unsafe { handle.deallocate(p) };
+    }
+}
