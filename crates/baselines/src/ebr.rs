@@ -179,9 +179,10 @@ impl<T: Send + 'static> ClassicEbrThread<T> {
         }
         let stats = &self.global.stats[self.tid];
         stats.reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
-        stats
-            .pending
-            .store(self.bags.iter().map(BlockBag::len).sum::<usize>() as u64, Ordering::Relaxed);
+        stats.publish_limbo(
+            self.bags.iter().map(BlockBag::len).sum::<usize>() as u64,
+            std::mem::size_of::<T>() as u64,
+        );
     }
 }
 
@@ -212,13 +213,18 @@ impl<T: Send + 'static> ReclaimerThread<T> for ClassicEbrThread<T> {
             let v = a.load(Ordering::SeqCst);
             v == epoch || v == IDLE
         });
-        if all_announced
-            && global
+        if all_announced {
+            if global
                 .epoch
                 .compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
-        {
-            global.stats[self.tid].epochs_advanced.fetch_add(1, Ordering::Relaxed);
+            {
+                global.stats[self.tid].epochs_advanced.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            // Classic EBR's weakness: one thread parked on an old announcement (even
+            // between operations — see `enter_qstate`) stalls everyone's epoch.
+            global.stats[self.tid].epoch_stalls.fetch_add(1, Ordering::Relaxed);
         }
         global.stats[self.tid].operations.fetch_add(1, Ordering::Relaxed);
         rotated
@@ -238,9 +244,10 @@ impl<T: Send + 'static> ReclaimerThread<T> for ClassicEbrThread<T> {
         self.bags[self.current].push(record);
         let stats = &self.global.stats[self.tid];
         stats.retired.fetch_add(1, Ordering::Relaxed);
-        stats
-            .pending
-            .store(self.bags.iter().map(BlockBag::len).sum::<usize>() as u64, Ordering::Relaxed);
+        stats.publish_limbo(
+            self.bags.iter().map(BlockBag::len).sum::<usize>() as u64,
+            std::mem::size_of::<T>() as u64,
+        );
     }
 }
 

@@ -210,7 +210,7 @@ impl<T: Send + 'static> HazardPointersThread<T> {
         }
         let stats = &self.global.stats[self.tid];
         stats.reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
-        stats.pending.store(self.retired.len() as u64, Ordering::Relaxed);
+        stats.publish_limbo(self.retired.len() as u64, std::mem::size_of::<T>() as u64);
     }
 
     fn my_slots(&self) -> &HpSlots {
@@ -247,7 +247,7 @@ impl<T: Send + 'static> ReclaimerThread<T> for HazardPointersThread<T> {
         self.retired.push(record);
         let stats = &self.global.stats[self.tid];
         stats.retired.fetch_add(1, Ordering::Relaxed);
-        stats.pending.store(self.retired.len() as u64, Ordering::Relaxed);
+        stats.publish_limbo(self.retired.len() as u64, std::mem::size_of::<T>() as u64);
         if self.retired.len() >= self.scan_threshold() {
             self.scan(sink);
         }

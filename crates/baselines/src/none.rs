@@ -124,9 +124,13 @@ impl<T: Send + 'static> ReclaimerThread<T> for NoReclaimThread<T> {
     }
 
     unsafe fn retire<S: ReclaimSink<T>>(&mut self, _record: NonNull<T>, _sink: &mut S) {
-        // Abandon the record: the whole point of this baseline.
-        self.global.stats[self.tid].retired.fetch_add(1, Ordering::Relaxed);
-        self.global.stats[self.tid].pending.fetch_add(1, Ordering::Relaxed);
+        // Abandon the record: the whole point of this baseline.  The limbo gauge only
+        // ever grows — the unbounded-garbage contrast every bounded scheme is measured
+        // against.
+        let stats = &self.global.stats[self.tid];
+        stats.retired.fetch_add(1, Ordering::Relaxed);
+        let pending = stats.pending.load(Ordering::Relaxed) + 1;
+        stats.publish_limbo(pending, std::mem::size_of::<T>() as u64);
     }
 }
 

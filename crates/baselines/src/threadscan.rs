@@ -231,7 +231,7 @@ impl<T: Send + 'static> ThreadScanLiteThread<T> {
         }
         let stats = &global.stats[self.tid];
         stats.reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
-        stats.pending.store(self.retired.len() as u64, Ordering::Relaxed);
+        stats.publish_limbo(self.retired.len() as u64, std::mem::size_of::<T>() as u64);
     }
 }
 
@@ -263,7 +263,7 @@ impl<T: Send + 'static> ReclaimerThread<T> for ThreadScanLiteThread<T> {
         self.retired.push(record);
         let stats = &self.global.stats[self.tid];
         stats.retired.fetch_add(1, Ordering::Relaxed);
-        stats.pending.store(self.retired.len() as u64, Ordering::Relaxed);
+        stats.publish_limbo(self.retired.len() as u64, std::mem::size_of::<T>() as u64);
         if self.retired.len() >= self.global.config.scan_threshold {
             self.scan(sink);
         }

@@ -1,4 +1,5 @@
-//! Schema check for `BENCH_reclaimer.json` (CI gate, **not** a performance gate).
+//! Schema check for `BENCH_reclaimer.json` and `BENCH_latency.json` (CI gate, **not** a
+//! performance gate).
 //!
 //! Verifies that the file produced by the `reclaimer_microbench` bench target contains
 //! every expected (scheme × operation) row: the primitive costs per scheme, the retire
@@ -7,11 +8,19 @@
 //! refactor that silently drops a scheme or a structure from the benchmark matrix fails
 //! CI, while an honest perf regression does not.
 //!
+//! When a second path is given, it is checked as the latency family's output
+//! (`experiments -- oversub`): every (structure × scheme × mode) cell must be present,
+//! rows with recording off must carry zero samples, rows with recording on must carry
+//! samples with ordered quantiles (p50 ≤ p90 ≤ p99 ≤ p999 ≤ max).  The on/off overhead
+//! twins are *printed*, not enforced — recording overhead depends on the machine, and a
+//! CI gate on it would flake.
+//!
 //! ```text
-//! cargo run --release -p smr-bench --bin bench_schema_check [path/to/BENCH_reclaimer.json]
+//! cargo run --release -p smr-bench --bin bench_schema_check \
+//!     [path/to/BENCH_reclaimer.json] [path/to/BENCH_latency.json]
 //! ```
 //!
-//! Exit code 0 if the schema is complete, 1 otherwise.  The parser is deliberately a
+//! Exit code 0 if the schemas are complete, 1 otherwise.  The parser is deliberately a
 //! minimal hand-rolled scan (the workspace has no JSON dependency, see `shims/README.md`).
 
 /// Every scheme in the repository's line-up.
@@ -67,13 +76,18 @@ fn number(line: &str, name: &str) -> Option<f64> {
     line[start..end].parse().ok()
 }
 
-fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_reclaimer.json".to_string());
-    let text = match std::fs::read_to_string(&path) {
+/// Structures and modes of the latency family (`experiments -- oversub`); must match
+/// `smr_workloads::oversub`.
+const LATENCY_STRUCTURES: [&str; 2] = ["HashMap", "Queue"];
+const LATENCY_MODES: [&str; 3] = ["off", "on", "oversub"];
+
+/// Checks `BENCH_reclaimer.json`; returns the number of problems found.
+fn check_reclaimer(path: &str) -> usize {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("bench_schema_check: cannot read {path}: {e}");
-            std::process::exit(1);
+            return 1;
         }
     };
 
@@ -105,12 +119,134 @@ fn main() {
             eprintln!("  - {scheme}/{op}");
         }
     }
-    if malformed > 0 || !missing.is_empty() {
+    if malformed == 0 && missing.is_empty() {
+        println!(
+            "bench_schema_check: {path} OK ({} rows, all {} expected scheme x op cells present)",
+            present.len(),
+            expected_rows().len()
+        );
+    }
+    malformed + missing.len()
+}
+
+/// Checks `BENCH_latency.json` (the oversubscribed latency family); returns the number
+/// of problems found.
+fn check_latency(path: &str) -> usize {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_schema_check: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+
+    let mut problems = 0usize;
+    // (structure, scheme, mode) -> mops, for the printed (not enforced) overhead twins.
+    let mut present: Vec<(String, String, String, f64)> = Vec::new();
+    for line in text.lines().filter(|l| l.contains("\"structure\"")) {
+        let (Some(structure), Some(scheme), Some(mode)) =
+            (field(line, "structure"), field(line, "scheme"), field(line, "mode"))
+        else {
+            eprintln!("bench_schema_check: malformed latency row: {}", line.trim());
+            problems += 1;
+            continue;
+        };
+        let Some(samples) = number(line, "samples") else {
+            eprintln!("bench_schema_check: latency row without samples: {}", line.trim());
+            problems += 1;
+            continue;
+        };
+        if mode == "off" {
+            if samples != 0.0 {
+                eprintln!(
+                    "bench_schema_check: {structure}/{scheme}/off claims {samples} samples \
+                     with recording disabled"
+                );
+                problems += 1;
+            }
+        } else {
+            // Recording was on: the row must carry samples with ordered quantiles.
+            let q: Vec<f64> = ["p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns"]
+                .iter()
+                .filter_map(|name| number(line, name))
+                .collect();
+            if samples <= 0.0 || q.len() != 5 {
+                eprintln!(
+                    "bench_schema_check: {structure}/{scheme}/{mode} has no usable \
+                     latency sample (samples={samples}, quantiles={})",
+                    q.len()
+                );
+                problems += 1;
+            } else if q.windows(2).any(|w| w[0] > w[1]) {
+                eprintln!(
+                    "bench_schema_check: {structure}/{scheme}/{mode} quantiles out of \
+                     order: {q:?}"
+                );
+                problems += 1;
+            }
+        }
+        let mops = number(line, "mops").unwrap_or(0.0);
+        present.push((structure.to_string(), scheme.to_string(), mode.to_string(), mops));
+    }
+
+    let mut missing = 0usize;
+    for structure in LATENCY_STRUCTURES {
+        for scheme in SCHEMES {
+            for mode in LATENCY_MODES {
+                if !present
+                    .iter()
+                    .any(|(st, sc, m, _)| st == structure && sc == scheme && m == mode)
+                {
+                    eprintln!(
+                        "bench_schema_check: {path} missing cell {structure}/{scheme}/{mode}"
+                    );
+                    missing += 1;
+                }
+            }
+        }
+    }
+
+    // Informational: the recording-overhead twins (on vs off throughput).  Printed so a
+    // human or the CI log can eyeball the overhead claim; never a gate.
+    let lookup = |structure: &str, scheme: &str, mode: &str| {
+        present
+            .iter()
+            .find(|(st, sc, m, _)| st == structure && sc == scheme && m == mode)
+            .map(|&(_, _, _, mops)| mops)
+    };
+    for structure in LATENCY_STRUCTURES {
+        for scheme in SCHEMES {
+            if let (Some(off), Some(on)) =
+                (lookup(structure, scheme, "off"), lookup(structure, scheme, "on"))
+            {
+                if off > 0.0 {
+                    println!("  overhead twin {structure:7} x {scheme:10}: {:.3}x", on / off);
+                }
+            }
+        }
+    }
+
+    if problems == 0 && missing == 0 {
+        let cells = LATENCY_STRUCTURES.len() * SCHEMES.len() * LATENCY_MODES.len();
+        println!(
+            "bench_schema_check: {path} OK ({} rows, all {cells} structure x scheme x mode \
+             cells present)",
+            present.len()
+        );
+    }
+    problems + missing
+}
+
+fn main() {
+    let reclaimer_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_reclaimer.json".to_string());
+    let latency_path = std::env::args().nth(2);
+
+    let mut problems = check_reclaimer(&reclaimer_path);
+    if let Some(path) = latency_path {
+        problems += check_latency(&path);
+    }
+    if problems > 0 {
         std::process::exit(1);
     }
-    println!(
-        "bench_schema_check: {path} OK ({} rows, all {} expected scheme x op cells present)",
-        present.len(),
-        expected_rows().len()
-    );
 }

@@ -215,7 +215,7 @@ impl<T: Send + 'static> DebraThread<T> {
 
     fn publish_pending(&self) {
         let pending = self.limbo_len() as u64;
-        self.global.stats[self.tid].pending.store(pending, Ordering::Relaxed);
+        self.global.stats[self.tid].publish_limbo(pending, std::mem::size_of::<T>() as u64);
     }
 
     /// Rotates the limbo bags and reclaims the records retired two epochs ago
@@ -301,6 +301,11 @@ impl<T: Send + 'static> DebraThread<T> {
                 || AnnounceWord::epoch_matches(read_epoch, other_word)
                 || AnnounceWord::is_quiescent(other_word)
                 || suspect(self, other);
+            if !other_ok {
+                // A non-quiescent thread still on the old epoch blocks the advance —
+                // the oversubscription stall of the paper's Figure 9.
+                self.global.stats[self.tid].epoch_stalls.fetch_add(1, Ordering::Relaxed);
+            }
             if other_ok {
                 self.check_next += 1;
                 let c = self.check_next;

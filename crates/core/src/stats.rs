@@ -22,6 +22,16 @@ pub struct ThreadStatsSlot {
     pub operations: AtomicU64,
     /// Number of times this thread observed that it had been neutralized.
     pub neutralized: AtomicU64,
+    /// Bytes of record memory currently sitting in this thread's limbo bags
+    /// (`pending × size_of::<T>()`; see [`publish_limbo`](Self::publish_limbo)).
+    pub limbo_bytes: AtomicU64,
+    /// High watermark of [`limbo_bytes`](Self::limbo_bytes) over the thread's lifetime —
+    /// the assertable bounded-garbage metric.
+    pub limbo_bytes_hwm: AtomicU64,
+    /// Times this thread observed another thread blocking epoch/era progress (an
+    /// announcement scan that could not advance past a laggard).  Always 0 for schemes
+    /// without a global epoch (HP, ThreadScan, None).
+    pub epoch_stalls: AtomicU64,
 }
 
 /// Aggregated statistics across all threads of a reclaimer instance.
@@ -41,6 +51,15 @@ pub struct ReclaimerStats {
     pub operations: u64,
     /// Total times a thread observed it had been neutralized.
     pub neutralized: u64,
+    /// Current bytes of record memory in limbo, summed over threads.
+    pub limbo_bytes: u64,
+    /// Sum of the per-thread limbo-bytes high watermarks.  Per-thread watermarks need
+    /// not be simultaneous, so this is an *upper bound* on the true process-wide peak —
+    /// the safe direction for asserting bounded-garbage claims (`hwm < B` implies the
+    /// real peak was below `B` too).
+    pub limbo_bytes_hwm: u64,
+    /// Total epoch-stall observations (see [`ThreadStatsSlot::epoch_stalls`]).
+    pub epoch_stalls: u64,
 }
 
 impl ThreadStatsSlot {
@@ -54,6 +73,26 @@ impl ThreadStatsSlot {
         agg.signals_sent += self.signals_sent.load(Ordering::Relaxed);
         agg.operations += self.operations.load(Ordering::Relaxed);
         agg.neutralized += self.neutralized.load(Ordering::Relaxed);
+        agg.limbo_bytes += self.limbo_bytes.load(Ordering::Relaxed);
+        agg.limbo_bytes_hwm += self.limbo_bytes_hwm.load(Ordering::Relaxed);
+        agg.epoch_stalls += self.epoch_stalls.load(Ordering::Relaxed);
+    }
+
+    /// Publishes this thread's limbo backlog: `pending_records` records of
+    /// `bytes_per_record` each.  Reclaimers call this wherever the limbo population
+    /// changes (retire, reclaim, orphaning), passing the *recomputed* population — so
+    /// retire adds the record footprint and every reclaim subtracts it, without the
+    /// slot needing read-modify-write pairs that could drift.
+    ///
+    /// The watermark update is a plain load/store: the slot is written only by its
+    /// owning thread (the contract stated on [`ThreadStatsSlot`]).
+    pub fn publish_limbo(&self, pending_records: u64, bytes_per_record: u64) {
+        self.pending.store(pending_records, Ordering::Relaxed);
+        let bytes = pending_records.saturating_mul(bytes_per_record);
+        self.limbo_bytes.store(bytes, Ordering::Relaxed);
+        if bytes > self.limbo_bytes_hwm.load(Ordering::Relaxed) {
+            self.limbo_bytes_hwm.store(bytes, Ordering::Relaxed);
+        }
     }
 }
 
@@ -99,7 +138,8 @@ impl PoolStats {
         }
     }
 
-    /// Adds another snapshot's counters into this one (used when summarizing rows).
+    /// Adds another snapshot's counters into this one, where both snapshots describe
+    /// pools of the **same process** (used when summarizing an in-process sweep's rows).
     pub fn merge(&mut self, other: &PoolStats) {
         self.magazine_hits += other.magazine_hits;
         self.magazine_misses += other.magazine_misses;
@@ -108,6 +148,19 @@ impl PoolStats {
         self.pages_mapped = self.pages_mapped.max(other.pages_mapped);
         self.slots_live = self.slots_live.max(other.slots_live);
         self.slots_free = self.slots_free.max(other.slots_free);
+    }
+
+    /// Adds a snapshot from a **different process** (a child-process bench cell).
+    /// Distinct processes have distinct page stores, so the gauges are independent
+    /// footprints and must be *summed* — max-merging them as if they were one store
+    /// would understate the fleet-wide footprint.  Within one process, use
+    /// [`merge`](Self::merge).
+    pub fn merge_across_processes(&mut self, other: &PoolStats) {
+        self.magazine_hits += other.magazine_hits;
+        self.magazine_misses += other.magazine_misses;
+        self.pages_mapped += other.pages_mapped;
+        self.slots_live += other.slots_live;
+        self.slots_free += other.slots_free;
     }
 }
 
@@ -140,5 +193,56 @@ mod tests {
         assert_eq!(agg.reclaimed, 1 + 2 + 3);
         assert_eq!(agg.operations, 10 + 20 + 30 + 40);
         assert_eq!(agg.pending, 0);
+    }
+
+    #[test]
+    fn publish_limbo_tracks_bytes_and_watermark() {
+        let s = ThreadStatsSlot::default();
+        s.publish_limbo(10, 64);
+        assert_eq!(s.pending.load(Ordering::Relaxed), 10);
+        assert_eq!(s.limbo_bytes.load(Ordering::Relaxed), 640);
+        assert_eq!(s.limbo_bytes_hwm.load(Ordering::Relaxed), 640);
+        // Reclaiming shrinks the gauge but the watermark stays.
+        s.publish_limbo(2, 64);
+        assert_eq!(s.limbo_bytes.load(Ordering::Relaxed), 128);
+        assert_eq!(s.limbo_bytes_hwm.load(Ordering::Relaxed), 640);
+        // A new peak raises it.
+        s.publish_limbo(100, 64);
+        assert_eq!(s.limbo_bytes_hwm.load(Ordering::Relaxed), 6400);
+
+        let mut agg = ReclaimerStats::default();
+        s.snapshot_into(&mut agg);
+        assert_eq!(agg.limbo_bytes, 6400);
+        assert_eq!(agg.limbo_bytes_hwm, 6400);
+    }
+
+    #[test]
+    fn pool_merge_same_process_maxes_gauges_but_cross_process_sums_them() {
+        let a = PoolStats {
+            magazine_hits: 10,
+            magazine_misses: 2,
+            pages_mapped: 5,
+            slots_live: 100,
+            slots_free: 20,
+        };
+        let b = PoolStats {
+            magazine_hits: 1,
+            magazine_misses: 1,
+            pages_mapped: 3,
+            slots_live: 200,
+            slots_free: 10,
+        };
+        let mut same = a;
+        same.merge(&b);
+        assert_eq!(same.magazine_hits, 11);
+        assert_eq!(same.pages_mapped, 5, "one store: snapshots overlap, keep the max");
+        assert_eq!(same.slots_live, 200);
+
+        let mut cross = a;
+        cross.merge_across_processes(&b);
+        assert_eq!(cross.magazine_hits, 11);
+        assert_eq!(cross.pages_mapped, 8, "two stores: footprints add");
+        assert_eq!(cross.slots_live, 300);
+        assert_eq!(cross.slots_free, 30);
     }
 }

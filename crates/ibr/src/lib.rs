@@ -389,7 +389,8 @@ impl<T: Send + 'static> IbrThread<T> {
     }
 
     fn publish_pending(&self) {
-        self.global.stats[self.tid].pending.store(self.limbo.len() as u64, Ordering::Relaxed);
+        self.global.stats[self.tid]
+            .publish_limbo(self.limbo.len() as u64, std::mem::size_of::<T>() as u64);
     }
 
     fn maybe_advance_era(&mut self) {
@@ -415,6 +416,10 @@ impl<T: Send + 'static> IbrThread<T> {
         }
         if reclaimed > 0 {
             self.global.stats[self.tid].reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+        } else if !self.limbo.is_empty() {
+            // A full scan pass that freed nothing: every limbo record overlaps some
+            // active reservation — IBR's version of an epoch stall.
+            self.global.stats[self.tid].epoch_stalls.fetch_add(1, Ordering::Relaxed);
         }
         self.next_scan_at =
             (self.limbo.len() + self.global.config.scan_freq).max(self.scan_threshold);

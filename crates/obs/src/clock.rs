@@ -1,0 +1,117 @@
+//! The trial clock: raw timestamps on the hot path, nanoseconds at drain time.
+//!
+//! On x86_64 the raw read is `RDTSC` (~10 cycles, no syscall, no `Instant` bookkeeping);
+//! the tick rate is calibrated once against the monotonic clock when the [`Clock`] is
+//! created, before the timed loop starts.  On other targets the raw read falls back to
+//! the monotonic clock itself (a vDSO call on Linux — still allocation- and lock-free),
+//! and ticks simply *are* nanoseconds.
+
+use std::time::Instant;
+
+/// A calibrated timestamp source.  `raw()` is the only call the timed loop makes;
+/// everything else runs before the start gate or after the stop flag.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    /// Nanoseconds per raw tick (1.0 on targets where raw reads are already in ns).
+    ns_per_tick: f64,
+    /// Anchor for the non-TSC fallback (also used during calibration).
+    anchor: Instant,
+}
+
+impl Clock {
+    /// Creates a clock, calibrating the raw tick rate against the monotonic clock.
+    /// Calibration busy-waits for about a millisecond; do it once per trial, outside
+    /// the timed window.
+    pub fn new() -> Self {
+        let anchor = Instant::now();
+        let ns_per_tick = Self::calibrate(anchor);
+        Clock { ns_per_tick, anchor }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn calibrate(anchor: Instant) -> f64 {
+        let t0 = raw_ticks(anchor);
+        let w0 = anchor.elapsed();
+        // ~1ms busy-wait: long enough for sub-0.1% calibration error, short enough to
+        // be invisible next to a trial's duration.
+        while anchor.elapsed() - w0 < std::time::Duration::from_millis(1) {
+            std::hint::spin_loop();
+        }
+        let t1 = raw_ticks(anchor);
+        let w1 = anchor.elapsed();
+        let ticks = t1.saturating_sub(t0);
+        if ticks == 0 {
+            return 1.0; // A TSC that did not move: treat raw reads as ns and move on.
+        }
+        (w1 - w0).as_nanos() as f64 / ticks as f64
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn calibrate(_anchor: Instant) -> f64 {
+        1.0
+    }
+
+    /// Reads the raw timestamp.  This is the one call made inside the timed loop.
+    #[inline(always)]
+    pub fn raw(&self) -> u64 {
+        raw_ticks(self.anchor)
+    }
+
+    /// Converts a raw-tick delta to nanoseconds (drain time only).
+    ///
+    /// Deltas that convert to more than 60 seconds are clamped to zero: on hardware
+    /// without an invariant, cross-core-synchronized TSC a thread migration can produce
+    /// a garbage (effectively negative, hence enormous after wrapping) delta, and one
+    /// such outlier would otherwise own `max` forever.
+    pub fn delta_to_ns(&self, delta_ticks: u64) -> u64 {
+        let ns = delta_ticks as f64 * self.ns_per_tick;
+        if ns > 60.0e9 {
+            0
+        } else {
+            ns as u64
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn raw_ticks(_anchor: Instant) -> u64 {
+    // SAFETY: RDTSC has no memory or register preconditions; it is unsafe only because
+    // core::arch intrinsics are uniformly unsafe.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn raw_ticks(anchor: Instant) -> u64 {
+    anchor.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_reads_are_monotonic_enough_to_time_a_sleep() {
+        let clock = Clock::new();
+        let t0 = clock.raw();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let t1 = clock.raw();
+        let ns = clock.delta_to_ns(t1.wrapping_sub(t0));
+        // Sleep granularity is coarse; accept a wide band around 10ms.
+        assert!(ns > 5_000_000, "10ms sleep measured as {ns}ns");
+        assert!(ns < 1_000_000_000, "10ms sleep measured as {ns}ns");
+    }
+
+    #[test]
+    fn absurd_deltas_are_clamped_to_zero() {
+        let clock = Clock::new();
+        assert_eq!(clock.delta_to_ns(u64::MAX / 2), 0);
+    }
+}

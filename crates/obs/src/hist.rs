@@ -1,0 +1,290 @@
+//! The HDR-style log-bucketed latency histogram.
+//!
+//! Values below `2^LINEAR_BITS` get exact one-per-value buckets; above that, every
+//! octave `[2^e, 2^(e+1))` is split into `2^(LINEAR_BITS-1)` equal sub-buckets, so the
+//! relative quantization error is bounded by `2^(1-LINEAR_BITS)` (≈1.6% at the default
+//! 7 bits) at any magnitude — nanoseconds to minutes in ~30KB of counters.  Quantiles
+//! report a bucket's *upper* bound (clamped to the observed maximum), so the
+//! approximation errs toward overstating a tail, never hiding one.
+
+/// Bits of the exact linear region; also fixes the per-octave resolution.
+const LINEAR_BITS: u32 = 7;
+const LINEAR_LIMIT: u64 = 1 << LINEAR_BITS;
+const SUB_BUCKETS: u32 = 1 << (LINEAR_BITS - 1);
+const BUCKETS: usize = LINEAR_LIMIT as usize + ((64 - LINEAR_BITS) as usize) * SUB_BUCKETS as usize;
+
+/// Maximum distinct operation kinds a [`LatencyReport`] tracks (insert/delete/search for
+/// maps; enqueue/dequeue/empty-dequeue for bags).
+pub const MAX_OP_KINDS: usize = 3;
+
+/// A fixed-size log-bucketed histogram of `u64` values (nanoseconds, by convention).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn index(value: u64) -> usize {
+        if value < LINEAR_LIMIT {
+            value as usize
+        } else {
+            let e = 63 - value.leading_zeros();
+            let sub = (value >> (e - (LINEAR_BITS - 1))) & (SUB_BUCKETS as u64 - 1);
+            LINEAR_LIMIT as usize + (e - LINEAR_BITS) as usize * SUB_BUCKETS as usize + sub as usize
+        }
+    }
+
+    /// The highest value a bucket covers (the quantile representative).
+    fn bucket_upper(index: usize) -> u64 {
+        if index < LINEAR_LIMIT as usize {
+            index as u64
+        } else {
+            let off = index - LINEAR_LIMIT as usize;
+            let e = LINEAR_BITS + (off / SUB_BUCKETS as usize) as u32;
+            let sub = (off % SUB_BUCKETS as usize) as u64;
+            let width = 1u64 << (e - (LINEAR_BITS - 1));
+            let low = (1u64 << e) + sub * width;
+            // `low + (width - 1)`: the top bucket's upper bound is exactly `u64::MAX`,
+            // so adding `width` before subtracting would overflow.
+            low + (width - 1)
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a bucket upper bound clamped to the observed
+    /// maximum; 0 when empty.  Within a bucket the estimate can only overstate, and by
+    /// at most `2^(1-LINEAR_BITS)` (≈1.6%) relative.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds another histogram's contents into this one.  Merging is associative and
+    /// commutative (counter addition), so per-thread histograms combine in any order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Condenses the histogram into the fixed-size summary the trial results carry.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_ns: self.mean(),
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+            p999_ns: self.quantile(0.999),
+            max_ns: self.max,
+        }
+    }
+}
+
+impl PartialEq for LatencyHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.max == other.max
+            && self.counts[..] == other.counts[..]
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// The quantile summary of one operation kind's latency distribution, in nanoseconds.
+/// `Copy` so trial results stay plain value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of sampled operations the summary is built from.
+    pub count: u64,
+    /// Mean sampled latency.
+    pub mean_ns: u64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Largest sampled latency (exact).
+    pub max_ns: u64,
+}
+
+/// Per-trial latency summaries: one per operation kind plus the combined distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyReport {
+    /// `false` when the trial ran with recording disabled (all summaries zero).
+    pub enabled: bool,
+    /// Per-kind summaries; the kind indices are fixed by the harness (maps:
+    /// insert/delete/search; bags: enqueue/dequeue/empty-dequeue).
+    pub per_kind: [LatencySummary; MAX_OP_KINDS],
+    /// Summary over all kinds combined.
+    pub all: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact quantile of a sorted sample using the same "ceil rank" convention as the
+    /// histogram (the oracle the proptest suite also checks against).
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[target - 1]
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 5, 17, 99, 127] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 127);
+        assert_eq!(h.max(), 127);
+        assert_eq!(h.count(), 6);
+        // All values < 128 sit in one-per-value buckets: quantiles are exact.
+        assert_eq!(h.quantile(0.5), 5);
+    }
+
+    #[test]
+    fn quantiles_track_the_oracle_within_relative_error() {
+        let mut values: Vec<u64> = (0..10_000u64).map(|i| (i * i) % 1_000_000 + 1).collect();
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let approx = h.quantile(q);
+            // The histogram reports a bucket upper bound: never below the exact value,
+            // and at most one sub-bucket width (2^(1-LINEAR_BITS) relative) above.
+            assert!(approx >= exact, "q={q}: approx {approx} < exact {exact}");
+            let bound = exact + exact / 32 + 1;
+            assert!(approx <= bound, "q={q}: approx {approx} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let build = |vals: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = build(&[1, 500, 70_000]);
+        let b = build(&[2, 2, 1_000_000_000]);
+        let c = build(&[42; 10]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab, ba);
+        assert_eq!(ab_c.summary().count, 16);
+    }
+
+    #[test]
+    fn summary_orders_its_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..100_000u64 {
+            h.record(i % 77_777);
+        }
+        let s = h.summary();
+        assert!(s.p50_ns <= s.p90_ns);
+        assert!(s.p90_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.p999_ns);
+        assert!(s.p999_ns <= s.max_ns);
+        assert_eq!(s.count, 100_000);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow_the_bucket_math() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

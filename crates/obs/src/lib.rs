@@ -1,0 +1,31 @@
+//! `smr-obs` — observability primitives for the SMR benchmark harness.
+//!
+//! Throughput alone hides exactly the behaviour the source paper's sharpest claims are
+//! about: tail latency under oversubscription and the size of the limbo backlog when a
+//! reader stalls (Brown, PODC '15, Figure 9).  This crate provides the recording
+//! machinery the workload harness threads through every trial, built around one
+//! discipline: **the timed loop may not allocate, lock, or write a shared cacheline**.
+//! Anything that does would perturb the very tail it is trying to measure — a single
+//! `malloc` on the op path is a syscall-shaped latency spike attributed to the wrong
+//! victim.
+//!
+//! The pipeline has three stages:
+//!
+//! 1. [`Clock`] — a raw timestamp source (RDTSC on x86_64, the monotonic clock
+//!    elsewhere), calibrated once per trial.  The hot path reads raw ticks; conversion
+//!    to nanoseconds happens at drain time, off the timed path.
+//! 2. [`SampleRing`] — a fixed-capacity, power-of-two, pre-allocated reservoir of raw
+//!    samples, one ring per (thread × operation kind).  Reservoir sampling (Vitter's
+//!    Algorithm R, driven by a SplitMix64 stream) keeps a uniform sample of the whole
+//!    trial in bounded memory, so memory use is independent of trial length.
+//! 3. [`LatencyHistogram`] — an HDR-style log-bucketed histogram the rings drain into
+//!    *after* the stop flag.  Merging is associative and commutative, so per-thread
+//!    histograms combine into the trial-level [`LatencySummary`] in any order.
+
+mod clock;
+mod hist;
+mod ring;
+
+pub use clock::Clock;
+pub use hist::{LatencyHistogram, LatencyReport, LatencySummary, MAX_OP_KINDS};
+pub use ring::SampleRing;

@@ -1,0 +1,183 @@
+//! The pre-allocated reservoir sample ring.
+//!
+//! One ring per (worker thread × operation kind): in the common single-writer case the
+//! ring's cachelines belong to exactly one core, so recording is a handful of relaxed
+//! operations on thread-local memory — no allocation, no lock, no shared-cacheline
+//! write.  All state is nevertheless atomic, so a ring that *is* shared by several
+//! writers (tests do this deliberately) stays memory-safe and never exceeds capacity;
+//! only the statistical guarantee of Algorithm R degrades to approximate under
+//! concurrent interleavings.
+//!
+//! Reservoir sampling keeps memory bounded regardless of trial length: after `seen`
+//! samples, every offered value had probability `capacity / seen` of being retained —
+//! a uniform sample of the whole trial, not just its tail (which is what a plain
+//! overwrite ring would keep).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output function over an already-advanced state word.
+#[inline(always)]
+fn mix(state: u64) -> u64 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed-capacity, power-of-two reservoir of `u64` samples.
+pub struct SampleRing {
+    slots: Box<[AtomicU64]>,
+    /// Total samples ever offered (`record` calls), not the retained count.
+    seen: AtomicU64,
+    /// SplitMix64 state; advanced with a single `fetch_add` so concurrent writers each
+    /// draw a distinct word and a single writer draws a deterministic stream.
+    rng: AtomicU64,
+    seed: u64,
+}
+
+impl SampleRing {
+    /// Creates a ring with `capacity` rounded up to the next power of two.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "a zero-capacity reservoir retains nothing");
+        let cap = capacity.next_power_of_two();
+        SampleRing {
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            seen: AtomicU64::new(0),
+            rng: AtomicU64::new(seed),
+            seed,
+        }
+    }
+
+    /// Slot count (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total samples offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// Number of samples currently retained (`min(seen, capacity)`).
+    pub fn len(&self) -> usize {
+        (self.seen() as usize).min(self.capacity())
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen() == 0
+    }
+
+    /// Offers a sample to the reservoir (Algorithm R).  The first `capacity` samples
+    /// always land; afterwards sample `n` replaces a random retained slot with
+    /// probability `capacity / n`.
+    #[inline(always)]
+    pub fn record(&self, value: u64) {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let cap = self.slots.len() as u64;
+        if n <= cap {
+            self.slots[(n - 1) as usize].store(value, Ordering::Relaxed);
+        } else {
+            let z = mix(self
+                .rng
+                .fetch_add(SPLITMIX_GAMMA, Ordering::Relaxed)
+                .wrapping_add(SPLITMIX_GAMMA));
+            let j = z % n;
+            if j < cap {
+                self.slots[j as usize].store(value, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Copies out the retained samples (drain time, after the timed loop).
+    pub fn samples(&self) -> Vec<u64> {
+        self.slots[..self.len()].iter().map(|s| s.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Empties the ring and restarts the deterministic sampling stream from the seed.
+    pub fn reset(&self) {
+        self.seen.store(0, Ordering::Relaxed);
+        self.rng.store(self.seed, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for SampleRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampleRing")
+            .field("capacity", &self.capacity())
+            .field("seen", &self.seen())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(SampleRing::new(1, 0).capacity(), 1);
+        assert_eq!(SampleRing::new(100, 0).capacity(), 128);
+        assert_eq!(SampleRing::new(4096, 0).capacity(), 4096);
+    }
+
+    #[test]
+    fn first_capacity_samples_are_all_retained_in_order() {
+        let ring = SampleRing::new(8, 42);
+        for v in 0..8u64 {
+            ring.record(v * 10);
+        }
+        assert_eq!(ring.samples(), vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(ring.len(), 8);
+        assert_eq!(ring.seen(), 8);
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_per_seed() {
+        let run = |seed| {
+            let ring = SampleRing::new(64, seed);
+            for v in 0..10_000u64 {
+                ring.record(v);
+            }
+            ring.samples()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn reset_restarts_the_stream() {
+        let ring = SampleRing::new(32, 99);
+        for v in 0..1000u64 {
+            ring.record(v);
+        }
+        let first = ring.samples();
+        ring.reset();
+        assert!(ring.is_empty());
+        for v in 0..1000u64 {
+            ring.record(v);
+        }
+        assert_eq!(ring.samples(), first);
+    }
+
+    #[test]
+    fn reservoir_sample_is_roughly_uniform_over_the_stream() {
+        // 64 slots over 64k samples: the retained sample's mean should sit near the
+        // stream's mean, not near its tail (which a plain overwrite ring would keep).
+        let ring = SampleRing::new(64, 3);
+        let n = 65_536u64;
+        for v in 0..n {
+            ring.record(v);
+        }
+        let samples = ring.samples();
+        assert_eq!(samples.len(), 64);
+        let mean = samples.iter().sum::<u64>() as f64 / 64.0;
+        let stream_mean = (n - 1) as f64 / 2.0;
+        assert!(
+            (mean - stream_mean).abs() < stream_mean * 0.5,
+            "reservoir mean {mean} too far from stream mean {stream_mean}"
+        );
+    }
+}

@@ -12,6 +12,8 @@
 //!   e3           Experiment 3: malloc allocator (Figure 10)
 //!   zipf         uniform vs. Zipfian keys on the hash map and BST (not in the paper)
 //!   pc           producer/consumer: queue + stack, symmetric and bursty scenarios
+//!   oversub      latency + bounded-memory family: recording-overhead twins, 4x-cores
+//!                oversubscription with a pinned laggard, writes BENCH_latency.json
 //!   summary      headline ratios from the abstract (DEBRA vs None vs HP)
 //!   all          everything above
 //!
@@ -95,6 +97,7 @@ fn main() {
             "Producer/consumer experiment: queue + stack, every scheme (not in the paper)",
             &experiment_producer_consumer(&threads, duration),
         ),
+        "oversub" => smr_workloads::oversub::run_oversub(duration),
         "summary" => {
             let rows = experiment2(&threads, duration, small);
             print_rows("Experiment 2 rows used for the summary", &rows);
@@ -113,6 +116,8 @@ fn main() {
                 duration_ms: duration,
                 prefill: true,
                 allocator: experiments::allocator_from_env(AllocatorKind::BumpWithPool),
+                latency: false,
+                laggard_stall_ms: 0,
             };
             let row = experiments::run_config(StructureKind::Bst, ReclaimerKind::Debra, &cfg, 1);
             print_rows("Quick check", &[row]);
@@ -138,6 +143,7 @@ fn main() {
                 "Producer/consumer experiment: queue + stack, every scheme (not in the paper)",
                 &experiment_producer_consumer(&threads, duration),
             );
+            smr_workloads::oversub::run_oversub(duration);
             println!("\n### Headline comparison (paper abstract)\n");
             for line in summarize(&e2) {
                 println!("  {line}");

@@ -12,7 +12,9 @@
 //! | [`experiment3`] | Figure 10 | system allocator (`malloc`) + pool |
 //! | [`experiment_distribution`] | (not in the paper) | as Experiment 2, uniform vs. Zipfian keys on the hash map and BST |
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use debra::{Allocator, Debra, DebraPlus, Pool, PoolStats, Reclaimer, RecordManager};
 use lockfree_ds::{BstNode, ExternalBst, SkipList, SkipNode};
@@ -26,6 +28,34 @@ use smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
 use crate::harness::{run_trial, TrialResult};
 use crate::pc::{run_pc_trial, PcConfig, PcScenario, PcTrialResult};
 use crate::workload::{KeyDistribution, OperationMix, WorkloadConfig};
+
+/// Trials narrated so far (the `i` of `trial i/N`), process-wide.
+static TRIAL_SEQ: AtomicU64 = AtomicU64::new(0);
+/// Trials the sweep drivers have announced (the `N`); 0 means "unknown" (a bare
+/// `run_config` call outside any sweep).
+static TRIAL_TOTAL: AtomicU64 = AtomicU64::new(0);
+/// Wall-clock anchor for the `+elapsed` column, set when the first trial starts.
+static NARRATION_START: OnceLock<Instant> = OnceLock::new();
+
+/// Registers `n` upcoming trials with the stderr progress narrator, so multi-minute
+/// sweeps print `trial i/N` instead of a bare counter.  Sweep drivers call this with
+/// their row count before their first trial; `N` accumulates across drivers so `all`
+/// shows one coherent denominator.
+pub fn announce_trials(n: u64) {
+    TRIAL_TOTAL.fetch_add(n, Ordering::Relaxed);
+}
+
+/// One line of per-trial stderr narration: `[trial i/N +elapsed] <config>`.
+fn narrate_trial(desc: std::fmt::Arguments<'_>) {
+    let i = TRIAL_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+    let total = TRIAL_TOTAL.load(Ordering::Relaxed);
+    let elapsed = NARRATION_START.get_or_init(Instant::now).elapsed().as_secs_f64();
+    if total >= i {
+        eprintln!("[trial {i}/{total} +{elapsed:.1}s] {desc}");
+    } else {
+        eprintln!("[trial {i} +{elapsed:.1}s] {desc}");
+    }
+}
 
 /// Which reclamation scheme a configuration uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -214,6 +244,67 @@ impl ExperimentRow {
     }
 }
 
+/// Runs `body` with a *laggard* thread registered next to it: an extra reclaimer
+/// participant that holds operations open for `stall_ms`-long windows separated by
+/// ~1ms quiescent gaps, responding to neutralization exactly like the DEBRA+
+/// fault-tolerance tests' staller.  This is the forced-preemption knob of the
+/// oversubscribed trial family — it reproduces the paper's Figure 9 regime (a
+/// preempted reader stalls epoch advancement and limbo balloons) deterministically,
+/// instead of hoping the OS scheduler preempts a worker mid-operation.
+///
+/// Under epoch schemes without neutralization (DEBRA, EBR, IBR) each stall window
+/// blocks reclamation outright; DEBRA+ neutralizes the laggard and keeps reclaiming —
+/// the differentiation the latency+limbo table exists to show.
+fn with_laggard<T, R, P, A, O>(
+    manager: &Arc<RecordManager<T, R, P, A>>,
+    tid: usize,
+    stall_ms: u64,
+    body: impl FnOnce() -> O,
+) -> O
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+    use std::sync::atomic::AtomicBool;
+    let stop = AtomicBool::new(false);
+    let ready = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // Register on the laggard thread itself (DEBRA+ binds its signal target to
+            // the registering thread).  The slot `tid` is reserved for the laggard by
+            // the dispatch macros; Domain auto-leasing skips already-registered slots.
+            let mut laggard = manager.register(tid).expect("laggard thread slot");
+            ready.store(true, Ordering::SeqCst);
+            let stall = std::time::Duration::from_millis(stall_ms);
+            while !stop.load(Ordering::Relaxed) {
+                let _ = laggard.leave_qstate();
+                let window = Instant::now();
+                while window.elapsed() < stall && !stop.load(Ordering::Relaxed) {
+                    if laggard.check().is_err() {
+                        laggard.begin_recovery();
+                        let _ = laggard.leave_qstate();
+                    }
+                    std::thread::yield_now();
+                }
+                laggard.enter_qstate();
+                // A short quiescent gap between stall windows: a preempted reader does
+                // eventually get scheduled, and the gap is what lets non-neutralizing
+                // schemes reclaim *something* (so their rows show pressure, not OOM).
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        while !ready.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        let out = body();
+        stop.store(true, Ordering::SeqCst);
+        out
+        // scope joins the laggard here
+    })
+}
+
 /// Runs one fully specified configuration and returns its row.  The memory configuration
 /// (allocator + pool) comes from [`WorkloadConfig::allocator`].
 ///
@@ -237,6 +328,8 @@ pub fn run_config(
             prefill: if cfg.prefill { cfg.key_range / 2 } else { 0 },
             duration_ms: cfg.duration_ms,
             allocator,
+            latency: cfg.latency,
+            laggard_stall_ms: cfg.laggard_stall_ms,
         };
         let row = run_pc_config(structure, reclaimer, &pc_cfg, seed);
         return ExperimentRow {
@@ -251,30 +344,44 @@ pub fn run_config(
         };
     }
     // Sweeps print their tables only when complete; on a single-core box a full sweep
-    // takes minutes, so narrate per-trial progress to stderr (tables go to stdout).
-    eprintln!(
-        "[trial] {structure:?} x {reclaimer:?} x {allocator:?} (threads={}, keys={}, {}ms)",
+    // takes minutes, so narrate per-trial progress (with `i/N` and elapsed wall-clock)
+    // to stderr (tables go to stdout).
+    narrate_trial(format_args!(
+        "{structure:?} x {reclaimer:?} x {allocator:?} (threads={}, keys={}, {}ms)",
         cfg.threads, cfg.key_range, cfg.duration_ms
-    );
+    ));
     // The combinatorial instantiation of (structure × reclaimer × memory configuration) is
     // expanded by this macro: each arm builds the Record Manager with the right type
     // parameters (a one-line choice, which is the whole point of the abstraction) and runs
     // the shared harness.
     macro_rules! run {
         ($ds:ident, $node:ty, $recl:ty, $pool:ty, $alloc:ty) => {{
-            let threads = cfg.threads + 1; // +1 slot for the prefill handle
+            // +1 slot for the prefill handle, +1 more for the laggard when pinned.
+            let laggard = cfg.laggard_stall_ms > 0;
+            let threads = cfg.threads + 1 + laggard as usize;
             let manager: Arc<RecordManager<$node, $recl, $pool, $alloc>> =
                 Arc::new(RecordManager::new(threads));
             let map = $ds::new(Arc::clone(&manager));
-            let result = run_trial(
-                &map,
-                cfg,
-                seed,
-                || manager.reclaimer().stats(),
-                || (manager.allocator().allocated_bytes(), manager.allocator().allocated_records()),
-                || manager.pool().stats(),
-            );
-            result
+            let trial = || {
+                run_trial(
+                    &map,
+                    cfg,
+                    seed,
+                    || manager.reclaimer().stats(),
+                    || {
+                        (
+                            manager.allocator().allocated_bytes(),
+                            manager.allocator().allocated_records(),
+                        )
+                    },
+                    || manager.pool().stats(),
+                )
+            };
+            if laggard {
+                with_laggard(&manager, threads - 1, cfg.laggard_stall_ms, trial)
+            } else {
+                trial()
+            }
         }};
     }
 
@@ -409,26 +516,40 @@ pub fn run_pc_config(
 ) -> PcRow {
     let allocator = cfg.allocator;
     assert!(structure.is_bag(), "run_pc_config drives bag structures (Queue, Stack)");
-    eprintln!(
-        "[trial] {structure:?} x {reclaimer:?} x {allocator:?} (threads={}, {}, {}ms)",
+    narrate_trial(format_args!(
+        "{structure:?} x {reclaimer:?} x {allocator:?} (threads={}, {}, {}ms)",
         cfg.threads,
         cfg.label(),
         cfg.duration_ms
-    );
+    ));
     macro_rules! run_bag {
         ($ds:ident, $node:ty, $recl:ty, $pool:ty, $alloc:ty) => {{
-            let threads = cfg.threads + 1; // +1 slot for the prefill handle
+            // +1 slot for the prefill handle, +1 more for the laggard when pinned.
+            let laggard = cfg.laggard_stall_ms > 0;
+            let threads = cfg.threads + 1 + laggard as usize;
             let manager: Arc<RecordManager<$node, $recl, $pool, $alloc>> =
                 Arc::new(RecordManager::new(threads));
             let bag = $ds::new(Arc::clone(&manager));
-            run_pc_trial(
-                &bag,
-                cfg,
-                seed,
-                || manager.reclaimer().stats(),
-                || (manager.allocator().allocated_bytes(), manager.allocator().allocated_records()),
-                || manager.pool().stats(),
-            )
+            let trial = || {
+                run_pc_trial(
+                    &bag,
+                    cfg,
+                    seed,
+                    || manager.reclaimer().stats(),
+                    || {
+                        (
+                            manager.allocator().allocated_bytes(),
+                            manager.allocator().allocated_records(),
+                        )
+                    },
+                    || manager.pool().stats(),
+                )
+            };
+            if laggard {
+                with_laggard(&manager, threads - 1, cfg.laggard_stall_ms, trial)
+            } else {
+                trial()
+            }
         }};
     }
 
@@ -491,6 +612,7 @@ pub fn run_pc_config(
 /// the worst-case garbage regime, which no operation mix on a map reaches.
 pub fn experiment_producer_consumer(thread_counts: &[usize], duration_ms: u64) -> Vec<PcRow> {
     let allocator = allocator_from_env(AllocatorKind::BumpWithPool);
+    announce_trials(2 * 2 * thread_counts.len() as u64 * ReclaimerKind::ALL.len() as u64);
     let mut rows = Vec::new();
     for structure in [StructureKind::Queue, StructureKind::Stack] {
         for scenario in [PcScenario::Symmetric, PcScenario::BurstyProducer { burst: 128 }] {
@@ -503,6 +625,8 @@ pub fn experiment_producer_consumer(thread_counts: &[usize], duration_ms: u64) -
                         prefill: 256,
                         duration_ms,
                         allocator,
+                        latency: false,
+                        laggard_stall_ms: 0,
                     };
                     rows.push(run_pc_config(structure, reclaimer, &cfg, 0xBA6));
                 }
@@ -556,6 +680,9 @@ fn sweep(
     duration_ms: u64,
     small_keyranges: bool,
 ) -> Vec<ExperimentRow> {
+    let workloads: u64 =
+        structures.iter().map(|&s| paper_workloads(s, small_keyranges).len() as u64).sum();
+    announce_trials(workloads * thread_counts.len() as u64 * reclaimers.len() as u64);
     let mut rows = Vec::new();
     for &structure in structures {
         for (key_range, mix) in paper_workloads(structure, small_keyranges) {
@@ -569,6 +696,8 @@ fn sweep(
                         duration_ms,
                         prefill: true,
                         allocator,
+                        latency: false,
+                        laggard_stall_ms: 0,
                     };
                     rows.push(run_config(structure, reclaimer, &cfg, 0xDEB2A));
                 }
@@ -639,6 +768,7 @@ pub fn experiment_distribution(
     small: bool,
 ) -> Vec<ExperimentRow> {
     let allocator = allocator_from_env(AllocatorKind::BumpWithPool);
+    announce_trials(2 * 2 * thread_counts.len() as u64 * ReclaimerKind::ALL.len() as u64);
     let mut rows = Vec::new();
     for structure in [StructureKind::HashMap, StructureKind::Bst] {
         let key_range = match (structure, small) {
@@ -658,6 +788,8 @@ pub fn experiment_distribution(
                         duration_ms,
                         prefill: true,
                         allocator,
+                        latency: false,
+                        laggard_stall_ms: 0,
                     };
                     rows.push(run_config(structure, reclaimer, &cfg, 0x21BF));
                 }
@@ -675,6 +807,7 @@ pub fn memory_footprint(duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
     let counts = [1, cores.max(2), cores * 2, cores * 4];
     let key_range = if small { 1_024 } else { 10_000 };
     let allocator = allocator_from_env(AllocatorKind::BumpWithPool);
+    announce_trials(counts.len() as u64 * 4);
     let mut rows = Vec::new();
     for &threads in &counts {
         for reclaimer in [
@@ -691,6 +824,8 @@ pub fn memory_footprint(duration_ms: u64, small: bool) -> Vec<ExperimentRow> {
                 duration_ms,
                 prefill: true,
                 allocator,
+                latency: false,
+                laggard_stall_ms: 0,
             };
             rows.push(run_config(StructureKind::Bst, reclaimer, &cfg, 7));
         }
@@ -813,6 +948,8 @@ mod tests {
                 duration_ms: 20,
                 prefill: true,
                 allocator: AllocatorKind::BumpWithPool,
+                latency: false,
+                laggard_stall_ms: 0,
             };
             let row = run_config(StructureKind::Bst, reclaimer, &cfg, 1);
             assert!(row.result.operations > 0, "{reclaimer:?} produced no operations");
@@ -834,6 +971,8 @@ mod tests {
                     duration_ms: 20,
                     prefill: true,
                     allocator: AllocatorKind::BumpWithPool,
+                    latency: false,
+                    laggard_stall_ms: 0,
                 };
                 let row = run_config(StructureKind::HashMap, reclaimer, &cfg, 1);
                 assert!(
@@ -860,6 +999,8 @@ mod tests {
                 duration_ms: 20,
                 prefill: true,
                 allocator,
+                latency: false,
+                laggard_stall_ms: 0,
             };
             let row = run_config(StructureKind::SkipList, ReclaimerKind::Debra, &cfg, 3);
             assert!(row.result.operations > 0);
@@ -881,6 +1022,8 @@ mod tests {
                     prefill: 64,
                     duration_ms: 20,
                     allocator: AllocatorKind::BumpWithPool,
+                    latency: false,
+                    laggard_stall_ms: 0,
                 };
                 let row = run_pc_config(structure, ReclaimerKind::Debra, &cfg, 9);
                 assert!(row.result.enqueues > 0, "{structure:?}/{scenario:?} enqueued nothing");
@@ -903,6 +1046,8 @@ mod tests {
             duration_ms: 20,
             prefill: true,
             allocator: AllocatorKind::BumpWithPool,
+            latency: false,
+            laggard_stall_ms: 0,
         };
         let row = run_config(StructureKind::Queue, ReclaimerKind::Ebr, &cfg, 4);
         assert!(row.result.operations > 0);
@@ -922,6 +1067,8 @@ mod tests {
                 duration_ms: 15,
                 prefill: true,
                 allocator: AllocatorKind::BumpWithPool,
+                latency: false,
+                laggard_stall_ms: 0,
             };
             rows.push(run_config(StructureKind::Bst, reclaimer, &cfg, 5));
         }

@@ -17,6 +17,9 @@
 //!   data structure × reclaimer × pool × allocator.
 //! * [`figure2`] — regenerates the qualitative scheme-comparison table (paper, Figure 2)
 //!   from the `SchemeProperties` reported by every implemented reclaimer.
+//! * [`oversub`] — the oversubscribed latency / bounded-memory family (`-- oversub`):
+//!   recording-overhead twins, 4×-cores thread counts with a pinned laggard, per-scheme
+//!   tail latency + limbo watermarks, `BENCH_latency.json`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -24,6 +27,7 @@
 pub mod experiments;
 pub mod figure2;
 pub mod harness;
+pub mod oversub;
 pub mod pc;
 pub mod workload;
 

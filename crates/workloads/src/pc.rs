@@ -24,13 +24,15 @@
 //! compiles once; only the thin per-structure adapters monomorphize.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use debra::{PoolStats, ReclaimerStats};
 use lockfree_ds::ConcurrentBag;
+use smr_obs::{Clock, LatencyHistogram, LatencyReport, MAX_OP_KINDS};
 
 use crate::experiments::AllocatorKind;
-use crate::harness::TrialResult;
+use crate::harness::{report_from, ThreadRecorder, TrialResult, SAMPLE_STRIDE};
 
 /// How worker threads split into producer/consumer roles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +76,12 @@ pub struct PcConfig {
     pub duration_ms: u64,
     /// Memory configuration (allocator + pool) the Record Manager is composed with.
     pub allocator: AllocatorKind,
+    /// Whether workers record per-operation latency (kinds: 0 = enqueue, 1 = dequeue,
+    /// 2 = empty dequeue); see [`crate::workload::WorkloadConfig::latency`].
+    pub latency: bool,
+    /// Laggard stall window in milliseconds (0 = no laggard); see
+    /// [`crate::workload::WorkloadConfig::laggard_stall_ms`].
+    pub laggard_stall_ms: u64,
 }
 
 impl Default for PcConfig {
@@ -85,6 +93,8 @@ impl Default for PcConfig {
             prefill: 256,
             duration_ms: 200,
             allocator: AllocatorKind::BumpWithPool,
+            latency: false,
+            laggard_stall_ms: 0,
         }
     }
 }
@@ -208,6 +218,10 @@ fn run_pc_trial_erased<'b>(
     let total_enq = AtomicU64::new(0);
     let total_deq = AtomicU64::new(0);
     let total_empty = AtomicU64::new(0);
+    // Latency pipeline, as in the map harness: calibrate once, pre-allocate rings per
+    // worker, merge under a lock only after the stop flag.
+    let clock = cfg.latency.then(Clock::new);
+    let merged: Mutex<[LatencyHistogram; MAX_OP_KINDS]> = Mutex::new(Default::default());
 
     // Under BurstyProducer the first ceil(threads/2) workers produce, the rest consume;
     // a single worker alternates burst-and-drain itself (there is no one else on either
@@ -225,10 +239,12 @@ fn run_pc_trial_erased<'b>(
             let total_enq = &total_enq;
             let total_deq = &total_deq;
             let total_empty = &total_empty;
+            let merged = &merged;
             let cfg = *cfg;
             scope.spawn(move || {
                 let mut handle = factory(tid);
                 let mut rng = seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let recorder = clock.map(|c| ThreadRecorder::new(c, seed, tid));
                 started.fetch_add(1, Ordering::SeqCst);
                 while !start_gate.load(Ordering::Acquire) {
                     // Yield, don't spin: on the single-core CI container a bare spin
@@ -237,6 +253,38 @@ fn run_pc_trial_erased<'b>(
                 }
                 let (mut enq, mut deq, mut empty) = (0u64, 0u64, 0u64);
                 match cfg.scenario {
+                    // The symmetric loop exists twice so the recording-off path carries
+                    // zero recording code (see the map harness for the twin-row
+                    // rationale).  Kinds: 0 = enqueue, 1 = dequeue, 2 = empty dequeue.
+                    // One in `SAMPLE_STRIDE` operations is timed (see the map harness
+                    // for why timing every operation would swamp 100ns bag ops).
+                    PcScenario::Symmetric if recorder.is_some() => {
+                        let rec = recorder.as_ref().unwrap();
+                        let mut tick = tid as u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let timed = tick & (SAMPLE_STRIDE - 1) == 0;
+                            tick = tick.wrapping_add(1);
+                            if (splitmix(&mut rng) % 100) < cfg.enqueue_pct as u64 {
+                                let t0 = if timed { rec.now() } else { 0 };
+                                handle.push(((tid as u64) << 48) | enq);
+                                if timed {
+                                    rec.record(0, t0);
+                                }
+                                enq += 1;
+                            } else {
+                                let t0 = if timed { rec.now() } else { 0 };
+                                let popped = handle.pop().is_some();
+                                if timed {
+                                    rec.record(if popped { 1 } else { 2 }, t0);
+                                }
+                                if popped {
+                                    deq += 1;
+                                } else {
+                                    empty += 1;
+                                }
+                            }
+                        }
+                    }
                     PcScenario::Symmetric => {
                         while !stop.load(Ordering::Relaxed) {
                             if (splitmix(&mut rng) % 100) < cfg.enqueue_pct as u64 {
@@ -252,12 +300,28 @@ fn run_pc_trial_erased<'b>(
                     PcScenario::BurstyProducer { burst } => {
                         let is_producer = tid < producers;
                         let solo = cfg.threads == 1;
+                        // Bursty rows record through a per-op branch on the recorder
+                        // option instead of a duplicated loop: the inter-burst yields
+                        // dominate this scenario's cost, and the on/off overhead twins
+                        // are measured on the symmetric loop above.  The same
+                        // one-in-`SAMPLE_STRIDE` sampling applies.
+                        let mut tick = tid as u64;
                         while !stop.load(Ordering::Relaxed) {
                             if solo {
                                 // Both halves of the pipeline on one thread: push a
                                 // burst, then drain it.
                                 for _ in 0..burst {
+                                    let timed = tick & (SAMPLE_STRIDE - 1) == 0;
+                                    tick = tick.wrapping_add(1);
+                                    let t0 = if timed {
+                                        recorder.as_ref().map(|r| r.now())
+                                    } else {
+                                        None
+                                    };
                                     handle.push(((tid as u64) << 48) | enq);
+                                    if let (Some(rec), Some(t0)) = (&recorder, t0) {
+                                        rec.record(0, t0);
+                                    }
                                     enq += 1;
                                 }
                                 while let Some(_v) = handle.pop() {
@@ -266,20 +330,45 @@ fn run_pc_trial_erased<'b>(
                                 empty += 1; // the drain's terminating empty pop
                             } else if is_producer {
                                 for _ in 0..burst {
+                                    let timed = tick & (SAMPLE_STRIDE - 1) == 0;
+                                    tick = tick.wrapping_add(1);
+                                    let t0 = if timed {
+                                        recorder.as_ref().map(|r| r.now())
+                                    } else {
+                                        None
+                                    };
                                     handle.push(((tid as u64) << 48) | enq);
+                                    if let (Some(rec), Some(t0)) = (&recorder, t0) {
+                                        rec.record(0, t0);
+                                    }
                                     enq += 1;
                                 }
                                 // The inter-burst pause: hand the core to the consumers
                                 // (a sleep would oversleep whole quanta on 1 core).
                                 std::thread::yield_now();
-                            } else if handle.pop().is_some() {
-                                deq += 1;
                             } else {
-                                empty += 1;
-                                std::thread::yield_now();
+                                let timed = tick & (SAMPLE_STRIDE - 1) == 0;
+                                tick = tick.wrapping_add(1);
+                                let t0 =
+                                    if timed { recorder.as_ref().map(|r| r.now()) } else { None };
+                                if handle.pop().is_some() {
+                                    if let (Some(rec), Some(t0)) = (&recorder, t0) {
+                                        rec.record(1, t0);
+                                    }
+                                    deq += 1;
+                                } else {
+                                    if let (Some(rec), Some(t0)) = (&recorder, t0) {
+                                        rec.record(2, t0);
+                                    }
+                                    empty += 1;
+                                    std::thread::yield_now();
+                                }
                             }
                         }
                     }
+                }
+                if let Some(rec) = &recorder {
+                    rec.drain_into(merged);
                 }
                 total_enq.fetch_add(enq, Ordering::SeqCst);
                 total_deq.fetch_add(deq, Ordering::SeqCst);
@@ -317,6 +406,7 @@ fn run_pc_trial_erased<'b>(
             allocated_bytes,
             allocated_records,
             pool: pool_stats(),
+            latency: if cfg.latency { report_from(merged) } else { LatencyReport::default() },
         },
     }
 }
@@ -338,7 +428,7 @@ mod tests {
     fn symmetric_trial_produces_sensible_numbers() {
         let manager = Arc::new(RecordManager::new(3));
         let queue: Queue = MsQueue::new(Arc::clone(&manager));
-        let cfg = PcConfig { threads: 2, duration_ms: 50, ..PcConfig::default() };
+        let cfg = PcConfig { threads: 2, duration_ms: 50, latency: true, ..PcConfig::default() };
         let r = run_pc_trial(
             &queue,
             &cfg,
@@ -358,6 +448,11 @@ mod tests {
         assert!(r.pair_rate_mpairs > 0.0);
         assert!(r.trial.operations == r.enqueues + r.dequeues);
         assert!(r.trial.reclaimer.retired > 0, "every successful dequeue retires");
+        // Latency recording was on: enqueue and dequeue kinds must both be sampled.
+        assert!(r.trial.latency.enabled);
+        assert!(r.trial.latency.per_kind[0].count > 0, "no enqueue samples");
+        assert!(r.trial.latency.per_kind[1].count > 0, "no dequeue samples");
+        assert!(r.trial.latency.all.p50_ns <= r.trial.latency.all.max_ns);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Integration tests for the observability layer (ISSUE 7): histogram-vs-oracle
+//! properties, sample-ring concurrency contracts, harness latency plumbing, and the
+//! bounded-limbo stress that pins a laggard under a neutralizing epoch scheme.
+//!
+//! The unit tests inside `smr-obs` cover each primitive in isolation; this suite checks
+//! the contracts the *harness* relies on — quantile error bounds against an exact
+//! sorted-sample oracle over arbitrary inputs, merge laws over arbitrary partitions
+//! (per-thread histograms must combine into the same trial summary in any order), rings
+//! that stay within capacity under genuinely concurrent writers, and a full trial whose
+//! `LatencyReport` and limbo watermark behave as documented.
+
+use proptest::prelude::*;
+use smr_obs::{LatencyHistogram, SampleRing};
+use smr_workloads::experiments::{run_config, ReclaimerKind, StructureKind};
+use smr_workloads::{AllocatorKind, KeyDistribution, OperationMix, WorkloadConfig};
+use std::sync::Arc;
+
+/// Exact quantile of a sorted sample using the same "ceil rank" convention the
+/// histogram documents: the smallest value with at least `ceil(q * n)` values ≤ it.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+fn build(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// For arbitrary inputs spanning the linear region and many octaves, every reported
+    /// quantile is ≥ the exact sample quantile (the approximation never hides a tail)
+    /// and within the documented `2^(1-LINEAR_BITS)` ≈ 1/64 relative bucket width.
+    #[test]
+    fn histogram_quantiles_match_sorted_oracle(
+        mut values in proptest::collection::vec(0u64..50_000_000_000, 1..400),
+        q_mil in 1u64..1000,
+    ) {
+        let h = build(&values);
+        values.sort_unstable();
+        let q = q_mil as f64 / 1000.0;
+        let exact = exact_quantile(&values, q);
+        let approx = h.quantile(q);
+        prop_assert!(approx >= exact, "q={q}: approx {approx} < exact {exact}");
+        // Bucket upper bound: at most one sub-bucket (1/64 relative) above, and never
+        // above the observed maximum.
+        let bound = (exact + exact / 32 + 1).min(*values.last().unwrap());
+        prop_assert!(approx <= bound, "q={q}: approx {approx} > bound {bound}");
+    }
+
+    /// Merging per-thread histograms in any order and grouping is equivalent to having
+    /// recorded every sample into one histogram (the property the drain path relies on).
+    #[test]
+    fn histogram_merge_equals_single_recording(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let whole: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let reference = build(&whole);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        // a ⊕ (c ⊕ b) — different order and grouping.
+        let mut inner = build(&c);
+        inner.merge(&build(&b));
+        let mut right = build(&a);
+        right.merge(&inner);
+
+        prop_assert_eq!(&left, &reference);
+        prop_assert_eq!(&right, &reference);
+        prop_assert_eq!(left.summary(), reference.summary());
+    }
+
+    /// The empty histogram is the merge identity.
+    #[test]
+    fn histogram_merge_identity(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let reference = build(&a);
+        let mut merged = build(&a);
+        merged.merge(&LatencyHistogram::new());
+        prop_assert_eq!(&merged, &reference);
+        let mut from_empty = LatencyHistogram::new();
+        from_empty.merge(&reference);
+        prop_assert_eq!(&from_empty, &reference);
+    }
+}
+
+#[test]
+fn ring_concurrent_writers_stay_within_capacity() {
+    // The rings are single-writer in the harness, but the type promises memory safety
+    // and a capacity bound even when shared; hammer one from several threads.
+    let ring = Arc::new(SampleRing::new(256, 0xC0FFEE));
+    let writers = 8;
+    let per_writer = 50_000u64;
+    std::thread::scope(|s| {
+        for t in 0..writers {
+            let ring = Arc::clone(&ring);
+            s.spawn(move || {
+                for i in 0..per_writer {
+                    // Distinct value space per writer so retained samples are traceable.
+                    ring.record(((t as u64) << 32) | i);
+                }
+            });
+        }
+    });
+    assert_eq!(ring.seen(), writers as u64 * per_writer);
+    assert_eq!(ring.capacity(), 256);
+    assert_eq!(ring.len(), 256, "reservoir must stay full, never overflow");
+    let samples = ring.samples();
+    assert_eq!(samples.len(), 256);
+    for &s in &samples {
+        let writer = s >> 32;
+        let seq = s & 0xFFFF_FFFF;
+        assert!(
+            writer < writers as u64 && seq < per_writer,
+            "retained sample {s:#x} was never offered"
+        );
+    }
+}
+
+#[test]
+fn ring_single_writer_stream_is_deterministic() {
+    let run = |seed: u64| {
+        let ring = SampleRing::new(128, seed);
+        for v in 0..20_000u64 {
+            ring.record(v);
+        }
+        ring.samples()
+    };
+    assert_eq!(run(11), run(11), "same seed must retain the same sample");
+    assert_ne!(run(11), run(12), "different seeds should diverge");
+}
+
+#[test]
+fn ring_capacity_is_never_exceeded_at_any_point() {
+    let ring = SampleRing::new(16, 7);
+    for v in 0..10_000u64 {
+        ring.record(v);
+        assert!(ring.len() <= ring.capacity());
+        assert_eq!(ring.seen(), v + 1);
+    }
+}
+
+fn quick_cfg(threads: usize, latency: bool, laggard_stall_ms: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        threads,
+        key_range: 512,
+        mix: OperationMix::UPDATE_HEAVY,
+        distribution: KeyDistribution::Uniform,
+        duration_ms: 120,
+        prefill: true,
+        allocator: AllocatorKind::PagePool,
+        latency,
+        laggard_stall_ms,
+    }
+}
+
+#[test]
+fn harness_trial_carries_an_ordered_latency_report() {
+    let row =
+        run_config(StructureKind::HashMap, ReclaimerKind::Debra, &quick_cfg(2, true, 0), 0x0B5);
+    let rep = row.result.latency;
+    assert!(rep.enabled);
+    assert!(rep.all.count > 0, "a 120ms trial must retain samples");
+    assert!(rep.all.p50_ns <= rep.all.p90_ns);
+    assert!(rep.all.p90_ns <= rep.all.p99_ns);
+    assert!(rep.all.p99_ns <= rep.all.p999_ns);
+    assert!(rep.all.p999_ns <= rep.all.max_ns);
+    // The per-kind counts partition the combined count.
+    let per_kind: u64 = rep.per_kind.iter().map(|s| s.count).sum();
+    assert_eq!(per_kind, rep.all.count);
+}
+
+#[test]
+fn latency_off_reports_disabled_and_all_zero() {
+    let row =
+        run_config(StructureKind::HashMap, ReclaimerKind::Debra, &quick_cfg(2, false, 0), 0x0B5);
+    let rep = row.result.latency;
+    assert!(!rep.enabled);
+    assert_eq!(rep.all.count, 0);
+    assert_eq!(rep.all.max_ns, 0);
+}
+
+#[test]
+fn bag_trial_carries_a_latency_report_too() {
+    let row = run_config(StructureKind::Queue, ReclaimerKind::Ebr, &quick_cfg(2, true, 0), 0x0B5);
+    assert!(row.result.latency.enabled);
+    assert!(row.result.latency.all.count > 0);
+    assert!(row.result.latency.all.p50_ns <= row.result.latency.all.max_ns);
+}
+
+/// The bounded-garbage stress of the acceptance criteria: a neutralizing epoch scheme
+/// (DEBRA+) with a pinned laggard holding 5ms windows open must keep the limbo-bytes
+/// high watermark bounded — the laggard is exactly the adversary that makes plain
+/// epoch schemes (DEBRA, EBR) balloon into the multi-megabyte range, and DEBRA+'s
+/// neutralization is the mechanism that caps it.
+///
+/// The bound is empirical but wide: under this configuration DEBRA+ peaks well under
+/// 512 KiB on this harness (observed ≤ ~176 KiB across the oversubscribed family),
+/// while the non-neutralizing epoch schemes exceed 1 MiB within 60 ms.  4 MiB gives
+/// ~20× headroom over observed DEBRA+ peaks while still sitting below what an
+/// unbounded scheme accumulates in a fraction of the trial.
+#[test]
+fn limbo_bytes_stay_bounded_under_pinned_laggard_with_neutralization() {
+    const LIMBO_BOUND_BYTES: u64 = 4 << 20;
+    let cfg = quick_cfg(4, true, 5);
+    let row = run_config(StructureKind::HashMap, ReclaimerKind::DebraPlus, &cfg, 0x0B5E);
+    let stats = &row.result.reclaimer;
+    assert!(stats.retired > 0, "update-heavy trial must retire records");
+    assert!(
+        stats.limbo_bytes_hwm < LIMBO_BOUND_BYTES,
+        "DEBRA+ limbo hwm {} exceeded the {} byte bound despite neutralization",
+        stats.limbo_bytes_hwm,
+        LIMBO_BOUND_BYTES
+    );
+    // The watermark is a high watermark: it can never sit below the final gauge.
+    assert!(stats.limbo_bytes_hwm >= stats.limbo_bytes);
+}

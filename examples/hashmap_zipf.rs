@@ -35,6 +35,8 @@ fn main() {
                 duration_ms: 300,
                 prefill: true,
                 allocator: AllocatorKind::BumpWithPool,
+                latency: false,
+                laggard_stall_ms: 0,
             };
             let row = run_config(StructureKind::HashMap, reclaimer, &cfg, 0x5EED);
             println!(

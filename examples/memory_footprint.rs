@@ -22,6 +22,8 @@ fn main() {
         duration_ms: 400,
         prefill: true,
         allocator: AllocatorKind::BumpWithPool,
+        latency: false,
+        laggard_stall_ms: 0,
     };
     println!(
         "BST, {} threads, keyrange {}, {} for {} ms (bump allocator + pool)\n",
