@@ -1,0 +1,45 @@
+//! `smr-check` — the dynamic half of the workspace's correctness tooling: a
+//! pointer-race sanitizer for SMR-managed records.
+//!
+//! Every record handed out by a `RecordManager` is mirrored in a process-global
+//! *shadow table* that tracks its lifecycle:
+//!
+//! ```text
+//!   Allocated ──publish──▶ Published ──retire──▶ Retired ──free──▶ Freed
+//!       │                                                            │
+//!       └────────────discard (never published)────────────────────▶──┘
+//!                                   Freed ──alloc (reuse)──▶ Allocated
+//! ```
+//!
+//! The safe layer (`crates/core`, behind `cfg(feature = "smr_sanitize")`) calls
+//! the [`shadow`] hooks at every lifecycle edge, plus:
+//!
+//! * **pin/unpin** — entering/leaving an operation (`leave_qstate`/`enter_qstate`),
+//!   stamped with a global shadow clock so retires can be ordered against pins;
+//! * **protect/unprotect** — shield-slot and restricted (DEBRA+) announcements,
+//!   mirrored per `(manager, thread, slot)`;
+//! * **deref** — every `Shared::as_ref` consults the table and reports a
+//!   violation if the record is `Freed`, or `Retired` without a covering
+//!   protection under a scheme that requires one, or `Retired` *before* the
+//!   current operation's pin under an epoch scheme (the record could already
+//!   have been reclaimed on another interleaving).
+//!
+//! Violations are recorded in [`report`] with the scheme's live
+//! `ReclaimerStats`, the retire-site stack (when enabled) and the
+//! violation-site stack. In panic mode ([`report::set_panic_on_violation`] or
+//! `SMR_SANITIZE_PANIC=1`) the hook panics *before* the dangerous action
+//! executes, so mutation tests observe re-injected historical bugs without
+//! committing real undefined behaviour; in record mode the shadow layer
+//! additionally *suppresses* the dangerous retire/free (leaking the record
+//! instead), so a flagged run remains memory-safe either way.
+//!
+//! This crate is deliberately dependency-free and uses plain `std` locking: it
+//! only ever runs inside sanitized builds, never on a production hot path.
+
+pub mod report;
+pub mod shadow;
+
+pub use report::{
+    count, leaked_records, reset, set_capture_retire_stacks, set_panic_on_violation,
+    take_violations, total_violations, Violation, ViolationKind,
+};

@@ -65,6 +65,13 @@ impl<T> Atomic<T> {
     /// This is how a private node's links are initialized before publication; writing a
     /// plain snapshot is safe because the node is not reachable by other threads yet.
     pub fn from_shared(shared: Shared<'_, T>) -> Self {
+        #[cfg(feature = "smr_sanitize")]
+        if !shared.is_null() {
+            // The target may now become reachable transitively (when the record
+            // holding this link is published), which the shadow table cannot
+            // observe — mark it as linked so its retire is not misreported.
+            smr_check::shadow::on_link(shared.as_ptr() as usize);
+        }
         Atomic { word: AtomicUsize::new(shared.word), _marker: PhantomData }
     }
 
@@ -76,7 +83,10 @@ impl<T> Atomic<T> {
     /// [`Atomic::compare_exchange_owned`].  Consuming the [`Owned`] is what transfers
     /// ownership of the record to the structure.
     pub fn from_owned(owned: Owned<T>) -> Self {
-        Atomic { word: AtomicUsize::new(owned.into_ptr().as_ptr() as usize), _marker: PhantomData }
+        let ptr = owned.into_ptr().as_ptr();
+        #[cfg(feature = "smr_sanitize")]
+        smr_check::shadow::on_publish(ptr as usize);
+        Atomic { word: AtomicUsize::new(ptr as usize), _marker: PhantomData }
     }
 
     /// Reads the link into a [`Shared`] tied to `guard`.
@@ -162,11 +172,21 @@ impl<T> Atomic<T> {
     ) -> Result<Shared<'g, T>, Owned<T>> {
         debug_assert!(tag <= low_bits::<T>(), "tag {tag} does not fit in the alignment bits");
         let word = (new.ptr.as_ptr() as usize) | tag;
+        // Shadow ordering contract: record the publication *before* the CAS (reverted on
+        // failure) — recorded after, a concurrent thread could pop and retire the
+        // just-published record inside the hook lag and be misreported.  Pre-recording
+        // cannot race: the record stays private until the CAS succeeds.
+        #[cfg(feature = "smr_sanitize")]
+        smr_check::shadow::on_publish(new.ptr.as_ptr() as usize);
         match self.word.compare_exchange(current.word, word, success, failure) {
             // `new` has no destructor — consuming it here is what transfers ownership of
             // the record to the structure.
             Ok(_) => Ok(Shared::from_word(word)),
-            Err(_) => Err(new),
+            Err(_) => {
+                #[cfg(feature = "smr_sanitize")]
+                smr_check::shadow::on_publish_revert(new.ptr.as_ptr() as usize);
+                Err(new)
+            }
         }
     }
 }
@@ -273,6 +293,12 @@ impl<'g, T> Shared<'g, T> {
     /// document.
     #[inline]
     pub fn as_ref(&self) -> Option<&'g T> {
+        // Sanitized builds validate the access against the shadow lifecycle table (and,
+        // in panic mode, abort *before* the dereference happens).
+        #[cfg(feature = "smr_sanitize")]
+        if !ptr_of::<T>(self.word).is_null() {
+            smr_check::shadow::on_deref(ptr_of::<T>(self.word) as usize);
+        }
         // SAFETY: non-null records reachable through a guard-scoped load are kept alive
         // for 'g by the reclamation scheme (epoch pin or validated protection slot); see
         // the module-level discipline discussion.

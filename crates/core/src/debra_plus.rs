@@ -146,6 +146,10 @@ impl<T: Send + 'static> Reclaimer<T> for DebraPlus<T> {
     fn drain_orphans(&self) -> Vec<NonNull<T>> {
         self.base.drain_orphans()
     }
+
+    fn is_thread_neutralized(&self, tid: usize) -> bool {
+        self.base.slot(tid).is_neutralized()
+    }
 }
 
 impl<T> fmt::Debug for DebraPlus<T> {

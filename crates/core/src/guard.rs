@@ -357,6 +357,8 @@ where
         let mut alloc = self.manager.teardown_allocator();
         let mut cursor = root;
         while let Some(record) = NonNull::new(cursor) {
+            #[cfg(feature = "smr_sanitize")]
+            smr_check::shadow::on_teardown_free(record.as_ptr() as usize);
             // SAFETY: exclusive access per the documented teardown contract; each record
             // is freed exactly once (a chain visits every node once).
             unsafe {
@@ -388,6 +390,8 @@ where
             if !visited.insert(cursor as usize) {
                 continue;
             }
+            #[cfg(feature = "smr_sanitize")]
+            smr_check::shadow::on_teardown_free(record.as_ptr() as usize);
             // SAFETY: exclusive access per the documented teardown contract; the visited
             // set guarantees each record is read and freed exactly once, and children are
             // collected *before* the record's memory is returned.

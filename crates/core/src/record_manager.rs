@@ -40,6 +40,9 @@ where
     pool: Arc<P>,
     alloc: Arc<A>,
     max_threads: usize,
+    /// This manager's id in the smr-check shadow table.
+    #[cfg(feature = "smr_sanitize")]
+    shadow_mgr: u64,
     _marker: PhantomData<fn(T)>,
 }
 
@@ -64,7 +67,25 @@ where
     /// components.  All components must have been created for the same number of threads.
     pub fn from_parts(reclaimer: Arc<R>, pool: Arc<P>, alloc: Arc<A>) -> Self {
         let max_threads = reclaimer.max_threads();
-        RecordManager { reclaimer, pool, alloc, max_threads, _marker: PhantomData }
+        #[cfg(feature = "smr_sanitize")]
+        let shadow_mgr = {
+            let r = Arc::clone(&reclaimer);
+            let probe = Arc::clone(&reclaimer);
+            smr_check::shadow::register_manager(
+                R::name(),
+                Box::new(move || format!("{:?}", r.stats())),
+                Box::new(move |tid| probe.is_thread_neutralized(tid)),
+            )
+        };
+        RecordManager {
+            reclaimer,
+            pool,
+            alloc,
+            max_threads,
+            #[cfg(feature = "smr_sanitize")]
+            shadow_mgr,
+            _marker: PhantomData,
+        }
     }
 
     /// Registers thread slot `tid` and returns its per-thread handle.
@@ -82,7 +103,14 @@ where
         let reclaimer = R::register(&self.reclaimer, tid)?;
         let pool = P::register(&self.pool, tid);
         let alloc = A::register(&self.alloc, tid);
-        Ok(RecordManagerThread { reclaimer, pool, alloc, tid })
+        Ok(RecordManagerThread {
+            reclaimer,
+            pool,
+            alloc,
+            tid,
+            #[cfg(feature = "smr_sanitize")]
+            shadow_mgr: self.shadow_mgr,
+        })
     }
 
     /// Registers the lowest currently-free thread slot and returns its per-thread handle
@@ -145,13 +173,23 @@ where
     pub fn reclaim_stragglers(&self) {
         let mut alloc = A::register(&self.alloc, 0);
         for record in self.reclaimer.drain_orphans() {
+            #[cfg(feature = "smr_sanitize")]
+            smr_check::shadow::on_teardown_free(record.as_ptr() as usize);
             // SAFETY: teardown — the caller guarantees no thread can reach these records.
             unsafe { alloc.deallocate(record) };
         }
         for record in self.pool.drain_shared() {
+            #[cfg(feature = "smr_sanitize")]
+            smr_check::shadow::on_teardown_free(record.as_ptr() as usize);
             // SAFETY: as above.
             unsafe { alloc.deallocate(record) };
         }
+    }
+
+    /// This manager's id in the smr-check shadow table (sanitized builds only).
+    #[cfg(feature = "smr_sanitize")]
+    pub fn shadow_mgr(&self) -> u64 {
+        self.shadow_mgr
     }
 }
 
@@ -164,6 +202,9 @@ where
 {
     fn drop(&mut self) {
         self.reclaim_stragglers();
+        // Tear down this manager's shadow state, reporting never-freed records.
+        #[cfg(feature = "smr_sanitize")]
+        let _ = smr_check::shadow::unregister_manager(self.shadow_mgr);
     }
 }
 
@@ -197,6 +238,8 @@ where
     pool: P::Thread,
     alloc: A::Thread,
     tid: usize,
+    #[cfg(feature = "smr_sanitize")]
+    shadow_mgr: u64,
 }
 
 impl<T, R, P, A> RecordManagerThread<T, R, P, A>
@@ -216,6 +259,13 @@ where
         let record = self.pool.allocate(value, &mut self.alloc);
         // Interval-based schemes tag the record's birth era here; a no-op elsewhere.
         self.reclaimer.record_allocated(record);
+        #[cfg(feature = "smr_sanitize")]
+        smr_check::shadow::on_alloc(
+            self.shadow_mgr,
+            self.tid,
+            record.as_ptr() as usize,
+            std::any::type_name::<T>(),
+        );
         record
     }
 
@@ -230,6 +280,12 @@ where
     /// The record must have been allocated through this Record Manager family, must not be
     /// reachable by any thread, and must not be used again.
     pub unsafe fn deallocate(&mut self, record: NonNull<T>) {
+        #[cfg(feature = "smr_sanitize")]
+        if !smr_check::shadow::on_dealloc(self.shadow_mgr, self.tid, record.as_ptr() as usize) {
+            // Shadow table vetoed the deallocation (double free / published record):
+            // leak the record instead of compounding the bug.
+            return;
+        }
         self.pool.deallocate(record, &mut self.alloc);
     }
 
@@ -240,18 +296,44 @@ where
     ///
     /// See [`ReclaimerThread::retire`].
     pub unsafe fn retire(&mut self, record: NonNull<T>) {
+        #[cfg(feature = "smr_sanitize")]
+        {
+            if !smr_check::shadow::on_retire(self.shadow_mgr, self.tid, record.as_ptr() as usize) {
+                // Double/late retire: suppress the dangerous second retire so record
+                // mode stays memory-safe (the violation has been reported).
+                return;
+            }
+            let mut sink =
+                SanitizedSink { inner: &mut self.pool, mgr: self.shadow_mgr, tid: self.tid };
+            self.reclaimer.retire(record, &mut sink)
+        }
+        #[cfg(not(feature = "smr_sanitize"))]
         self.reclaimer.retire(record, &mut self.pool);
     }
 
     /// Announces the start of a data structure operation.
     #[must_use = "the return value reports whether the epoch announcement changed"]
     pub fn leave_qstate(&mut self) -> bool {
+        #[cfg(feature = "smr_sanitize")]
+        {
+            smr_check::shadow::on_pin(
+                self.shadow_mgr,
+                self.tid,
+                !<R::Thread as ReclaimerThread<T>>::SUPPORTS_UNPROTECTED_TRAVERSAL,
+            );
+            let mut sink =
+                SanitizedSink { inner: &mut self.pool, mgr: self.shadow_mgr, tid: self.tid };
+            self.reclaimer.leave_qstate(&mut sink)
+        }
+        #[cfg(not(feature = "smr_sanitize"))]
         self.reclaimer.leave_qstate(&mut self.pool)
     }
 
     /// Announces the end of the current data structure operation.
     pub fn enter_qstate(&mut self) {
         self.reclaimer.enter_qstate();
+        #[cfg(feature = "smr_sanitize")]
+        smr_check::shadow::on_unpin(self.shadow_mgr);
     }
 
     /// Returns `true` if this thread is between operations.
@@ -277,11 +359,36 @@ where
         record: NonNull<T>,
         validate: F,
     ) -> bool {
-        self.reclaimer.protect(slot, record, validate)
+        // Shadow ordering contract: the old slot protection is cleared *before* the real
+        // announcement is overwritten, and the new one registered only *after* the real
+        // protect validated (see smr-check's shadow module docs).  Epoch-style schemes
+        // (`SUPPORTS_UNPROTECTED_TRAVERSAL`) implement `protect` as a validated no-op —
+        // the pin is the reservation — so the shadow must not register a per-record
+        // protection the scheme never promised, or DEBRA+ neutralization (which voids
+        // the epoch reservation) would produce free-while-protected false positives.
+        #[cfg(feature = "smr_sanitize")]
+        let track = !<R::Thread as ReclaimerThread<T>>::SUPPORTS_UNPROTECTED_TRAVERSAL;
+        #[cfg(feature = "smr_sanitize")]
+        if track {
+            smr_check::shadow::on_protect_begin(self.shadow_mgr, self.tid, slot);
+        }
+        let ok = self.reclaimer.protect(slot, record, validate);
+        #[cfg(feature = "smr_sanitize")]
+        if track && ok {
+            smr_check::shadow::on_protect_commit(
+                self.shadow_mgr,
+                self.tid,
+                slot,
+                record.as_ptr() as usize,
+            );
+        }
+        ok
     }
 
     /// Releases protection slot `slot`.
     pub fn unprotect(&mut self, slot: usize) {
+        #[cfg(feature = "smr_sanitize")]
+        smr_check::shadow::on_unprotect(self.shadow_mgr, self.tid, slot);
         self.reclaimer.unprotect(slot);
     }
 
@@ -332,10 +439,14 @@ where
     /// Announces a restricted hazard pointer for recovery code (DEBRA+'s `RProtect`).
     pub fn r_protect(&mut self, record: NonNull<T>) {
         self.reclaimer.r_protect(record);
+        #[cfg(feature = "smr_sanitize")]
+        smr_check::shadow::on_rprotect(self.shadow_mgr, self.tid, record.as_ptr() as usize);
     }
 
     /// Releases all restricted hazard pointers (DEBRA+'s `RUnprotectAll`).
     pub fn r_unprotect_all(&mut self) {
+        #[cfg(feature = "smr_sanitize")]
+        smr_check::shadow::on_runprotect_all(self.shadow_mgr, self.tid);
         self.reclaimer.r_unprotect_all();
     }
 
@@ -451,5 +562,53 @@ where
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("OpGuard").field("tid", &self.thread.tid).finish()
+    }
+}
+
+impl<'a, T, R, P, A> crate::atomic::private::Sealed for OpGuard<'a, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+}
+
+/// An `OpGuard` witnesses that the thread is non-quiescent (it called `leave_qstate` on
+/// construction and holds the thread handle exclusively until drop), which is exactly the
+/// [`Pinned`](crate::Pinned) contract — so raw-layer code can use the typed
+/// [`Atomic`](crate::Atomic)/[`Shared`](crate::Shared) pointers too.
+impl<'a, T, R, P, A> crate::atomic::Pinned for OpGuard<'a, T, R, P, A>
+where
+    T: Send + 'static,
+    R: Reclaimer<T>,
+    P: Pool<T>,
+    A: Allocator<T>,
+{
+}
+
+/// A [`ReclaimSink`](crate::traits::ReclaimSink) wrapper that validates every record
+/// through the shadow table before handing it to the real sink (the pool).  Records the
+/// shadow table vetoes (double free, free under a live announcement) are leaked instead
+/// of forwarded, keeping flagged runs memory-safe.
+///
+/// The block fast-path is deliberately not overridden: the default `accept_block` drains
+/// into `accept`, which is where the per-record check lives.  Sanitized builds trade the
+/// O(1) block hand-off for per-record checking by design.
+#[cfg(feature = "smr_sanitize")]
+struct SanitizedSink<'a, S> {
+    inner: &'a mut S,
+    mgr: u64,
+    tid: usize,
+}
+
+#[cfg(feature = "smr_sanitize")]
+impl<'a, T, S: crate::traits::ReclaimSink<T>> crate::traits::ReclaimSink<T>
+    for SanitizedSink<'a, S>
+{
+    fn accept(&mut self, record: NonNull<T>) {
+        if smr_check::shadow::on_free(self.mgr, self.tid, record.as_ptr() as usize) {
+            self.inner.accept(record);
+        }
     }
 }

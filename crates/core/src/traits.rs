@@ -138,6 +138,17 @@ pub trait Reclaimer<T: Send>: Send + Sync + Sized + 'static {
     fn drain_orphans(&self) -> Vec<NonNull<T>> {
         Vec::new()
     }
+
+    /// `true` if thread `tid` is currently neutralized (signalled by the crash-recovery
+    /// protocol and not yet past its next checkpoint).  Always `false` for schemes
+    /// without neutralization.  Must be safe to call from any thread — diagnostic
+    /// tooling (the smr-check sanitizer) probes it to excuse the one-load-wide window
+    /// where a just-neutralized thread dereferences a record the reclaimer already
+    /// reclaimed (the operation is doomed to restart at its next checkpoint, so the
+    /// stale read is never acted upon).
+    fn is_thread_neutralized(&self, _tid: usize) -> bool {
+        false
+    }
 }
 
 /// Per-thread handle of a [`Reclaimer`].

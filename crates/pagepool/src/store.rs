@@ -100,6 +100,14 @@ impl<T> PageStore<T> {
             .lock()
             .expect("page list poisoned")
             .push(PageMeta { base: base as usize, bytes: slots * size_of::<T>() });
+        // Tell the sanitizer's shadow table which type this page is bound to, so record
+        // allocation can enforce the type-stability contract mechanically.
+        #[cfg(feature = "smr_sanitize")]
+        smr_check::shadow::note_typed_page(
+            std::any::type_name::<T>(),
+            base as usize,
+            slots * size_of::<T>(),
+        );
         self.pages_mapped.fetch_add(1, Ordering::Relaxed);
         self.slots_total.fetch_add(slots as u64, Ordering::Relaxed);
 

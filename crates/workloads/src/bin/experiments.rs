@@ -14,6 +14,9 @@
 //!   pc           producer/consumer: queue + stack, symmetric and bursty scenarios
 //!   oversub      latency + bounded-memory family: recording-overhead twins, 4x-cores
 //!                oversubscription with a pinned laggard, writes BENCH_latency.json
+//!   sanitize     every scheme + structure under the smr-check pointer-race sanitizer;
+//!                prints the violation report and fails on any report (needs
+//!                `--features smr_sanitize`)
 //!   summary      headline ratios from the abstract (DEBRA vs None vs HP)
 //!   all          everything above
 //!
@@ -98,6 +101,26 @@ fn main() {
             &experiment_producer_consumer(&threads, duration),
         ),
         "oversub" => smr_workloads::oversub::run_oversub(duration),
+        "sanitize" => {
+            // Every scheme and structure under the smr-check pointer-race sanitizer;
+            // non-zero violation counts fail the run (used by the nightly CI job).
+            #[cfg(feature = "smr_sanitize")]
+            {
+                let violations =
+                    smr_workloads::sanitize::run_sanitized_sweep(duration, threads[0].max(2));
+                if violations > 0 {
+                    std::process::exit(1);
+                }
+            }
+            #[cfg(not(feature = "smr_sanitize"))]
+            {
+                eprintln!(
+                    "the sanitize family needs the sanitizer compiled in; rerun with \
+                     `--features smr_sanitize`"
+                );
+                std::process::exit(2);
+            }
+        }
         "summary" => {
             let rows = experiment2(&threads, duration, small);
             print_rows("Experiment 2 rows used for the summary", &rows);

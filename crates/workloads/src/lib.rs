@@ -29,6 +29,8 @@ pub mod figure2;
 pub mod harness;
 pub mod oversub;
 pub mod pc;
+#[cfg(feature = "smr_sanitize")]
+pub mod sanitize;
 pub mod workload;
 
 pub use experiments::{

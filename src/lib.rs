@@ -9,6 +9,10 @@ pub use lockfree_ds;
 pub use neutralize;
 pub use smr_alloc;
 pub use smr_baselines;
+/// Only present under `--features smr_sanitize`: keeps the sanitizer out of the
+/// default dependency graph entirely (`cargo tree` shows no `smr-check` edge).
+#[cfg(feature = "smr_sanitize")]
+pub use smr_check;
 pub use smr_hashmap;
 pub use smr_ibr;
 pub use smr_pagepool;

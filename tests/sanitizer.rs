@@ -1,0 +1,288 @@
+//! Mutation-style validation of the `smr-check` pointer-race sanitizer.
+//!
+//! Each `*_is_flagged` test re-injects one of the workspace's three historical seed
+//! bugs — fixed by hand in PRs 1–4, now expected to be caught mechanically — and
+//! asserts that the shadow-state machine reports exactly the right violation class:
+//!
+//! 1. **Double retire** (the queue/skiplist double-free): the same record handed to
+//!    `retire` twice, single-threaded and racing from two threads.
+//! 2. **Hazard-pointer full-word UAF** (the mark-stripping bug): a reader announces the
+//!    *tagged* word instead of the stripped pointer, so the scan does not see the record
+//!    as protected, frees it under the reader, and the subsequent deref is a
+//!    use-after-free.
+//! 3. **Teardown leak**: a published record never retired is reported when its Record
+//!    Manager is torn down.
+//!
+//! The clean-run test is the other half of the contract: a correct workload under every
+//! scheme must produce **zero** reports (no false positives).
+//!
+//! The sanitizer's counters and shadow table are process-global, so every test
+//! serializes on [`LOCK`] and asserts on counter *deltas*.
+
+#![cfg(feature = "smr_sanitize")]
+
+use std::ptr::NonNull;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use check::ViolationKind;
+use debra_repro::debra::{
+    Allocator as _, Atomic, Debra, DebraPlus, Domain, Pool as _, RecordManager, Shared,
+};
+use debra_repro::lockfree_ds::{ConcurrentMap, HarrisMichaelList, ListNode};
+use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
+use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, HpConfig, NoReclaim, ThreadScanLite};
+use debra_repro::smr_check as check;
+use debra_repro::smr_ibr::Ibr;
+
+/// Serializes the tests: the shadow table, violation counters and panic-mode switch are
+/// process-global.  Poison-tolerant so one failing test does not cascade.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+type DebraDomain = Domain<u64, Debra<u64>, ThreadPool<u64>, SystemAllocator<u64>>;
+type HpManager = RecordManager<u64, HazardPointers<u64>, ThreadPool<u64>, SystemAllocator<u64>>;
+
+/// Seed bug 1a, single-threaded shape: an unlink path that retires its victim twice.
+/// Record mode must report `DoubleRetire` once and *suppress* the second hand-off so the
+/// flagged run stays memory-safe (no actual double free).
+#[test]
+fn double_retire_is_flagged_and_suppressed() {
+    let _serial = locked();
+    let before = check::count(ViolationKind::DoubleRetire);
+
+    let domain: Domain<u64, ClassicEbr<u64>, ThreadPool<u64>, SystemAllocator<u64>> =
+        Domain::new(2);
+    {
+        let guard = domain.pin();
+        let link = Atomic::from_owned(guard.alloc(0xDEAD_u64));
+        let node = link.load(Ordering::Acquire, &guard);
+        link.compare_exchange(node, Shared::null(), Ordering::AcqRel, Ordering::Acquire, &guard)
+            .expect("unlink is uncontended");
+        guard.retire(node); // the legitimate retire of the unique unlinker
+        guard.retire(node); // the re-injected bug
+    }
+    drop(domain);
+
+    assert_eq!(
+        check::count(ViolationKind::DoubleRetire) - before,
+        1,
+        "the second retire must be reported exactly once"
+    );
+    let _ = check::take_violations();
+}
+
+/// Seed bug 1b, the racing shape (the skip-list double-free): two threads both believe
+/// they won the unlink and both retire the same node.  Exactly one extra retire exists,
+/// so exactly one `DoubleRetire` must be reported — from whichever thread lost.
+#[test]
+fn racing_double_retire_is_flagged() {
+    let _serial = locked();
+    let before = check::count(ViolationKind::DoubleRetire);
+
+    let domain: Arc<DebraDomain> = Arc::new(Domain::new(4));
+    // `link` is the contended location both threads try to unlink; `stale` is the
+    // snapshot each racing thread already holds (it is never overwritten, exactly like
+    // the local variable in the original skip-list unlink path).
+    let (link, stale) = {
+        let guard = domain.pin();
+        let link = Atomic::from_owned(guard.alloc(0xBEEF_u64));
+        let stale = Atomic::from_shared(link.load(Ordering::Acquire, &guard));
+        (Arc::new(link), Arc::new(stale))
+    };
+
+    let mut joins = Vec::new();
+    for _ in 0..2 {
+        let domain = Arc::clone(&domain);
+        let link = Arc::clone(&link);
+        let stale = Arc::clone(&stale);
+        joins.push(std::thread::spawn(move || {
+            let guard = domain.pin();
+            let node = stale.load(Ordering::Acquire, &guard);
+            // The re-injected bug: both threads retire whether or not their unlink CAS
+            // won (the correct code retires only on `Ok`).
+            let _ = link.compare_exchange(
+                node,
+                Shared::null(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            );
+            guard.retire(node);
+        }));
+    }
+    for j in joins {
+        j.join().expect("retiring thread must not crash: record mode suppresses the bug");
+    }
+    drop(link);
+    drop(domain);
+
+    assert_eq!(
+        check::count(ViolationKind::DoubleRetire) - before,
+        1,
+        "two retires of one record must produce exactly one report"
+    );
+    let _ = check::take_violations();
+}
+
+/// Seed bug 2: the hazard-pointer full-word / mark-stripping use-after-free.  The reader
+/// announces the *tagged* word (`addr | 1`); the scan compares full words, so the record
+/// is invisible to it, gets freed under the reader, and the deref that follows is a
+/// use-after-free.  Record mode cannot make a real deref of freed memory safe, so this
+/// test flips the sanitizer into panic mode and catches the abort *before* the deref.
+#[test]
+fn hazard_pointer_tagged_announcement_uaf_is_flagged() {
+    let _serial = locked();
+    let before = check::count(ViolationKind::UseAfterFree);
+
+    // Small slot/slack numbers make the scan threshold deterministic:
+    // nk + max(nk, slack) = 2*2 + max(2*2, 0) = 8 retired records trigger a scan.
+    let config = HpConfig { slots_per_thread: 2, scan_slack: 0, block_capacity: 4 };
+    let manager: Arc<HpManager> = Arc::new(RecordManager::from_parts(
+        Arc::new(HazardPointers::with_config(2, config)),
+        Arc::new(ThreadPool::new(2)),
+        Arc::new(SystemAllocator::new(2)),
+    ));
+    let domain = Domain::with_manager(Arc::clone(&manager));
+
+    // The victim is published first so the domain's lease takes tid 0 ...
+    let link = {
+        let guard = domain.pin();
+        Atomic::from_owned(guard.alloc(41_u64))
+    };
+    // ... and the raw reader handle takes tid 1 (the raw layer is the only place the
+    // buggy announcement can be written: the safe layer always strips tags).
+    let mut reader = manager.register(1).expect("tid 1 is free");
+    let mut op = reader.guard();
+    let stale = {
+        let node = link.load(Ordering::Acquire, &op);
+        Atomic::from_shared(node)
+    };
+    let victim = link.load_ptr(Ordering::Acquire);
+    let tagged = NonNull::new((victim as usize | 1) as *mut u64).expect("victim is non-null");
+    // The re-injected bug: announce the tagged word.  The validation closure passes —
+    // exactly like the historical full-word validation did.
+    assert!(op.protect(0, tagged, || true), "the buggy protect itself succeeds");
+
+    // Unlink + retire the victim, then push enough retired records through tid 0 to
+    // cross the scan threshold; the scan does not see `victim | 1` as covering `victim`
+    // and frees it under the reader.
+    {
+        let guard = domain.pin();
+        let node = link.load(Ordering::Acquire, &guard);
+        link.compare_exchange(node, Shared::null(), Ordering::AcqRel, Ordering::Acquire, &guard)
+            .expect("unlink is uncontended");
+        guard.retire(node);
+        for i in 0..12_u64 {
+            let filler = Atomic::from_owned(guard.alloc(i));
+            let node = filler.load(Ordering::Acquire, &guard);
+            filler
+                .compare_exchange(node, Shared::null(), Ordering::AcqRel, Ordering::Acquire, &guard)
+                .expect("unlink is uncontended");
+            guard.retire(node);
+        }
+    }
+
+    // The reader now dereferences its stale, "protected" pointer.  Panic mode aborts
+    // inside the sanitizer hook, *before* the actual read of freed memory.
+    check::set_panic_on_violation(true);
+    let deref = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let node = stale.load(Ordering::Acquire, &op);
+        node.as_ref().copied()
+    }));
+    check::set_panic_on_violation(false);
+
+    assert!(deref.is_err(), "the use-after-free deref must be intercepted");
+    assert_eq!(
+        check::count(ViolationKind::UseAfterFree) - before,
+        1,
+        "the deref of the freed record must be reported as a use-after-free"
+    );
+    drop(op);
+    drop(reader);
+    drop(domain);
+    let _ = check::take_violations();
+}
+
+/// Seed bug 3: a published record that is never retired.  Tearing down the Record
+/// Manager must report it through the leak counter.
+#[test]
+fn unretired_record_is_reported_as_leak_on_teardown() {
+    let _serial = locked();
+    let before = check::leaked_records();
+
+    let domain: Domain<u64, ClassicEbr<u64>, ThreadPool<u64>, SystemAllocator<u64>> =
+        Domain::new(2);
+    let _leaked = {
+        let guard = domain.pin();
+        Atomic::from_owned(guard.alloc(7_u64))
+    };
+    drop(domain); // the structure "forgot" the node: published, never retired, never freed
+
+    assert!(
+        check::leaked_records() > before,
+        "teardown must report the published-but-never-retired record"
+    );
+    let _ = check::take_violations();
+}
+
+const STRESS_THREADS: usize = 4;
+const STRESS_OPS: u64 = 2_000;
+
+/// Clean-run half of the mutation contract: a correct workload must be report-free under
+/// every scheme.  Runs the Harris-Michael list stress (insert/remove/get mix) with the
+/// sanitizer shadowing every record and asserts a zero violation delta.
+macro_rules! clean_stress {
+    ($($name:ident: $reclaimer:ty,)+) => {$(
+        #[test]
+        fn $name() {
+            let _serial = locked();
+            let before = check::total_violations();
+
+            type Node = ListNode<u64, u64>;
+            type Map = HarrisMichaelList<u64, u64, $reclaimer, ThreadPool<Node>, SystemAllocator<Node>>;
+            let manager = Arc::new(RecordManager::new(STRESS_THREADS + 1));
+            let map: Arc<Map> = Arc::new(HarrisMichaelList::new(Arc::clone(&manager)));
+            let mut joins = Vec::new();
+            for tid in 0..STRESS_THREADS {
+                let map = Arc::clone(&map);
+                joins.push(std::thread::spawn(move || {
+                    let mut handle = map.register().expect("register worker");
+                    let mut x: u64 = 0x5851_F42D_4C95_7F2D ^ ((tid as u64) << 13);
+                    for _ in 0..STRESS_OPS {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let key = (x >> 33) % 64;
+                        match (x >> 61) % 4 {
+                            0 | 1 => { let _ = map.insert(&mut handle, key, key); }
+                            2 => { let _ = map.remove(&mut handle, &key); }
+                            _ => { let _ = map.get(&mut handle, &key); }
+                        }
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().expect("stress worker must not crash");
+            }
+            drop(map);
+
+            assert_eq!(
+                check::total_violations() - before,
+                0,
+                "a correct workload must produce zero sanitizer reports"
+            );
+        }
+    )+};
+}
+
+clean_stress! {
+    clean_stress_none: NoReclaim<Node>,
+    clean_stress_ebr: ClassicEbr<Node>,
+    clean_stress_hazard_pointers: HazardPointers<Node>,
+    clean_stress_threadscan: ThreadScanLite<Node>,
+    clean_stress_debra: Debra<Node>,
+    clean_stress_debra_plus: DebraPlus<Node>,
+    clean_stress_ibr: Ibr<Node>,
+}
