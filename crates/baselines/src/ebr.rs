@@ -8,8 +8,8 @@ use std::sync::{Arc, Mutex};
 use blockbag::BlockBag;
 use crossbeam_utils::CachePadded;
 use debra::{
-    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread, RegistrationError,
-    SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
+    CodeModifications, ReadProtection, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread,
+    RegistrationError, SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
 };
 
 /// Announcement value of a thread that has never executed an operation.
@@ -189,7 +189,7 @@ impl<T: Send + 'static> ClassicEbrThread<T> {
 impl<T: Send + 'static> ReclaimerThread<T> for ClassicEbrThread<T> {
     // Epoch-style: records retired after an operation begins outlive the operation, so
     // unvalidated traversal (and therefore helping) is sound.
-    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool = true;
+    const READ_PROTECTION: ReadProtection = ReadProtection::Pin;
 
     fn tid(&self) -> usize {
         self.tid

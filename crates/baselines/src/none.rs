@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 use debra::{
-    CodeModifications, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread, RegistrationError,
-    SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
+    CodeModifications, ReadProtection, ReclaimSink, Reclaimer, ReclaimerStats, ReclaimerThread,
+    RegistrationError, SchemeProperties, Termination, ThreadStatsSlot, TimingAssumptions,
 };
 
 /// The paper's "None" baseline: retired records are simply abandoned.
@@ -103,7 +103,7 @@ pub struct NoReclaimThread<T> {
 
 impl<T: Send + 'static> ReclaimerThread<T> for NoReclaimThread<T> {
     // Nothing is ever freed, so any traversal is trivially sound.
-    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool = true;
+    const READ_PROTECTION: ReadProtection = ReadProtection::Pin;
 
     fn tid(&self) -> usize {
         self.tid

@@ -25,6 +25,15 @@
 //! pages + per-thread magazines) instead of malloc, so the JSON tracks what killing
 //! malloc on the retire→free path buys per scheme.
 //!
+//! The eighth scheme, VBR, is only machine-safe over type-stable memory, so *every* VBR
+//! cell runs over the page pool (the other schemes keep their family's default memory
+//! configuration), and its `skiplist_raw` twin is omitted: the raw baseline expresses a
+//! failed protect as a retry under the same pin, which cannot clear VBR staleness (only
+//! the guard layer's typed `Restart` re-pin can).  The `readheavy` family is the
+//! headline announcement-free-read comparison — read-heavy (90/5/5) list and hash-map
+//! rows under uniform and Zipf 0.99 keys, run for EBR and VBR only, both over the page
+//! pool so the allocator cancels out of the ratio being published.
+//!
 //! Every (family × scheme) cell of the matrix runs in its *own child process*
 //! (`BENCH_GROUP=family:scheme`, spawned automatically by the parent run): a fresh heap,
 //! empty page stores and zeroed thread registries per cell, so no row's number depends
@@ -60,7 +69,10 @@ use smr_hashmap::{HashMapNode, LockFreeHashMap};
 use smr_ibr::Ibr;
 use smr_pagepool::{PageAllocator, PagePool};
 use smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
-use smr_workloads::workload::{KeyDistribution, Operation, OperationGenerator, WorkloadConfig};
+use smr_vbr::Vbr;
+use smr_workloads::workload::{
+    KeyDistribution, Operation, OperationGenerator, OperationMix, WorkloadConfig,
+};
 
 /// The raw-API Harris–Michael list: the hand-rolled protect/validate/check implementation
 /// that `lockfree_ds::list` used before the guard layer existed, kept here verbatim (in
@@ -879,15 +891,27 @@ where
 /// distribution.  The structure is prefilled to half the key range so every operation
 /// works on realistic chains; removes retire records, so the scheme's whole retire →
 /// reclaim pipeline is in the measured path.
-fn bench_hashmap<R>(c: &mut Criterion, name: &str, distribution: KeyDistribution, op: &str)
-where
+fn bench_hashmap<R, P, A>(
+    c: &mut Criterion,
+    name: &str,
+    mix: OperationMix,
+    distribution: KeyDistribution,
+    op: &str,
+    slots: usize,
+) where
     R: Reclaimer<HashMapNode<u64, u64>>,
+    P: Pool<HashMapNode<u64, u64>>,
+    A: Allocator<HashMapNode<u64, u64>>,
 {
     type Node = HashMapNode<u64, u64>;
-    let cfg =
-        WorkloadConfig { threads: 1, key_range: 1_024, distribution, ..WorkloadConfig::default() };
-    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
-        Arc::new(RecordManager::new(2));
+    let cfg = WorkloadConfig {
+        threads: 1,
+        key_range: 1_024,
+        mix,
+        distribution,
+        ..WorkloadConfig::default()
+    };
+    let manager: Arc<RecordManager<Node, R, P, A>> = Arc::new(RecordManager::new(slots));
     let map = LockFreeHashMap::with_buckets(Arc::clone(&manager), 64);
     let mut handle = map.register().expect("register bench thread");
     let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
@@ -919,12 +943,28 @@ where
     });
 }
 
-fn bench_hashmap_both<R>(c: &mut Criterion, name: &str)
+fn bench_hashmap_both<R, P, A>(c: &mut Criterion, name: &str)
 where
     R: Reclaimer<HashMapNode<u64, u64>>,
+    P: Pool<HashMapNode<u64, u64>>,
+    A: Allocator<HashMapNode<u64, u64>>,
 {
-    bench_hashmap::<R>(c, name, KeyDistribution::Uniform, "hashmap_uniform");
-    bench_hashmap::<R>(c, name, KeyDistribution::ZIPF_DEFAULT, "hashmap_zipf");
+    bench_hashmap::<R, P, A>(
+        c,
+        name,
+        OperationMix::UPDATE_HEAVY,
+        KeyDistribution::Uniform,
+        "hashmap_uniform",
+        2,
+    );
+    bench_hashmap::<R, P, A>(
+        c,
+        name,
+        OperationMix::UPDATE_HEAVY,
+        KeyDistribution::ZIPF_DEFAULT,
+        "hashmap_zipf",
+        2,
+    );
 }
 
 /// Key range for the guard-overhead list rows: small enough that one operation is a short
@@ -950,51 +990,26 @@ fn list_workload() -> (WorkloadConfig, Vec<Operation>) {
 }
 
 /// `list_raw`: the hand-rolled Harris–Michael list (module [`raw_list`]) driven directly
-/// through `RecordManagerThread` — the pre-guard-layer baseline.
-fn bench_list_raw<R>(c: &mut Criterion, name: &str)
-where
+/// through `RecordManagerThread` — the pre-guard-layer baseline.  Generic over the
+/// memory configuration and the workload so the same baseline also produces VBR's rows
+/// (which must run the type-stable page pool) and the read-heavy comparison rows.
+fn bench_list_raw_as<R, P, A>(
+    c: &mut Criterion,
+    name: &str,
+    op: &str,
+    cfg: &WorkloadConfig,
+    ops: &[Operation],
+    slots: usize,
+) where
     R: Reclaimer<raw_list::RawNode<u64, u64>>,
+    P: Pool<raw_list::RawNode<u64, u64>>,
+    A: Allocator<raw_list::RawNode<u64, u64>>,
 {
     type Node = raw_list::RawNode<u64, u64>;
-    let (cfg, ops) = list_workload();
-    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
-        Arc::new(RecordManager::new(2));
+    let manager: Arc<RecordManager<Node, R, P, A>> = Arc::new(RecordManager::new(slots));
     let list = raw_list::RawList::new(Arc::clone(&manager));
     let mut handle = manager.register(0).expect("register bench thread");
-    let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
-    for _ in 0..cfg.key_range * 4 {
-        let _ = list.insert(&mut handle, gen.next_uniform_key(), 0);
-    }
-
-    let mut i = 0usize;
-    c.bench_function(format!("{name}/list_raw"), |b| {
-        b.iter(|| {
-            let next = ops[i & 0xFFFF];
-            i += 1;
-            match next {
-                Operation::Insert(k) => list.insert(&mut handle, k, k),
-                Operation::Delete(k) => list.remove(&mut handle, &k),
-                Operation::Search(k) => list.contains(&mut handle, &k),
-            }
-        })
-    });
-}
-
-/// `list_guard`: the safe-API port in `lockfree-ds`, same algorithm, same workload.
-/// Generic over the memory configuration so the same workload also produces the
-/// `list_guard_pagepool` row (the type-stable page allocator instead of malloc).
-fn bench_list_guard_as<R, P, A>(c: &mut Criterion, name: &str, op: &str)
-where
-    R: Reclaimer<ListNode<u64, u64>>,
-    P: Pool<ListNode<u64, u64>>,
-    A: Allocator<ListNode<u64, u64>>,
-{
-    type Node = ListNode<u64, u64>;
-    let (cfg, ops) = list_workload();
-    let manager: Arc<RecordManager<Node, R, P, A>> = Arc::new(RecordManager::new(2));
-    let list = HarrisMichaelList::new(Arc::clone(&manager));
-    let mut handle = list.register().expect("lease bench thread slot");
-    let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
+    let mut gen = OperationGenerator::new(cfg, 0, 0xB17);
     for _ in 0..cfg.key_range * 4 {
         let _ = list.insert(&mut handle, gen.next_uniform_key(), 0);
     }
@@ -1013,12 +1028,42 @@ where
     });
 }
 
-fn bench_list_guard<R>(c: &mut Criterion, name: &str)
-where
+/// `list_guard`: the safe-API port in `lockfree-ds`, same algorithm, same workload.
+/// Generic over the memory configuration so the same workload also produces the
+/// `list_guard_pagepool` row (the type-stable page allocator instead of malloc).
+fn bench_list_guard_as<R, P, A>(
+    c: &mut Criterion,
+    name: &str,
+    op: &str,
+    cfg: &WorkloadConfig,
+    ops: &[Operation],
+    slots: usize,
+) where
     R: Reclaimer<ListNode<u64, u64>>,
+    P: Pool<ListNode<u64, u64>>,
+    A: Allocator<ListNode<u64, u64>>,
 {
     type Node = ListNode<u64, u64>;
-    bench_list_guard_as::<R, ThreadPool<Node>, SystemAllocator<Node>>(c, name, "list_guard");
+    let manager: Arc<RecordManager<Node, R, P, A>> = Arc::new(RecordManager::new(slots));
+    let list = HarrisMichaelList::new(Arc::clone(&manager));
+    let mut handle = list.register().expect("lease bench thread slot");
+    let mut gen = OperationGenerator::new(cfg, 0, 0xB17);
+    for _ in 0..cfg.key_range * 4 {
+        let _ = list.insert(&mut handle, gen.next_uniform_key(), 0);
+    }
+
+    let mut i = 0usize;
+    c.bench_function(format!("{name}/{op}"), |b| {
+        b.iter(|| {
+            let next = ops[i & 0xFFFF];
+            i += 1;
+            match next {
+                Operation::Insert(k) => list.insert(&mut handle, k, k),
+                Operation::Delete(k) => list.remove(&mut handle, &k),
+                Operation::Search(k) => list.contains(&mut handle, &k),
+            }
+        })
+    });
 }
 
 /// `list_guard_pagepool`: the same list workload composed with the page-pool allocation
@@ -1029,22 +1074,77 @@ where
     R: Reclaimer<ListNode<u64, u64>>,
 {
     type Node = ListNode<u64, u64>;
-    bench_list_guard_as::<R, PagePool<Node>, PageAllocator<Node>>(c, name, "list_guard_pagepool");
+    let (cfg, ops) = list_workload();
+    bench_list_guard_as::<R, PagePool<Node>, PageAllocator<Node>>(
+        c,
+        name,
+        "list_guard_pagepool",
+        &cfg,
+        &ops,
+        2,
+    );
 }
 
 /// Measures the pair in *both orders*.  Schemes that never free (None) grow the heap
 /// monotonically over the process lifetime, so whichever row is measured later sees a
 /// colder, wider heap; running raw→guard and then guard→raw and letting the JSON writer
 /// keep the best run per row removes that ordering bias from the comparison.
-fn bench_list_pair<RRaw, RGuard>(c: &mut Criterion, name: &str)
+fn bench_list_pair<RRaw, PRaw, ARaw, RGuard, PGuard, AGuard>(c: &mut Criterion, name: &str)
 where
     RRaw: Reclaimer<raw_list::RawNode<u64, u64>>,
+    PRaw: Pool<raw_list::RawNode<u64, u64>>,
+    ARaw: Allocator<raw_list::RawNode<u64, u64>>,
     RGuard: Reclaimer<ListNode<u64, u64>>,
+    PGuard: Pool<ListNode<u64, u64>>,
+    AGuard: Allocator<ListNode<u64, u64>>,
 {
-    bench_list_raw::<RRaw>(c, name);
-    bench_list_guard::<RGuard>(c, name);
-    bench_list_guard::<RGuard>(c, name);
-    bench_list_raw::<RRaw>(c, name);
+    let (cfg, ops) = list_workload();
+    bench_list_raw_as::<RRaw, PRaw, ARaw>(c, name, "list_raw", &cfg, &ops, 2);
+    bench_list_guard_as::<RGuard, PGuard, AGuard>(c, name, "list_guard", &cfg, &ops, 2);
+    bench_list_guard_as::<RGuard, PGuard, AGuard>(c, name, "list_guard", &cfg, &ops, 2);
+    bench_list_raw_as::<RRaw, PRaw, ARaw>(c, name, "list_raw", &cfg, &ops, 2);
+}
+
+/// Shared workload for the read-heavy (90% search / 5% insert / 5% delete) comparison
+/// rows — the announcement-free-read claim, measured.  Unlike `list_workload` the list
+/// stays near half occupancy (the prefill in the bench functions is shared), but the
+/// operation stream is search-dominated, so the per-operation reader cost — EBR's
+/// epoch announcement + full-registry scan versus VBR's single clock load — is the
+/// measured quantity.  Every row of this family runs over the page pool (VBR's
+/// requirement), so the allocator cancels out of the EBR-vs-VBR ratio, and the
+/// registry is sized like a real worker fleet ([`READHEAVY_SLOTS`]).
+/// Registry capacity for the read-heavy comparison rows.  The other families register
+/// two slots — classic EBR's best case, since its pin scans *every* announcement slot
+/// on *every* operation.  A service actually serving read-heavy traffic registers one
+/// slot per worker thread, and that Θ(registered-threads) scan is exactly the term the
+/// announcement-free scheme deletes, so these rows size the registry like a real
+/// process (one measuring thread, the rest idle — idle EBR slots read `IDLE` and cost
+/// a cache-line load each, they never stall the epoch).  VBR's pin reads one global
+/// clock word regardless of capacity.
+const READHEAVY_SLOTS: usize = 16;
+
+/// Key range for the read-heavy list rows.  Same reasoning as [`LIST_KEY_RANGE`], but
+/// stricter: these rows compare per-operation reader cost *between schemes*, and under
+/// a read-mostly Zipf mix the list equilibrates near-full, so at 256 keys the rows
+/// degenerate into a traversal-memory-stall benchmark where the schemes' per-operation
+/// terms vanish into noise.  64 keys keeps one search a short traversal in both
+/// distributions.  (The long-traversal regime is not lost — the `hashmap`-vs-`list`
+/// pair inside this family spans short chains to multi-node walks, and DESIGN.md § 10
+/// records that per-node validation cost on long walks is the checkpoint-validated
+/// port's known tax.)
+const READHEAVY_KEY_RANGE: u64 = 64;
+
+fn readheavy_list_workload(distribution: KeyDistribution) -> (WorkloadConfig, Vec<Operation>) {
+    let cfg = WorkloadConfig {
+        threads: 1,
+        key_range: READHEAVY_KEY_RANGE,
+        mix: OperationMix::READ_MOSTLY,
+        distribution,
+        ..WorkloadConfig::default()
+    };
+    let mut gen = OperationGenerator::new(&cfg, 0, 0x5EED);
+    let ops: Vec<Operation> = (0..65_536).map(|_| gen.next_op()).collect();
+    (cfg, ops)
 }
 
 /// Key range for the guard-overhead skip list / BST rows: larger than the list's (the
@@ -1068,14 +1168,15 @@ fn tree_workload() -> (WorkloadConfig, Vec<Operation>) {
 
 /// `skiplist_raw`: the hand-rolled skip list (module [`raw_skiplist`]) driven directly
 /// through `RecordManagerThread` — the pre-`ShieldSet` baseline.
-fn bench_skiplist_raw<R>(c: &mut Criterion, name: &str)
+fn bench_skiplist_raw<R, P, A>(c: &mut Criterion, name: &str)
 where
     R: Reclaimer<raw_skiplist::RawSkipNode<u64, u64>>,
+    P: Pool<raw_skiplist::RawSkipNode<u64, u64>>,
+    A: Allocator<raw_skiplist::RawSkipNode<u64, u64>>,
 {
     type Node = raw_skiplist::RawSkipNode<u64, u64>;
     let (cfg, ops) = tree_workload();
-    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
-        Arc::new(RecordManager::new(2));
+    let manager: Arc<RecordManager<Node, R, P, A>> = Arc::new(RecordManager::new(2));
     let list = raw_skiplist::RawSkipList::new(Arc::clone(&manager));
     let mut handle = manager.register(0).expect("register bench thread");
     let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
@@ -1098,14 +1199,15 @@ where
 }
 
 /// `skiplist_guard`: the safe-API port in `lockfree-ds`, same algorithm, same workload.
-fn bench_skiplist_guard<R>(c: &mut Criterion, name: &str)
+fn bench_skiplist_guard<R, P, A>(c: &mut Criterion, name: &str)
 where
     R: Reclaimer<SkipNode<u64, u64>>,
+    P: Pool<SkipNode<u64, u64>>,
+    A: Allocator<SkipNode<u64, u64>>,
 {
     type Node = SkipNode<u64, u64>;
     let (cfg, ops) = tree_workload();
-    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
-        Arc::new(RecordManager::new(2));
+    let manager: Arc<RecordManager<Node, R, P, A>> = Arc::new(RecordManager::new(2));
     let list = SkipList::new(Arc::clone(&manager));
     let mut handle = list.register().expect("lease bench thread slot");
     let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
@@ -1128,27 +1230,32 @@ where
 }
 
 /// Both orders, best run kept — see [`bench_list_pair`].
-fn bench_skiplist_pair<RRaw, RGuard>(c: &mut Criterion, name: &str)
+fn bench_skiplist_pair<RRaw, PRaw, ARaw, RGuard, PGuard, AGuard>(c: &mut Criterion, name: &str)
 where
     RRaw: Reclaimer<raw_skiplist::RawSkipNode<u64, u64>>,
+    PRaw: Pool<raw_skiplist::RawSkipNode<u64, u64>>,
+    ARaw: Allocator<raw_skiplist::RawSkipNode<u64, u64>>,
     RGuard: Reclaimer<SkipNode<u64, u64>>,
+    PGuard: Pool<SkipNode<u64, u64>>,
+    AGuard: Allocator<SkipNode<u64, u64>>,
 {
-    bench_skiplist_raw::<RRaw>(c, name);
-    bench_skiplist_guard::<RGuard>(c, name);
-    bench_skiplist_guard::<RGuard>(c, name);
-    bench_skiplist_raw::<RRaw>(c, name);
+    bench_skiplist_raw::<RRaw, PRaw, ARaw>(c, name);
+    bench_skiplist_guard::<RGuard, PGuard, AGuard>(c, name);
+    bench_skiplist_guard::<RGuard, PGuard, AGuard>(c, name);
+    bench_skiplist_raw::<RRaw, PRaw, ARaw>(c, name);
 }
 
 /// `bst_guard`: the external BST on the safe API (no raw twin is kept for the tree — the
 /// row tracks the structure's absolute cost per scheme over time).
-fn bench_bst_guard<R>(c: &mut Criterion, name: &str)
+fn bench_bst_guard<R, P, A>(c: &mut Criterion, name: &str)
 where
     R: Reclaimer<BstNode<u64, u64>>,
+    P: Pool<BstNode<u64, u64>>,
+    A: Allocator<BstNode<u64, u64>>,
 {
     type Node = BstNode<u64, u64>;
     let (cfg, ops) = tree_workload();
-    let manager: Arc<RecordManager<Node, R, ThreadPool<Node>, SystemAllocator<Node>>> =
-        Arc::new(RecordManager::new(2));
+    let manager: Arc<RecordManager<Node, R, P, A>> = Arc::new(RecordManager::new(2));
     let bst = ExternalBst::new(Arc::clone(&manager));
     let mut handle = bst.register().expect("lease bench thread slot");
     let mut gen = OperationGenerator::new(&cfg, 0, 0xB17);
@@ -1248,21 +1355,6 @@ where
     );
 }
 
-// The baseline bag rows deliberately run `NoPool`, not `ThreadPool`: with a pool in
-// front, `deallocate` never reaches the allocator and the row measures pool recycling,
-// not the system allocation pipeline.  `queue_guard`/`stack_guard` are the malloc
-// retire→free baseline that the `*_pagepool` twins are compared against.
-fn bench_bags<R1, R2>(c: &mut Criterion, name: &str)
-where
-    R1: Reclaimer<QueueNode<u64>>,
-    R2: Reclaimer<StackNode<u64>>,
-{
-    type QNode = QueueNode<u64>;
-    type SNode = StackNode<u64>;
-    bench_queue_guard_as::<R1, NoPool<QNode>, SystemAllocator<QNode>>(c, name, "queue_guard");
-    bench_stack_guard_as::<R2, NoPool<SNode>, SystemAllocator<SNode>>(c, name, "stack_guard");
-}
-
 fn bench_bags_pagepool<R1, R2>(c: &mut Criterion, name: &str)
 where
     R1: Reclaimer<QueueNode<u64>>,
@@ -1282,15 +1374,23 @@ where
     );
 }
 
-/// The seven schemes, in the order the rows appear in the JSON.
-const SCHEMES: [&str; 7] = ["None", "DEBRA", "DEBRA+", "HP", "EBR", "ThreadScan", "IBR"];
+/// The eight schemes, in the order the rows appear in the JSON.
+const SCHEMES: [&str; 8] = ["None", "DEBRA", "DEBRA+", "HP", "EBR", "ThreadScan", "IBR", "VBR"];
 
 /// Benchmark families, each of which runs in its *own child process* per scheme (see
 /// `main`).  Ordering within the list only matters for the in-process fallback, where it
 /// preserves the old young-heap-first rationale: the raw/guard comparison pairs run
-/// before the leak-heavy absolute rows.
-const FAMILIES: [&str; 8] =
-    ["list", "list_pp", "skiplist", "bst", "prim", "hashmap", "bags", "bags_pp"];
+/// before the leak-heavy absolute rows.  The `readheavy` family runs only for EBR and
+/// VBR (see [`cell_exists`]): it is the headline announcement-free-read comparison, both
+/// schemes measured over the page pool so the allocator cancels out of the ratio.
+const FAMILIES: [&str; 9] =
+    ["list", "list_pp", "skiplist", "bst", "prim", "hashmap", "bags", "bags_pp", "readheavy"];
+
+/// Whether a (family × scheme) cell is part of the matrix.  The read-heavy family is
+/// deliberately the EBR-vs-VBR pair only.
+fn cell_exists(family: &str, scheme: &str) -> bool {
+    family != "readheavy" || matches!(scheme, "EBR" | "VBR")
+}
 
 /// Expands `$go!(ReclaimerTypeCtor)` for the reclaimer named by `$scheme`.
 macro_rules! dispatch_scheme {
@@ -1303,6 +1403,28 @@ macro_rules! dispatch_scheme {
             "EBR" => $go!(ClassicEbr),
             "ThreadScan" => $go!(ThreadScanLite),
             "IBR" => $go!(Ibr),
+            "VBR" => $go!(Vbr),
+            other => panic!("unknown scheme `{other}` (expected one of {SCHEMES:?})"),
+        }
+    };
+}
+
+/// Like [`dispatch_scheme!`], but also picks the memory configuration: the family's
+/// default pool/allocator for the seven malloc-compatible schemes, and *always* the
+/// type-stable page pool for VBR — version-validated optimistic reads are only
+/// machine-safe over memory that is never unmapped or retyped, and `RecordManager`
+/// enforces exactly that at registration (`AllocatorRequirement::TypeStable`).
+macro_rules! dispatch_scheme_mem {
+    ($scheme:expr, $go:ident, $pool:ident, $alloc:ident) => {
+        match $scheme {
+            "None" => $go!(NoReclaim, $pool, $alloc),
+            "DEBRA" => $go!(Debra, $pool, $alloc),
+            "DEBRA+" => $go!(DebraPlus, $pool, $alloc),
+            "HP" => $go!(HazardPointers, $pool, $alloc),
+            "EBR" => $go!(ClassicEbr, $pool, $alloc),
+            "ThreadScan" => $go!(ThreadScanLite, $pool, $alloc),
+            "IBR" => $go!(Ibr, $pool, $alloc),
+            "VBR" => $go!(Vbr, PagePool, PageAllocator),
             other => panic!("unknown scheme `{other}` (expected one of {SCHEMES:?})"),
         }
     };
@@ -1315,11 +1437,18 @@ fn run_group(c: &mut Criterion, family: &str, scheme: &str) {
             type RawNode = raw_list::RawNode<u64, u64>;
             type GuardNode = ListNode<u64, u64>;
             macro_rules! go {
-                ($r:ident) => {
-                    bench_list_pair::<$r<RawNode>, $r<GuardNode>>(c, scheme)
+                ($r:ident, $p:ident, $a:ident) => {
+                    bench_list_pair::<
+                        $r<RawNode>,
+                        $p<RawNode>,
+                        $a<RawNode>,
+                        $r<GuardNode>,
+                        $p<GuardNode>,
+                        $a<GuardNode>,
+                    >(c, scheme)
                 };
             }
-            dispatch_scheme!(scheme, go);
+            dispatch_scheme_mem!(scheme, go, ThreadPool, SystemAllocator);
         }
         "list_pp" => {
             macro_rules! go {
@@ -1332,20 +1461,41 @@ fn run_group(c: &mut Criterion, family: &str, scheme: &str) {
         "skiplist" => {
             type RawNode = raw_skiplist::RawSkipNode<u64, u64>;
             type GuardNode = SkipNode<u64, u64>;
-            macro_rules! go {
-                ($r:ident) => {
-                    bench_skiplist_pair::<$r<RawNode>, $r<GuardNode>>(c, scheme)
-                };
+            if scheme == "VBR" {
+                // The raw skip list predates the guard layer: it expresses a failed
+                // protect as a retry under the *same* pin, but under VBR only a re-pin
+                // (the typed `Restart`) clears staleness, so the raw idiom can spin on
+                // a node born after its own snapshot (`complete_insert` re-finds the
+                // node it just published).  VBR therefore has no `skiplist_raw` twin —
+                // the guard port's run loop is the only correct expression of its
+                // recovery contract; `bench_schema_check` excuses exactly this cell.
+                bench_skiplist_guard::<Vbr<GuardNode>, PagePool<GuardNode>, PageAllocator<GuardNode>>(
+                    c, scheme,
+                );
+            } else {
+                macro_rules! go {
+                    ($r:ident, $p:ident, $a:ident) => {
+                        bench_skiplist_pair::<
+                            $r<RawNode>,
+                            $p<RawNode>,
+                            $a<RawNode>,
+                            $r<GuardNode>,
+                            $p<GuardNode>,
+                            $a<GuardNode>,
+                        >(c, scheme)
+                    };
+                }
+                dispatch_scheme_mem!(scheme, go, ThreadPool, SystemAllocator);
             }
-            dispatch_scheme!(scheme, go);
         }
         "bst" => {
+            type Node = BstNode<u64, u64>;
             macro_rules! go {
-                ($r:ident) => {
-                    bench_bst_guard::<$r<BstNode<u64, u64>>>(c, scheme)
+                ($r:ident, $p:ident, $a:ident) => {
+                    bench_bst_guard::<$r<Node>, $p<Node>, $a<Node>>(c, scheme)
                 };
             }
-            dispatch_scheme!(scheme, go);
+            dispatch_scheme_mem!(scheme, go, ThreadPool, SystemAllocator);
         }
         "prim" => {
             macro_rules! go {
@@ -1354,29 +1504,46 @@ fn run_group(c: &mut Criterion, family: &str, scheme: &str) {
                 };
             }
             dispatch_scheme!(scheme, go);
-            // The retire row exists only for the bag-based epoch schemes.
+            // The retire row exists only for the bag- or batch-based epoch schemes.
             match scheme {
                 "DEBRA" => bench_retire::<Debra<u64>>(c, scheme),
                 "EBR" => bench_retire::<ClassicEbr<u64>>(c, scheme),
                 "IBR" => bench_retire::<Ibr<u64>>(c, scheme),
+                "VBR" => bench_retire::<Vbr<u64>>(c, scheme),
                 _ => {}
             }
         }
         "hashmap" => {
+            type Node = HashMapNode<u64, u64>;
             macro_rules! go {
-                ($r:ident) => {
-                    bench_hashmap_both::<$r<HashMapNode<u64, u64>>>(c, scheme)
+                ($r:ident, $p:ident, $a:ident) => {
+                    bench_hashmap_both::<$r<Node>, $p<Node>, $a<Node>>(c, scheme)
                 };
             }
-            dispatch_scheme!(scheme, go);
+            dispatch_scheme_mem!(scheme, go, ThreadPool, SystemAllocator);
         }
         "bags" => {
+            type QNode = QueueNode<u64>;
+            type SNode = StackNode<u64>;
+            // The baseline bag rows deliberately run `NoPool`, not `ThreadPool`: with a
+            // pool in front, `deallocate` never reaches the allocator and the row
+            // measures pool recycling, not the system allocation pipeline.  (VBR's bag
+            // rows necessarily run the page pool instead — see `dispatch_scheme_mem!`.)
             macro_rules! go {
-                ($r:ident) => {
-                    bench_bags::<$r<QueueNode<u64>>, $r<StackNode<u64>>>(c, scheme)
-                };
+                ($r:ident, $p:ident, $a:ident) => {{
+                    bench_queue_guard_as::<$r<QNode>, $p<QNode>, $a<QNode>>(
+                        c,
+                        scheme,
+                        "queue_guard",
+                    );
+                    bench_stack_guard_as::<$r<SNode>, $p<SNode>, $a<SNode>>(
+                        c,
+                        scheme,
+                        "stack_guard",
+                    );
+                }};
             }
-            dispatch_scheme!(scheme, go);
+            dispatch_scheme_mem!(scheme, go, NoPool, SystemAllocator);
         }
         "bags_pp" => {
             macro_rules! go {
@@ -1385,6 +1552,55 @@ fn run_group(c: &mut Criterion, family: &str, scheme: &str) {
                 };
             }
             dispatch_scheme!(scheme, go);
+        }
+        "readheavy" => {
+            type LRawNode = raw_list::RawNode<u64, u64>;
+            type LNode = ListNode<u64, u64>;
+            type HNode = HashMapNode<u64, u64>;
+            macro_rules! go {
+                ($r:ident) => {
+                    for (dist, tag) in [
+                        (KeyDistribution::Uniform, "uniform"),
+                        (KeyDistribution::ZIPF_DEFAULT, "zipf"),
+                    ] {
+                        let (cfg, ops) = readheavy_list_workload(dist);
+                        bench_list_raw_as::<
+                            $r<LRawNode>,
+                            PagePool<LRawNode>,
+                            PageAllocator<LRawNode>,
+                        >(
+                            c,
+                            scheme,
+                            &format!("list_raw_readheavy_{tag}"),
+                            &cfg,
+                            &ops,
+                            READHEAVY_SLOTS,
+                        );
+                        bench_list_guard_as::<$r<LNode>, PagePool<LNode>, PageAllocator<LNode>>(
+                            c,
+                            scheme,
+                            &format!("list_readheavy_{tag}"),
+                            &cfg,
+                            &ops,
+                            READHEAVY_SLOTS,
+                        );
+                        bench_hashmap::<$r<HNode>, PagePool<HNode>, PageAllocator<HNode>>(
+                            c,
+                            scheme,
+                            OperationMix::READ_MOSTLY,
+                            dist,
+                            &format!("hashmap_readheavy_{tag}"),
+                            READHEAVY_SLOTS,
+                        );
+                    }
+                };
+            }
+            match scheme {
+                "EBR" => go!(ClassicEbr),
+                "VBR" => go!(Vbr),
+                // `cell_exists` keeps the other schemes out of this family.
+                _ => {}
+            }
         }
         other => panic!("unknown bench family `{other}` (expected one of {FAMILIES:?})"),
     }
@@ -1492,6 +1708,9 @@ fn run_isolated(json_path: &str) -> std::io::Result<Vec<Row>> {
     let mut rows: Vec<Row> = Vec::new();
     for (i, family) in FAMILIES.iter().enumerate() {
         for (j, scheme) in SCHEMES.iter().enumerate() {
+            if !cell_exists(family, scheme) {
+                continue;
+            }
             let group = format!("{family}:{scheme}");
             let tmp = std::env::temp_dir().join(format!(
                 "bench_group_{}_{}_{}.json",
@@ -1516,6 +1735,34 @@ fn run_isolated(json_path: &str) -> std::io::Result<Vec<Row>> {
     }
     let _ = json_path;
     Ok(rows)
+}
+
+/// Prints the headline read-heavy EBR-vs-VBR table — the announcement-free-read claim
+/// as measured numbers, eyeballed in the nightly sweep's log (never a gate: ratios are
+/// machine-dependent).  Both columns run over the page pool, so the allocator cancels
+/// out and the ratio isolates the read-side protocol cost.
+fn print_readheavy_comparison(rows: &[Row]) {
+    let ns = |scheme: &str, op: &str| {
+        rows.iter().find(|r| r.name == format!("{scheme}/{op}")).map(|r| r.ns_per_iter)
+    };
+    let ops = [
+        "list_raw_readheavy_uniform",
+        "list_readheavy_uniform",
+        "hashmap_readheavy_uniform",
+        "list_raw_readheavy_zipf",
+        "list_readheavy_zipf",
+        "hashmap_readheavy_zipf",
+    ];
+    println!(
+        "\nread-heavy (90/5/5) EBR vs VBR, ns/op over the page pool, \
+         {READHEAVY_SLOTS}-slot registry (lower is better):"
+    );
+    println!("  {:28} {:>10} {:>10} {:>9}", "op", "EBR", "VBR", "VBR/EBR");
+    for op in ops {
+        if let (Some(e), Some(v)) = (ns("EBR", op), ns("VBR", op)) {
+            println!("  {op:28} {e:>10.1} {v:>10.1} {:>8.2}x", v / e);
+        }
+    }
 }
 
 fn main() {
@@ -1551,7 +1798,9 @@ fn main() {
         let mut criterion = make_criterion(smoke);
         for family in FAMILIES {
             for scheme in SCHEMES {
-                run_group(&mut criterion, family, scheme);
+                if cell_exists(family, scheme) {
+                    run_group(&mut criterion, family, scheme);
+                }
             }
         }
         let mut rows = Vec::new();
@@ -1559,7 +1808,10 @@ fn main() {
         rows
     });
     match write_json(&rows, &path) {
-        Ok(()) => println!("\nwrote {path} ({} rows)", rows.len()),
+        Ok(()) => {
+            print_readheavy_comparison(&rows);
+            println!("\nwrote {path} ({} rows)", rows.len());
+        }
         Err(e) => {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

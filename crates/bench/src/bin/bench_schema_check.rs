@@ -24,7 +24,7 @@
 //! minimal hand-rolled scan (the workspace has no JSON dependency, see `shims/README.md`).
 
 /// Every scheme in the repository's line-up.
-const SCHEMES: [&str; 7] = ["None", "DEBRA", "DEBRA+", "HP", "EBR", "ThreadScan", "IBR"];
+const SCHEMES: [&str; 8] = ["None", "DEBRA", "DEBRA+", "HP", "EBR", "ThreadScan", "IBR", "VBR"];
 
 /// (scheme, op) pairs the JSON must contain.
 fn expected_rows() -> Vec<(String, String)> {
@@ -36,10 +36,15 @@ fn expected_rows() -> Vec<(String, String)> {
         rows.push((scheme.to_string(), "hashmap_zipf".to_string()));
         // The guard-layer overhead pairs (safe Domain/Guard/Shield/ShieldSet API vs the
         // raw Record Manager baselines embedded in the benchmark), plus the BST's
-        // absolute safe-API row (its raw implementation no longer exists).
+        // absolute safe-API row (its raw implementation no longer exists).  VBR has no
+        // `skiplist_raw` twin: the raw skip list retries a failed protect under the
+        // same pin, which cannot express VBR's re-pin (typed Restart) recovery — see
+        // the `skiplist` family in `reclaimer_microbench.rs`.
         rows.push((scheme.to_string(), "list_raw".to_string()));
         rows.push((scheme.to_string(), "list_guard".to_string()));
-        rows.push((scheme.to_string(), "skiplist_raw".to_string()));
+        if scheme != "VBR" {
+            rows.push((scheme.to_string(), "skiplist_raw".to_string()));
+        }
         rows.push((scheme.to_string(), "skiplist_guard".to_string()));
         rows.push((scheme.to_string(), "bst_guard".to_string()));
         // The bag-shaped structures (smr-queue): alternating push/pop per scheme.
@@ -51,8 +56,23 @@ fn expected_rows() -> Vec<(String, String)> {
         rows.push((scheme.to_string(), "queue_guard_pagepool".to_string()));
         rows.push((scheme.to_string(), "stack_guard_pagepool".to_string()));
     }
-    for scheme in ["DEBRA", "EBR", "IBR"] {
+    for scheme in ["DEBRA", "EBR", "IBR", "VBR"] {
         rows.push((scheme.to_string(), "retire".to_string()));
+    }
+    // The read-heavy (90/5/5) comparison family: the announcement-free-read claim,
+    // measured as EBR-vs-VBR (plus the guard-vs-raw list twins) under uniform and
+    // Zipf 0.99 keys, every row over the page pool so the allocator cancels out.
+    for scheme in ["EBR", "VBR"] {
+        for op in [
+            "list_raw_readheavy_uniform",
+            "list_readheavy_uniform",
+            "hashmap_readheavy_uniform",
+            "list_raw_readheavy_zipf",
+            "list_readheavy_zipf",
+            "hashmap_readheavy_zipf",
+        ] {
+            rows.push((scheme.to_string(), op.to_string()));
+        }
     }
     rows
 }

@@ -45,6 +45,13 @@ pub enum State {
     Retired,
     /// Handed back to the pool/allocator; dereferencing is use-after-free.
     Freed,
+    /// Re-allocated over a `Retired` record *without* an intervening per-record free
+    /// event.  Legal only for managers whose scheme validates reads against a version
+    /// clock (`validate_reads`): version-based reclamation may recycle a retired slot
+    /// straight from limbo once the clock has advanced far enough, and type stability
+    /// keeps the transition machine-safe.  Behaves like `Allocated` for the rest of the
+    /// lifecycle; under any other scheme the same reuse is an `AllocOverLive` violation.
+    Revived,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -79,6 +86,13 @@ struct ManagerInfo {
     /// are the scheme's documented tolerance, not protocol violations.  Must not call
     /// back into this module.
     neutralized_probe: Box<dyn Fn(usize) -> bool + Send + Sync>,
+    /// `true` for schemes with `ReadProtection::Validate` (version-based reclamation):
+    /// readers announce nothing, so a record may be retired — or even recycled — while
+    /// an optimistic read is in flight.  The scheme's contract is that such a read is
+    /// discarded at the next version checkpoint and the dereference itself is
+    /// machine-safe by type stability; the shadow model therefore excuses stale deref
+    /// reports and admits the [`State::Revived`] reuse transition for these managers.
+    validate_reads: bool,
 }
 
 struct PageRange {
@@ -149,15 +163,26 @@ fn build(t: &Table, kind: ViolationKind, addr: usize, mgr: u64, detail: String) 
 /// Registers a `RecordManager` instance; the returned id keys all its hooks.
 /// `state_provider` renders the scheme's live stats for violation reports;
 /// `neutralized_probe` reports whether a given thread is currently neutralized
-/// (always `false` for schemes without crash recovery).
+/// (always `false` for schemes without crash recovery); `validate_reads` is
+/// `true` for version-validating schemes (`ReadProtection::Validate`), whose
+/// optimistic-read tolerance the shadow model must honour (see
+/// [`State::Revived`]).
 pub fn register_manager(
     scheme: &'static str,
     state_provider: Box<dyn Fn() -> String + Send + Sync>,
     neutralized_probe: Box<dyn Fn(usize) -> bool + Send + Sync>,
+    validate_reads: bool,
 ) -> u64 {
     let id = NEXT_MGR.fetch_add(1, Ordering::SeqCst);
-    lock().managers.insert(id, ManagerInfo { scheme, state_provider, neutralized_probe });
+    lock()
+        .managers
+        .insert(id, ManagerInfo { scheme, state_provider, neutralized_probe, validate_reads });
     id
+}
+
+/// `true` if `mgr` was registered as a version-validating (`Validate`) scheme.
+fn validates_reads(t: &Table, mgr: u64) -> bool {
+    t.managers.get(&mgr).is_some_and(|m| m.validate_reads)
 }
 
 /// Tears down a manager's shadow state after its stragglers were reclaimed.
@@ -230,20 +255,29 @@ pub fn on_alloc(mgr: u64, tid: usize, addr: usize, type_name: &'static str) {
                 ));
             }
         }
+        let mut revived = false;
         if v.is_none() {
             if let Some(c) = t.cells.get(&addr) {
                 if c.mgr == mgr && c.state != State::Freed {
-                    v = Some(build(
-                        &t,
-                        ViolationKind::AllocOverLive,
-                        addr,
-                        mgr,
-                        format!(
-                            "allocator handed thread {tid} an address whose previous record \
-                             is still {:?}",
-                            c.state
-                        ),
-                    ));
+                    if c.state == State::Retired && validates_reads(&t, mgr) {
+                        // Version-validating schemes may recycle a retired slot without
+                        // a per-record free event: readers that could still see it are
+                        // fenced off by the version clock, not by the free.  Record the
+                        // legal `Revived` transition instead of `AllocOverLive`.
+                        revived = true;
+                    } else {
+                        v = Some(build(
+                            &t,
+                            ViolationKind::AllocOverLive,
+                            addr,
+                            mgr,
+                            format!(
+                                "allocator handed thread {tid} an address whose previous record \
+                                 is still {:?}",
+                                c.state
+                            ),
+                        ));
+                    }
                 }
             }
         }
@@ -251,7 +285,7 @@ pub fn on_alloc(mgr: u64, tid: usize, addr: usize, type_name: &'static str) {
             addr,
             Cell {
                 mgr,
-                state: State::Allocated,
+                state: if revived { State::Revived } else { State::Allocated },
                 type_name,
                 retired_at: 0,
                 retire_tid: usize::MAX,
@@ -276,7 +310,7 @@ pub fn on_dealloc(mgr: u64, tid: usize, addr: usize) -> bool {
             Some(c) => match c.state {
                 // `Linked` may be discarded: the holder of the link snapshot was
                 // never published (a lost insert discards the whole private subtree).
-                State::Allocated | State::Linked => {
+                State::Allocated | State::Linked | State::Revived => {
                     c.state = State::Freed;
                     (None, true)
                 }
@@ -316,7 +350,7 @@ pub fn on_dealloc(mgr: u64, tid: usize, addr: usize) -> bool {
 pub fn on_link(addr: usize) {
     let mut t = lock();
     if let Some(c) = t.cells.get_mut(&addr) {
-        if c.state == State::Allocated {
+        if matches!(c.state, State::Allocated | State::Revived) {
             c.state = State::Linked;
         }
     }
@@ -337,7 +371,7 @@ pub fn on_publish(addr: usize) {
         match t.cells.get_mut(&addr) {
             None => None,
             Some(c) => match c.state {
-                State::Allocated | State::Linked => {
+                State::Allocated | State::Linked | State::Revived => {
                     c.state = State::Published;
                     None
                 }
@@ -380,11 +414,11 @@ pub fn on_retire(mgr: u64, tid: usize, addr: usize) -> bool {
         match t.cells.get_mut(&addr) {
             None => (None, true),
             Some(c) => match c.state {
-                State::Published | State::Linked | State::Allocated => {
+                State::Published | State::Linked | State::Allocated | State::Revived => {
                     // `Linked` retires silently: the record was snapshotted into
                     // another record's link and may well be reachable (transitive
                     // publication, invisible to the shadow table).
-                    let was_unpublished = c.state == State::Allocated;
+                    let was_unpublished = matches!(c.state, State::Allocated | State::Revived);
                     c.state = State::Retired;
                     c.retired_at = tick();
                     c.retire_tid = tid;
@@ -627,11 +661,19 @@ pub fn on_deref(addr: usize) {
                 })
             })
         };
+        // Version-validating schemes announce nothing per record, so an optimistic read
+        // can legally land on a record that was retired — or already recycled — after
+        // the reader snapshotted the version clock.  Type stability makes the load
+        // machine-safe and the reader's next checkpoint discards the result, so for
+        // these managers a stale deref is the scheme working as specified, not a
+        // violation.  (Lifecycle misuse — double retire, free-unretired, type-unstable
+        // reuse — is still reported for them by the other hooks.)
+        let validates = validates_reads(&t, c.mgr);
         match c.state {
-            State::Allocated | State::Linked | State::Published => None,
+            State::Allocated | State::Linked | State::Published | State::Revived => None,
             State::Freed => {
                 let mgr = c.mgr;
-                if neutralized(mgr) {
+                if neutralized(mgr) || validates {
                     None
                 } else {
                     Some(build(
@@ -645,7 +687,7 @@ pub fn on_deref(addr: usize) {
             }
             State::Retired => {
                 let mgr = c.mgr;
-                if neutralized(mgr) {
+                if neutralized(mgr) || validates {
                     return;
                 }
                 let (retired_at, retire_tid) = (c.retired_at, c.retire_tid);
@@ -722,7 +764,11 @@ mod tests {
     static TEST_LOCK: StdMutex<()> = StdMutex::new(());
 
     fn mgr() -> u64 {
-        register_manager("test", Box::new(|| "state".into()), Box::new(|_| false))
+        register_manager("test", Box::new(|| "state".into()), Box::new(|_| false), false)
+    }
+
+    fn validating_mgr() -> u64 {
+        register_manager("test-vbr", Box::new(|| "state".into()), Box::new(|_| false), true)
     }
 
     #[test]
@@ -823,6 +869,55 @@ mod tests {
         on_publish(0x6000);
         assert_eq!(unregister_manager(m), 1);
         assert_eq!(report::leaked_records(), leaked + 1);
+    }
+
+    #[test]
+    fn revived_reuse_is_legal_only_under_validation() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        // Validate-capable manager: alloc over a retired (never freed) slot is the
+        // legal Revived transition, and the record continues a normal lifecycle.
+        let m = validating_mgr();
+        let before = report::total_violations();
+        on_alloc(m, 0, 0x7000, "Node");
+        on_publish(0x7000);
+        assert!(on_retire(m, 0, 0x7000));
+        on_alloc(m, 1, 0x7000, "Node"); // reuse straight from limbo
+        assert_eq!(state_of(0x7000), Some(State::Revived));
+        on_publish(0x7000);
+        assert_eq!(state_of(0x7000), Some(State::Published));
+        assert!(on_retire(m, 1, 0x7000));
+        assert!(on_free(m, 1, 0x7000));
+        assert_eq!(report::total_violations(), before);
+        unregister_manager(m);
+
+        // The same reuse under a non-validating manager is AllocOverLive.
+        let m = mgr();
+        let aol = report::count(K::AllocOverLive);
+        on_alloc(m, 0, 0x7100, "Node");
+        on_publish(0x7100);
+        assert!(on_retire(m, 0, 0x7100));
+        on_alloc(m, 1, 0x7100, "Node");
+        assert_eq!(report::count(K::AllocOverLive), aol + 1);
+        assert_eq!(state_of(0x7100), Some(State::Allocated));
+        on_dealloc(m, 1, 0x7100);
+        unregister_manager(m);
+    }
+
+    #[test]
+    fn stale_deref_is_excused_for_validating_managers() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let m = validating_mgr();
+        let before = report::total_violations();
+        on_alloc(m, 0, 0x7200, "Node");
+        on_publish(0x7200);
+        on_retire(m, 1, 0x7200);
+        on_pin(m, 0, false); // pinned after the retire: stale under pin schemes
+        on_deref(0x7200); // retired deref: excused (version checkpoint discards it)
+        on_free(m, 1, 0x7200);
+        on_deref(0x7200); // freed deref: the optimistic-read window, also excused
+        on_unpin(m);
+        assert_eq!(report::total_violations(), before);
+        unregister_manager(m);
     }
 
     #[test]

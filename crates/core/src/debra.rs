@@ -12,7 +12,7 @@ use neutralize::{AnnounceWord, NeutralizeSlot};
 use crate::config::DebraConfig;
 use crate::properties::SchemeProperties;
 use crate::stats::{aggregate, ReclaimerStats, ThreadStatsSlot};
-use crate::traits::{ReclaimSink, Reclaimer, ReclaimerThread, RegistrationError};
+use crate::traits::{ReadProtection, ReclaimSink, Reclaimer, ReclaimerThread, RegistrationError};
 
 /// Raw epoch increment: the least significant bit of announcement words is the quiescent
 /// bit, so epochs advance by 2.
@@ -368,7 +368,7 @@ impl<T: Send + 'static> DebraThread<T> {
 impl<T: Send + 'static> ReclaimerThread<T> for DebraThread<T> {
     // Epoch-style: records retired after an operation begins outlive the operation, so
     // unvalidated traversal (and therefore helping) is sound.
-    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool = true;
+    const READ_PROTECTION: ReadProtection = ReadProtection::Pin;
 
     fn tid(&self) -> usize {
         self.tid

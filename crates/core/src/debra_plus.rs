@@ -13,7 +13,7 @@ use crate::debra::{Debra, DebraThread};
 use crate::properties::SchemeProperties;
 use crate::rprotect::RProtectArray;
 use crate::stats::ReclaimerStats;
-use crate::traits::{ReclaimSink, Reclaimer, ReclaimerThread, RegistrationError};
+use crate::traits::{ReadProtection, ReclaimSink, Reclaimer, ReclaimerThread, RegistrationError};
 
 /// Shared state of the DEBRA+ reclaimer.
 ///
@@ -186,7 +186,7 @@ impl<T: Send + 'static> DebraPlusThread<T> {
 impl<T: Send + 'static> ReclaimerThread<T> for DebraPlusThread<T> {
     const SUPPORTS_CRASH_RECOVERY: bool = true;
     // Epoch-style (see `DebraThread`): unvalidated traversal and helping are sound.
-    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool = true;
+    const READ_PROTECTION: ReadProtection = ReadProtection::Pin;
 
     fn tid(&self) -> usize {
         self.inner.tid()

@@ -67,7 +67,9 @@ use neutralize::Neutralized;
 
 use crate::atomic::{private::Sealed, Atomic, Owned, Pinned, Shared};
 use crate::record_manager::{RecordManager, RecordManagerThread};
-use crate::traits::{Allocator, AllocatorThread, Pool, Reclaimer, RegistrationError};
+use crate::traits::{
+    Allocator, AllocatorThread, Pool, ReadProtection, Reclaimer, ReclaimerThread, RegistrationError,
+};
 
 /// Typed "start this operation over" error.
 ///
@@ -721,7 +723,14 @@ where
         // the validate closure below only loads `Atomic`s of the data structure, never
         // re-enters the guard layer.
         let handle = unsafe { &mut *self.handle.as_ptr() };
-        handle.check()?;
+        // Validate-on-read schemes (VBR) re-run the exact same staleness probe inside
+        // `protect` below — a leading `check` would load the same clock word twice per
+        // traversal step for nothing.  For every other scheme `check` is the DEBRA+
+        // neutralization checkpoint (or a no-op) and stays.  Constant after
+        // monomorphization, so the branch compiles out either way.
+        if !matches!(<R::Thread as ReclaimerThread<T>>::READ_PROTECTION, ReadProtection::Validate) {
+            handle.check()?;
+        }
         let word = match expected {
             // The caller already read the link (the traversal's previous `next` load):
             // no redundant re-read on the hot path — exactly the raw protocol's load

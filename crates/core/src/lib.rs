@@ -88,8 +88,8 @@ pub use crate::record_manager::{OpGuard, RecordManager, RecordManagerThread};
 pub use crate::rprotect::RProtectArray;
 pub use crate::stats::{PoolStats, ReclaimerStats, ThreadStatsSlot};
 pub use crate::traits::{
-    Allocator, AllocatorThread, CountingSink, Pool, PoolThread, ReclaimSink, Reclaimer,
-    ReclaimerThread, RegistrationError,
+    Allocator, AllocatorRequirement, AllocatorThread, CountingSink, Pool, PoolThread,
+    ReadProtection, ReclaimSink, Reclaimer, ReclaimerThread, RegistrationError,
 };
 
 pub use neutralize::Neutralized;

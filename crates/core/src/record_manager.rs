@@ -10,7 +10,8 @@ use std::sync::Arc;
 use neutralize::Neutralized;
 
 use crate::traits::{
-    Allocator, AllocatorThread, Pool, PoolThread, Reclaimer, ReclaimerThread, RegistrationError,
+    Allocator, AllocatorRequirement, AllocatorThread, Pool, PoolThread, ReadProtection, Reclaimer,
+    ReclaimerThread, RegistrationError,
 };
 
 /// Shared state of a Record Manager: one reclaimer, one pool and one allocator, chosen at
@@ -66,6 +67,20 @@ where
     /// Composes a Record Manager from already-constructed (possibly custom-configured)
     /// components.  All components must have been created for the same number of threads.
     pub fn from_parts(reclaimer: Arc<R>, pool: Arc<P>, alloc: Arc<A>) -> Self {
+        // Scheme/allocator compatibility gate: a version-based scheme over a non
+        // type-stable allocator is not a performance bug, it is unsound (a stale
+        // optimistic read could land on unmapped or re-typed memory).  Both sides of the
+        // condition are associated constants, so for every legal pairing the branch
+        // compiles out entirely.
+        if matches!(R::ALLOCATOR_REQUIREMENT, AllocatorRequirement::TypeStable) && !A::TYPE_STABLE {
+            panic!(
+                "{} requires ALLOCATOR=pagepool: its optimistic reads are machine-safe only \
+                 over type-stable, never-unmapping record pages, and allocator `{}` does not \
+                 guarantee type stability",
+                R::name(),
+                A::name()
+            );
+        }
         let max_threads = reclaimer.max_threads();
         #[cfg(feature = "smr_sanitize")]
         let shadow_mgr = {
@@ -75,6 +90,10 @@ where
                 R::name(),
                 Box::new(move || format!("{:?}", r.stats())),
                 Box::new(move |tid| probe.is_thread_neutralized(tid)),
+                matches!(
+                    <R::Thread as ReclaimerThread<T>>::READ_PROTECTION,
+                    ReadProtection::Validate
+                ),
             )
         };
         RecordManager {
@@ -316,10 +335,15 @@ where
     pub fn leave_qstate(&mut self) -> bool {
         #[cfg(feature = "smr_sanitize")]
         {
+            // Per-record protection is expected only of announcing schemes: pin schemes
+            // reserve by epoch, validate schemes by version check — neither announces.
             smr_check::shadow::on_pin(
                 self.shadow_mgr,
                 self.tid,
-                !<R::Thread as ReclaimerThread<T>>::SUPPORTS_UNPROTECTED_TRAVERSAL,
+                matches!(
+                    <R::Thread as ReclaimerThread<T>>::READ_PROTECTION,
+                    ReadProtection::Announce
+                ),
             );
             let mut sink =
                 SanitizedSink { inner: &mut self.pool, mgr: self.shadow_mgr, tid: self.tid };
@@ -361,13 +385,16 @@ where
     ) -> bool {
         // Shadow ordering contract: the old slot protection is cleared *before* the real
         // announcement is overwritten, and the new one registered only *after* the real
-        // protect validated (see smr-check's shadow module docs).  Epoch-style schemes
-        // (`SUPPORTS_UNPROTECTED_TRAVERSAL`) implement `protect` as a validated no-op —
-        // the pin is the reservation — so the shadow must not register a per-record
-        // protection the scheme never promised, or DEBRA+ neutralization (which voids
-        // the epoch reservation) would produce free-while-protected false positives.
+        // protect validated (see smr-check's shadow module docs).  Only announcing
+        // schemes make a per-record promise worth tracking: pin schemes implement
+        // `protect` as a validated no-op (the pin is the reservation) and validate
+        // schemes as a version check (nothing is ever reserved) — registering a
+        // per-record protection those schemes never promised would produce
+        // free-while-protected false positives (e.g. under DEBRA+ neutralization,
+        // which voids the epoch reservation).
         #[cfg(feature = "smr_sanitize")]
-        let track = !<R::Thread as ReclaimerThread<T>>::SUPPORTS_UNPROTECTED_TRAVERSAL;
+        let track =
+            matches!(<R::Thread as ReclaimerThread<T>>::READ_PROTECTION, ReadProtection::Announce);
         #[cfg(feature = "smr_sanitize")]
         if track {
             smr_check::shadow::on_protect_begin(self.shadow_mgr, self.tid, slot);
@@ -417,6 +444,12 @@ where
     /// monomorphization, so the non-helping branch compiles out.
     pub fn supports_unprotected_traversal(&self) -> bool {
         <R::Thread as ReclaimerThread<T>>::SUPPORTS_UNPROTECTED_TRAVERSAL
+    }
+
+    /// How the chosen reclaimer protects readers (announce / pin / validate); see
+    /// [`crate::ReadProtection`].  Constant after monomorphization.
+    pub fn read_protection(&self) -> ReadProtection {
+        <R::Thread as ReclaimerThread<T>>::READ_PROTECTION
     }
 
     /// Checkpoint: fails with [`Neutralized`] if this thread has been neutralized.

@@ -58,6 +58,57 @@ impl std::fmt::Display for RegistrationError {
 
 impl std::error::Error for RegistrationError {}
 
+/// How a scheme lets readers dereference shared records — the generalization of the old
+/// `SUPPORTS_UNPROTECTED_TRAVERSAL` bool (which only distinguished epoch-style pinning
+/// from per-access announcement).
+///
+/// | variant    | reader cost per access        | schemes                              |
+/// |------------|-------------------------------|--------------------------------------|
+/// | `Announce` | shared store + validation     | HP, ThreadScan, IBR                  |
+/// | `Pin`      | none (epoch pin per op)       | none (leak), EBR, DEBRA, DEBRA+      |
+/// | `Validate` | local version check           | VBR                                  |
+///
+/// `Announce` schemes publish a per-record (or per-interval) reservation before every
+/// dereference and re-validate reachability afterwards.  `Pin` schemes announce once per
+/// operation; while the thread stays non-quiescent nothing retired after the pin is freed,
+/// so unvalidated traversal — and helping — is sound.  `Validate` schemes (version-based
+/// reclamation) announce *nothing*: readers snapshot a global version clock when the
+/// operation starts and every checkpoint merely compares the clock against the snapshot,
+/// restarting the operation (typed [`Restart`](crate::Restart)) once enough ticks have
+/// passed that retired records may have been recycled.  Dereferencing is kept machine-safe
+/// not by protection but by *type stability* of the allocator (see
+/// [`Allocator::TYPE_STABLE`]), which is why `Validate` schemes must also declare
+/// [`AllocatorRequirement::TypeStable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadProtection {
+    /// Per-access announcement (hazard-pointer style): `protect` publishes a reservation
+    /// and runs the validation closure.
+    Announce,
+    /// Per-operation epoch pin: `protect` is a validated no-op; unprotected traversal and
+    /// helping are sound while the thread is non-quiescent.
+    Pin,
+    /// No announcement at all: `protect`/`check` compile to a version-clock comparison
+    /// that fails the operation (restart) instead of blocking reclamation.
+    Validate,
+}
+
+/// What a reclamation scheme demands of the allocator underneath it.
+///
+/// Most schemes guarantee that a record handed to the sink is unreachable, so any
+/// allocator — including ones that unmap pages or re-type memory — is sound.  Version
+/// based schemes ([`ReadProtection::Validate`]) tolerate transient stale dereferences and
+/// are only machine-safe when record memory is *type stable*: never unmapped and never
+/// reused for a different type ([`Allocator::TYPE_STABLE`]).  The pairing is checked once
+/// at Record Manager construction (see `RecordManager::from_parts`), turning a latent
+/// unsoundness into an immediate, explainable panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocatorRequirement {
+    /// Any allocator is sound.
+    Any,
+    /// Only type-stable, never-unmapping allocators are sound (`ALLOCATOR=pagepool`).
+    TypeStable,
+}
+
 /// A destination for records that have become safe to reuse or free.
 ///
 /// Reclaimers do not free records themselves; they hand them to a sink — normally the
@@ -139,6 +190,13 @@ pub trait Reclaimer<T: Send>: Send + Sync + Sized + 'static {
         Vec::new()
     }
 
+    /// What this scheme demands of the allocator it is paired with.  Checked once at
+    /// Record Manager construction; the default (`Any`) matches every scheme in the
+    /// paper.  Version-based schemes override this with
+    /// [`AllocatorRequirement::TypeStable`] because their optimistic reads are only
+    /// machine-safe over never-unmapping, type-pure record pages.
+    const ALLOCATOR_REQUIREMENT: AllocatorRequirement = AllocatorRequirement::Any;
+
     /// `true` if thread `tid` is currently neutralized (signalled by the crash-recovery
     /// protocol and not yet past its next checkpoint).  Always `false` for schemes
     /// without neutralization.  Must be safe to call from any thread — diagnostic
@@ -172,6 +230,11 @@ pub trait ReclaimerThread<T: Send> {
     /// `true` if this scheme supports crash recovery / neutralization (DEBRA+).
     const SUPPORTS_CRASH_RECOVERY: bool = false;
 
+    /// How this scheme protects readers — see [`ReadProtection`].  The default is the
+    /// safe choice (`Announce`: per-access validated protection, no helping);
+    /// epoch-style schemes opt into `Pin`, version-based schemes into `Validate`.
+    const READ_PROTECTION: ReadProtection = ReadProtection::Announce;
+
     /// `true` when a non-quiescent thread may dereference any record that was reachable
     /// at some point during its operation *without* a per-access validated
     /// [`protect`](Self::protect) — the epoch-style guarantee (no reclamation, EBR,
@@ -182,15 +245,20 @@ pub trait ReclaimerThread<T: Send> {
     /// operation follows descriptor fields into records the helper never protected, on
     /// which no validating read can be performed (there is no link to re-validate
     /// against).  Schemes whose safety argument is tied to their own validated accesses
-    /// must leave this `false`: hazard pointers and ThreadScan (per-slot announcements),
+    /// must not claim it: hazard pointers and ThreadScan (per-slot announcements),
     /// and IBR — whose interval reservation covers exactly the records reached through
     /// its *validating reads*, not the unvalidated descriptor-field loads of a helping
-    /// path.  (Leaving this `true` for IBR is how the seed's external BST corrupted
+    /// path.  (Claiming it for IBR is how the seed's external BST corrupted
     /// itself: a stale helper's child CAS could race record recycling and resurrect an
     /// already-removed, marked node, permanently livelocking every validated traversal.)
+    /// Version-based schemes must not claim it either: a helper's CAS cannot be covered
+    /// by a version re-check on a link it never read.
     ///
-    /// The default is the safe choice (`false`, no helping); epoch-style schemes opt in.
-    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool = false;
+    /// Derived from [`READ_PROTECTION`](Self::READ_PROTECTION): only `Pin` schemes
+    /// traverse unprotected.  Kept as a named constant because it is the capability
+    /// consumers actually gate on (helping in the BST, sanitizer deref tracking).
+    const SUPPORTS_UNPROTECTED_TRAVERSAL: bool =
+        matches!(Self::READ_PROTECTION, ReadProtection::Pin);
 
     /// The thread slot this handle was registered with.
     fn tid(&self) -> usize;
@@ -304,6 +372,15 @@ pub trait ReclaimerThread<T: Send> {
 pub trait Allocator<T>: Send + Sync + Sized + 'static {
     /// Per-thread handle type.
     type Thread: AllocatorThread<T> + 'static;
+
+    /// `true` iff record memory is *type stable*: once a page has held records of type
+    /// `T` it is never unmapped and never reused for another type for the lifetime of
+    /// the process.  This is the property version-based reclamation needs to make its
+    /// optimistic (possibly stale) reads machine-safe — a racing load through a recycled
+    /// pointer still lands on a valid, aligned record of the same type and cannot fault.
+    /// Only the page-store allocator (`smr-pagepool`) provides it; the default is the
+    /// honest `false`.
+    const TYPE_STABLE: bool = false;
 
     /// Creates shared allocator state for up to `max_threads` threads.
     fn new(max_threads: usize) -> Self;

@@ -528,19 +528,27 @@ where
         // takes effect exactly once.  The recovery scope keeps the published node
         // R-protected across the recovery gap — a concurrent remove may retire it while
         // this thread is between attempts — and releases the protection when the whole
-        // operation (completion phase included) is done.  Only DEBRA+ restarts a body
-        // past its decision point, so other schemes skip the scope (and its token)
-        // entirely — the branch is constant after monomorphization.
+        // operation (completion phase included) is done.  Schemes without crash
+        // recovery skip the scope (and its token) entirely — the branch is constant
+        // after monomorphization.
         let recovery = handle.supports_crash_recovery().then(|| handle.recovery());
         let mut published: Option<PublishedInsert<'_, K, V>> = None;
         handle.run(|guard| {
             let mut set = guard.shield_set::<4>();
             if let Some((token, height)) = &published {
-                // Resuming an interrupted completion phase: only crash-recovery schemes
-                // can get here (the Restart that unwinds a decided insert is a DEBRA+
-                // neutralization), so the token always exists.
-                let node = token.expect("resumed completion implies crash recovery").get(guard);
-                self.complete_insert(guard, &mut set, &key, node, *height)?;
+                // Resuming an interrupted completion phase.  Under DEBRA+ the recovery
+                // token re-derives the published node and the idempotent completion
+                // re-runs.  A validating scheme (VBR) can also restart past the
+                // decision point; it holds no token, and without one there is no safe
+                // way to re-identify the node (the address may since have been
+                // recycled) — so abandon the upper-level climb.  That is sound: the
+                // bottom-level link is the linearization point and alone determines
+                // membership; a node that never climbs costs traversal performance,
+                // not correctness.
+                if let Some(token) = token {
+                    let node = token.get(guard);
+                    self.complete_insert(guard, &mut set, &key, node, *height)?;
+                }
                 return Ok(true);
             }
             loop {

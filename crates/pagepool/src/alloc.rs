@@ -46,6 +46,11 @@ pub struct PageAllocator<T> {
 impl<T: Send + 'static> Allocator<T> for PageAllocator<T> {
     type Thread = PageAllocatorThread<T>;
 
+    // The page store never unmaps a page and never re-types one (the interned
+    // per-type store plus the `note_typed_page` contract, property-tested in
+    // `tests/pagepool.rs`) — the capability version-based reclamation gates on.
+    const TYPE_STABLE: bool = true;
+
     fn new(max_threads: usize) -> Self {
         PageAllocator {
             store: store_for::<T>(),

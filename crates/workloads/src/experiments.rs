@@ -24,6 +24,7 @@ use smr_hashmap::{HashMapNode, LockFreeHashMap};
 use smr_ibr::Ibr;
 use smr_pagepool::{PageAllocator, PagePool};
 use smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
+use smr_vbr::Vbr;
 
 use crate::harness::{run_trial, TrialResult};
 use crate::pc::{run_pc_trial, PcConfig, PcScenario, PcTrialResult};
@@ -74,12 +75,15 @@ pub enum ReclaimerKind {
     ThreadScan,
     /// Interval-based reclamation (2GEIBR-style birth/retire-era tagging).
     Ibr,
+    /// Version-based reclamation (announcement-free optimistic reads; requires the
+    /// type-stable page pool).
+    Vbr,
 }
 
 impl ReclaimerKind {
-    /// All seven implemented schemes: the five compared in the paper's figures plus the
-    /// two modern points of comparison this reproduction adds (ThreadScan, IBR).
-    pub const ALL: [ReclaimerKind; 7] = [
+    /// All eight implemented schemes: the five compared in the paper's figures plus the
+    /// three modern points of comparison this reproduction adds (ThreadScan, IBR, VBR).
+    pub const ALL: [ReclaimerKind; 8] = [
         ReclaimerKind::None,
         ReclaimerKind::Debra,
         ReclaimerKind::DebraPlus,
@@ -87,6 +91,7 @@ impl ReclaimerKind {
         ReclaimerKind::Ebr,
         ReclaimerKind::ThreadScan,
         ReclaimerKind::Ibr,
+        ReclaimerKind::Vbr,
     ];
 
     /// The scheme's display name (matches the paper's legend).
@@ -99,7 +104,32 @@ impl ReclaimerKind {
             ReclaimerKind::Ebr => "EBR",
             ReclaimerKind::ThreadScan => "ThreadScan",
             ReclaimerKind::Ibr => "IBR",
+            ReclaimerKind::Vbr => "VBR",
         }
+    }
+
+    /// `true` for schemes whose optimistic reads are machine-safe only over a
+    /// type-stable allocator (`debra::AllocatorRequirement::TypeStable`);
+    /// registration panics otherwise.
+    pub fn requires_type_stable_allocator(&self) -> bool {
+        matches!(self, ReclaimerKind::Vbr)
+    }
+
+    /// The memory configuration a trial of this scheme actually runs with: the
+    /// requested one, except that type-stability-requiring schemes are coerced to
+    /// [`AllocatorKind::PagePool`] (with a stderr note) so sweeps over
+    /// `ReclaimerKind::ALL` don't abort on the one scheme the requested allocator
+    /// cannot host.
+    pub fn effective_allocator(&self, requested: AllocatorKind) -> AllocatorKind {
+        if self.requires_type_stable_allocator() && requested != AllocatorKind::PagePool {
+            eprintln!(
+                "note: {} requires ALLOCATOR=pagepool; running it on pagepool instead of {}",
+                self.name(),
+                requested.name()
+            );
+            return AllocatorKind::PagePool;
+        }
+        requested
     }
 }
 
@@ -318,7 +348,7 @@ pub fn run_config(
     cfg: &WorkloadConfig,
     seed: u64,
 ) -> ExperimentRow {
-    let allocator = cfg.allocator;
+    let allocator = reclaimer.effective_allocator(cfg.allocator);
     if structure.is_bag() {
         let updates = (cfg.mix.insert_pct as u64 + cfg.mix.delete_pct as u64).max(1);
         let pc_cfg = PcConfig {
@@ -440,6 +470,7 @@ pub fn run_config(
         ReclaimerKind::Ebr => dispatch_memory!(ClassicEbr),
         ReclaimerKind::ThreadScan => dispatch_memory!(ThreadScanLite),
         ReclaimerKind::Ibr => dispatch_memory!(Ibr),
+        ReclaimerKind::Vbr => dispatch_memory!(Vbr),
     };
 
     ExperimentRow {
@@ -514,7 +545,7 @@ pub fn run_pc_config(
     cfg: &PcConfig,
     seed: u64,
 ) -> PcRow {
-    let allocator = cfg.allocator;
+    let allocator = reclaimer.effective_allocator(cfg.allocator);
     assert!(structure.is_bag(), "run_pc_config drives bag structures (Queue, Stack)");
     narrate_trial(format_args!(
         "{structure:?} x {reclaimer:?} x {allocator:?} (threads={}, {}, {}ms)",
@@ -600,6 +631,7 @@ pub fn run_pc_config(
         ReclaimerKind::Ebr => dispatch_bag_memory!(ClassicEbr),
         ReclaimerKind::ThreadScan => dispatch_bag_memory!(ThreadScanLite),
         ReclaimerKind::Ibr => dispatch_bag_memory!(Ibr),
+        ReclaimerKind::Vbr => dispatch_bag_memory!(Vbr),
     };
 
     PcRow { structure, reclaimer, allocator, threads: cfg.threads, mix: cfg.label(), result }
@@ -903,6 +935,31 @@ pub fn summarize(rows: &[ExperimentRow]) -> Vec<String> {
             ibr_vs_hp.push(ibr / hp);
         }
     }
+    // VBR runs only on the page pool (other allocators are coerced at dispatch), so its
+    // rows sit in different allocator groups than the scheme it is measured against;
+    // compare it across a second grouping that ignores the memory configuration.
+    type MixKey = (StructureKind, usize, u64, String, String);
+    let mut mix_groups: HashMap<MixKey, HashMap<ReclaimerKind, f64>> = HashMap::new();
+    for r in rows {
+        mix_groups
+            .entry((r.structure, r.threads, r.key_range, r.mix.clone(), r.distribution.label()))
+            .or_default()
+            .insert(r.reclaimer, r.result.throughput_mops);
+    }
+    let mut vbr_vs_none = Vec::new();
+    let mut vbr_vs_ebr = Vec::new();
+    for (_, by_scheme) in mix_groups {
+        if let (Some(&none), Some(&vbr)) =
+            (by_scheme.get(&ReclaimerKind::None), by_scheme.get(&ReclaimerKind::Vbr))
+        {
+            vbr_vs_none.push(vbr / none);
+        }
+        if let (Some(&ebr), Some(&vbr)) =
+            (by_scheme.get(&ReclaimerKind::Ebr), by_scheme.get(&ReclaimerKind::Vbr))
+        {
+            vbr_vs_ebr.push(vbr / ebr);
+        }
+    }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let mut pool = PoolStats::default();
     for r in rows {
@@ -921,6 +978,8 @@ pub fn summarize(rows: &[ExperimentRow]) -> Vec<String> {
         format!("DEBRA+ speedup over HP (paper: ~1.70–1.83x): {:.2}x", avg(&debra_plus_vs_hp)),
         format!("IBR throughput relative to None (not in the paper): {:.2}x", avg(&ibr_vs_none)),
         format!("IBR relative to HP (not in the paper): {:.2}x", avg(&ibr_vs_hp)),
+        format!("VBR throughput relative to None (not in the paper): {:.2}x", avg(&vbr_vs_none)),
+        format!("VBR relative to EBR (not in the paper): {:.2}x", avg(&vbr_vs_ebr)),
         format!(
             "Allocation pipeline: {:.1}% magazine hit rate ({} hits / {} misses), {} pages mapped, {} slots live, {} slots free",
             pool.hit_rate_pct(),
@@ -1073,9 +1132,10 @@ mod tests {
             rows.push(run_config(StructureKind::Bst, reclaimer, &cfg, 5));
         }
         let summary = summarize(&rows);
-        assert_eq!(summary.len(), 7);
+        assert_eq!(summary.len(), 9);
         assert!(summary[0].contains("DEBRA"));
         assert!(summary.iter().any(|l| l.contains("IBR")));
-        assert!(summary[6].contains("Allocation pipeline"));
+        assert!(summary.iter().any(|l| l.contains("VBR relative to EBR")));
+        assert!(summary[8].contains("Allocation pipeline"));
     }
 }

@@ -4,6 +4,7 @@
 use debra::{Debra, DebraPlus, Reclaimer, SchemeProperties};
 use smr_baselines::{ClassicEbr, HazardPointers, NoReclaim, ThreadScanLite};
 use smr_ibr::Ibr;
+use smr_vbr::Vbr;
 
 /// Collects the properties of every reclamation scheme implemented in this repository.
 pub fn implemented_schemes() -> Vec<SchemeProperties> {
@@ -15,6 +16,7 @@ pub fn implemented_schemes() -> Vec<SchemeProperties> {
         <HazardPointers<T> as Reclaimer<T>>::properties(),
         <ThreadScanLite<T> as Reclaimer<T>>::properties(),
         <Ibr<T> as Reclaimer<T>>::properties(),
+        <Vbr<T> as Reclaimer<T>>::properties(),
         <Debra<T> as Reclaimer<T>>::properties(),
         <DebraPlus<T> as Reclaimer<T>>::properties(),
     ]
@@ -58,7 +60,7 @@ mod tests {
     #[test]
     fn table_contains_every_scheme_and_matches_figure2_highlights() {
         let md = render_markdown();
-        for name in ["None", "EBR", "HP", "ThreadScan", "IBR", "DEBRA", "DEBRA+"] {
+        for name in ["None", "EBR", "HP", "ThreadScan", "IBR", "VBR", "DEBRA", "DEBRA+"] {
             assert!(md.contains(name), "missing scheme {name}");
         }
         let schemes = implemented_schemes();
@@ -73,5 +75,11 @@ mod tests {
         let ibr = schemes.iter().find(|s| s.name == "IBR").unwrap();
         assert!(ibr.fault_tolerant, "bounded garbage under stalls is IBR's whole point");
         assert!(ibr.can_traverse_retired_to_retired);
+        let vbr = schemes.iter().find(|s| s.name == "VBR").unwrap();
+        assert!(
+            !vbr.code_modifications.per_accessed_record,
+            "announcement-free reads are VBR's whole point"
+        );
+        assert!(vbr.fault_tolerant);
     }
 }

@@ -524,7 +524,7 @@ mod tests {
     #[test]
     fn cell_grid_covers_every_structure_scheme_mode() {
         let grid = cells();
-        assert_eq!(grid.len(), 2 * 7 * 3);
+        assert_eq!(grid.len(), 2 * 8 * 3);
         // Every scheme name parses back (including the `+` in DEBRA+).
         for (s, r, m) in &grid {
             let spec = format!("{}:{}:{}", s.name(), r.name(), m.name());

@@ -17,4 +17,5 @@ pub use smr_hashmap;
 pub use smr_ibr;
 pub use smr_pagepool;
 pub use smr_queue;
+pub use smr_vbr;
 pub use smr_workloads;

@@ -16,6 +16,7 @@ use debra_repro::smr_hashmap::{HashMapNode, LockFreeHashMap};
 use debra_repro::smr_ibr::Ibr;
 use debra_repro::smr_pagepool::{PageAllocator, PagePool};
 use debra_repro::smr_queue::{MsQueue, QueueNode, StackNode, TreiberStack};
+use debra_repro::smr_vbr::Vbr;
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: u64 = 4_000;
@@ -170,6 +171,17 @@ stress_test!(
 );
 stress_test!(bst_debra_bump, ExternalBst, BstNode, Debra<Node>, ThreadPool, BumpAllocator);
 stress_test!(bst_ibr_bump, ExternalBst, BstNode, Ibr<Node>, ThreadPool, BumpAllocator);
+// VBR runs only over the type-stable page pool (registration panics elsewhere), and like
+// every reclaiming scheme it must show records flowing all the way back.
+stress_test!(
+    bst_vbr_pagepool,
+    ExternalBst,
+    BstNode,
+    Vbr<Node>,
+    PagePool,
+    PageAllocator,
+    expect_reclaim: true
+);
 
 // --- the Harris-Michael list under every scheme -----------------------------------------
 stress_test!(list_none, HarrisMichaelList, ListNode, NoReclaim<Node>, ThreadPool, SystemAllocator);
@@ -207,6 +219,15 @@ stress_test!(
     ThreadScanLite<Node>,
     ThreadPool,
     SystemAllocator
+);
+stress_test!(
+    list_vbr_pagepool,
+    HarrisMichaelList,
+    ListNode,
+    Vbr<Node>,
+    PagePool,
+    PageAllocator,
+    expect_reclaim: true
 );
 
 // --- the hash map under every scheme (the acceptance matrix of the hashmap PR) ----------
@@ -283,6 +304,15 @@ stress_test!(
     BumpAllocator,
     expect_reclaim: true
 );
+stress_test!(
+    hashmap_vbr_pagepool,
+    LockFreeHashMap,
+    HashMapNode,
+    Vbr<Node>,
+    PagePool,
+    PageAllocator,
+    expect_reclaim: true
+);
 
 // --- the skip list under every scheme ---------------------------------------------------
 // The safe-API port extended the skip list's matrix to the per-access protection schemes
@@ -351,6 +381,16 @@ stress_test!(
     ops: OPS_PER_THREAD_RECLAIM_SKIPLIST
 );
 stress_test!(skiplist_ebr_bump, SkipList, SkipNode, ClassicEbr<Node>, ThreadPool, BumpAllocator);
+stress_test!(
+    skiplist_vbr_pagepool,
+    SkipList,
+    SkipNode,
+    Vbr<Node>,
+    PagePool,
+    PageAllocator,
+    expect_reclaim: true,
+    ops: OPS_PER_THREAD_RECLAIM_SKIPLIST
+);
 
 /// The 8-thread hash-map acceptance row: oversubscribed (the container has fewer cores),
 /// under DEBRA+ so the neutralization machinery is exercised while bucket chains churn.
@@ -550,6 +590,8 @@ bag_stress_test!(queue_threadscan_pagepool, MsQueue, QueueNode, ThreadScanLite<N
     PageAllocator, fifo: true, expect_reclaim: true);
 bag_stress_test!(queue_ibr_pagepool, MsQueue, QueueNode, Ibr<Node>, PagePool, PageAllocator,
     fifo: true, expect_reclaim: true);
+bag_stress_test!(queue_vbr_pagepool, MsQueue, QueueNode, Vbr<Node>, PagePool, PageAllocator,
+    fifo: true, expect_reclaim: true);
 
 bag_stress_test!(stack_none, TreiberStack, StackNode, NoReclaim<Node>, ThreadPool,
     SystemAllocator, fifo: false);
@@ -582,6 +624,8 @@ bag_stress_test!(stack_classic_ebr_pagepool, TreiberStack, StackNode, ClassicEbr
 bag_stress_test!(stack_threadscan_pagepool, TreiberStack, StackNode, ThreadScanLite<Node>,
     PagePool, PageAllocator, fifo: false, expect_reclaim: true);
 bag_stress_test!(stack_ibr_pagepool, TreiberStack, StackNode, Ibr<Node>, PagePool,
+    PageAllocator, fifo: false, expect_reclaim: true);
+bag_stress_test!(stack_vbr_pagepool, TreiberStack, StackNode, Vbr<Node>, PagePool,
     PageAllocator, fifo: false, expect_reclaim: true);
 
 /// The 8-thread queue acceptance row: oversubscribed (the container has fewer cores),

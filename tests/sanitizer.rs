@@ -34,6 +34,8 @@ use debra_repro::smr_alloc::{SystemAllocator, ThreadPool};
 use debra_repro::smr_baselines::{ClassicEbr, HazardPointers, HpConfig, NoReclaim, ThreadScanLite};
 use debra_repro::smr_check as check;
 use debra_repro::smr_ibr::Ibr;
+use debra_repro::smr_pagepool::{PageAllocator, PagePool};
+use debra_repro::smr_vbr::Vbr;
 
 /// Serializes the tests: the shadow table, violation counters and panic-mode switch are
 /// process-global.  Poison-tolerant so one failing test does not cascade.
@@ -237,13 +239,16 @@ const STRESS_OPS: u64 = 2_000;
 /// sanitizer shadowing every record and asserts a zero violation delta.
 macro_rules! clean_stress {
     ($($name:ident: $reclaimer:ty,)+) => {$(
+        clean_stress!(@one $name, $reclaimer, ThreadPool, SystemAllocator);
+    )+};
+    (@one $name:ident, $reclaimer:ty, $pool:ident, $alloc:ident) => {
         #[test]
         fn $name() {
             let _serial = locked();
             let before = check::total_violations();
 
             type Node = ListNode<u64, u64>;
-            type Map = HarrisMichaelList<u64, u64, $reclaimer, ThreadPool<Node>, SystemAllocator<Node>>;
+            type Map = HarrisMichaelList<u64, u64, $reclaimer, $pool<Node>, $alloc<Node>>;
             let manager = Arc::new(RecordManager::new(STRESS_THREADS + 1));
             let map: Arc<Map> = Arc::new(HarrisMichaelList::new(Arc::clone(&manager)));
             let mut joins = Vec::new();
@@ -274,7 +279,7 @@ macro_rules! clean_stress {
                 "a correct workload must produce zero sanitizer reports"
             );
         }
-    )+};
+    };
 }
 
 clean_stress! {
@@ -286,3 +291,7 @@ clean_stress! {
     clean_stress_debra_plus: DebraPlus<Node>,
     clean_stress_ibr: Ibr<Node>,
 }
+
+// VBR composes only with the type-stable page pool; the validation-aware shadow model
+// (`Revived` + excused stale derefs) must keep a clean VBR run report-free.
+clean_stress!(@one clean_stress_vbr, Vbr<Node>, PagePool, PageAllocator);

@@ -43,6 +43,7 @@ const HOT_PATH_CRATES: &[&str] = &[
     "crates/neutralize",
     "crates/pagepool",
     "crates/queue",
+    "crates/vbr",
 ];
 
 /// RAII guard types of the safe layer that must be `#[must_use]`.
@@ -370,9 +371,15 @@ fn rule_unprotected_deref(root: &Path, findings: &mut Vec<Finding>) {
                 let body_text = &clean[body.clone()];
                 let loads = body_text.contains(".load(");
                 let derefs = body_text.contains(".as_ref()");
+                // A deref is interposed when the body protects the pointer
+                // (announcement/pin schemes), hits an explicit checkpoint, or
+                // carries a validation hook — the validate-after-read idiom of
+                // version-based schemes (VBR), where staleness is detected by
+                // re-checking the clock window instead of pre-announcing.
                 let interposed = body_text.contains("protect")
                     || body_text.contains(".check(")
-                    || body_text.contains("check()");
+                    || body_text.contains("check()")
+                    || body_text.contains("validate");
                 if loads && derefs && !interposed {
                     let line = line_of(&clean, hdr);
                     findings.push(Finding {
